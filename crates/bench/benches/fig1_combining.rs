@@ -1,0 +1,50 @@
+//! F1 — Figure 1: combining two executions via a block write.
+//!
+//! The seed construction of the whole paper: run β (deciding 1), have
+//! poised processes block-write V (obliterating β from shared memory),
+//! then run α (deciding 0). We regenerate it on the naive register
+//! protocol and time the construction as the pool grows.
+
+use criterion::{BenchmarkId, Criterion};
+use randsync_bench::banner;
+use randsync_consensus::model_protocols::NaiveWriteRead;
+use randsync_core::attack::attack_for_witness;
+use randsync_core::combine31::CombineLimits;
+
+fn main() {
+    banner(
+        "F1",
+        "combining two executions (Figure 1)",
+        "an execution deciding 0 and an execution deciding 1 can be spliced into \
+         one execution deciding both, because the block write makes β invisible",
+    );
+
+    println!("{:>6} {:>12} {:>16} {:>14}", "n", "steps", "processes used", "splices");
+    for n in [2usize, 4, 8, 16] {
+        let p = NaiveWriteRead::new(n);
+        let (witness, stats) =
+            attack_for_witness(&p, &CombineLimits::default()).expect("attack succeeds");
+        println!(
+            "{:>6} {:>12} {:>16} {:>14}",
+            n,
+            witness.execution.len(),
+            witness.processes_used,
+            stats.base_splices
+        );
+    }
+    println!(
+        "\nshape check: the splice always uses the SAME small core (two solos and \
+         one block write) — size is independent of n, exactly as in the paper."
+    );
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut group = c.benchmark_group("fig1_combining");
+    for n in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = NaiveWriteRead::new(n);
+            b.iter(|| attack_for_witness(&p, &CombineLimits::default()).unwrap());
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,58 @@
+//! F2 — Figure 2 / Lemma 3.1: the full combiner, with its process
+//! budget.
+//!
+//! Lemma 3.1 bounds the processes consumed by the combination by
+//! r² − r + (3v + 3w − v² − w²)/2, which at the Lemma 3.2 entry point
+//! (v = w = 1) is r² − r + 2. We attack the write-all/validate-all
+//! protocol for growing register counts and report consumption against
+//! the budget.
+
+use criterion::{BenchmarkId, Criterion};
+use randsync_bench::banner;
+use randsync_consensus::model_protocols::Optimistic;
+use randsync_core::attack::attack_for_witness;
+use randsync_core::bounds::max_identical_processes;
+use randsync_core::combine31::CombineLimits;
+
+fn main() {
+    banner(
+        "F2",
+        "Lemma 3.1 combination and its process budget",
+        "the combination uses at most r² − r + (3v+3w−v²−w²)/2 identical processes \
+         (= r² − r + 2 at the Lemma 3.2 entry point)",
+    );
+
+    println!(
+        "{:>4} {:>14} {:>14} {:>10} {:>10} {:>10} {:>8}",
+        "r", "budget r²−r+2", "procs used", "steps", "splits", "incomp", "clones"
+    );
+    for r in 1..=5usize {
+        let p = Optimistic::new(2, r);
+        let (witness, stats) =
+            attack_for_witness(&p, &CombineLimits::default()).expect("attack succeeds");
+        let budget = max_identical_processes(r as u64) + 1;
+        assert!(witness.processes_used as u64 <= budget, "budget violated at r={r}");
+        println!(
+            "{:>4} {:>14} {:>14} {:>10} {:>10} {:>10} {:>8}",
+            r,
+            budget,
+            witness.processes_used,
+            witness.execution.len(),
+            stats.subset_splits,
+            stats.incomparable_resolutions,
+            stats.clones_spawned
+        );
+    }
+    println!("\nshape check: consumption stays within the quadratic budget at every r.");
+
+    let mut c = Criterion::default().sample_size(15).configure_from_args();
+    let mut group = c.benchmark_group("fig2_lemma31_attack");
+    for r in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let p = Optimistic::new(2, r);
+            b.iter(|| attack_for_witness(&p, &CombineLimits::default()).unwrap());
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

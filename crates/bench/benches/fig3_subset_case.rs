@@ -1,0 +1,55 @@
+//! F3 — Figure 3: the subset case (V ⊆ W, α writes some R ∉ W).
+//!
+//! Each time the 0-deciding continuation writes a register outside the
+//! other side's set, the proof cuts it there, leaves clones poised to
+//! re-perform the last writes to V, and grows V by R. For the
+//! write-all protocol over r registers the continuation crosses r − 1
+//! new registers, so the split count tracks r — which is what we
+//! measure.
+
+use criterion::{BenchmarkId, Criterion};
+use randsync_bench::banner;
+use randsync_consensus::model_protocols::Optimistic;
+use randsync_core::attack::attack_for_witness;
+use randsync_core::combine31::CombineLimits;
+
+fn main() {
+    banner(
+        "F3",
+        "Figure 3 subset-case splits",
+        "α is cut at its first write outside W; clones re-arm V; V grows by one \
+         register per split",
+    );
+
+    println!("{:>4} {:>10} {:>10} {:>10}", "r", "splits", "clones", "steps");
+    let mut prev_splits = 0usize;
+    for r in 1..=5usize {
+        let p = Optimistic::new(2, r);
+        let (witness, stats) =
+            attack_for_witness(&p, &CombineLimits::default()).expect("attack succeeds");
+        println!(
+            "{:>4} {:>10} {:>10} {:>10}",
+            r,
+            stats.subset_splits,
+            stats.clones_spawned,
+            witness.execution.len()
+        );
+        assert!(
+            stats.subset_splits >= prev_splits,
+            "splits should not shrink as registers grow"
+        );
+        prev_splits = stats.subset_splits;
+    }
+    println!("\nshape check: split count grows with the register count, clones track V.");
+
+    let mut c = Criterion::default().sample_size(15).configure_from_args();
+    let mut group = c.benchmark_group("fig3_subset_splits");
+    for r in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let p = Optimistic::new(2, r);
+            b.iter(|| attack_for_witness(&p, &CombineLimits::default()).unwrap());
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

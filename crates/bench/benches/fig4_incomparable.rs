@@ -1,0 +1,72 @@
+//! F4 — Figure 4: the incomparable case (V ⊄ W, W ⊄ V).
+//!
+//! When the two sides' object sets are incomparable, the proof builds a
+//! block-write cover of U = V ∪ W (cloning the other side's poised
+//! processes), finds a solo execution γ deciding after it, and recurses
+//! with the γ-side enlarged to U. The zigzag protocol (input 0 writes
+//! registers ascending, input 1 descending) makes the very first
+//! comparison incomparable, so this case must fire.
+
+use criterion::{BenchmarkId, Criterion};
+use randsync_bench::banner;
+use randsync_consensus::model_protocols::{Optimistic, Zigzag};
+use randsync_core::attack::attack_for_witness;
+use randsync_core::combine31::CombineLimits;
+
+fn main() {
+    banner(
+        "F4",
+        "Figure 4 incomparable-case resolutions",
+        "incomparable V, W are resolved by block-writing U = V ∪ W with cloned \
+         covers and recursing on γ's side",
+    );
+
+    println!(
+        "{:>12} {:>4} {:>10} {:>10} {:>10}",
+        "protocol", "r", "incomp", "splits", "steps"
+    );
+    for r in 1..=5usize {
+        let p = Zigzag::new(2, r);
+        let (witness, stats) =
+            attack_for_witness(&p, &CombineLimits::default()).expect("attack succeeds");
+        println!(
+            "{:>12} {:>4} {:>10} {:>10} {:>10}",
+            "zigzag",
+            r,
+            stats.incomparable_resolutions,
+            stats.subset_splits,
+            witness.execution.len()
+        );
+        if r >= 2 {
+            assert!(stats.incomparable_resolutions > 0, "figure 4 must fire at r={r}");
+        }
+    }
+    for r in 1..=5usize {
+        let p = Optimistic::new(2, r);
+        let (witness, stats) =
+            attack_for_witness(&p, &CombineLimits::default()).expect("attack succeeds");
+        println!(
+            "{:>12} {:>4} {:>10} {:>10} {:>10}",
+            "optimistic",
+            r,
+            stats.incomparable_resolutions,
+            stats.subset_splits,
+            witness.execution.len()
+        );
+    }
+    println!(
+        "\nshape check: order-agreeing protocols (optimistic) never need Figure 4; \
+         order-diverging ones (zigzag, r ≥ 2) always do."
+    );
+
+    let mut c = Criterion::default().sample_size(15).configure_from_args();
+    let mut group = c.benchmark_group("fig4_incomparable_attack");
+    for r in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let p = Zigzag::new(2, r);
+            b.iter(|| attack_for_witness(&p, &CombineLimits::default()).unwrap());
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

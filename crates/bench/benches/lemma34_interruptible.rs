@@ -1,0 +1,81 @@
+//! L3.4 — Lemma 3.4: constructing interruptible executions.
+//!
+//! From a configuration with enough poised processes, the lemma builds
+//! an interruptible execution with strictly nested piece object sets.
+//! We construct them over the write-all protocol for growing register
+//! counts and pools, reporting pieces, steps, and the pool's fate —
+//! including the insufficiency reports when the pool drops below the
+//! lemma's threshold.
+
+use std::collections::BTreeSet;
+
+use criterion::{BenchmarkId, Criterion};
+use randsync_bench::banner;
+use randsync_consensus::model_protocols::Optimistic;
+use randsync_core::interruptible::{construct_interruptible, ExcessCapacity};
+use randsync_model::{Configuration, ExploreLimits, ProcessId};
+
+fn build(r: usize, pool: usize) -> Result<(usize, usize), String> {
+    let p = Optimistic::new(pool.max(2), r);
+    let inputs = vec![0u8; pool];
+    let base = Configuration::initial_with_pool(&p, &inputs, pool);
+    let procs: BTreeSet<ProcessId> = (0..pool).map(ProcessId).collect();
+    match construct_interruptible(
+        &p,
+        &base,
+        BTreeSet::new(),
+        procs,
+        &ExcessCapacity::default(),
+        &ExploreLimits::default(),
+    ) {
+        Ok((ie, _)) => {
+            ie.validate(&p, &base)?;
+            Ok((ie.pieces.len(), ie.len()))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn main() {
+    banner(
+        "L3.4",
+        "interruptible-execution construction",
+        "given enough poised processes, an interruptible execution with nested \
+         pieces exists from any configuration (and the pieces' block writes are \
+         the splice points of Lemma 3.5)",
+    );
+
+    println!("{:>4} {:>6} {:>10} {:>10} {:>24}", "r", "pool", "pieces", "steps", "outcome");
+    for r in 1..=4usize {
+        for pool in [1usize, 2, 4, 8, 16] {
+            match build(r, pool) {
+                Ok((pieces, steps)) => {
+                    println!("{:>4} {:>6} {:>10} {:>10} {:>24}", r, pool, pieces, steps, "ok")
+                }
+                Err(e) => {
+                    let short = if e.contains("insufficient") || e.contains("nsufficient") {
+                        "insufficient processes"
+                    } else {
+                        "failed"
+                    };
+                    println!("{:>4} {:>6} {:>10} {:>10} {:>24}", r, pool, "-", "-", short)
+                }
+            }
+        }
+    }
+    println!(
+        "\nshape check: small pools are reported insufficient (the lemma's \
+         threshold in action); ample pools construct validated executions whose \
+         piece count grows with r."
+    );
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut group = c.benchmark_group("lemma34_construct");
+    for r in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| build(r, 16).unwrap());
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,93 @@
+//! S2 — Section 2's object zoo: operation semantics, classification
+//! cost, and raw throughput of the threaded primitives.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use randsync_bench::banner;
+use randsync_model::{ObjectKind, Operation, Value};
+use randsync_objects::traits::{CompareSwap, Counter, FetchAdd, ReadWrite, Swap, TestAndSet};
+use randsync_objects::{
+    AtomicCounter, AtomicRegister, BoundedAtomicCounter, CasRegister, FetchAddRegister,
+    SnapshotCounter, SwapRegister, TestAndSetFlag,
+};
+
+fn main() {
+    banner(
+        "S2",
+        "object semantics and throughput",
+        "the classification (historyless / interfering) drives the whole paper; \
+         the primitives themselves are single atomic instructions",
+    );
+
+    println!("{:<28} {:>12} {:>12}", "kind", "historyless", "interfering");
+    for k in ObjectKind::all() {
+        println!("{:<28} {:>12} {:>12}", k.name(), k.is_historyless(), k.is_interfering());
+    }
+
+    let mut c = Criterion::default().configure_from_args();
+
+    // Classification decision procedures (they check definitions over
+    // sampled spaces — cheap, but worth pinning).
+    c.bench_function("classify/historyless(compare&swap)", |b| {
+        b.iter(|| std::hint::black_box(ObjectKind::CompareSwap).is_historyless())
+    });
+    c.bench_function("classify/overwrites(swap,write)", |b| {
+        let f = Operation::Swap(Value::Int(1));
+        let g = Operation::Write(Value::Int(2));
+        b.iter(|| ObjectKind::SwapRegister.overwrites(&f, &g))
+    });
+
+    // Single-threaded op latency.
+    let mut group = c.benchmark_group("ops_single_thread");
+    group.throughput(Throughput::Elements(1));
+    let reg = AtomicRegister::new(0);
+    group.bench_function("register/write+read", |b| {
+        b.iter(|| {
+            reg.write(7);
+            std::hint::black_box(reg.read())
+        })
+    });
+    let swap = SwapRegister::new(0);
+    group.bench_function("swap/swap", |b| b.iter(|| std::hint::black_box(swap.swap(3))));
+    let tas = TestAndSetFlag::new();
+    group.bench_function("tas/test_and_set+reset", |b| {
+        b.iter(|| {
+            let w = tas.test_and_set();
+            tas.reset();
+            std::hint::black_box(w)
+        })
+    });
+    let fa = FetchAddRegister::new(0);
+    group.bench_function("fetch_add/fetch_add", |b| {
+        b.iter(|| std::hint::black_box(fa.fetch_add(1)))
+    });
+    let cas = CasRegister::new(0);
+    group.bench_function("cas/compare_swap", |b| {
+        b.iter(|| std::hint::black_box(cas.compare_swap(0, 0)))
+    });
+    let ctr = AtomicCounter::new();
+    group.bench_function("counter/inc+read", |b| {
+        b.iter(|| {
+            ctr.inc();
+            std::hint::black_box(Counter::read(&ctr))
+        })
+    });
+    let bounded = BoundedAtomicCounter::new(-1000, 1000);
+    group.bench_function("bounded_counter/inc", |b| b.iter(|| bounded.inc()));
+    group.finish();
+
+    // The register-based counter: INC is one write, READ is a scan —
+    // the O(n) space trade-off has a time face too.
+    let mut group = c.benchmark_group("snapshot_counter_read");
+    for n in [2usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let sc = SnapshotCounter::new(n);
+            for i in 0..n {
+                sc.inc(i);
+            }
+            b.iter(|| std::hint::black_box(sc.read()));
+        });
+    }
+    group.finish();
+
+    c.final_summary();
+}

@@ -1,0 +1,78 @@
+//! C4.1/4.3/4.5 — the Section 4 separation table.
+//!
+//! Regenerates the qualitative "who wins" comparison of the paper's
+//! corollaries: per primitive, the deterministic consensus number next
+//! to the randomized space bounds, evaluated at concrete n.
+
+use criterion::Criterion;
+use randsync_bench::banner;
+use randsync_core::hierarchy::{
+    implementation_lower_bound, render_table, separation_table, ConsensusNumber, SpaceBound,
+};
+use randsync_model::ObjectKind;
+
+fn main() {
+    banner(
+        "C4.x",
+        "the deterministic hierarchy vs the randomized space measure",
+        "corollaries 4.1/4.3/4.5: implementing compare&swap, counters, or \
+         fetch&add/inc/dec from historyless objects requires Ω(√n) instances",
+    );
+
+    for n in [64u64, 1024, 65536] {
+        println!("--- n = {n} ---");
+        print!("{}", render_table(n));
+        println!();
+    }
+
+    // The corollaries, evaluated.
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "implementing … from historyless", "n=64", "n=1024", "n=65536"
+    );
+    for target in [
+        ObjectKind::CompareSwap,
+        ObjectKind::Counter,
+        ObjectKind::FetchAdd,
+        ObjectKind::FetchIncrement,
+        ObjectKind::FetchDecrement,
+    ] {
+        let r: Vec<String> = [64u64, 1024, 65536]
+            .iter()
+            .map(|&n| implementation_lower_bound(target, n).unwrap().to_string())
+            .collect();
+        println!("{:<28} {:>10} {:>10} {:>10}", target.name(), r[0], r[1], r[2]);
+    }
+
+    // Invariants the table must satisfy (the paper's claims).
+    let table = separation_table();
+    for p in &table {
+        // Historyless ⇒ √n lower bound; single-instance solvers ⇒ 1.
+        if p.historyless {
+            assert_eq!(p.randomized_lower, SpaceBound::SqrtN, "{}", p.kind.name());
+        } else {
+            assert_eq!(p.randomized_upper, SpaceBound::Constant(1), "{}", p.kind.name());
+        }
+    }
+    let det_order = |c: &ConsensusNumber| match c {
+        ConsensusNumber::Finite(k) => *k,
+        ConsensusNumber::Infinite => u64::MAX,
+    };
+    // The deterministic order does NOT predict the randomized one:
+    // exhibit an inversion (counter: det 1, randomized space 1;
+    // swap: det 2, randomized space Θ(√n)).
+    let counter = table.iter().find(|p| p.kind == ObjectKind::Counter).unwrap();
+    let swap = table.iter().find(|p| p.kind == ObjectKind::SwapRegister).unwrap();
+    assert!(det_order(&counter.consensus_number) < det_order(&swap.consensus_number));
+    assert!(counter.randomized_upper.eval(1024) < swap.randomized_lower.eval(1024));
+    println!(
+        "\nshape check: deterministic order inverted under the randomized measure \
+         (counter < swap deterministically, counter ≪ swap in randomized space)."
+    );
+
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("render_separation_table", |b| {
+        b.iter(|| render_table(std::hint::black_box(4096)))
+    });
+    c.final_summary();
+}

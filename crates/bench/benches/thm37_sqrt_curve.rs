@@ -1,0 +1,58 @@
+//! T3.7 — Theorem 3.7: the Ω(√n) curve against the O(n) upper bound.
+//!
+//! The paper's main theorem: a randomized wait-free implementation of
+//! n-process consensus from historyless objects requires Ω(√n)
+//! instances, while O(n) bounded registers suffice. We print both
+//! curves (the gap is the paper's open conjecture of Θ(n)).
+
+use criterion::Criterion;
+use randsync_bench::banner;
+use randsync_core::bounds::{
+    max_processes_historyless, min_historyless_objects, registers_upper_bound,
+};
+
+fn main() {
+    banner(
+        "T3.7",
+        "Ω(√n) historyless objects vs the O(n) register upper bound",
+        "Ω(√n) objects necessary (Theorem 3.7); O(n) registers sufficient \
+         (Section 1); conjectured tight at Θ(n)",
+    );
+
+    println!(
+        "{:>10} {:>16} {:>16} {:>14}",
+        "n", "lower Ω(√n)", "upper O(n)", "ratio upper/lower"
+    );
+    for exp in (1..=20).step_by(1) {
+        let n = 1u64 << exp;
+        let lo = min_historyless_objects(n);
+        let hi = registers_upper_bound(n);
+        println!("{:>10} {:>16} {:>16} {:>14.1}", n, lo, hi, hi as f64 / lo as f64);
+    }
+
+    // Verify the √ shape numerically: r(4n)/r(n) → 2.
+    let mut ratios = Vec::new();
+    for exp in [8u32, 10, 12, 14, 16, 18] {
+        let n = 1u64 << exp;
+        let ratio = min_historyless_objects(4 * n) as f64 / min_historyless_objects(n) as f64;
+        ratios.push(ratio);
+    }
+    println!(
+        "\nshape check: quadrupling n roughly doubles the lower bound: \
+         ratios {:?}",
+        ratios.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+    assert!(ratios.iter().all(|r| (1.8..=2.2).contains(r)));
+
+    // And the threshold identity the adversary is built on.
+    for r in 1..=100u64 {
+        assert_eq!(min_historyless_objects(max_processes_historyless(r)), r);
+    }
+    println!("threshold inversion verified for r = 1..=100.");
+
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("min_historyless_objects(2^20)", |b| {
+        b.iter(|| min_historyless_objects(std::hint::black_box(1 << 20)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,61 @@
+//! T4.2 — Theorem 4.2 (Aspnes): randomized consensus from ONE bounded
+//! counter.
+//!
+//! We verify the protocol's space claim (1 object, cursor within ±3n),
+//! measure the random walk's total work as n grows (the classic
+//! quadratic hitting-time shape), and time the threaded protocol.
+
+use criterion::{BenchmarkId, Criterion};
+use randsync_bench::{banner, walk_profile};
+use randsync_consensus::model_protocols::WalkBacking;
+use randsync_consensus::spec::decide_concurrently;
+use randsync_consensus::{Consensus, WalkConsensus};
+
+fn main() {
+    banner(
+        "T4.2",
+        "one bounded counter suffices (Aspnes)",
+        "a single bounded counter (values in ±3n) solves randomized n-process \
+         consensus; total work follows the random walk's quadratic hitting time",
+    );
+
+    println!(
+        "{:>4} {:>12} {:>12} {:>14} {:>12}",
+        "n", "mean steps", "max steps", "max |cursor|", "range ±3n"
+    );
+    let trials = 12u64;
+    let mut means = Vec::new();
+    for n in [2usize, 3, 4, 6, 8] {
+        let (mean, max, exc) = walk_profile(n, WalkBacking::BoundedCounter, trials);
+        means.push((n, mean));
+        println!("{:>4} {:>12.1} {:>12} {:>14} {:>12}", n, mean, max, exc, 3 * n);
+        assert!(exc <= 3 * n as i64, "cursor left the paper's ±3n range");
+    }
+    // Quadratic-ish growth: mean(n=8) / mean(n=2) should far exceed the
+    // linear ratio 4.
+    let first = means.first().unwrap().1;
+    let last = means.last().unwrap().1;
+    println!(
+        "\nshape check: work grew {:.1}× from n=2 to n=8 (linear would be 4×, \
+         quadratic 16×) — superlinear, as the walk analysis predicts.",
+        last / first
+    );
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let mut group = c.benchmark_group("thm42_threaded_counter_walk");
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let proto = WalkConsensus::with_bounded_counter(n, seed);
+                assert_eq!(proto.object_count(), 1);
+                let inputs: Vec<u8> = (0..n).map(|p| (p % 2) as u8).collect();
+                let ds = decide_concurrently(&proto, &inputs);
+                assert!(ds.windows(2).all(|w| w[0] == w[1]));
+            });
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

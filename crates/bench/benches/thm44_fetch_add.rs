@@ -1,0 +1,69 @@
+//! T4.4 — Theorem 4.4: randomized consensus from ONE fetch&add
+//! register.
+//!
+//! The register implements the Theorem 4.2 counter (INC/DEC/READ are
+//! FETCH&ADD(±1)/(0)), so one instance solves randomized n-process
+//! consensus — although fetch&add's deterministic consensus number is
+//! only 2. Same harness as T4.2, on the fetch&add backing, plus the
+//! deterministic-vs-randomized contrast.
+
+use criterion::{BenchmarkId, Criterion};
+use randsync_bench::{banner, walk_profile};
+use randsync_consensus::model_protocols::WalkBacking;
+use randsync_consensus::spec::decide_concurrently;
+use randsync_consensus::{Consensus, WalkConsensus};
+use randsync_core::bounds::min_historyless_objects;
+use randsync_core::hierarchy::{separation_table, ConsensusNumber};
+use randsync_model::ObjectKind;
+use randsync_objects::FetchAddRegister;
+
+fn main() {
+    banner(
+        "T4.4",
+        "one fetch&add register suffices",
+        "fetch&add (deterministic consensus number 2) solves randomized \
+         n-consensus with ONE instance, while Ω(√n) swap registers \
+         (same deterministic number) are necessary",
+    );
+
+    println!("{:>4} {:>12} {:>12} {:>14}", "n", "mean steps", "max steps", "max |cursor|");
+    let trials = 12u64;
+    for n in [2usize, 3, 4, 6, 8] {
+        let (mean, max, exc) = walk_profile(n, WalkBacking::FetchAdd, trials);
+        println!("{:>4} {:>12.1} {:>12} {:>14}", n, mean, max, exc);
+    }
+
+    // The separation this theorem is quoted for.
+    let table = separation_table();
+    let fa = table.iter().find(|p| p.kind == ObjectKind::FetchAdd).unwrap();
+    let swap = table.iter().find(|p| p.kind == ObjectKind::SwapRegister).unwrap();
+    assert_eq!(fa.consensus_number, ConsensusNumber::Finite(2));
+    assert_eq!(swap.consensus_number, ConsensusNumber::Finite(2));
+    println!("\n{:>8} {:>16} {:>16}", "n", "fetch&add needs", "swap needs ≥");
+    for n in [16u64, 256, 4096, 65536] {
+        println!("{:>8} {:>16} {:>16}", n, 1, min_historyless_objects(n));
+    }
+    println!(
+        "\nshape check: equal deterministic power, diverging randomized space — \
+         the paper's headline separation."
+    );
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let mut group = c.benchmark_group("thm44_threaded_fetch_add_walk");
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let proto =
+                    WalkConsensus::with_fetch_add(FetchAddRegister::new(0), n, seed);
+                assert_eq!(proto.object_count(), 1);
+                let inputs: Vec<u8> = (0..n).map(|p| (p % 2) as u8).collect();
+                let ds = decide_concurrently(&proto, &inputs);
+                assert!(ds.windows(2).all(|w| w[0] == w[1]));
+            });
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,108 @@
+//! Small summary-statistics helpers for the experiment harness.
+
+/// Summary statistics over a sample of measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than 2 samples).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (by nearest-rank).
+    pub median: f64,
+    /// 95th percentile (by nearest-rank).
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in measurements"));
+        let rank = |q: f64| {
+            let idx = ((q * count as f64).ceil() as usize).clamp(1, count) - 1;
+            sorted[idx]
+        };
+        Some(Summary {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            median: rank(0.5),
+            p95: rank(0.95),
+            max: sorted[count - 1],
+        })
+    }
+
+    /// Summarize integer samples.
+    pub fn of_usize(samples: &[usize]) -> Option<Summary> {
+        let f: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&f)
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} sd={:.1} min={:.0} med={:.0} p95={:.0} max={:.0}",
+            self.count, self.mean, self.stddev, self.min, self.median, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn known_distribution() {
+        let s = Summary::of_usize(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]).unwrap();
+        assert_eq!(s.mean, 5.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.median, 5.0, "nearest-rank median of 10 samples");
+        assert_eq!(s.p95, 10.0);
+        assert!((s.stddev - 3.0276).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::of(&[1.0, 2.0]).unwrap();
+        let txt = s.to_string();
+        assert!(txt.contains("n=2"));
+        assert!(txt.contains("mean=1.5"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Deterministic n-process consensus from one compare&swap register.
+//!
+//! Herlihy [20, Theorem 5], which the paper uses for Corollary 4.1:
+//! a single (bounded) compare&swap register solves n-process consensus
+//! deterministically and wait-free. Each process attempts
+//! `CAS(⊥ → input)` once; the register's value after any attempt is the
+//! winner's input, and everyone decides it.
+
+use randsync_objects::traits::CompareSwap;
+use randsync_objects::CasRegister;
+
+use crate::spec::Consensus;
+
+/// Sentinel encoding of ⊥ in the CAS word (inputs are 0 or 1).
+const BOTTOM: i64 = -1;
+
+/// Wait-free deterministic consensus from a single compare&swap
+/// register.
+#[derive(Debug)]
+pub struct CasConsensus {
+    reg: CasRegister,
+    n: usize,
+}
+
+impl CasConsensus {
+    /// An instance for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "consensus needs at least one process");
+        CasConsensus { reg: CasRegister::new(BOTTOM), n }
+    }
+}
+
+impl Consensus for CasConsensus {
+    fn decide(&self, process: usize, input: u8) -> u8 {
+        assert!(process < self.n, "process index out of range");
+        assert!(input <= 1, "binary consensus inputs are 0 or 1");
+        let prev = self.reg.compare_swap(BOTTOM, input as i64);
+        if prev == BOTTOM {
+            input
+        } else {
+            prev as u8
+        }
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn object_count(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "one-compare&swap (Herlihy)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{decide_concurrently, run_trials};
+
+    #[test]
+    fn sequential_first_proposer_wins() {
+        let c = CasConsensus::new(3);
+        assert_eq!(c.decide(1, 1), 1);
+        assert_eq!(c.decide(0, 0), 1);
+        assert_eq!(c.decide(2, 0), 1);
+    }
+
+    #[test]
+    fn concurrent_runs_are_always_consistent_and_valid() {
+        let stats = run_trials(
+            200,
+            |_| CasConsensus::new(8),
+            |t| (0..8).map(|p| ((p + t) % 2) as u8).collect(),
+        );
+        assert!(stats.all_correct(), "{stats}");
+        assert!(stats.decided_one > 0 && stats.decided_one < stats.trials);
+    }
+
+    #[test]
+    fn unanimous_inputs_are_respected() {
+        for input in [0, 1] {
+            let c = CasConsensus::new(4);
+            let ds = decide_concurrently(&c, &[input; 4]);
+            assert!(ds.iter().all(|&d| d == input));
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        let c = CasConsensus::new(2);
+        assert_eq!(c.num_processes(), 2);
+        assert_eq!(c.object_count(), 1);
+        assert!(c.name().contains("compare&swap"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _ = CasConsensus::new(0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Weak shared coins.
+//!
+//! A *weak shared coin* with agreement parameter δ lets n processes each
+//! obtain a bit such that, for each outcome b, with probability at least
+//! δ **all** processes obtain b — regardless of the adversary's
+//! schedule. Shared coins are the engine of randomized consensus
+//! (Aspnes \[6\] shows any consensus protocol of subquadratic total work
+//! must hide one); the walk consensus in [`crate::walk`] inlines its
+//! coin, but a standalone coin is useful for round-based protocols and
+//! for the benchmark harness measuring walk behaviour.
+//!
+//! The implementation is the classic counter random walk: each process
+//! repeatedly flips a fair local coin and moves the shared counter ±1;
+//! when the counter leaves `±(margin × n)`, the process outputs its
+//! sign. With margin K, an adversary holding back at most n−1 pending
+//! moves can displace the final position by less than n, so the
+//! probability that two processes read opposite signs is O(1/K); δ →
+//! (K−1)/2K per side as the walk length grows.
+
+use randsync_model::SplitMix64;
+
+use crate::walk::CounterAccess;
+
+/// The bit a process obtained from a shared coin, plus how much work it
+/// spent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoinOutcome {
+    /// The coin value obtained by this process.
+    pub value: u8,
+    /// Local coin flips this process performed.
+    pub flips: u64,
+}
+
+/// A counter-random-walk weak shared coin.
+#[derive(Debug)]
+pub struct WalkCoin<A> {
+    access: A,
+    n: usize,
+    margin: i64,
+    seed: u64,
+}
+
+impl<A: CounterAccess> WalkCoin<A> {
+    /// A coin for `n` processes over `access`, absorbing at
+    /// `±(margin × n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `margin == 0`.
+    pub fn new(access: A, n: usize, margin: i64, seed: u64) -> Self {
+        assert!(n > 0, "a shared coin needs at least one process");
+        assert!(margin > 0, "the absorbing margin must be positive");
+        WalkCoin { access, n, margin, seed }
+    }
+
+    /// The absorbing barrier `margin × n`.
+    pub fn barrier(&self) -> i64 {
+        self.margin * self.n as i64
+    }
+
+    /// Flip: process `process` participates in the walk until the
+    /// counter is absorbed, then returns the sign it observed.
+    pub fn flip(&self, process: usize) -> CoinOutcome {
+        assert!(process < self.n, "process index out of range");
+        let mut rng = SplitMix64::new(self.seed ^ (process as u64).wrapping_mul(0xC0171));
+        let barrier = self.barrier();
+        let mut flips = 0u64;
+        loop {
+            let v = self.access.read(process);
+            if v >= barrier {
+                return CoinOutcome { value: 1, flips };
+            }
+            if v <= -barrier {
+                return CoinOutcome { value: 0, flips };
+            }
+            flips += 1;
+            if rng.next_bool() {
+                self.access.inc(process);
+            } else {
+                self.access.dec(process);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randsync_objects::{AtomicCounter, FetchAddRegister, SnapshotCounter};
+
+    #[test]
+    fn solo_coin_terminates_and_is_deterministic_per_seed() {
+        let run = |seed| {
+            let coin = WalkCoin::new(AtomicCounter::new(), 1, 4, seed);
+            coin.flip(0)
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b);
+        assert!(a.flips >= 4, "must walk at least to the barrier");
+    }
+
+    #[test]
+    fn concurrent_coin_usually_agrees() {
+        let n = 4;
+        let mut agreements = 0;
+        let trials = 40;
+        for t in 0..trials {
+            let coin = std::sync::Arc::new(WalkCoin::new(
+                FetchAddRegister::new(0),
+                n,
+                8,
+                t as u64 * 131 + 5,
+            ));
+            let values: Vec<u8> = std::thread::scope(|s| {
+                let hs: Vec<_> = (0..n)
+                    .map(|p| {
+                        let coin = std::sync::Arc::clone(&coin);
+                        s.spawn(move || coin.flip(p).value)
+                    })
+                    .collect();
+                hs.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            if values.iter().all(|&v| v == values[0]) {
+                agreements += 1;
+            }
+        }
+        // With margin 8 the disagreement probability per trial is small;
+        // demand a strong majority of agreeing trials.
+        assert!(agreements * 10 >= trials * 8, "only {agreements}/{trials} agreed");
+    }
+
+    #[test]
+    fn both_outcomes_occur_across_seeds() {
+        let mut saw = [false, false];
+        for seed in 0..30 {
+            let coin = WalkCoin::new(AtomicCounter::new(), 1, 2, seed * 977 + 3);
+            saw[coin.flip(0).value as usize] = true;
+            if saw[0] && saw[1] {
+                return;
+            }
+        }
+        panic!("coin is stuck on one outcome");
+    }
+
+    #[test]
+    fn snapshot_counter_backing_works() {
+        let coin = WalkCoin::new(SnapshotCounter::new(2), 2, 3, 11);
+        let o = coin.flip(0);
+        assert!(o.value <= 1);
+        assert_eq!(coin.barrier(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be positive")]
+    fn zero_margin_rejected() {
+        let _ = WalkCoin::new(AtomicCounter::new(), 1, 0, 0);
+    }
+}

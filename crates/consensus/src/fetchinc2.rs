@@ -1,0 +1,112 @@
+//! Deterministic 2-process consensus from one fetch&increment register
+//! plus two read–write registers.
+//!
+//! Section 4: "Consider any object with an operation such that,
+//! starting with some particular state, the response from one
+//! application of the operation is always different than the response
+//! from the second of two successive applications of that operation.
+//! (… The operation FETCH&ADD applied starting with any value also has
+//! this property.) Then this object can solve 2-process consensus."
+//!
+//! FETCH&INC from 0 responds 0 to its first caller and 1 to its second
+//! — a perfect two-way race. Like test&set (and unlike swap), the
+//! response carries no payload, so each process publishes its input in
+//! its own register first; the loser reads the winner's.
+
+use randsync_objects::traits::ReadWrite;
+use randsync_objects::{AtomicRegister, FetchIncRegister};
+
+use crate::spec::Consensus;
+
+/// Register value meaning "not yet published".
+const UNSET: i64 = -1;
+
+/// Wait-free deterministic 2-process consensus from one
+/// fetch&increment register plus two single-writer registers.
+#[derive(Debug)]
+pub struct FetchIncTwoConsensus {
+    ticket: FetchIncRegister,
+    inputs: [AtomicRegister; 2],
+}
+
+impl FetchIncTwoConsensus {
+    /// A fresh instance (always for exactly 2 processes).
+    pub fn new() -> Self {
+        FetchIncTwoConsensus {
+            ticket: FetchIncRegister::new(0),
+            inputs: [AtomicRegister::new(UNSET), AtomicRegister::new(UNSET)],
+        }
+    }
+}
+
+impl Default for FetchIncTwoConsensus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Consensus for FetchIncTwoConsensus {
+    fn decide(&self, process: usize, input: u8) -> u8 {
+        assert!(process < 2, "fetch&inc consensus supports exactly 2 processes");
+        assert!(input <= 1, "binary consensus inputs are 0 or 1");
+        self.inputs[process].write(input as i64);
+        if self.ticket.fetch_inc() == 0 {
+            input
+        } else {
+            let other = self.inputs[1 - process].read();
+            debug_assert_ne!(other, UNSET, "winner published before racing");
+            other as u8
+        }
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn object_count(&self) -> usize {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "fetch&increment + 2 registers, 2-process"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{decide_concurrently, run_trials};
+
+    #[test]
+    fn sequential_first_wins() {
+        let c = FetchIncTwoConsensus::new();
+        assert_eq!(c.decide(0, 1), 1);
+        assert_eq!(c.decide(1, 0), 1);
+    }
+
+    #[test]
+    fn concurrent_trials_are_correct() {
+        let stats = run_trials(
+            300,
+            |_| FetchIncTwoConsensus::new(),
+            |t| vec![(t % 2) as u8, ((t / 3) % 2) as u8],
+        );
+        assert!(stats.all_correct(), "{stats}");
+    }
+
+    #[test]
+    fn unanimous_inputs() {
+        for input in [0, 1] {
+            let c = FetchIncTwoConsensus::new();
+            let ds = decide_concurrently(&c, &[input, input]);
+            assert_eq!(ds, vec![input, input]);
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        let c = FetchIncTwoConsensus::new();
+        assert_eq!(c.num_processes(), 2);
+        assert_eq!(c.object_count(), 3);
+    }
+}

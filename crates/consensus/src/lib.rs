@@ -1,0 +1,72 @@
+//! # randsync-consensus
+//!
+//! Every consensus protocol the paper states, cites, or depends on —
+//! implemented twice:
+//!
+//! * **threaded** (this crate's top-level modules): real multi-threaded
+//!   implementations over the atomics-backed objects of
+//!   `randsync-objects`, all satisfying the paper's correctness
+//!   conditions (*consistency*: all processes return the same value;
+//!   *validity*: the returned value is some process's input);
+//! * **as model protocols** ([`model_protocols`]): the same state
+//!   machines expressed against `randsync-model`'s
+//!   [`Protocol`](randsync_model::Protocol) trait, so they can be driven
+//!   by the simulator, exhaustively model checked, and attacked by the
+//!   lower-bound adversary in `randsync-core` — together with
+//!   deliberately *flawed* protocols the adversary must break.
+//!
+//! ## Protocol inventory
+//!
+//! | Protocol | Objects | Paper hook |
+//! |---|---|---|
+//! | [`WalkConsensus`] over one bounded counter | 1 | Theorem 4.2 (Aspnes) |
+//! | [`WalkConsensus`] over one fetch&add register | 1 | Theorem 4.4 |
+//! | [`WalkConsensus`] over the n-register counter | O(n) registers | the O(n) upper bound of Section 1 / Corollary 4.3 |
+//! | [`CasConsensus`] | 1 compare&swap register | Herlihy \[20\], deterministic |
+//! | [`SwapTwoConsensus`] | 1 swap register, n = 2 | Section 4's 2-process separations |
+//! | [`TasTwoConsensus`] | 1 test&set + 2 registers, n = 2 | Section 4's 2-process separations |
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use randsync_consensus::{Consensus, WalkConsensus};
+//! use randsync_objects::FetchAddRegister;
+//!
+//! // Theorem 4.4: randomized n-process consensus from a single
+//! // fetch&add register.
+//! let n = 4;
+//! let proto = Arc::new(WalkConsensus::with_fetch_add(FetchAddRegister::new(0), n, 0xFEED));
+//! let mut handles = Vec::new();
+//! for p in 0..n {
+//!     let proto = Arc::clone(&proto);
+//!     handles.push(std::thread::spawn(move || proto.decide(p, (p % 2) as u8)));
+//! }
+//! let decisions: Vec<u8> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+//! assert!(decisions.windows(2).all(|w| w[0] == w[1]), "consistency");
+//! assert!(decisions[0] == 0 || decisions[0] == 1, "validity (inputs were 0 and 1)");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cas;
+pub mod coin;
+pub mod fetchinc2;
+pub mod model_protocols;
+pub mod multivalued;
+pub mod rounds;
+pub mod spec;
+pub mod swap2;
+pub mod tas2;
+pub mod walk;
+
+pub use cas::CasConsensus;
+pub use coin::{CoinOutcome, WalkCoin};
+pub use fetchinc2::FetchIncTwoConsensus;
+pub use multivalued::MultiValuedConsensus;
+pub use rounds::AhConsensus;
+pub use spec::{Consensus, TrialStats};
+pub use swap2::SwapTwoConsensus;
+pub use tas2::TasTwoConsensus;
+pub use walk::{CounterAccess, WalkConsensus, WalkParams};

@@ -1,0 +1,110 @@
+//! Herlihy's one-compare&swap consensus as a model protocol.
+
+use randsync_model::{
+    Action, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId, Protocol,
+    Response, Value,
+};
+
+/// Deterministic n-process consensus from one compare&swap register:
+/// `CAS(⊥ → input)`, decide whatever the register holds afterwards.
+///
+/// The model checker proves this safe for small n; the lower-bound
+/// adversary must fail against it (compare&swap is not historyless, so
+/// Theorem 3.7 does not apply — and indeed cannot, since one instance
+/// suffices).
+#[derive(Clone, Debug)]
+pub struct CasModel {
+    n: usize,
+}
+
+impl CasModel {
+    /// An instance for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        CasModel { n }
+    }
+}
+
+/// State of a [`CasModel`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CasState {
+    /// About to attempt the CAS with this input.
+    Try(Decision),
+    /// Decided.
+    Done(Decision),
+}
+
+impl Protocol for CasModel {
+    type State = CasState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        vec![ObjectSpec::new(ObjectKind::CompareSwap, "decision")]
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: Decision) -> CasState {
+        CasState::Try(input)
+    }
+
+    fn action(&self, s: &CasState) -> Action {
+        match s {
+            CasState::Try(d) => Action::Invoke {
+                object: ObjectId(0),
+                op: Operation::CompareSwap {
+                    expected: Value::Bottom,
+                    new: Value::Int(*d as i64),
+                },
+            },
+            CasState::Done(d) => Action::Decide(*d),
+        }
+    }
+
+    fn transition(&self, s: &CasState, resp: &Response, _coin: u32) -> CasState {
+        match s {
+            CasState::Try(d) => match resp.value() {
+                Some(Value::Bottom) => CasState::Done(*d),
+                Some(v) => CasState::Done(v.as_int().unwrap_or(0).clamp(0, 1) as Decision),
+                None => CasState::Done(*d),
+            },
+            done => done.clone(),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randsync_model::Explorer;
+
+    #[test]
+    fn model_checked_safe_for_small_n() {
+        for n in 2..=4 {
+            let p = CasModel::new(n);
+            let inputs: Vec<Decision> = (0..n).map(|i| (i % 2) as Decision).collect();
+            let out = Explorer::default().explore(&p, &inputs);
+            assert!(!out.truncated, "n={n}");
+            assert!(out.is_safe(), "n={n}");
+            assert_eq!(out.can_always_reach_termination, Some(true), "n={n}");
+        }
+    }
+
+    #[test]
+    fn unanimous_inputs_model_checked() {
+        let p = CasModel::new(3);
+        for input in [0, 1] {
+            let out = Explorer::default().explore(&p, &[input; 3]);
+            assert!(out.is_safe());
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Flawed protocols over non-register **historyless** objects.
+//!
+//! Section 3.1's cloning argument is register-specific, but the paper's
+//! main theorem covers *all* historyless objects — swap and test&set
+//! included. These protocols are the general-case adversary's prey:
+//!
+//! * [`SwapChain`]: each process swaps its (encoded) input into one
+//!   swap register and decides what it received (its own input if it
+//!   got ⊥). This **is** correct 2-process consensus — but for n ≥ 3
+//!   the value travels like a relay baton and the third process can
+//!   receive a different value than the first decided.
+//! * [`TasRace`]: everyone races on a single test&set flag; the winner
+//!   decides its input, losers… can only guess (the flag carries one
+//!   bit of ordering and nothing else), so they decide their own input
+//!   — plausible-looking, broken for mixed inputs.
+
+use randsync_model::{
+    Action, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId, Protocol,
+    Response, Value,
+};
+
+/// Relay-baton "consensus" on one swap register: correct for n = 2
+/// (see [`SwapTwoModel`](crate::model_protocols::SwapTwoModel)), flawed
+/// for n ≥ 3.
+#[derive(Clone, Debug)]
+pub struct SwapChain {
+    n: usize,
+}
+
+impl SwapChain {
+    /// An instance for `n` identical processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        SwapChain { n }
+    }
+}
+
+/// State of a [`SwapChain`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ChainState {
+    /// About to swap in the encoded input (input + 1; ⊥ is 0).
+    Swap(Decision),
+    /// Decided.
+    Done(Decision),
+}
+
+impl Protocol for SwapChain {
+    type State = ChainState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        vec![ObjectSpec::with_initial(ObjectKind::SwapRegister, Value::Int(0), "baton")]
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: Decision) -> ChainState {
+        ChainState::Swap(input)
+    }
+
+    fn action(&self, s: &ChainState) -> Action {
+        match s {
+            ChainState::Swap(d) => Action::Invoke {
+                object: ObjectId(0),
+                op: Operation::Swap(Value::Int(*d as i64 + 1)),
+            },
+            ChainState::Done(d) => Action::Decide(*d),
+        }
+    }
+
+    fn transition(&self, s: &ChainState, resp: &Response, _coin: u32) -> ChainState {
+        match s {
+            ChainState::Swap(d) => match resp.as_int() {
+                Some(0) | None => ChainState::Done(*d),
+                Some(v) => ChainState::Done(((v - 1).clamp(0, 1)) as Decision),
+            },
+            done => done.clone(),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+/// One-flag "consensus": test&set once; the winner keeps its input,
+/// losers keep theirs too (they have nothing else to go on). Broken
+/// whenever inputs are mixed.
+#[derive(Clone, Debug)]
+pub struct TasRace {
+    n: usize,
+}
+
+impl TasRace {
+    /// An instance for `n` identical processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        TasRace { n }
+    }
+}
+
+/// State of a [`TasRace`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RaceState {
+    /// About to test&set with this input.
+    Race(Decision),
+    /// Decided.
+    Done(Decision),
+}
+
+impl Protocol for TasRace {
+    type State = RaceState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        vec![ObjectSpec::new(ObjectKind::TestAndSet, "flag")]
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: Decision) -> RaceState {
+        RaceState::Race(input)
+    }
+
+    fn action(&self, s: &RaceState) -> Action {
+        match s {
+            RaceState::Race(_) => {
+                Action::Invoke { object: ObjectId(0), op: Operation::TestAndSet }
+            }
+            RaceState::Done(d) => Action::Decide(*d),
+        }
+    }
+
+    fn transition(&self, s: &RaceState, _resp: &Response, _coin: u32) -> RaceState {
+        match s {
+            RaceState::Race(d) => RaceState::Done(*d),
+            done => done.clone(),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+/// A flawed protocol over a **mixed** historyless object set — one
+/// read–write register, one swap register, and one test&set flag —
+/// with input-dependent access order:
+///
+/// * input 0: write the register, then swap the baton, then test&set;
+/// * input 1: swap the baton, then write the register, then test&set;
+///
+/// then decide: the test&set winner keeps its input; losers decide the
+/// register's value. Plausible-looking, thoroughly broken — and its
+/// first nontrivial operations diverge by input, so the general
+/// adversary's incomparable case (Lemma 3.5 / Figure 4) must fire with
+/// *heterogeneous* object kinds in U.
+#[derive(Clone, Debug)]
+pub struct MixedZigzag {
+    n: usize,
+}
+
+impl MixedZigzag {
+    /// An instance for `n` identical processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        MixedZigzag { n }
+    }
+}
+
+/// State of a [`MixedZigzag`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MixedState {
+    /// Performing access `k` (0 or 1) of the input-dependent pair.
+    Access {
+        /// The process's input.
+        input: Decision,
+        /// Which access is next (0 = first, 1 = second).
+        k: u8,
+    },
+    /// Racing on the flag.
+    Race {
+        /// The process's input.
+        input: Decision,
+    },
+    /// Lost the race; reading the register.
+    ReadBack,
+    /// Decided.
+    Done(Decision),
+}
+
+const REG: ObjectId = ObjectId(0);
+const BATON: ObjectId = ObjectId(1);
+const FLAG: ObjectId = ObjectId(2);
+
+impl Protocol for MixedZigzag {
+    type State = MixedState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        vec![
+            ObjectSpec::with_initial(ObjectKind::Register, Value::Int(0), "reg"),
+            ObjectSpec::with_initial(ObjectKind::SwapRegister, Value::Int(0), "baton"),
+            ObjectSpec::new(ObjectKind::TestAndSet, "flag"),
+        ]
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: Decision) -> MixedState {
+        MixedState::Access { input, k: 0 }
+    }
+
+    fn action(&self, s: &MixedState) -> Action {
+        match s {
+            MixedState::Access { input, k } => {
+                // Input 0 touches reg first; input 1 touches baton first.
+                let reg_turn = (*input == 0) == (*k == 0);
+                if reg_turn {
+                    Action::Invoke {
+                        object: REG,
+                        op: Operation::Write(Value::Int(*input as i64)),
+                    }
+                } else {
+                    Action::Invoke {
+                        object: BATON,
+                        op: Operation::Swap(Value::Int(*input as i64 + 1)),
+                    }
+                }
+            }
+            MixedState::Race { .. } => {
+                Action::Invoke { object: FLAG, op: Operation::TestAndSet }
+            }
+            MixedState::ReadBack => Action::Invoke { object: REG, op: Operation::Read },
+            MixedState::Done(d) => Action::Decide(*d),
+        }
+    }
+
+    fn transition(&self, s: &MixedState, resp: &Response, _coin: u32) -> MixedState {
+        match s {
+            MixedState::Access { input, k } => {
+                if *k == 0 {
+                    MixedState::Access { input: *input, k: 1 }
+                } else {
+                    MixedState::Race { input: *input }
+                }
+            }
+            MixedState::Race { input } => {
+                let lost = resp.value().and_then(|v| v.as_bool()).unwrap_or(false);
+                if lost {
+                    MixedState::ReadBack
+                } else {
+                    MixedState::Done(*input)
+                }
+            }
+            MixedState::ReadBack => {
+                MixedState::Done(resp.as_int().unwrap_or(0).clamp(0, 1) as Decision)
+            }
+            MixedState::Done(d) => MixedState::Done(*d),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randsync_model::{Explorer, RoundRobinScheduler, Simulator};
+
+    #[test]
+    fn swap_chain_objects_are_historyless_but_not_registers() {
+        let objs = SwapChain::new(3).objects();
+        assert_eq!(objs.len(), 1);
+        assert!(objs[0].kind.is_historyless());
+        assert_ne!(objs[0].kind, ObjectKind::Register);
+    }
+
+    #[test]
+    fn swap_chain_is_safe_for_two_processes() {
+        let p = SwapChain::new(2);
+        for inputs in [[0u8, 1], [1, 0], [0, 0], [1, 1]] {
+            let out = Explorer::default().explore(&p, &inputs);
+            assert!(out.is_safe(), "{inputs:?}");
+            assert!(!out.truncated);
+        }
+    }
+
+    #[test]
+    fn swap_chain_breaks_at_three_processes() {
+        let p = SwapChain::new(3);
+        let out = Explorer::default().explore(&p, &[0, 1, 1]);
+        assert!(out.consistency_violation.is_some(), "the relay baton betrays n=3");
+    }
+
+    #[test]
+    fn tas_race_is_broken_for_mixed_inputs() {
+        let p = TasRace::new(2);
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        assert!(out.consistency_violation.is_some());
+        // But unanimous inputs are fine (vacuously consistent).
+        let out = Explorer::default().explore(&p, &[1, 1]);
+        assert!(out.is_safe());
+    }
+
+    #[test]
+    fn mixed_zigzag_uses_three_distinct_historyless_kinds() {
+        let objs = MixedZigzag::new(2).objects();
+        assert_eq!(objs.len(), 3);
+        assert!(objs.iter().all(|o| o.kind.is_historyless()));
+        let kinds: std::collections::BTreeSet<_> =
+            objs.iter().map(|o| o.kind.name()).collect();
+        assert_eq!(kinds.len(), 3, "register + swap + test&set");
+    }
+
+    #[test]
+    fn mixed_zigzag_first_accesses_diverge_by_input() {
+        let p = MixedZigzag::new(2);
+        let c = randsync_model::Configuration::initial(&p, &[0, 1]);
+        assert_eq!(c.poised_at(&p, ProcessId(0)), Some(REG));
+        assert_eq!(c.poised_at(&p, ProcessId(1)), Some(BATON));
+    }
+
+    #[test]
+    fn mixed_zigzag_unanimous_inputs_decide_them() {
+        for input in [0, 1] {
+            let p = MixedZigzag::new(3);
+            let mut sim = Simulator::new(1000, 2);
+            let out = sim
+                .run(&p, &[input; 3], &mut randsync_model::RandomScheduler::new(8))
+                .unwrap();
+            assert!(out.all_decided);
+            assert_eq!(out.decided_values(), vec![input], "input {input}");
+        }
+    }
+
+    #[test]
+    fn mixed_zigzag_is_breakable_by_search() {
+        let p = MixedZigzag::new(2);
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        assert!(out.consistency_violation.is_some());
+    }
+
+    #[test]
+    fn swap_chain_round_robin_run() {
+        let p = SwapChain::new(3);
+        let mut sim = Simulator::new(100, 0);
+        let out = sim.run(&p, &[0, 1, 1], &mut RoundRobinScheduler::new()).unwrap();
+        assert!(out.all_decided);
+        // P0 decides 0 (got ⊥); P1 got 0 → decides 0; P2 got 1 → 1.
+        assert!(out.config.is_inconsistent());
+    }
+}

@@ -1,0 +1,32 @@
+//! The consensus protocols expressed as `randsync-model` state
+//! machines.
+//!
+//! These are the protocols the *simulator*, the *model checker*, and the
+//! *lower-bound adversary* operate on:
+//!
+//! * [`naive`] — deliberately **flawed** register "consensus" protocols.
+//!   They are symmetric (identical processes), use only read–write
+//!   registers, and always terminate — so by Theorem 3.3 the adversary
+//!   in `randsync-core` must be able to construct an execution deciding
+//!   both 0 and 1 whenever enough processes participate.
+//! * [`walk_model`] — the random-walk consensus of [`crate::walk`] as a
+//!   coin-flipping state machine over one counter / fetch&add object,
+//!   model-checkable for small n.
+//! * [`cas_model`] — Herlihy's one-CAS deterministic consensus.
+//! * [`two_proc`] — the 2-process swap and test&set protocols.
+
+pub mod cas_model;
+pub mod historyless;
+pub mod mutex;
+pub mod naive;
+pub mod phase_model;
+pub mod two_proc;
+pub mod walk_model;
+
+pub use cas_model::CasModel;
+pub use historyless::{MixedZigzag, SwapChain, TasRace};
+pub use mutex::{FlagOnlyMutex, PetersonMutex, TournamentMutex};
+pub use naive::{NaiveWriteRead, Optimistic, Zigzag};
+pub use phase_model::PhaseModel;
+pub use two_proc::{SwapTwoModel, TasTwoModel};
+pub use walk_model::{WalkBacking, WalkModel};

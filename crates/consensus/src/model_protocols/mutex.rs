@@ -1,0 +1,578 @@
+//! Mutual-exclusion protocols over registers — the problem family the
+//! paper's proof technique descends from.
+//!
+//! "Our proof technique is most closely related to the elegant method
+//! introduced by Burns and Lynch to prove a lower bound on the number
+//! of read/write registers required for a deterministic solution to the
+//! mutual-exclusion problem." Burns–Lynch show n registers are needed
+//! for n-process mutex; the signature move — a process about to write
+//! is indistinguishable from one that already did, so its writes can be
+//! obliterated — is the ancestor of this paper's block writes.
+//!
+//! This module models one-shot mutual exclusion (each process tries to
+//! enter the critical section once, then exits and finishes):
+//!
+//! * [`PetersonMutex`] — Peterson's classic 2-process algorithm
+//!   (2 intent flags + 1 turn register): exhaustively safe;
+//! * [`FlagOnlyMutex`] — the textbook *broken* variant without the turn
+//!   register ("set my flag, wait until yours is clear"): both safety
+//!   and progress fail, and the explorer exhibits both — a deadlock and,
+//!   for the impatient variant, a CS collision.
+//!
+//! Deciding 1 here means "completed the critical section".
+
+use randsync_model::{
+    Action, Configuration, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId,
+    Protocol, Response, Value,
+};
+
+/// Peterson's 2-process mutual exclusion: flags + turn.
+#[derive(Clone, Debug)]
+pub struct PetersonMutex;
+
+/// State of a [`PetersonMutex`] process (the id is baked in: each
+/// process owns one flag).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PetersonState {
+    /// About to raise the own intent flag.
+    RaiseFlag {
+        /// Which process (0 or 1).
+        me: usize,
+    },
+    /// About to yield the turn to the other process.
+    SetTurn {
+        /// Which process.
+        me: usize,
+    },
+    /// Spinning: about to read the other's flag.
+    ReadOtherFlag {
+        /// Which process.
+        me: usize,
+    },
+    /// Spinning: about to read the turn register.
+    ReadTurn {
+        /// Which process.
+        me: usize,
+        /// The other's flag as last read.
+        other_up: bool,
+    },
+    /// Inside the critical section; the next step lowers the flag.
+    InCs {
+        /// Which process.
+        me: usize,
+    },
+    /// Finished.
+    Done,
+}
+
+impl PetersonState {
+    /// Whether this process is currently inside the critical section.
+    pub fn in_cs(&self) -> bool {
+        matches!(self, PetersonState::InCs { .. })
+    }
+}
+
+const FLAG0: ObjectId = ObjectId(0);
+const FLAG1: ObjectId = ObjectId(1);
+const TURN: ObjectId = ObjectId(2);
+
+fn flag_of(me: usize) -> ObjectId {
+    if me == 0 {
+        FLAG0
+    } else {
+        FLAG1
+    }
+}
+
+impl Protocol for PetersonMutex {
+    type State = PetersonState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        vec![
+            ObjectSpec::with_initial(ObjectKind::Register, Value::Bool(false), "flag0"),
+            ObjectSpec::with_initial(ObjectKind::Register, Value::Bool(false), "flag1"),
+            ObjectSpec::with_initial(ObjectKind::Register, Value::Int(0), "turn"),
+        ]
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self, pid: ProcessId, _input: Decision) -> PetersonState {
+        PetersonState::RaiseFlag { me: pid.index() }
+    }
+
+    fn action(&self, s: &PetersonState) -> Action {
+        match s {
+            PetersonState::RaiseFlag { me } => Action::Invoke {
+                object: flag_of(*me),
+                op: Operation::Write(Value::Bool(true)),
+            },
+            PetersonState::SetTurn { me } => Action::Invoke {
+                object: TURN,
+                op: Operation::Write(Value::Int(1 - *me as i64)),
+            },
+            PetersonState::ReadOtherFlag { me } => {
+                Action::Invoke { object: flag_of(1 - *me), op: Operation::Read }
+            }
+            PetersonState::ReadTurn { .. } => {
+                Action::Invoke { object: TURN, op: Operation::Read }
+            }
+            PetersonState::InCs { me } => Action::Invoke {
+                object: flag_of(*me),
+                op: Operation::Write(Value::Bool(false)),
+            },
+            PetersonState::Done => Action::Decide(1),
+        }
+    }
+
+    fn transition(&self, s: &PetersonState, resp: &Response, _coin: u32) -> PetersonState {
+        match s {
+            PetersonState::RaiseFlag { me } => PetersonState::SetTurn { me: *me },
+            PetersonState::SetTurn { me } => PetersonState::ReadOtherFlag { me: *me },
+            PetersonState::ReadOtherFlag { me } => {
+                let other_up = resp.value().and_then(|v| v.as_bool()).unwrap_or(false);
+                if other_up {
+                    PetersonState::ReadTurn { me: *me, other_up }
+                } else {
+                    PetersonState::InCs { me: *me }
+                }
+            }
+            PetersonState::ReadTurn { me, .. } => {
+                let turn = resp.as_int().unwrap_or(0);
+                if turn == 1 - *me as i64 {
+                    // It is the other's turn: keep spinning.
+                    PetersonState::ReadOtherFlag { me: *me }
+                } else {
+                    PetersonState::InCs { me: *me }
+                }
+            }
+            PetersonState::InCs { .. } => PetersonState::Done,
+            PetersonState::Done => PetersonState::Done,
+        }
+    }
+}
+
+/// The broken flag-only "mutex": raise your flag, spin until the
+/// other's flag is down, enter. Without a turn register the two
+/// processes can deadlock (both flags up, both spinning), and the
+/// *impatient* variant (enter after one observation of the other's
+/// flag) collides in the critical section.
+#[derive(Clone, Debug)]
+pub struct FlagOnlyMutex {
+    /// If `true`, a process reads the other's flag only once *before*
+    /// raising its own — the classic check-then-act race with a real CS
+    /// collision; if `false`, it raises first then spins — safe but
+    /// deadlock-prone.
+    pub impatient: bool,
+}
+
+/// State of a [`FlagOnlyMutex`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FlagState {
+    /// (Impatient variant) about to peek at the other's flag before
+    /// raising one's own.
+    Peek {
+        /// Which process.
+        me: usize,
+    },
+    /// About to raise the own flag.
+    Raise {
+        /// Which process.
+        me: usize,
+    },
+    /// Spinning on the other's flag.
+    Spin {
+        /// Which process.
+        me: usize,
+    },
+    /// Inside the critical section.
+    InCs {
+        /// Which process.
+        me: usize,
+    },
+    /// Finished.
+    Done,
+}
+
+impl FlagState {
+    /// Whether this process is currently inside the critical section.
+    pub fn in_cs(&self) -> bool {
+        matches!(self, FlagState::InCs { .. })
+    }
+}
+
+impl Protocol for FlagOnlyMutex {
+    type State = FlagState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        vec![
+            ObjectSpec::with_initial(ObjectKind::Register, Value::Bool(false), "flag0"),
+            ObjectSpec::with_initial(ObjectKind::Register, Value::Bool(false), "flag1"),
+        ]
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self, pid: ProcessId, _input: Decision) -> FlagState {
+        if self.impatient {
+            FlagState::Peek { me: pid.index() }
+        } else {
+            FlagState::Raise { me: pid.index() }
+        }
+    }
+
+    fn action(&self, s: &FlagState) -> Action {
+        match s {
+            FlagState::Peek { me } | FlagState::Spin { me } => {
+                Action::Invoke { object: flag_of(1 - *me), op: Operation::Read }
+            }
+            FlagState::Raise { me } => Action::Invoke {
+                object: flag_of(*me),
+                op: Operation::Write(Value::Bool(true)),
+            },
+            FlagState::InCs { me } => Action::Invoke {
+                object: flag_of(*me),
+                op: Operation::Write(Value::Bool(false)),
+            },
+            FlagState::Done => Action::Decide(1),
+        }
+    }
+
+    fn transition(&self, s: &FlagState, resp: &Response, _coin: u32) -> FlagState {
+        let other_up = resp.value().and_then(|v| v.as_bool()).unwrap_or(false);
+        match s {
+            FlagState::Peek { me } => {
+                if other_up {
+                    FlagState::Peek { me: *me } // wait for the flag to drop
+                } else {
+                    FlagState::Raise { me: *me } // check-then-act: racy!
+                }
+            }
+            FlagState::Raise { me } => {
+                if self.impatient {
+                    FlagState::InCs { me: *me } // already "checked"
+                } else {
+                    FlagState::Spin { me: *me }
+                }
+            }
+            FlagState::Spin { me } => {
+                if other_up {
+                    FlagState::Spin { me: *me }
+                } else {
+                    FlagState::InCs { me: *me }
+                }
+            }
+            FlagState::InCs { .. } => FlagState::Done,
+            FlagState::Done => FlagState::Done,
+        }
+    }
+}
+
+/// Peterson **tournament** mutual exclusion for n = 4 processes: a
+/// binary tree of 2-process Peterson instances. Each process plays its
+/// leaf match, then the final; the winner of both is in the critical
+/// section. Burns–Lynch says n-process mutex needs ≥ n registers; the
+/// tournament uses 3 per internal node = 9 for n = 4, comfortably
+/// above the bound — and the explorer proves it safe.
+#[derive(Clone, Debug)]
+pub struct TournamentMutex;
+
+/// Which match a process is currently playing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Level {
+    /// The semifinal: processes {0,1} play node 1, {2,3} play node 2.
+    Leaf,
+    /// The final: the two semifinal winners play node 0.
+    Root,
+}
+
+/// State of a [`TournamentMutex`] process: Peterson phases parameterized
+/// by the tournament level.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TournamentState {
+    /// About to raise the intent flag at the current level.
+    Raise {
+        /// Process id (0..4).
+        me: usize,
+        /// Current match.
+        level: Level,
+    },
+    /// About to yield the turn at the current level.
+    Turn {
+        /// Process id.
+        me: usize,
+        /// Current match.
+        level: Level,
+    },
+    /// Spinning: about to read the rival's flag at the current level.
+    ReadFlag {
+        /// Process id.
+        me: usize,
+        /// Current match.
+        level: Level,
+    },
+    /// Spinning: about to read the current level's turn register.
+    ReadTurn {
+        /// Process id.
+        me: usize,
+        /// Current match.
+        level: Level,
+    },
+    /// Inside the critical section; next steps lower the flags
+    /// (root first, then leaf).
+    Exit {
+        /// Process id.
+        me: usize,
+        /// Which flag is lowered next.
+        level: Level,
+    },
+    /// Finished.
+    Done,
+}
+
+impl TournamentState {
+    /// Whether the process holds the global critical section (it has
+    /// won the final and not yet begun lowering its root flag... i.e.
+    /// is at the `Exit/Root` stage).
+    pub fn in_cs(&self) -> bool {
+        matches!(self, TournamentState::Exit { level: Level::Root, .. })
+    }
+}
+
+/// Object layout: per node (0 = root, 1 = left leaf, 2 = right leaf)
+/// three registers: flagA, flagB, turn.
+fn node_of(me: usize, level: Level) -> usize {
+    match level {
+        Level::Leaf => 1 + me / 2,
+        Level::Root => 0,
+    }
+}
+
+/// Within a node, side 0 or 1 (who is "A").
+fn side_of(me: usize, level: Level) -> usize {
+    match level {
+        Level::Leaf => me % 2,
+        Level::Root => me / 2,
+    }
+}
+
+fn node_flag(node: usize, side: usize) -> ObjectId {
+    ObjectId(node * 3 + side)
+}
+
+fn node_turn(node: usize) -> ObjectId {
+    ObjectId(node * 3 + 2)
+}
+
+impl Protocol for TournamentMutex {
+    type State = TournamentState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        (0..3)
+            .flat_map(|node| {
+                [
+                    ObjectSpec::with_initial(
+                        ObjectKind::Register,
+                        Value::Bool(false),
+                        format!("node{node}.flagA"),
+                    ),
+                    ObjectSpec::with_initial(
+                        ObjectKind::Register,
+                        Value::Bool(false),
+                        format!("node{node}.flagB"),
+                    ),
+                    ObjectSpec::with_initial(
+                        ObjectKind::Register,
+                        Value::Int(0),
+                        format!("node{node}.turn"),
+                    ),
+                ]
+            })
+            .collect()
+    }
+
+    fn num_processes(&self) -> usize {
+        4
+    }
+
+    fn initial_state(&self, pid: ProcessId, _input: Decision) -> TournamentState {
+        TournamentState::Raise { me: pid.index(), level: Level::Leaf }
+    }
+
+    fn action(&self, s: &TournamentState) -> Action {
+        match s {
+            TournamentState::Raise { me, level } => Action::Invoke {
+                object: node_flag(node_of(*me, *level), side_of(*me, *level)),
+                op: Operation::Write(Value::Bool(true)),
+            },
+            TournamentState::Turn { me, level } => Action::Invoke {
+                object: node_turn(node_of(*me, *level)),
+                op: Operation::Write(Value::Int(1 - side_of(*me, *level) as i64)),
+            },
+            TournamentState::ReadFlag { me, level } => Action::Invoke {
+                object: node_flag(node_of(*me, *level), 1 - side_of(*me, *level)),
+                op: Operation::Read,
+            },
+            TournamentState::ReadTurn { me, level } => {
+                Action::Invoke { object: node_turn(node_of(*me, *level)), op: Operation::Read }
+            }
+            TournamentState::Exit { me, level } => Action::Invoke {
+                object: node_flag(node_of(*me, *level), side_of(*me, *level)),
+                op: Operation::Write(Value::Bool(false)),
+            },
+            TournamentState::Done => Action::Decide(1),
+        }
+    }
+
+    fn transition(&self, s: &TournamentState, resp: &Response, _coin: u32) -> TournamentState {
+        match s {
+            TournamentState::Raise { me, level } => {
+                TournamentState::Turn { me: *me, level: *level }
+            }
+            TournamentState::Turn { me, level } => {
+                TournamentState::ReadFlag { me: *me, level: *level }
+            }
+            TournamentState::ReadFlag { me, level } => {
+                let rival_up = resp.value().and_then(|v| v.as_bool()).unwrap_or(false);
+                if rival_up {
+                    TournamentState::ReadTurn { me: *me, level: *level }
+                } else {
+                    advance(*me, *level)
+                }
+            }
+            TournamentState::ReadTurn { me, level } => {
+                let turn = resp.as_int().unwrap_or(0);
+                if turn == 1 - side_of(*me, *level) as i64 {
+                    TournamentState::ReadFlag { me: *me, level: *level }
+                } else {
+                    advance(*me, *level)
+                }
+            }
+            TournamentState::Exit { me, level } => match level {
+                // Lower root flag first, then the leaf flag.
+                Level::Root => TournamentState::Exit { me: *me, level: Level::Leaf },
+                Level::Leaf => TournamentState::Done,
+            },
+            TournamentState::Done => TournamentState::Done,
+        }
+    }
+}
+
+/// Won the match at `level`: either move up to the final or enter the
+/// critical section (from which exit lowers root then leaf flags).
+fn advance(me: usize, level: Level) -> TournamentState {
+    match level {
+        Level::Leaf => TournamentState::Raise { me, level: Level::Root },
+        Level::Root => TournamentState::Exit { me, level: Level::Root },
+    }
+}
+
+/// The CS-collision predicate for [`TournamentMutex`].
+pub fn tournament_collision(c: &Configuration<TournamentState>) -> bool {
+    let in_cs = c.procs.iter().filter(|p| p.state().is_some_and(|s| s.in_cs())).count();
+    in_cs >= 2
+}
+
+/// The mutual-exclusion safety predicate: two processes simultaneously
+/// inside the critical section.
+pub fn peterson_collision(c: &Configuration<PetersonState>) -> bool {
+    let in_cs = c.procs.iter().filter(|p| p.state().is_some_and(|s| s.in_cs())).count();
+    in_cs >= 2
+}
+
+/// The same predicate for [`FlagOnlyMutex`].
+pub fn flag_collision(c: &Configuration<FlagState>) -> bool {
+    let in_cs = c.procs.iter().filter(|p| p.state().is_some_and(|s| s.in_cs())).count();
+    in_cs >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randsync_model::{Explorer, ExploreLimits};
+
+    fn explorer() -> Explorer {
+        Explorer::new(ExploreLimits { max_configs: 2_000_000, max_depth: 100_000 })
+    }
+
+    #[test]
+    fn peterson_is_exhaustively_mutually_exclusive() {
+        let (violation, truncated) =
+            explorer().find_violation(&PetersonMutex, &[0, 0], peterson_collision);
+        assert!(!truncated);
+        assert!(violation.is_none(), "Peterson admits a CS collision?!");
+    }
+
+    #[test]
+    fn peterson_is_deadlock_free_for_two() {
+        // Every reachable configuration can still reach termination
+        // (both processes done) — no deadlock, no livelock trap.
+        let out = explorer().explore(&PetersonMutex, &[0, 0]);
+        assert!(!out.truncated);
+        assert_eq!(out.can_always_reach_termination, Some(true));
+    }
+
+    #[test]
+    fn impatient_flag_mutex_collides_and_the_witness_replays() {
+        let p = FlagOnlyMutex { impatient: true };
+        let (violation, _) = explorer().find_violation(&p, &[0, 0], flag_collision);
+        let w = violation.expect("check-then-act must collide");
+        let start = Configuration::initial(&p, &[0, 0]);
+        let (end, _) = w.replay(&p, &start).unwrap();
+        assert!(flag_collision(&end));
+        // The classic interleaving, minimal: both peek (flags down),
+        // then both raise — each raise transitions straight into the
+        // critical section — 4 steps.
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn tournament_mutex_is_exhaustively_safe_for_four() {
+        let explorer =
+            Explorer::new(ExploreLimits { max_configs: 6_000_000, max_depth: 400_000 });
+        let (violation, truncated) =
+            explorer.find_violation(&TournamentMutex, &[0; 4], tournament_collision);
+        assert!(violation.is_none(), "tournament admits a CS collision?!");
+        assert!(!truncated, "state space unexpectedly large");
+    }
+
+    #[test]
+    fn tournament_uses_three_registers_per_node() {
+        let objs = TournamentMutex.objects();
+        assert_eq!(objs.len(), 9, "3 nodes × (2 flags + turn)");
+        // Burns–Lynch: n-process mutex needs ≥ n registers; 9 ≥ 4.
+        assert!(objs.len() >= TournamentMutex.num_processes());
+    }
+
+    #[test]
+    fn tournament_processes_can_all_finish_round_robin() {
+        use randsync_model::{RoundRobinScheduler, Simulator};
+        let mut sim = Simulator::new(10_000, 0);
+        let out = sim
+            .run(&TournamentMutex, &[0; 4], &mut RoundRobinScheduler::new())
+            .unwrap();
+        assert!(out.all_decided, "all four must pass through the CS");
+    }
+
+    #[test]
+    fn patient_flag_mutex_is_safe_but_can_deadlock() {
+        let p = FlagOnlyMutex { impatient: false };
+        // Safety holds...
+        let (violation, truncated) = explorer().find_violation(&p, &[0, 0], flag_collision);
+        assert!(!truncated);
+        assert!(violation.is_none(), "raise-then-spin never collides");
+        // ...but progress fails: some reachable configuration cannot
+        // reach termination (both flags up, both spinning forever).
+        let out = explorer().explore(&p, &[0, 0]);
+        assert!(!out.truncated);
+        assert_eq!(
+            out.can_always_reach_termination,
+            Some(false),
+            "the both-flags-up deadlock must be reachable"
+        );
+    }
+}

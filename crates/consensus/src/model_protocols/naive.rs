@@ -1,0 +1,405 @@
+//! Flawed register "consensus" protocols — the adversary's prey.
+//!
+//! Theorem 3.3 bounds how many *identical* processes can possibly solve
+//! randomized consensus with r read–write registers: at most r² − r + 1.
+//! The protocols here are symmetric, always terminate (hence trivially
+//! satisfy nondeterministic solo termination), and use few registers —
+//! so the constructive lower-bound machinery in `randsync-core` is
+//! guaranteed to find executions in which they decide both 0 and 1.
+//! They are honest attempts, not strawmen: each is a natural
+//! write-then-validate pattern that *looks* plausible and fails exactly
+//! through the cut-and-splice interleavings of Section 3.
+
+use randsync_model::{
+    Action, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId, Protocol,
+    Response, Value,
+};
+
+/// The simplest flawed protocol: write your input to the single
+/// register, read it back, decide what you read.
+///
+/// A write sandwiched between another process's write and read flips
+/// that process's decision — the seed example of the paper's Figure 1
+/// combination.
+#[derive(Clone, Debug)]
+pub struct NaiveWriteRead {
+    n: usize,
+}
+
+impl NaiveWriteRead {
+    /// An instance for `n` identical processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        NaiveWriteRead { n }
+    }
+}
+
+/// State of a [`NaiveWriteRead`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NaiveState {
+    /// About to write the input.
+    Write(Decision),
+    /// About to read the register back.
+    Read,
+    /// About to decide.
+    Done(Decision),
+}
+
+impl Protocol for NaiveWriteRead {
+    type State = NaiveState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        vec![ObjectSpec::new(ObjectKind::Register, "r0")]
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: Decision) -> NaiveState {
+        NaiveState::Write(input)
+    }
+
+    fn action(&self, s: &NaiveState) -> Action {
+        match s {
+            NaiveState::Write(d) => Action::Invoke {
+                object: ObjectId(0),
+                op: Operation::Write(Value::Int(*d as i64)),
+            },
+            NaiveState::Read => Action::Invoke { object: ObjectId(0), op: Operation::Read },
+            NaiveState::Done(d) => Action::Decide(*d),
+        }
+    }
+
+    fn transition(&self, s: &NaiveState, resp: &Response, _coin: u32) -> NaiveState {
+        match s {
+            NaiveState::Write(_) => NaiveState::Read,
+            NaiveState::Read => {
+                NaiveState::Done(resp.as_int().unwrap_or(0).clamp(0, 1) as Decision)
+            }
+            NaiveState::Done(d) => NaiveState::Done(*d),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+/// A write-all / validate-all protocol over `r` registers: write your
+/// input to every register in order, then read them all back; if every
+/// register (still) holds one common value, decide it; otherwise decide
+/// the value of the **last** register (the most recently validated
+/// write wins).
+///
+/// With few processes this often "works"; with r² − r + 2 or more
+/// identical processes Theorem 3.3 says it cannot, and the adversary
+/// demonstrates it.
+#[derive(Clone, Debug)]
+pub struct Optimistic {
+    n: usize,
+    r: usize,
+}
+
+impl Optimistic {
+    /// An instance for `n` identical processes over `r` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `r == 0`.
+    pub fn new(n: usize, r: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(r > 0, "need at least one register");
+        Optimistic { n, r }
+    }
+
+    /// The number of registers.
+    pub fn registers(&self) -> usize {
+        self.r
+    }
+}
+
+/// State of an [`Optimistic`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum OptState {
+    /// Writing the input to register `k`.
+    Write {
+        /// The process's input.
+        input: Decision,
+        /// Next register to write.
+        k: usize,
+    },
+    /// Reading register `k` back; `seen` collects the values read so
+    /// far.
+    Read {
+        /// The process's input.
+        input: Decision,
+        /// Next register to read.
+        k: usize,
+        /// Values observed so far, in register order.
+        seen: Vec<i64>,
+    },
+    /// Decided.
+    Done(Decision),
+}
+
+impl Protocol for Optimistic {
+    type State = OptState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        (0..self.r)
+            .map(|i| ObjectSpec::new(ObjectKind::Register, format!("r{i}")))
+            .collect()
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: Decision) -> OptState {
+        OptState::Write { input, k: 0 }
+    }
+
+    fn action(&self, s: &OptState) -> Action {
+        match s {
+            OptState::Write { input, k } => Action::Invoke {
+                object: ObjectId(*k),
+                op: Operation::Write(Value::Int(*input as i64)),
+            },
+            OptState::Read { k, .. } => {
+                Action::Invoke { object: ObjectId(*k), op: Operation::Read }
+            }
+            OptState::Done(d) => Action::Decide(*d),
+        }
+    }
+
+    fn transition(&self, s: &OptState, resp: &Response, _coin: u32) -> OptState {
+        match s {
+            OptState::Write { input, k } => {
+                if k + 1 < self.r {
+                    OptState::Write { input: *input, k: k + 1 }
+                } else {
+                    OptState::Read { input: *input, k: 0, seen: Vec::new() }
+                }
+            }
+            OptState::Read { input, k, seen } => {
+                let mut seen = seen.clone();
+                seen.push(resp.as_int().unwrap_or(0));
+                if k + 1 < self.r {
+                    OptState::Read { input: *input, k: k + 1, seen }
+                } else {
+                    let first = seen[0];
+                    let unanimous = seen.iter().all(|&v| v == first);
+                    let winner =
+                        if unanimous { first } else { *seen.last().expect("r ≥ 1") };
+                    OptState::Done(winner.clamp(0, 1) as Decision)
+                }
+            }
+            OptState::Done(d) => OptState::Done(*d),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+/// Like [`Optimistic`], but processes with input 0 write the registers
+/// in ascending order while processes with input 1 write them in
+/// **descending** order (then everyone validates in ascending order and
+/// decides as in [`Optimistic`]).
+///
+/// The point of the zigzag: the first write of a 0-input solo targets
+/// register 0 while a 1-input solo first writes register r−1, so the
+/// Lemma 3.1 recursion starts from **incomparable** initial object sets
+/// — the paper's Figure 4 case — rather than the V ⊆ W cases that
+/// order-agreeing protocols produce.
+#[derive(Clone, Debug)]
+pub struct Zigzag {
+    n: usize,
+    r: usize,
+}
+
+impl Zigzag {
+    /// An instance for `n` identical processes over `r` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `r == 0`.
+    pub fn new(n: usize, r: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(r > 0, "need at least one register");
+        Zigzag { n, r }
+    }
+
+    /// The number of registers.
+    pub fn registers(&self) -> usize {
+        self.r
+    }
+
+    fn write_target(&self, input: Decision, k: usize) -> usize {
+        if input == 0 {
+            k
+        } else {
+            self.r - 1 - k
+        }
+    }
+}
+
+impl Protocol for Zigzag {
+    type State = OptState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        (0..self.r)
+            .map(|i| ObjectSpec::new(ObjectKind::Register, format!("r{i}")))
+            .collect()
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: Decision) -> OptState {
+        OptState::Write { input, k: 0 }
+    }
+
+    fn action(&self, s: &OptState) -> Action {
+        match s {
+            OptState::Write { input, k } => Action::Invoke {
+                object: ObjectId(self.write_target(*input, *k)),
+                op: Operation::Write(Value::Int(*input as i64)),
+            },
+            OptState::Read { k, .. } => {
+                Action::Invoke { object: ObjectId(*k), op: Operation::Read }
+            }
+            OptState::Done(d) => Action::Decide(*d),
+        }
+    }
+
+    fn transition(&self, s: &OptState, resp: &Response, _coin: u32) -> OptState {
+        match s {
+            OptState::Write { input, k } => {
+                if k + 1 < self.r {
+                    OptState::Write { input: *input, k: k + 1 }
+                } else {
+                    OptState::Read { input: *input, k: 0, seen: Vec::new() }
+                }
+            }
+            OptState::Read { input, k, seen } => {
+                let mut seen = seen.clone();
+                seen.push(resp.as_int().unwrap_or(0));
+                if k + 1 < self.r {
+                    OptState::Read { input: *input, k: k + 1, seen }
+                } else {
+                    let first = seen[0];
+                    let unanimous = seen.iter().all(|&v| v == first);
+                    let winner =
+                        if unanimous { first } else { *seen.last().expect("r ≥ 1") };
+                    OptState::Done(winner.clamp(0, 1) as Decision)
+                }
+            }
+            OptState::Done(d) => OptState::Done(*d),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randsync_model::{Configuration, Explorer, RoundRobinScheduler, Simulator};
+
+    #[test]
+    fn naive_terminates_and_is_symmetric() {
+        let p = NaiveWriteRead::new(3);
+        assert!(p.is_symmetric());
+        let mut sim = Simulator::new(100, 0);
+        let out = sim.run(&p, &[0, 1, 1], &mut RoundRobinScheduler::new()).unwrap();
+        assert!(out.all_decided);
+    }
+
+    #[test]
+    fn naive_is_breakable_by_search() {
+        let p = NaiveWriteRead::new(2);
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        assert!(out.consistency_violation.is_some());
+    }
+
+    #[test]
+    fn optimistic_solo_decides_own_input() {
+        let p = Optimistic::new(2, 3);
+        assert_eq!(p.registers(), 3);
+        let config = Configuration::initial(&p, &[1, 0]);
+        let mut sim = Simulator::new(100, 0);
+        let out = sim.run_solo(&p, config, ProcessId(0)).unwrap();
+        assert_eq!(out.config.procs[0].decision(), Some(1));
+    }
+
+    #[test]
+    fn optimistic_unanimous_inputs_decide_them() {
+        for input in [0, 1] {
+            let p = Optimistic::new(3, 2);
+            let mut sim = Simulator::new(1000, 4);
+            let out = sim
+                .run(&p, &[input; 3], &mut randsync_model::RandomScheduler::new(9))
+                .unwrap();
+            assert!(out.all_decided);
+            assert_eq!(out.decided_values(), vec![input]);
+        }
+    }
+
+    #[test]
+    fn optimistic_is_breakable_by_search() {
+        // Even with 2 registers and only 2 processes, plain exploration
+        // finds an inconsistent interleaving of this protocol.
+        let p = Optimistic::new(2, 2);
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        let w = out.consistency_violation.expect("optimistic is flawed");
+        let start = Configuration::initial(&p, &[0, 1]);
+        let (end, _) = w.replay(&p, &start).unwrap();
+        assert_eq!(end.decided_values(), vec![0, 1]);
+    }
+
+    #[test]
+    fn optimistic_steps_are_poised_while_writing() {
+        let p = Optimistic::new(2, 2);
+        let c = Configuration::initial(&p, &[0, 1]);
+        assert_eq!(c.poised_at(&p, ProcessId(0)), Some(ObjectId(0)));
+    }
+
+    #[test]
+    fn zigzag_first_writes_diverge_by_input() {
+        let p = Zigzag::new(2, 3);
+        assert_eq!(p.registers(), 3);
+        let c = Configuration::initial(&p, &[0, 1]);
+        assert_eq!(c.poised_at(&p, ProcessId(0)), Some(ObjectId(0)), "input 0 ascends");
+        assert_eq!(c.poised_at(&p, ProcessId(1)), Some(ObjectId(2)), "input 1 descends");
+    }
+
+    #[test]
+    fn zigzag_unanimous_inputs_decide_them() {
+        for input in [0, 1] {
+            let p = Zigzag::new(3, 2);
+            let mut sim = Simulator::new(1000, 4);
+            let out = sim
+                .run(&p, &[input; 3], &mut randsync_model::RandomScheduler::new(5))
+                .unwrap();
+            assert!(out.all_decided);
+            assert_eq!(out.decided_values(), vec![input]);
+        }
+    }
+
+    #[test]
+    fn zigzag_is_breakable_by_search() {
+        let p = Zigzag::new(2, 2);
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        assert!(out.consistency_violation.is_some());
+    }
+}

@@ -1,0 +1,191 @@
+//! The deterministic 2-process protocols as model protocols.
+
+use randsync_model::{
+    Action, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId, Protocol,
+    Response, Value,
+};
+
+/// 2-process consensus from one swap register (Section 4's "response
+/// from one application … different than … the second").
+#[derive(Clone, Debug)]
+pub struct SwapTwoModel;
+
+/// State of a [`SwapTwoModel`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SwapState {
+    /// About to swap in the (encoded) input.
+    Swapping(Decision),
+    /// Decided.
+    Done(Decision),
+}
+
+impl Protocol for SwapTwoModel {
+    type State = SwapState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        vec![ObjectSpec::new(ObjectKind::SwapRegister, "s")]
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: Decision) -> SwapState {
+        SwapState::Swapping(input)
+    }
+
+    fn action(&self, s: &SwapState) -> Action {
+        match s {
+            SwapState::Swapping(d) => Action::Invoke {
+                object: ObjectId(0),
+                op: Operation::Swap(Value::Int(*d as i64 + 1)),
+            },
+            SwapState::Done(d) => Action::Decide(*d),
+        }
+    }
+
+    fn transition(&self, s: &SwapState, resp: &Response, _coin: u32) -> SwapState {
+        match s {
+            SwapState::Swapping(d) => match resp.value() {
+                Some(Value::Bottom) => SwapState::Done(*d),
+                Some(Value::Int(v)) => SwapState::Done(((v - 1).clamp(0, 1)) as Decision),
+                _ => SwapState::Done(*d),
+            },
+            done => done.clone(),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+/// 2-process consensus from one test&set register plus two single-writer
+/// input registers.
+#[derive(Clone, Debug)]
+pub struct TasTwoModel;
+
+/// State of a [`TasTwoModel`] process. The process id is baked into the
+/// state (this protocol is *not* symmetric: each process owns a
+/// register).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TasState {
+    /// About to publish the input in the own register.
+    Publish {
+        /// Which process this is (0 or 1).
+        me: usize,
+        /// The input to publish.
+        input: Decision,
+    },
+    /// About to race on the test&set flag.
+    Race {
+        /// Which process this is.
+        me: usize,
+        /// The published input.
+        input: Decision,
+    },
+    /// Lost the race; about to read the winner's register.
+    ReadOther {
+        /// Which process this is.
+        me: usize,
+    },
+    /// Decided.
+    Done(Decision),
+}
+
+impl Protocol for TasTwoModel {
+    type State = TasState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        vec![
+            ObjectSpec::new(ObjectKind::TestAndSet, "flag"),
+            ObjectSpec::with_initial(ObjectKind::Register, Value::Bottom, "in0"),
+            ObjectSpec::with_initial(ObjectKind::Register, Value::Bottom, "in1"),
+        ]
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self, pid: ProcessId, input: Decision) -> TasState {
+        TasState::Publish { me: pid.index(), input }
+    }
+
+    fn action(&self, s: &TasState) -> Action {
+        match s {
+            TasState::Publish { me, input } => Action::Invoke {
+                object: ObjectId(1 + me),
+                op: Operation::Write(Value::Int(*input as i64)),
+            },
+            TasState::Race { .. } => {
+                Action::Invoke { object: ObjectId(0), op: Operation::TestAndSet }
+            }
+            TasState::ReadOther { me } => {
+                Action::Invoke { object: ObjectId(1 + (1 - me)), op: Operation::Read }
+            }
+            TasState::Done(d) => Action::Decide(*d),
+        }
+    }
+
+    fn transition(&self, s: &TasState, resp: &Response, _coin: u32) -> TasState {
+        match s {
+            TasState::Publish { me, input } => TasState::Race { me: *me, input: *input },
+            TasState::Race { me, input } => {
+                let lost = resp.value().and_then(|v| v.as_bool()).unwrap_or(false);
+                if lost {
+                    TasState::ReadOther { me: *me }
+                } else {
+                    TasState::Done(*input)
+                }
+            }
+            TasState::ReadOther { .. } => {
+                TasState::Done(resp.as_int().unwrap_or(0).clamp(0, 1) as Decision)
+            }
+            done => done.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randsync_model::Explorer;
+
+    #[test]
+    fn swap_two_is_model_checked_safe() {
+        let p = SwapTwoModel;
+        for inputs in [[0, 1], [1, 0], [0, 0], [1, 1]] {
+            let out = Explorer::default().explore(&p, &inputs);
+            assert!(!out.truncated);
+            assert!(out.is_safe(), "inputs {inputs:?}");
+            assert_eq!(out.can_always_reach_termination, Some(true));
+        }
+    }
+
+    #[test]
+    fn tas_two_is_model_checked_safe() {
+        let p = TasTwoModel;
+        for inputs in [[0, 1], [1, 0], [0, 0], [1, 1]] {
+            let out = Explorer::default().explore(&p, &inputs);
+            assert!(!out.truncated);
+            assert!(out.is_safe(), "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn swap_model_uses_one_historyless_object() {
+        let p = SwapTwoModel;
+        let objs = p.objects();
+        assert_eq!(objs.len(), 1);
+        assert!(objs[0].kind.is_historyless());
+    }
+
+    #[test]
+    fn tas_model_uses_three_historyless_objects() {
+        let p = TasTwoModel;
+        let objs = p.objects();
+        assert_eq!(objs.len(), 3);
+        assert!(objs.iter().all(|o| o.kind.is_historyless()));
+    }
+}

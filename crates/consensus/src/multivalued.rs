@@ -1,0 +1,201 @@
+//! Multi-valued consensus from binary consensus.
+//!
+//! The paper's introduction motivates randomized consensus as the
+//! engine for "the software implementation of one synchronization
+//! object from another". This module performs the classic reduction in
+//! that spirit: n processes agree on an arbitrary `i64` using
+//! ⌈log₂ n⌉ **binary** consensus instances plus n single-writer
+//! proposal registers.
+//!
+//! The protocol agrees on the *index* of a published proposal, bit by
+//! bit, with the standard candidate-narrowing trick that preserves
+//! validity (plain bitwise agreement could splice two indices into one
+//! nobody proposed):
+//!
+//! 1. publish your proposal in your own register;
+//! 2. maintain a *candidate*: a process index whose published proposal
+//!    is still compatible with the bits decided so far (initially your
+//!    own index);
+//! 3. for each bit position, run binary consensus on your candidate's
+//!    bit; after the decision, if your candidate disagrees with the
+//!    decided bit, switch to any published candidate matching the
+//!    decided prefix — one exists, because the decided bit was some
+//!    process's candidate's bit and that candidate matched the prefix;
+//! 4. after all bits, the assembled index identifies a published
+//!    proposal; decide its value.
+//!
+//! Consistency is inherited bit-wise from the binary instances;
+//! validity holds because every decided prefix extends to a *published*
+//! index, so the final value was genuinely proposed.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+use crate::cas::CasConsensus;
+use crate::spec::Consensus;
+
+const ORD: Ordering = Ordering::SeqCst;
+
+/// n-process multi-valued consensus from binary consensus instances and
+/// n proposal registers.
+///
+/// Generic over the binary consensus used per bit; see
+/// [`MultiValuedConsensus::with_cas`] for the one-CAS-per-bit default.
+#[derive(Debug)]
+pub struct MultiValuedConsensus<B> {
+    n: usize,
+    proposals: Vec<AtomicI64>,
+    published: Vec<AtomicBool>,
+    bits: Vec<B>,
+}
+
+impl<B: Consensus> MultiValuedConsensus<B> {
+    /// An instance for `n` processes using the given per-bit binary
+    /// instances (one per bit of the process index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `bits.len()` cannot index `n` processes.
+    pub fn new(n: usize, bits: Vec<B>) -> Self {
+        assert!(n > 0, "consensus needs at least one process");
+        let needed = index_bits(n);
+        assert!(
+            bits.len() >= needed,
+            "{n} processes need {needed} bit instances, got {}",
+            bits.len()
+        );
+        MultiValuedConsensus {
+            n,
+            proposals: (0..n).map(|_| AtomicI64::new(0)).collect(),
+            published: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            bits,
+        }
+    }
+
+    /// Decide: propose `value`, return the agreed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process >= n`.
+    pub fn decide_value(&self, process: usize, value: i64) -> i64 {
+        assert!(process < self.n, "process index out of range");
+        // 1. Publish.
+        self.proposals[process].store(value, ORD);
+        self.published[process].store(true, ORD);
+
+        // 2–3. Agree on an index bit by bit, narrowing the candidate.
+        let nbits = index_bits(self.n);
+        let mut candidate = process;
+        let mut prefix: usize = 0;
+        for k in 0..nbits {
+            let my_bit = ((candidate >> k) & 1) as u8;
+            let decided = self.bits[k].decide(process, my_bit);
+            prefix |= (decided as usize) << k;
+            if ((candidate >> k) & 1) as u8 != decided {
+                // Switch to a published candidate matching the decided
+                // prefix (bits 0..=k). One exists: the decided bit was
+                // proposed by a process whose candidate matched.
+                let mask = (1usize << (k + 1)) - 1;
+                candidate = (0..self.n)
+                    .find(|&i| {
+                        self.published[i].load(ORD) && (i & mask) == (prefix & mask)
+                    })
+                    .expect("a published candidate matches the decided prefix");
+            }
+        }
+
+        // 4. The assembled index names a published proposal.
+        debug_assert!(self.published[candidate].load(ORD));
+        self.proposals[candidate].load(ORD)
+    }
+
+    /// Total shared objects: proposal registers + publish flags + the
+    /// binary instances' objects.
+    pub fn object_count(&self) -> usize {
+        2 * self.n + self.bits.iter().map(|b| b.object_count()).sum::<usize>()
+    }
+}
+
+impl MultiValuedConsensus<CasConsensus> {
+    /// The default stack: one CAS register per index bit.
+    pub fn with_cas(n: usize) -> Self {
+        let bits = (0..index_bits(n)).map(|_| CasConsensus::new(n)).collect();
+        Self::new(n, bits)
+    }
+}
+
+/// Bits needed to index `n` processes (at least 1).
+fn index_bits(n: usize) -> usize {
+    let mut b = 1;
+    while (1usize << b) < n {
+        b += 1;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decide_all(c: &MultiValuedConsensus<CasConsensus>, values: &[i64]) -> Vec<i64> {
+        std::thread::scope(|s| {
+            let hs: Vec<_> = values
+                .iter()
+                .enumerate()
+                .map(|(p, &v)| s.spawn(move || c.decide_value(p, v)))
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn index_bits_covers_the_range() {
+        assert_eq!(index_bits(1), 1);
+        assert_eq!(index_bits(2), 1);
+        assert_eq!(index_bits(3), 2);
+        assert_eq!(index_bits(4), 2);
+        assert_eq!(index_bits(5), 3);
+        assert_eq!(index_bits(8), 3);
+        assert_eq!(index_bits(9), 4);
+    }
+
+    #[test]
+    fn sequential_solo_decides_own_value() {
+        let c = MultiValuedConsensus::with_cas(4);
+        assert_eq!(c.decide_value(2, 777), 777);
+        // Later arrivals adopt.
+        assert_eq!(c.decide_value(0, -5), 777);
+    }
+
+    #[test]
+    fn concurrent_agreement_and_validity_over_many_trials() {
+        for t in 0..120 {
+            let n = 2 + (t % 6);
+            let c = MultiValuedConsensus::with_cas(n);
+            let values: Vec<i64> = (0..n).map(|p| (p as i64 + 1) * 100 + t as i64).collect();
+            let ds = decide_all(&c, &values);
+            let d = ds[0];
+            assert!(ds.iter().all(|&x| x == d), "trial {t}: inconsistent {ds:?}");
+            assert!(values.contains(&d), "trial {t}: invalid {d} ∉ {values:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_values_are_fine() {
+        let c = MultiValuedConsensus::with_cas(5);
+        let ds = decide_all(&c, &[9, 9, 9, 9, 9]);
+        assert!(ds.iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn object_count_adds_up() {
+        let c = MultiValuedConsensus::with_cas(8);
+        // 2·8 registers + 3 bits × 1 CAS each.
+        assert_eq!(c.object_count(), 16 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit instances")]
+    fn too_few_bit_instances_rejected() {
+        let _ = MultiValuedConsensus::new(5, vec![CasConsensus::new(5)]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Round-based randomized consensus from read–write registers
+//! (Aspnes–Herlihy \[9\] architecture, with Ben-Or-style propose/ratify
+//! phases).
+//!
+//! This is the register-protocol family behind the O(n) upper bound the
+//! paper's lower bound is contrasted with: asynchronous rounds driven
+//! by a **weak shared coin**, as in Aspnes–Herlihy's "Fast Randomized
+//! Consensus Using Shared Memory". We use the propose/ratify phase
+//! structure (Ben-Or's rounds, in shared memory) because its agreement
+//! argument is airtight with plain write-once flag registers:
+//!
+//! Round r uses five flags — `prop[r][v]` for v ∈ {0,1} and
+//! `vote[r][w]` for w ∈ {0, 1, ⊥}:
+//!
+//! 1. **propose**: set `prop[r][prefer]`; read both proposal flags.
+//!    If only one value is proposed, *vote* for it; otherwise vote ⊥.
+//! 2. **ratify**: set `vote[r][my vote]`; read all three vote flags.
+//!    * Both 0- and 1-votes can never coexist: a v-vote requires having
+//!      seen *only* v proposed, and proposal flags are persistent — the
+//!      later voter would have seen both values. So at most one real
+//!      value appears among the round's votes.
+//!    * If exactly value v is voted (no ⊥): **decide v** — any process
+//!      that reads this round's votes later still sees the persistent
+//!      v-flag and therefore adopts v.
+//!    * If v is voted alongside ⊥: adopt v as the new preference.
+//!    * If only ⊥ is voted: take the round's **shared coin**.
+//!
+//! Validity: with unanimous inputs every proposal and vote is that
+//! input, and everyone decides in round 1 — no coin is ever consumed.
+//! Termination: each round the weak shared coin gives all flippers the
+//! same value with constant probability (and it matches any v-vote with
+//! probability ≥ 1/2 of that), so the expected number of rounds is
+//! O(1).
+//!
+//! **Space accounting**: 5 flag registers per round plus an n-register
+//! snapshot-counter coin per round, with `max_rounds` rounds
+//! preallocated; past them the protocol falls back to local coins
+//! (correctness is unaffected — only the expected round count would
+//! degrade, and the probability of ever getting there is
+//! `(1 − δ)^max_rounds`). [`AhConsensus::object_count`] reports the
+//! true allocation; the journal version of \[9\] recycles this space to
+//! reach O(n) total.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use randsync_objects::SnapshotCounter;
+
+use crate::coin::WalkCoin;
+use crate::spec::Consensus;
+
+const ORD: Ordering = Ordering::SeqCst;
+
+/// One round's shared state: proposal flags, vote flags, and the coin.
+#[derive(Debug)]
+struct Round {
+    prop: [AtomicBool; 2],
+    /// Votes for 0, 1, and ⊥ (index 2).
+    vote: [AtomicBool; 3],
+    coin: WalkCoin<SnapshotCounter>,
+}
+
+impl Round {
+    fn new(n: usize, seed: u64) -> Self {
+        Round {
+            prop: [AtomicBool::new(false), AtomicBool::new(false)],
+            vote: [AtomicBool::new(false), AtomicBool::new(false), AtomicBool::new(false)],
+            coin: WalkCoin::new(SnapshotCounter::new(n), n, 4, seed),
+        }
+    }
+}
+
+/// Round-based randomized consensus from read–write registers.
+///
+/// Rounds are allocated lazily through a lock-free bank of
+/// compare-and-swap-installed slots, so the protocol has (practically)
+/// unbounded rounds without locks: a looser bound than the paper-cited
+/// O(n) recycling construction, but honest about where the space goes
+/// (see [`AhConsensus::object_count`]).
+#[derive(Debug)]
+pub struct AhConsensus {
+    n: usize,
+    slots: Vec<AtomicPtr<Round>>,
+    seed: u64,
+}
+
+impl AhConsensus {
+    /// An instance for `n` processes with headroom for `max_rounds`
+    /// lazily allocated rounds (the expected round count is O(1); the
+    /// probability of needing even 50 rounds is astronomically small).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `max_rounds == 0`.
+    pub fn new(n: usize, max_rounds: usize, seed: u64) -> Self {
+        assert!(n > 0, "consensus needs at least one process");
+        assert!(max_rounds > 0, "at least one round is required");
+        AhConsensus {
+            n,
+            slots: (0..max_rounds).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            seed,
+        }
+    }
+
+    /// A default-sized instance with headroom for 2048 rounds.
+    pub fn with_defaults(n: usize, seed: u64) -> Self {
+        Self::new(n, 2048, seed)
+    }
+
+    /// Get round `r`, allocating it lock-free on first access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds the round headroom — which happens with
+    /// probability at most `(1 − δ)^max_rounds` (δ the shared coin's
+    /// agreement parameter); failing loudly is preferable to silent
+    /// livelock.
+    fn round(&self, r: usize) -> &Round {
+        let slot = self
+            .slots
+            .get(r)
+            .unwrap_or_else(|| panic!("round headroom ({}) exhausted", self.slots.len()));
+        let mut ptr = slot.load(ORD);
+        if ptr.is_null() {
+            let fresh = Box::into_raw(Box::new(Round::new(
+                self.n,
+                self.seed ^ (r as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
+            )));
+            match slot.compare_exchange(std::ptr::null_mut(), fresh, ORD, ORD) {
+                Ok(_) => ptr = fresh,
+                Err(winner) => {
+                    // Another process installed the round first.
+                    // SAFETY: `fresh` was never shared.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    ptr = winner;
+                }
+            }
+        }
+        // SAFETY: installed pointers are never replaced or freed until
+        // drop, and `&self` outlives the returned reference.
+        unsafe { &*ptr }
+    }
+
+    /// Number of rounds allocated so far.
+    pub fn rounds_allocated(&self) -> usize {
+        self.slots.iter().filter(|s| !s.load(ORD).is_null()).count()
+    }
+}
+
+impl Drop for AhConsensus {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let ptr = slot.load(ORD);
+            if !ptr.is_null() {
+                // SAFETY: exclusive access in drop; each pointer was
+                // created by Box::into_raw exactly once.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+impl Consensus for AhConsensus {
+    fn decide(&self, process: usize, input: u8) -> u8 {
+        assert!(process < self.n, "process index out of range");
+        assert!(input <= 1, "binary consensus inputs are 0 or 1");
+        let mut prefer = input;
+        let mut r = 0usize;
+        loop {
+            let round = self.round(r);
+            // Phase 1: propose, then read the proposal flags.
+            round.prop[prefer as usize].store(true, ORD);
+            let p0 = round.prop[0].load(ORD);
+            let p1 = round.prop[1].load(ORD);
+            let my_vote: usize = match (p0, p1) {
+                (true, false) => 0,
+                (false, true) => 1,
+                // Both proposed (or — impossible — neither): ⊥.
+                _ => 2,
+            };
+
+            // Phase 2: ratify, then read the vote flags.
+            round.vote[my_vote].store(true, ORD);
+            let v0 = round.vote[0].load(ORD);
+            let v1 = round.vote[1].load(ORD);
+            let vbot = round.vote[2].load(ORD);
+            debug_assert!(
+                !(v0 && v1),
+                "both values ratified in one round: proposal flags are \
+                 persistent, so this cannot happen"
+            );
+            match (v0, v1, vbot) {
+                (true, false, false) => return 0,
+                (false, true, false) => return 1,
+                (true, _, true) => prefer = 0,
+                (_, true, true) => prefer = 1,
+                // Only ⊥ (or nothing but our own ⊥): shared coin.
+                _ => prefer = round.coin.flip(process).value,
+            }
+            r += 1;
+        }
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn object_count(&self) -> usize {
+        // Per allocated round: 5 flag registers + n coin registers.
+        self.rounds_allocated().max(1) * (5 + self.n)
+    }
+
+    fn name(&self) -> &'static str {
+        "Aspnes-Herlihy rounds (registers)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{decide_concurrently, run_trials};
+
+    #[test]
+    fn solo_decision_is_immediate_and_own_input() {
+        for input in [0, 1] {
+            let c = AhConsensus::with_defaults(3, 7);
+            assert_eq!(c.decide(0, input), input);
+        }
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_that_input() {
+        for input in [0u8, 1] {
+            for seed in 0..5 {
+                let c = AhConsensus::with_defaults(4, seed);
+                let ds = decide_concurrently(&c, &[input; 4]);
+                assert!(ds.iter().all(|&d| d == input), "validity: {ds:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_agree_across_many_seeds() {
+        let stats = run_trials(
+            150,
+            |t| AhConsensus::with_defaults(4, t as u64 * 37 + 11),
+            |t| (0..4).map(|p| ((p + t) % 2) as u8).collect(),
+        );
+        assert!(stats.all_correct(), "{stats}");
+        assert!(stats.decided_one > 0 && stats.decided_one < stats.trials, "{stats}");
+    }
+
+    #[test]
+    fn larger_instances_agree() {
+        let stats = run_trials(
+            40,
+            |t| AhConsensus::with_defaults(8, t as u64 ^ 0xBEEF),
+            |t| (0..8).map(|p| ((p * 5 + t) % 2) as u8).collect(),
+        );
+        assert!(stats.all_correct(), "{stats}");
+    }
+
+    #[test]
+    fn object_count_reports_flags_plus_coins_per_allocated_round() {
+        let c = AhConsensus::new(5, 8, 0);
+        assert_eq!(c.rounds_allocated(), 0, "rounds are lazy");
+        assert_eq!(c.object_count(), 5 + 5, "at least one round's worth");
+        let _ = c.decide(0, 1);
+        assert_eq!(c.rounds_allocated(), 1, "a solo run needs one round");
+        assert_eq!(c.object_count(), 5 + 5);
+        assert!(c.name().contains("Aspnes"));
+    }
+
+    #[test]
+    fn staggered_latecomers_adopt_the_decision() {
+        for seed in 0..20 {
+            let c = AhConsensus::with_defaults(5, seed);
+            // Three decide concurrently; two stragglers with the
+            // opposite input arrive afterwards and must agree.
+            let cref = &c;
+            let early: Vec<u8> = std::thread::scope(|s| {
+                let hs: Vec<_> = [(0usize, 0u8), (1, 1), (2, 0)]
+                    .into_iter()
+                    .map(|(p, input)| s.spawn(move || cref.decide(p, input)))
+                    .collect();
+                hs.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let d = early[0];
+            assert!(early.iter().all(|&x| x == d), "seed {seed}: {early:?}");
+            assert_eq!(c.decide(3, 1 - d), d, "seed {seed}: straggler flipped");
+            assert_eq!(c.decide(4, 1 - d), d, "seed {seed}: straggler flipped");
+        }
+    }
+
+    #[test]
+    fn small_round_banks_still_terminate_and_agree() {
+        // A modest headroom exercises multi-round paths and lazy
+        // allocation under contention.
+        let stats = run_trials(
+            60,
+            |t| AhConsensus::new(3, 64, t as u64 * 101 + 3),
+            |t| (0..3).map(|p| ((p + t) % 2) as u8).collect(),
+        );
+        assert!(stats.all_correct(), "{stats}");
+    }
+
+    #[test]
+    fn lazy_allocation_is_race_safe() {
+        // Many threads hammer the same instance; the CAS-install path
+        // must not leak or double-free (exercised under the test
+        // allocator by sheer repetition).
+        for seed in 0..30 {
+            let c = AhConsensus::with_defaults(6, seed);
+            let ds = decide_concurrently(&c, &[0, 1, 0, 1, 0, 1]);
+            assert!(ds.windows(2).all(|w| w[0] == w[1]), "seed {seed}");
+            assert!(c.rounds_allocated() >= 1);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The consensus interface and its correctness harness.
+
+use core::fmt;
+
+/// An n-process binary consensus object: each process performs one
+/// DECIDE operation with an input in `{0, 1}` and obtains an output in
+/// `{0, 1}` such that
+///
+/// * **consistency** — all DECIDE operations return the same value, and
+/// * **validity** — the returned value is the input of some process.
+///
+/// Implementations must be safe to call concurrently from
+/// `num_processes()` distinct threads, one call per process index.
+pub trait Consensus: Send + Sync {
+    /// Decide: process `process` proposes `input` and obtains the agreed
+    /// value. Must be called at most once per process index.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `process >= num_processes()` or
+    /// `input > 1`.
+    fn decide(&self, process: usize, input: u8) -> u8;
+
+    /// The number of processes this instance supports.
+    fn num_processes(&self) -> usize;
+
+    /// The number of shared-object instances the implementation uses —
+    /// the quantity the paper's space bounds are about.
+    fn object_count(&self) -> usize;
+
+    /// A short human-readable protocol name.
+    fn name(&self) -> &'static str;
+}
+
+/// Statistics from a batch of threaded consensus trials (see
+/// [`run_trials`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrialStats {
+    /// Number of trials executed.
+    pub trials: usize,
+    /// Trials in which every process returned the same value.
+    pub consistent: usize,
+    /// Trials in which the returned value was some process's input.
+    pub valid: usize,
+    /// Trials that decided 1 (for bias inspection).
+    pub decided_one: usize,
+}
+
+impl TrialStats {
+    /// Whether every trial was both consistent and valid.
+    pub fn all_correct(&self) -> bool {
+        self.consistent == self.trials && self.valid == self.trials
+    }
+}
+
+impl fmt::Display for TrialStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} consistent, {}/{} valid, {} decided 1",
+            self.consistent, self.trials, self.valid, self.trials, self.decided_one
+        )
+    }
+}
+
+/// Run `trials` fresh instances produced by `make`, each decided by
+/// `n` concurrent threads with the inputs produced by
+/// `inputs(trial_index)`, and tally correctness.
+///
+/// # Panics
+///
+/// Panics if a protocol instance reports a different process count than
+/// the number of inputs supplied.
+pub fn run_trials<C, F, I>(trials: usize, mut make: F, mut inputs: I) -> TrialStats
+where
+    C: Consensus,
+    F: FnMut(usize) -> C,
+    I: FnMut(usize) -> Vec<u8>,
+{
+    let mut stats = TrialStats { trials, ..Default::default() };
+    for t in 0..trials {
+        let proto = make(t);
+        let ins = inputs(t);
+        assert_eq!(ins.len(), proto.num_processes(), "one input per process");
+        let decisions = decide_concurrently(&proto, &ins);
+        let first = decisions[0];
+        if decisions.iter().all(|&d| d == first) {
+            stats.consistent += 1;
+        }
+        if decisions.iter().all(|&d| ins.contains(&d)) {
+            stats.valid += 1;
+        }
+        if first == 1 {
+            stats.decided_one += 1;
+        }
+    }
+    stats
+}
+
+/// Run one consensus instance with `inputs.len()` concurrent threads and
+/// return each process's decision.
+pub fn decide_concurrently<C: Consensus + ?Sized>(proto: &C, inputs: &[u8]) -> Vec<u8> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(p, &input)| s.spawn(move || proto.decide(p, input)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("decider panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A degenerate consensus for harness tests: everyone decides
+    /// process 0's input, published before threads start... here we fake
+    /// it by always deciding 0 — intentionally violating validity when
+    /// all inputs are 1.
+    #[derive(Debug)]
+    struct AlwaysZero {
+        n: usize,
+    }
+
+    impl Consensus for AlwaysZero {
+        fn decide(&self, _process: usize, _input: u8) -> u8 {
+            0
+        }
+
+        fn num_processes(&self) -> usize {
+            self.n
+        }
+
+        fn object_count(&self) -> usize {
+            0
+        }
+
+        fn name(&self) -> &'static str {
+            "always-zero"
+        }
+    }
+
+    #[test]
+    fn harness_flags_validity_violations() {
+        let stats = run_trials(4, |_| AlwaysZero { n: 3 }, |t| {
+            if t % 2 == 0 {
+                vec![1, 1, 1] // all-ones: deciding 0 is invalid
+            } else {
+                vec![0, 1, 1]
+            }
+        });
+        assert_eq!(stats.trials, 4);
+        assert_eq!(stats.consistent, 4);
+        assert_eq!(stats.valid, 2);
+        assert!(!stats.all_correct());
+        assert_eq!(stats.decided_one, 0);
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let s = TrialStats { trials: 2, consistent: 2, valid: 1, decided_one: 1 };
+        let txt = s.to_string();
+        assert!(txt.contains("2/2 consistent"));
+        assert!(txt.contains("1/2 valid"));
+    }
+}

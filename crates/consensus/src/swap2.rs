@@ -1,0 +1,110 @@
+//! Deterministic 2-process consensus from one swap register.
+//!
+//! Section 4 of the paper: "Consider any object with an operation such
+//! that, starting with some particular state, the response from one
+//! application of the operation is always different than the response
+//! from the second of two successive applications … Then this object
+//! can solve 2-process consensus." A swap register is the canonical
+//! example: both processes SWAP in their (encoded) input; exactly one
+//! of them receives the initial value ⊥ and knows it went first — it
+//! decides its own input, while the other received the winner's input
+//! and decides that.
+//!
+//! This is the deterministic side of the paper's headline separation:
+//! swap registers solve 2-process consensus deterministically (they sit
+//! strictly above read–write registers in Herlihy's hierarchy), yet
+//! being historyless they still need Ω(√n) instances for randomized
+//! n-process consensus (Theorem 3.7), while the "deterministically
+//! weaker" fetch&add needs only one instance (Theorem 4.4).
+
+use randsync_objects::traits::Swap;
+use randsync_objects::SwapRegister;
+
+use crate::spec::Consensus;
+
+/// Encoding: ⊥ = 0, input v = v + 1.
+const BOTTOM: i64 = 0;
+
+/// Wait-free deterministic 2-process consensus from a single swap
+/// register.
+#[derive(Debug)]
+pub struct SwapTwoConsensus {
+    reg: SwapRegister,
+}
+
+impl SwapTwoConsensus {
+    /// A fresh instance (always for exactly 2 processes).
+    pub fn new() -> Self {
+        SwapTwoConsensus { reg: SwapRegister::new(BOTTOM) }
+    }
+}
+
+impl Default for SwapTwoConsensus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Consensus for SwapTwoConsensus {
+    fn decide(&self, process: usize, input: u8) -> u8 {
+        assert!(process < 2, "swap consensus supports exactly 2 processes");
+        assert!(input <= 1, "binary consensus inputs are 0 or 1");
+        let prev = self.reg.swap(input as i64 + 1);
+        if prev == BOTTOM {
+            input
+        } else {
+            (prev - 1) as u8
+        }
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn object_count(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "one-swap 2-process"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{decide_concurrently, run_trials};
+
+    #[test]
+    fn first_swapper_wins_sequentially() {
+        let c = SwapTwoConsensus::new();
+        assert_eq!(c.decide(0, 0), 0);
+        assert_eq!(c.decide(1, 1), 0, "the loser adopts the winner's input");
+    }
+
+    #[test]
+    fn concurrent_trials_are_correct() {
+        let stats = run_trials(
+            300,
+            |_| SwapTwoConsensus::new(),
+            |t| vec![(t % 2) as u8, ((t + 1) % 2) as u8],
+        );
+        assert!(stats.all_correct(), "{stats}");
+    }
+
+    #[test]
+    fn unanimous_inputs() {
+        for input in [0, 1] {
+            let c = SwapTwoConsensus::new();
+            let ds = decide_concurrently(&c, &[input, input]);
+            assert_eq!(ds, vec![input, input]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 2 processes")]
+    fn third_process_rejected() {
+        let c = SwapTwoConsensus::new();
+        let _ = c.decide(2, 0);
+    }
+}

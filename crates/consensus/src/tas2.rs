@@ -1,0 +1,114 @@
+//! Deterministic 2-process consensus from one test&set register and two
+//! read–write registers.
+//!
+//! The test&set flag orders the two processes: the unique caller that
+//! sees `false` wins. Unlike SWAP, TEST&SET's response carries no
+//! payload, so each process first publishes its input in its own
+//! read–write register; the loser (who knows the winner is the *other*
+//! process, since n = 2) reads the winner's register and decides that
+//! value.
+//!
+//! Together with [`SwapTwoConsensus`](crate::SwapTwoConsensus) this
+//! covers the paper's Section 4 observation that historyless objects
+//! like swap and test&set solve 2-process (but not 3-process)
+//! consensus deterministically.
+
+use randsync_objects::traits::{ReadWrite, TestAndSet};
+use randsync_objects::{AtomicRegister, TestAndSetFlag};
+
+use crate::spec::Consensus;
+
+/// Wait-free deterministic 2-process consensus from one test&set flag
+/// plus two single-writer read–write registers.
+#[derive(Debug)]
+pub struct TasTwoConsensus {
+    flag: TestAndSetFlag,
+    inputs: [AtomicRegister; 2],
+}
+
+/// Register value meaning "not yet published".
+const UNSET: i64 = -1;
+
+impl TasTwoConsensus {
+    /// A fresh instance (always for exactly 2 processes).
+    pub fn new() -> Self {
+        TasTwoConsensus {
+            flag: TestAndSetFlag::new(),
+            inputs: [AtomicRegister::new(UNSET), AtomicRegister::new(UNSET)],
+        }
+    }
+}
+
+impl Default for TasTwoConsensus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Consensus for TasTwoConsensus {
+    fn decide(&self, process: usize, input: u8) -> u8 {
+        assert!(process < 2, "test&set consensus supports exactly 2 processes");
+        assert!(input <= 1, "binary consensus inputs are 0 or 1");
+        // Publish, then race.
+        self.inputs[process].write(input as i64);
+        if !self.flag.test_and_set() {
+            // Winner: own input prevails.
+            input
+        } else {
+            // Loser: the winner is the other process, and it published
+            // *before* test&set-ing, so its register is set.
+            let other = self.inputs[1 - process].read();
+            debug_assert_ne!(other, UNSET, "winner published before winning");
+            other as u8
+        }
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn object_count(&self) -> usize {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "test&set + 2 registers, 2-process"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{decide_concurrently, run_trials};
+
+    #[test]
+    fn sequential_first_wins() {
+        let c = TasTwoConsensus::new();
+        assert_eq!(c.decide(1, 1), 1);
+        assert_eq!(c.decide(0, 0), 1);
+    }
+
+    #[test]
+    fn concurrent_trials_are_correct() {
+        let stats = run_trials(
+            300,
+            |_| TasTwoConsensus::new(),
+            |t| vec![(t % 2) as u8, ((t / 2) % 2) as u8],
+        );
+        assert!(stats.all_correct(), "{stats}");
+    }
+
+    #[test]
+    fn unanimous_inputs() {
+        for input in [0, 1] {
+            let c = TasTwoConsensus::new();
+            let ds = decide_concurrently(&c, &[input, input]);
+            assert_eq!(ds, vec![input, input]);
+        }
+    }
+
+    #[test]
+    fn object_count_is_three() {
+        assert_eq!(TasTwoConsensus::new().object_count(), 3);
+    }
+}

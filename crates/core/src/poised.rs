@@ -1,0 +1,155 @@
+//! Poised processes and block writes (Section 3 preliminaries).
+//!
+//! "A process P is said to be *poised at* object R if P will perform a
+//! non-trivial (historyless) operation on R when next allocated a step.
+//! … A *block write to a set of objects V* consists of a sequence of v
+//! consecutive non-trivial operations by v different processes on the v
+//! different objects in V. … Using a block write to V, the values of
+//! all the objects in V can be fixed."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use randsync_model::{Configuration, Execution, ObjectId, ProcessId, Protocol, Step};
+
+/// Whether every object a protocol uses is of a historyless kind — the
+/// hypothesis of the paper's main theorem.
+pub fn all_objects_historyless<P: Protocol>(protocol: &P) -> bool {
+    protocol.objects().iter().all(|o| o.kind.is_historyless())
+}
+
+/// Whether every object is a plain read–write register — the Section
+/// 3.1 restricted setting.
+pub fn all_objects_registers<P: Protocol>(protocol: &P) -> bool {
+    protocol
+        .objects()
+        .iter()
+        .all(|o| matches!(o.kind, randsync_model::ObjectKind::Register))
+}
+
+/// Map each object to the processes currently poised at it.
+pub fn poised_map<P: Protocol>(
+    protocol: &P,
+    config: &Configuration<P::State>,
+) -> BTreeMap<ObjectId, Vec<ProcessId>> {
+    let mut map: BTreeMap<ObjectId, Vec<ProcessId>> = BTreeMap::new();
+    for i in 0..config.num_processes() {
+        let pid = ProcessId(i);
+        if let Some(obj) = config.poised_at(protocol, pid) {
+            map.entry(obj).or_default().push(pid);
+        }
+    }
+    map
+}
+
+/// Choose one poised process per object of `objects`, avoiding the
+/// processes in `exclude`. Returns `None` if some object has no
+/// available poised process.
+pub fn poised_cover<P: Protocol>(
+    protocol: &P,
+    config: &Configuration<P::State>,
+    objects: &BTreeSet<ObjectId>,
+    exclude: &BTreeSet<ProcessId>,
+) -> Option<Vec<(ProcessId, ObjectId)>> {
+    let map = poised_map(protocol, config);
+    let mut used: BTreeSet<ProcessId> = exclude.clone();
+    let mut cover = Vec::with_capacity(objects.len());
+    for &obj in objects {
+        let pid = map.get(&obj)?.iter().find(|p| !used.contains(p)).copied()?;
+        used.insert(pid);
+        cover.push((pid, obj));
+    }
+    Some(cover)
+}
+
+/// The block-write schedule for a cover: one step per `(process,
+/// object)` pair, in the given order. (Coins are 0; a block-write step
+/// with a larger coin can be built with [`Step::with_coin`] directly.)
+pub fn block_write_steps(cover: &[(ProcessId, ObjectId)]) -> Execution {
+    cover.iter().map(|(pid, _)| Step::of(*pid)).collect()
+}
+
+/// Verify that `cover` is a valid block-write cover in `config`: one
+/// *distinct* process per *distinct* object, each actually poised there.
+pub fn is_valid_cover<P: Protocol>(
+    protocol: &P,
+    config: &Configuration<P::State>,
+    cover: &[(ProcessId, ObjectId)],
+) -> bool {
+    let mut procs = BTreeSet::new();
+    let mut objs = BTreeSet::new();
+    cover.iter().all(|(pid, obj)| {
+        procs.insert(*pid)
+            && objs.insert(*obj)
+            && config.poised_at(protocol, *pid) == Some(*obj)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randsync_consensus::model_protocols::{NaiveWriteRead, Optimistic};
+
+    #[test]
+    fn classification_helpers() {
+        assert!(all_objects_registers(&Optimistic::new(2, 3)));
+        assert!(all_objects_historyless(&Optimistic::new(2, 3)));
+        let cas = randsync_consensus::model_protocols::CasModel::new(2);
+        assert!(!all_objects_historyless(&cas));
+        assert!(!all_objects_registers(&cas));
+    }
+
+    #[test]
+    fn poised_map_tracks_everyone_initially() {
+        let p = NaiveWriteRead::new(3);
+        let c = Configuration::initial(&p, &[0, 1, 0]);
+        let map = poised_map(&p, &c);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[&ObjectId(0)].len(), 3);
+    }
+
+    #[test]
+    fn cover_selection_respects_exclusions() {
+        let p = NaiveWriteRead::new(3);
+        let c = Configuration::initial(&p, &[0, 1, 0]);
+        let objects: BTreeSet<ObjectId> = [ObjectId(0)].into();
+        let exclude: BTreeSet<ProcessId> = [ProcessId(0)].into();
+        let cover = poised_cover(&p, &c, &objects, &exclude).unwrap();
+        assert_eq!(cover, vec![(ProcessId(1), ObjectId(0))]);
+        assert!(is_valid_cover(&p, &c, &cover));
+        // Excluding everyone leaves no cover.
+        let all: BTreeSet<ProcessId> = (0..3).map(ProcessId).collect();
+        assert!(poised_cover(&p, &c, &objects, &all).is_none());
+    }
+
+    #[test]
+    fn block_write_fixes_values() {
+        let p = Optimistic::new(4, 2);
+        let mut c = Configuration::initial(&p, &[1, 1, 0, 0]);
+        // Advance P1 so it is poised at register 1 (it wrote r0 first).
+        c.step(&p, ProcessId(1), 0).unwrap();
+        let objects: BTreeSet<ObjectId> = [ObjectId(0), ObjectId(1)].into();
+        let cover = poised_cover(&p, &c, &objects, &BTreeSet::new()).unwrap();
+        assert!(is_valid_cover(&p, &c, &cover));
+        let e = block_write_steps(&cover);
+        e.apply(&p, &mut c).unwrap();
+        // Both registers now hold written inputs (fixed, regardless of
+        // what happened before). The cover picks the first available
+        // poised process per object: P0 (input 1) for r0, P1 for r1.
+        assert_eq!(c.values[0], randsync_model::Value::Int(1));
+        assert_eq!(c.values[1], randsync_model::Value::Int(1));
+    }
+
+    #[test]
+    fn invalid_covers_are_rejected() {
+        let p = NaiveWriteRead::new(2);
+        let c = Configuration::initial(&p, &[0, 1]);
+        // Duplicate process.
+        assert!(!is_valid_cover(
+            &p,
+            &c,
+            &[(ProcessId(0), ObjectId(0)), (ProcessId(0), ObjectId(0))]
+        ));
+        // Process not poised at the claimed object.
+        assert!(!is_valid_cover(&p, &c, &[(ProcessId(0), ObjectId(5))]));
+    }
+}

@@ -1,0 +1,269 @@
+//! Replay-verified inconsistency witnesses.
+//!
+//! Every lower-bound construction in this crate ends the same way the
+//! paper's proofs do: "this is an execution that decides both 0 and 1".
+//! An [`InconsistencyWitness`] carries that execution together with the
+//! initial inputs, and [`InconsistencyWitness::verify`] re-runs it from
+//! scratch — so a witness is never taken on faith.
+
+use core::fmt;
+
+use randsync_model::{Configuration, Decision, Execution, ModelError, ProcessId, Protocol};
+
+/// A concrete execution, from an initial configuration, in which two
+/// processes decide different values — the paper's notion of a faulty
+/// implementation demonstrated.
+#[derive(Clone, Debug)]
+pub struct InconsistencyWitness {
+    /// Input per pool process (the configuration is
+    /// `Configuration::initial_with_pool` over these).
+    pub inputs: Vec<Decision>,
+    /// The violating execution, replayable from the initial
+    /// configuration.
+    pub execution: Execution,
+    /// A process that decides 0 in the final configuration.
+    pub decides_zero: ProcessId,
+    /// A process that decides 1 in the final configuration.
+    pub decides_one: ProcessId,
+    /// Number of pool processes that actually took steps — the quantity
+    /// Lemma 3.1 bounds by `r² − r + (3v + 3w − v² − w²)/2`.
+    pub processes_used: usize,
+}
+
+impl InconsistencyWitness {
+    /// Re-execute the witness from the initial configuration and check
+    /// that it really decides both values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final configuration's defect as a [`WitnessError`]:
+    /// a replay failure, or an execution that does not in fact decide
+    /// both values.
+    pub fn verify<P>(&self, protocol: &P) -> Result<(), WitnessError>
+    where
+        P: Protocol,
+    {
+        let start = Configuration::initial_with_pool(protocol, &self.inputs, self.inputs.len());
+        let (end, _) = self
+            .execution
+            .replay(protocol, &start)
+            .map_err(WitnessError::Replay)?;
+        let z = end.procs.get(self.decides_zero.index()).and_then(|p| p.decision());
+        if z != Some(0) {
+            return Err(WitnessError::WrongDecision {
+                pid: self.decides_zero,
+                expected: 0,
+                got: z,
+            });
+        }
+        let o = end.procs.get(self.decides_one.index()).and_then(|p| p.decision());
+        if o != Some(1) {
+            return Err(WitnessError::WrongDecision {
+                pid: self.decides_one,
+                expected: 1,
+                got: o,
+            });
+        }
+        Ok(())
+    }
+
+    /// The initial configuration this witness replays from.
+    pub fn initial_configuration<P>(&self, protocol: &P) -> Configuration<P::State>
+    where
+        P: Protocol,
+    {
+        Configuration::initial_with_pool(protocol, &self.inputs, self.inputs.len())
+    }
+
+    /// Greedily minimize the witness: repeatedly drop steps whose
+    /// removal leaves an execution that still replays and still decides
+    /// two different values (delta-debugging style, one pass from the
+    /// end). The result is 1-minimal with respect to single-step
+    /// removal; the deciders are recomputed.
+    ///
+    /// Minimization never weakens a witness — the returned value has
+    /// been re-verified.
+    pub fn minimize<P>(&self, protocol: &P) -> InconsistencyWitness
+    where
+        P: Protocol,
+    {
+        let start = self.initial_configuration(protocol);
+        let mut steps = self.execution.steps().to_vec();
+        let survives = |steps: &[randsync_model::Step]| {
+            Execution::from_steps(steps.to_vec())
+                .replay(protocol, &start)
+                .map(|(end, _)| end.is_inconsistent())
+                .unwrap_or(false)
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let mut i = steps.len();
+            while i > 0 {
+                i -= 1;
+                let mut candidate = steps.clone();
+                candidate.remove(i);
+                if survives(&candidate) {
+                    steps = candidate;
+                    changed = true;
+                }
+            }
+        }
+        let execution = Execution::from_steps(steps);
+        let (end, _) =
+            execution.replay(protocol, &start).expect("minimized witness replays");
+        let decisions = end.decisions();
+        let zero = decisions.iter().find(|(_, d)| *d == 0).map(|(p, _)| *p);
+        let one = decisions.iter().find(|(_, d)| *d == 1).map(|(p, _)| *p);
+        let mut pids: Vec<_> = execution.steps().iter().map(|s| s.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        let minimized = InconsistencyWitness {
+            inputs: self.inputs.clone(),
+            execution,
+            decides_zero: zero.expect("a 0-decider survives minimization"),
+            decides_one: one.expect("a 1-decider survives minimization"),
+            processes_used: pids.len(),
+        };
+        minimized.verify(protocol).expect("minimized witness verifies");
+        minimized
+    }
+}
+
+impl fmt::Display for InconsistencyWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inconsistency: {} steps, {} processes used; {:?} decides 0, {:?} decides 1",
+            self.execution.len(),
+            self.processes_used,
+            self.decides_zero,
+            self.decides_one
+        )
+    }
+}
+
+/// Why a witness failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WitnessError {
+    /// The execution could not be replayed.
+    Replay(ModelError),
+    /// A designated process did not decide the claimed value.
+    WrongDecision {
+        /// The process in question.
+        pid: ProcessId,
+        /// The value the witness claimed.
+        expected: Decision,
+        /// What the replay actually produced (`None` = undecided).
+        got: Option<Decision>,
+    },
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessError::Replay(e) => write!(f, "witness replay failed: {e}"),
+            WitnessError::WrongDecision { pid, expected, got } => {
+                write!(f, "witness claims {pid:?} decides {expected}, replay produced {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WitnessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randsync_consensus::model_protocols::NaiveWriteRead;
+    use randsync_model::{Explorer, Step};
+
+    fn naive_violation() -> (NaiveWriteRead, InconsistencyWitness) {
+        let p = NaiveWriteRead::new(2);
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        let execution = out.consistency_violation.expect("naive is flawed");
+        // Determine who decided what by replaying.
+        let start = Configuration::initial(&p, &[0, 1]);
+        let (end, _) = execution.replay(&p, &start).unwrap();
+        let decisions = end.decisions();
+        let zero = decisions.iter().find(|(_, d)| *d == 0).unwrap().0;
+        let one = decisions.iter().find(|(_, d)| *d == 1).unwrap().0;
+        let w = InconsistencyWitness {
+            inputs: vec![0, 1],
+            execution,
+            decides_zero: zero,
+            decides_one: one,
+            processes_used: 2,
+        };
+        (p, w)
+    }
+
+    #[test]
+    fn valid_witness_verifies() {
+        let (p, w) = naive_violation();
+        w.verify(&p).unwrap();
+        assert!(w.to_string().contains("decides 0"));
+    }
+
+    #[test]
+    fn tampered_witness_is_rejected() {
+        let (p, mut w) = naive_violation();
+        // Swap the claimed deciders: verification must fail.
+        core::mem::swap(&mut w.decides_zero, &mut w.decides_one);
+        let err = w.verify(&p).unwrap_err();
+        assert!(matches!(err, WitnessError::WrongDecision { .. }));
+    }
+
+    #[test]
+    fn truncated_witness_is_rejected() {
+        let (p, mut w) = naive_violation();
+        w.execution = Execution::from_steps(w.execution.steps()[..1].to_vec());
+        let err = w.verify(&p).unwrap_err();
+        assert!(matches!(err, WitnessError::WrongDecision { got: None, .. }));
+    }
+
+    #[test]
+    fn minimization_shrinks_and_reverifies() {
+        let (p, w) = naive_violation();
+        let m = w.minimize(&p);
+        m.verify(&p).unwrap();
+        assert!(m.execution.len() <= w.execution.len());
+        // The minimal naive violation: write, write, read, read,
+        // decide, decide = 6 steps (already minimal from BFS) — and
+        // minimization must not grow it.
+        assert!(m.execution.len() <= 6);
+        assert!(m.processes_used <= w.processes_used);
+    }
+
+    #[test]
+    fn minimization_shrinks_adversary_witnesses() {
+        use randsync_consensus::model_protocols::Optimistic;
+        let p = Optimistic::new(2, 3);
+        let (w, _) = crate::attack::attack_for_witness(
+            &p,
+            &crate::combine31::CombineLimits::default(),
+        )
+        .unwrap();
+        let m = w.minimize(&p);
+        m.verify(&p).unwrap();
+        assert!(m.execution.len() <= w.execution.len());
+        // The constructed witness carries clone scaffolding the minimal
+        // counterexample does not need.
+        assert!(
+            m.processes_used <= w.processes_used,
+            "minimization should never need more processes"
+        );
+    }
+
+    #[test]
+    fn corrupt_execution_fails_replay() {
+        let (p, mut w) = naive_violation();
+        let mut steps = w.execution.steps().to_vec();
+        // Schedule a nonexistent process.
+        steps.push(Step::of(ProcessId(99)));
+        w.execution = Execution::from_steps(steps);
+        let err = w.verify(&p).unwrap_err();
+        assert!(matches!(err, WitnessError::Replay(_)), "{err}");
+        assert!(!err.to_string().is_empty());
+    }
+}

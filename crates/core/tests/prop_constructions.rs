@@ -1,0 +1,192 @@
+//! Property tests for the proof machinery: clone invisibility (the
+//! Section 3.1 cloning lemma, checked over random schedules) and
+//! interruptible-execution validity (Definition 3.1, checked over
+//! random pools).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use randsync_consensus::model_protocols::{Optimistic, SwapChain, Zigzag};
+use randsync_core::interruptible::{construct_interruptible, ExcessCapacity};
+use randsync_core::weave::Weaver;
+use randsync_model::{
+    Configuration, ExploreLimits, ObjectId, ProcessId, Protocol, Step,
+};
+
+/// Apply a random schedule to a weaver, restricted to the two original
+/// processes (so the schedule means the same thing whether or not
+/// clones have been woven in), skipping inactive picks.
+fn drive<P: Protocol>(w: &mut Weaver<'_, P>, picks: &[u8]) {
+    for &raw in picks {
+        let pid = ProcessId(raw as usize % 2);
+        if w.config().is_active(pid) {
+            let _ = w.append(Step::of(pid));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The cloning lemma, operationally: weaving a clone of any process
+    /// through any prefix of its steps leaves every *other* process's
+    /// state and every register value unchanged at the end of any
+    /// subsequent schedule.
+    #[test]
+    fn clones_are_invisible_to_everyone_else(
+        r in 1usize..4,
+        pre in prop::collection::vec(any::<u8>(), 1..10),
+        post in prop::collection::vec(any::<u8>(), 0..10),
+        clone_of in any::<prop::sample::Index>(),
+        upto_sel in any::<prop::sample::Index>(),
+    ) {
+        let p = Optimistic::new(2, r);
+
+        // Plain run: pre ++ post.
+        let mut plain = Weaver::new(&p, vec![0, 1]);
+        drive(&mut plain, &pre);
+        drive(&mut plain, &post);
+
+        // Woven run: pre, then a clone woven through a prefix of some
+        // original process's steps, then post.
+        let mut woven = Weaver::new(&p, vec![0, 1]);
+        drive(&mut woven, &pre);
+        let of = ProcessId(clone_of.index(2));
+        let taken = woven.steps_of(of);
+        let upto = upto_sel.index(taken + 1);
+        let clone = woven.spawn_clone(of, upto).expect("clone weaves");
+        drive(&mut woven, &post);
+
+        // All original processes agree between the runs; values agree.
+        for i in 0..2 {
+            prop_assert_eq!(
+                &woven.config().procs[i],
+                &plain.config().procs[i],
+                "process {} observed the clone",
+                i
+            );
+        }
+        prop_assert_eq!(&woven.config().values, &plain.config().values);
+        // The clone took exactly `upto` steps and the weaver replays.
+        prop_assert_eq!(woven.steps_of(clone), upto);
+        prop_assert!(woven.self_check().unwrap());
+    }
+
+    /// Interruptible executions constructed over random pools always
+    /// validate against Definition 3.1 and decide the unanimous input.
+    #[test]
+    fn constructed_interruptible_executions_validate(
+        r in 1usize..4,
+        pool in 4usize..12,
+        input in 0u8..2,
+        zig in any::<bool>(),
+    ) {
+        let result = if zig {
+            let p = Zigzag::new(pool, r);
+            build_and_validate(&p, pool, input)
+        } else {
+            let p = Optimistic::new(pool, r);
+            build_and_validate(&p, pool, input)
+        };
+        match result {
+            Ok(decided) => prop_assert_eq!(decided, input, "validity of the IE"),
+            // Small pools may legitimately be insufficient; that is the
+            // lemma's threshold, not a failure.
+            Err(msg) => prop_assert!(
+                msg.contains("insufficient"),
+                "unexpected failure: {}", msg
+            ),
+        }
+    }
+
+    /// The same over a non-register historyless protocol (swap).
+    #[test]
+    fn swap_chain_interruptible_executions_validate(
+        pool in 2usize..8,
+        input in 0u8..2,
+    ) {
+        let p = SwapChain::new(pool);
+        match build_and_validate(&p, pool, input) {
+            Ok(decided) => prop_assert_eq!(decided, input),
+            Err(msg) => prop_assert!(msg.contains("insufficient"), "{}", msg),
+        }
+    }
+
+    /// Block writes through pieces really fix values: replaying an IE's
+    /// steps after unrelated activity on *covered* objects yields the
+    /// same decision (the historyless obliteration property).
+    #[test]
+    fn piece_block_writes_obliterate_prior_writes(
+        pool in 4usize..8,
+        noise in prop::collection::vec(any::<u8>(), 0..6),
+    ) {
+        let p = SwapChain::new(pool + 1);
+        let inputs = vec![0u8; pool + 1];
+        let base = Configuration::initial_with_pool(&p, &inputs, pool + 1);
+        // Reserve the last process as the noise-maker; the IE is built
+        // over the rest.
+        let procs: BTreeSet<ProcessId> = (0..pool).map(ProcessId).collect();
+        let Ok((ie, _)) = construct_interruptible(
+            &p,
+            &base,
+            BTreeSet::new(),
+            procs,
+            &ExcessCapacity::default(),
+            &ExploreLimits::default(),
+        ) else {
+            // Insufficient pool; nothing to check.
+            return Ok(());
+        };
+        // Noise: the spare process hammers the swap register before the
+        // IE runs. (It is historyless: the IE's first block write to it
+        // obliterates everything.)
+        let mut noisy = base.clone();
+        let spare = ProcessId(pool);
+        for _ in 0..noise.len() {
+            if noisy.is_active(spare)
+                && noisy.poised_at(&p, spare) == Some(ObjectId(0))
+            {
+                let _ = noisy.step(&p, spare, 0);
+                break; // one swap is all the noise available
+            }
+        }
+        // The IE replays from the noisy configuration once its first
+        // non-empty block write covers the object; pieces with empty
+        // object sets perform no writes, so only check when the IE
+        // actually covers object 0 in its first non-empty piece.
+        let steps = ie.steps();
+        let mut cfg = noisy;
+        let mut ok = true;
+        for s in &steps {
+            if cfg.step(&p, s.pid, s.coin).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            let d = cfg.procs[ie.decider.index()].decision();
+            prop_assert_eq!(d, Some(ie.decides), "decision changed under noise");
+        }
+    }
+}
+
+fn build_and_validate<P: Protocol>(
+    protocol: &P,
+    pool: usize,
+    input: u8,
+) -> Result<u8, String> {
+    let inputs = vec![input; pool];
+    let base = Configuration::initial_with_pool(protocol, &inputs, pool);
+    let procs: BTreeSet<ProcessId> = (0..pool).map(ProcessId).collect();
+    let (ie, _) = construct_interruptible(
+        protocol,
+        &base,
+        BTreeSet::new(),
+        procs,
+        &ExcessCapacity::default(),
+        &ExploreLimits::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    ie.validate(protocol, &base)?;
+    Ok(ie.decides)
+}

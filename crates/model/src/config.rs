@@ -1,0 +1,503 @@
+//! Configurations: the global state of a protocol execution.
+//!
+//! "The configuration at any point in an execution is given by the state
+//! of all processes and the value of all objects." Processes may decide
+//! (finishing their procedure), crash (performing no subsequent
+//! operations), or be *retired* — the lower-bound machinery's marker for
+//! processes that performed a block write and, by Definition 3.1, take
+//! no further steps.
+
+use core::hash::Hash;
+
+use crate::error::ModelError;
+use crate::execution::StepRecord;
+use crate::process::{ObjectId, ProcessId};
+use crate::protocol::{Action, Decision, ObjectSpec, Protocol};
+use crate::value::Value;
+
+/// The status and local state of one process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ProcState<S> {
+    /// Running, with the given protocol state.
+    Active(S),
+    /// Finished: the process decided this value.
+    Decided(Decision),
+    /// Faulty: the process halted and performs no subsequent operations.
+    Crashed,
+    /// Administratively frozen by the adversary (Definition 3.1: block
+    /// writers "take no further steps"). Unlike `Crashed`, retirement is
+    /// a choice of the adversary's scheduling, not a fault.
+    Retired,
+}
+
+impl<S> ProcState<S> {
+    /// The protocol state, if the process is active.
+    pub fn state(&self) -> Option<&S> {
+        match self {
+            ProcState::Active(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The decided value, if the process has decided.
+    pub fn decision(&self) -> Option<Decision> {
+        match self {
+            ProcState::Decided(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+/// A point-in-time global state: every process's state plus every
+/// object's value.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Configuration<S> {
+    /// Per-process states, indexed by [`ProcessId`].
+    pub procs: Vec<ProcState<S>>,
+    /// Per-object values, indexed by [`ObjectId`].
+    pub values: Vec<Value>,
+}
+
+impl<S: Clone + Eq + Hash + core::fmt::Debug> Configuration<S> {
+    /// The initial configuration of `protocol` where process `i` has
+    /// input `inputs[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != protocol.num_processes()`.
+    pub fn initial<P>(protocol: &P, inputs: &[Decision]) -> Self
+    where
+        P: Protocol<State = S>,
+    {
+        assert_eq!(
+            inputs.len(),
+            protocol.num_processes(),
+            "one input per process is required"
+        );
+        let procs = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| ProcState::Active(protocol.initial_state(ProcessId(i), *input)))
+            .collect();
+        let values = protocol.objects().iter().map(|o| o.initial).collect();
+        Configuration { procs, values }
+    }
+
+    /// An initial configuration with extra processes beyond
+    /// `protocol.num_processes()` — the adversary's unbounded pool of
+    /// clones for symmetric protocols. Process `i` gets input
+    /// `inputs[i % inputs.len()]`.
+    pub fn initial_with_pool<P>(protocol: &P, inputs: &[Decision], pool: usize) -> Self
+    where
+        P: Protocol<State = S>,
+    {
+        assert!(!inputs.is_empty(), "at least one input is required");
+        let procs = (0..pool)
+            .map(|i| {
+                ProcState::Active(protocol.initial_state(ProcessId(i), inputs[i % inputs.len()]))
+            })
+            .collect();
+        let values = protocol.objects().iter().map(|o| o.initial).collect();
+        Configuration { procs, values }
+    }
+
+    /// The number of processes in this configuration.
+    pub fn num_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether process `pid` is active (can take a step).
+    pub fn is_active(&self, pid: ProcessId) -> bool {
+        matches!(self.procs.get(pid.0), Some(ProcState::Active(_)))
+    }
+
+    /// All currently active process ids, in index order.
+    pub fn active_processes(&self) -> Vec<ProcessId> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, ProcState::Active(_)))
+            .map(|(i, _)| ProcessId(i))
+            .collect()
+    }
+
+    /// All `(process, decision)` pairs of processes that have decided.
+    pub fn decisions(&self) -> Vec<(ProcessId, Decision)> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.decision().map(|d| (ProcessId(i), d)))
+            .collect()
+    }
+
+    /// The set of distinct decided values.
+    pub fn decided_values(&self) -> Vec<Decision> {
+        let mut vs: Vec<Decision> = self.decisions().iter().map(|(_, d)| *d).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Whether some process has decided.
+    pub fn someone_decided(&self) -> bool {
+        self.procs.iter().any(|p| matches!(p, ProcState::Decided(_)))
+    }
+
+    /// Whether two processes have decided **different** values — the
+    /// consistency violation every lower-bound construction drives
+    /// toward.
+    pub fn is_inconsistent(&self) -> bool {
+        self.decided_values().len() > 1
+    }
+
+    /// The next action of process `pid`, if it is active.
+    pub fn next_action<P>(&self, protocol: &P, pid: ProcessId) -> Option<Action>
+    where
+        P: Protocol<State = S>,
+    {
+        self.procs.get(pid.0)?.state().map(|s| protocol.action(s))
+    }
+
+    /// The object at which `pid` is **poised**: the object on which it
+    /// will perform a *nontrivial* operation when next allocated a step
+    /// (Section 3). `None` if `pid` is inactive, about to decide, or
+    /// about to perform a trivial operation such as a read.
+    pub fn poised_at<P>(&self, protocol: &P, pid: ProcessId) -> Option<ObjectId>
+    where
+        P: Protocol<State = S>,
+    {
+        match self.next_action(protocol, pid)? {
+            Action::Invoke { object, op } => {
+                let kind = protocol.objects().get(object.0)?.kind;
+                if kind.is_trivial(&op) {
+                    None
+                } else {
+                    Some(object)
+                }
+            }
+            Action::Decide(_) => None,
+        }
+    }
+
+    /// All processes poised at `object` (active, next operation
+    /// nontrivial, targeting `object`).
+    pub fn poised_processes<P>(&self, protocol: &P, object: ObjectId) -> Vec<ProcessId>
+    where
+        P: Protocol<State = S>,
+    {
+        (0..self.procs.len())
+            .map(ProcessId)
+            .filter(|pid| self.poised_at(protocol, *pid) == Some(object))
+            .collect()
+    }
+
+    /// Perform one step of process `pid`, drawing any required coin from
+    /// `coin_fn` (called with the coin-domain size; must return a value
+    /// below it).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pid` does not exist or is not active, if the protocol
+    /// references an unknown object, if the operation is unsupported by
+    /// the object, or if `coin_fn` returns an out-of-domain outcome.
+    pub fn step_with<P, F>(
+        &mut self,
+        protocol: &P,
+        pid: ProcessId,
+        mut coin_fn: F,
+    ) -> Result<StepRecord, ModelError>
+    where
+        P: Protocol<State = S>,
+        F: FnMut(u32) -> u32,
+    {
+        let slot = self.procs.get(pid.0).ok_or(ModelError::NoSuchProcess(pid))?;
+        let state = match slot {
+            ProcState::Active(s) => s.clone(),
+            _ => return Err(ModelError::ProcessNotActive(pid)),
+        };
+        match protocol.action(&state) {
+            Action::Decide(d) => {
+                self.procs[pid.0] = ProcState::Decided(d);
+                Ok(StepRecord { pid, op: None, decided: Some(d), coin: 0 })
+            }
+            Action::Invoke { object, op } => {
+                let specs = protocol.objects();
+                let spec: &ObjectSpec =
+                    specs.get(object.0).ok_or(ModelError::NoSuchObject(object))?;
+                let current =
+                    self.values.get(object.0).ok_or(ModelError::NoSuchObject(object))?;
+                let (new_value, resp) = spec.kind.apply(current, &op)?;
+                let domain = protocol.coin_domain(&state, &resp).max(1);
+                let coin = if domain == 1 { 0 } else { coin_fn(domain) };
+                if coin >= domain {
+                    return Err(ModelError::CoinOutOfRange { coin, domain });
+                }
+                let next = protocol.transition(&state, &resp, coin);
+                self.values[object.0] = new_value;
+                self.procs[pid.0] = ProcState::Active(next);
+                Ok(StepRecord { pid, op: Some((object, op, resp)), decided: None, coin })
+            }
+        }
+    }
+
+    /// Perform one step of `pid` with a fixed coin outcome (used when
+    /// replaying recorded executions and when enumerating branches).
+    pub fn step<P>(
+        &mut self,
+        protocol: &P,
+        pid: ProcessId,
+        coin: u32,
+    ) -> Result<StepRecord, ModelError>
+    where
+        P: Protocol<State = S>,
+    {
+        self.step_with(protocol, pid, |_| coin)
+    }
+
+    /// Mark `pid` as crashed (faulty). Idempotent on non-active
+    /// processes.
+    pub fn crash(&mut self, pid: ProcessId) {
+        if let Some(slot) = self.procs.get_mut(pid.0) {
+            if matches!(slot, ProcState::Active(_)) {
+                *slot = ProcState::Crashed;
+            }
+        }
+    }
+
+    /// Mark `pid` as retired — it takes no further steps by adversary
+    /// fiat (Definition 3.1).
+    pub fn retire(&mut self, pid: ProcessId) {
+        if let Some(slot) = self.procs.get_mut(pid.0) {
+            if matches!(slot, ProcState::Active(_)) {
+                *slot = ProcState::Retired;
+            }
+        }
+    }
+
+    /// Append a fresh active process with the given state; returns its
+    /// id. This is how the Section 3.1 adversary mints *clones*.
+    pub fn spawn(&mut self, state: S) -> ProcessId {
+        self.procs.push(ProcState::Active(state));
+        ProcessId(self.procs.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::ObjectKind;
+    use crate::op::{Operation, Response};
+
+    /// Two-phase toy protocol: write own input to a register, read it,
+    /// decide what was read.
+    #[derive(Debug)]
+    struct WriteReadDecide;
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    enum St {
+        Write(Decision),
+        Reading,
+        Done(Decision),
+    }
+
+    impl Protocol for WriteReadDecide {
+        type State = St;
+
+        fn objects(&self) -> Vec<ObjectSpec> {
+            vec![ObjectSpec::new(ObjectKind::Register, "r")]
+        }
+
+        fn num_processes(&self) -> usize {
+            2
+        }
+
+        fn initial_state(&self, _pid: ProcessId, input: Decision) -> St {
+            St::Write(input)
+        }
+
+        fn action(&self, s: &St) -> Action {
+            match s {
+                St::Write(d) => Action::Invoke {
+                    object: ObjectId(0),
+                    op: Operation::Write(Value::Int(*d as i64)),
+                },
+                St::Reading => Action::Invoke { object: ObjectId(0), op: Operation::Read },
+                St::Done(d) => Action::Decide(*d),
+            }
+        }
+
+        fn transition(&self, s: &St, resp: &Response, _coin: u32) -> St {
+            match s {
+                St::Write(_) => St::Reading,
+                St::Reading => {
+                    let read = resp.as_int().unwrap_or(0);
+                    St::Done(read as Decision)
+                }
+                St::Done(d) => St::Done(*d),
+            }
+        }
+
+        fn is_symmetric(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn initial_configuration_shape() {
+        let p = WriteReadDecide;
+        let c = Configuration::initial(&p, &[0, 1]);
+        assert_eq!(c.num_processes(), 2);
+        assert_eq!(c.values, vec![Value::Bottom]);
+        assert!(c.is_active(ProcessId(0)));
+        assert!(!c.someone_decided());
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per process")]
+    fn initial_requires_matching_inputs() {
+        let _ = Configuration::initial(&WriteReadDecide, &[0]);
+    }
+
+    #[test]
+    fn stepping_applies_operations_and_decides() {
+        let p = WriteReadDecide;
+        let mut c = Configuration::initial(&p, &[1, 0]);
+        let rec = c.step(&p, ProcessId(0), 0).unwrap();
+        assert_eq!(rec.op.unwrap().1, Operation::Write(Value::Int(1)));
+        assert_eq!(c.values[0], Value::Int(1));
+        c.step(&p, ProcessId(0), 0).unwrap(); // read
+        let rec = c.step(&p, ProcessId(0), 0).unwrap(); // decide
+        assert_eq!(rec.decided, Some(1));
+        assert_eq!(c.decisions(), vec![(ProcessId(0), 1)]);
+        assert!(!c.is_active(ProcessId(0)));
+    }
+
+    #[test]
+    fn poised_semantics_ignores_trivial_operations() {
+        let p = WriteReadDecide;
+        let mut c = Configuration::initial(&p, &[0, 1]);
+        // About to write: poised.
+        assert_eq!(c.poised_at(&p, ProcessId(0)), Some(ObjectId(0)));
+        assert_eq!(c.poised_processes(&p, ObjectId(0)).len(), 2);
+        c.step(&p, ProcessId(0), 0).unwrap();
+        // About to read: not poised (reads are trivial).
+        assert_eq!(c.poised_at(&p, ProcessId(0)), None);
+        assert_eq!(c.poised_processes(&p, ObjectId(0)), vec![ProcessId(1)]);
+    }
+
+    #[test]
+    fn inconsistency_detection() {
+        let p = WriteReadDecide;
+        let mut c = Configuration::initial(&p, &[0, 1]);
+        // P0 writes 0, reads 0 ... then P1 overwrites with 1 and reads 1:
+        c.step(&p, ProcessId(0), 0).unwrap();
+        c.step(&p, ProcessId(0), 0).unwrap();
+        c.step(&p, ProcessId(1), 0).unwrap();
+        c.step(&p, ProcessId(1), 0).unwrap();
+        c.step(&p, ProcessId(0), 0).unwrap();
+        c.step(&p, ProcessId(1), 0).unwrap();
+        // This naive protocol decides 0 and 1: inconsistent.
+        assert!(c.is_inconsistent());
+        assert_eq!(c.decided_values(), vec![0, 1]);
+    }
+
+    #[test]
+    fn crash_retire_and_spawn() {
+        let p = WriteReadDecide;
+        let mut c = Configuration::initial(&p, &[0, 1]);
+        c.crash(ProcessId(0));
+        assert!(!c.is_active(ProcessId(0)));
+        assert!(matches!(c.procs[0], ProcState::Crashed));
+        assert!(c.step(&p, ProcessId(0), 0).is_err());
+        c.retire(ProcessId(1));
+        assert!(matches!(c.procs[1], ProcState::Retired));
+        assert_eq!(c.active_processes(), Vec::<ProcessId>::new());
+        let id = c.spawn(St::Write(1));
+        assert_eq!(id, ProcessId(2));
+        assert!(c.is_active(id));
+    }
+
+    #[test]
+    fn stepping_unknown_process_fails() {
+        let p = WriteReadDecide;
+        let mut c = Configuration::initial(&p, &[0, 1]);
+        assert_eq!(
+            c.step(&p, ProcessId(9), 0),
+            Err(ModelError::NoSuchProcess(ProcessId(9)))
+        );
+    }
+
+    #[test]
+    fn decided_values_are_sorted_and_deduplicated() {
+        let p = WriteReadDecide;
+        let mut c = Configuration::initial_with_pool(&p, &[1, 1, 0], 3);
+        // Drive all three to decisions: P2 writes 0 last, then everyone
+        // reads and decides 0... interleave so decisions differ.
+        c.step(&p, ProcessId(0), 0).unwrap(); // P0 writes 1
+        c.step(&p, ProcessId(0), 0).unwrap(); // P0 reads 1
+        c.step(&p, ProcessId(0), 0).unwrap(); // P0 decides 1
+        c.step(&p, ProcessId(1), 0).unwrap(); // P1 writes 1
+        c.step(&p, ProcessId(2), 0).unwrap(); // P2 writes 0
+        c.step(&p, ProcessId(1), 0).unwrap(); // P1 reads 0
+        c.step(&p, ProcessId(2), 0).unwrap(); // P2 reads 0
+        c.step(&p, ProcessId(1), 0).unwrap(); // P1 decides 0
+        c.step(&p, ProcessId(2), 0).unwrap(); // P2 decides 0
+        assert_eq!(c.decided_values(), vec![0, 1], "sorted, deduped");
+        assert_eq!(c.decisions().len(), 3);
+    }
+
+    #[test]
+    fn retire_and_crash_only_affect_active_processes() {
+        let p = WriteReadDecide;
+        let mut c = Configuration::initial(&p, &[0, 1]);
+        for _ in 0..3 {
+            c.step(&p, ProcessId(0), 0).unwrap();
+        }
+        assert_eq!(c.procs[0].decision(), Some(0));
+        // Retiring or crashing a decided process is a no-op.
+        c.retire(ProcessId(0));
+        assert_eq!(c.procs[0].decision(), Some(0));
+        c.crash(ProcessId(0));
+        assert_eq!(c.procs[0].decision(), Some(0));
+        // Crashing out-of-range is harmless.
+        c.crash(ProcessId(99));
+        c.retire(ProcessId(99));
+        assert_eq!(c.num_processes(), 2);
+    }
+
+    #[test]
+    fn spawned_processes_participate_immediately() {
+        let p = WriteReadDecide;
+        let mut c = Configuration::initial(&p, &[0, 1]);
+        let newbie = c.spawn(St::Write(1));
+        assert_eq!(c.num_processes(), 3);
+        assert_eq!(c.poised_at(&p, newbie), Some(ObjectId(0)));
+        c.step(&p, newbie, 0).unwrap();
+        assert_eq!(c.values[0], Value::Int(1));
+    }
+
+    #[test]
+    fn poised_map_distinguishes_trivial_next_steps() {
+        let p = WriteReadDecide;
+        let mut c = Configuration::initial(&p, &[0, 1]);
+        assert!(c.poised_at(&p, ProcessId(1)).is_some());
+        c.step(&p, ProcessId(1), 0).unwrap(); // wrote; now about to read
+        assert!(c.poised_at(&p, ProcessId(1)).is_none());
+        c.step(&p, ProcessId(1), 0).unwrap(); // read; now about to decide
+        assert!(c.poised_at(&p, ProcessId(1)).is_none());
+        assert!(matches!(
+            c.next_action(&p, ProcessId(1)),
+            Some(crate::protocol::Action::Decide(_))
+        ));
+    }
+
+    #[test]
+    fn pool_initialisation_cycles_inputs() {
+        let p = WriteReadDecide;
+        let c = Configuration::initial_with_pool(&p, &[0, 1], 5);
+        assert_eq!(c.num_processes(), 5);
+        assert_eq!(c.procs[0].state(), Some(&St::Write(0)));
+        assert_eq!(c.procs[1].state(), Some(&St::Write(1)));
+        assert_eq!(c.procs[4].state(), Some(&St::Write(0)));
+    }
+}

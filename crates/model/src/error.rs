@@ -1,0 +1,94 @@
+//! Error types for the model crate.
+
+use core::fmt;
+
+use crate::kind::ObjectKind;
+use crate::op::Operation;
+use crate::process::{ObjectId, ProcessId};
+use crate::value::Value;
+
+/// Errors raised while applying operations or driving executions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// The operation is not part of the object kind's operation set.
+    UnsupportedOperation {
+        /// The object kind the operation was applied to.
+        kind: ObjectKind,
+        /// The offending operation.
+        op: Operation,
+    },
+    /// The stored value is outside the object kind's value space
+    /// (indicates a corrupted configuration).
+    TypeMismatch {
+        /// The object kind whose value space was violated.
+        kind: ObjectKind,
+        /// The out-of-space value encountered.
+        value: Value,
+    },
+    /// A step referenced a process id outside the configuration.
+    NoSuchProcess(ProcessId),
+    /// A step referenced an object id outside the configuration.
+    NoSuchObject(ObjectId),
+    /// A step was scheduled for a process that is not active (it has
+    /// decided, crashed, or been retired).
+    ProcessNotActive(ProcessId),
+    /// A coin outcome outside the declared coin domain was supplied.
+    CoinOutOfRange {
+        /// The supplied outcome.
+        coin: u32,
+        /// The size of the declared domain.
+        domain: u32,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnsupportedOperation { kind, op } => {
+                write!(f, "operation {op:?} is not supported by a {}", kind.name())
+            }
+            ModelError::TypeMismatch { kind, value } => {
+                write!(f, "value {value:?} is outside the value space of a {}", kind.name())
+            }
+            ModelError::NoSuchProcess(p) => write!(f, "no such process: {p:?}"),
+            ModelError::NoSuchObject(o) => write!(f, "no such object: {o:?}"),
+            ModelError::ProcessNotActive(p) => {
+                write!(f, "process {p:?} is not active (decided, crashed, or retired)")
+            }
+            ModelError::CoinOutOfRange { coin, domain } => {
+                write!(f, "coin outcome {coin} outside domain of size {domain}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs: Vec<ModelError> = vec![
+            ModelError::UnsupportedOperation { kind: ObjectKind::Register, op: Operation::Inc },
+            ModelError::TypeMismatch { kind: ObjectKind::Counter, value: Value::Bool(true) },
+            ModelError::NoSuchProcess(ProcessId(3)),
+            ModelError::NoSuchObject(ObjectId(1)),
+            ModelError::ProcessNotActive(ProcessId(0)),
+            ModelError::CoinOutOfRange { coin: 5, domain: 2 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

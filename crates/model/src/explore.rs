@@ -1,0 +1,874 @@
+//! Bounded exhaustive exploration of a protocol's reachable
+//! configuration space.
+//!
+//! Exploration serves two roles in this reproduction:
+//!
+//! 1. **Model checking**: for small protocols, enumerate every
+//!    interleaving and coin outcome (up to a budget) and check the
+//!    consensus conditions — *consistency* (all decided values equal)
+//!    and *validity* (every decided value is some process's input) — and
+//!    whether termination remains reachable from every configuration.
+//! 2. **Witness search**: the paper's *nondeterministic solo
+//!    termination* property promises, from every configuration, a
+//!    finite solo execution in which a given process finishes.
+//!    [`Explorer::solo_terminating`] finds such a witness by exhausting
+//!    the process's coin nondeterminism.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+use crate::config::Configuration;
+use crate::execution::{Execution, Step};
+use crate::process::ProcessId;
+use crate::protocol::{Action, Decision, Protocol};
+
+/// Budgets bounding an exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreLimits {
+    /// Maximum number of distinct configurations to expand.
+    pub max_configs: usize,
+    /// Maximum execution depth (steps from the start configuration).
+    pub max_depth: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits { max_configs: 200_000, max_depth: 10_000 }
+    }
+}
+
+/// The result of an exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreOutcome {
+    /// A shortest execution reaching a configuration in which two
+    /// processes have decided different values, if one was found.
+    pub consistency_violation: Option<Execution>,
+    /// A shortest execution reaching a decision on a value that is not
+    /// any process's input, if one was found.
+    pub validity_violation: Option<Execution>,
+    /// Number of distinct configurations visited.
+    pub configs_visited: usize,
+    /// Number of visited configurations in which every process has
+    /// decided.
+    pub terminal_configs: usize,
+    /// Whether the exploration hit a budget before exhausting the space.
+    pub truncated: bool,
+    /// If the space was exhausted: whether from *every* reachable
+    /// configuration some continuation terminates (all processes
+    /// decide). `None` when truncated. For a randomized protocol with
+    /// uniformly random coins, `Some(true)` over a finite space means
+    /// termination has probability 1 under every fair adversary.
+    pub can_always_reach_termination: Option<bool>,
+    /// If the space was exhausted: whether some reachable cycle exists
+    /// among non-terminal configurations — i.e. whether **infinite,
+    /// never-deciding executions exist**. `None` when truncated.
+    ///
+    /// The paper (Section 2) observes that any randomized wait-free
+    /// consensus implementation from objects too weak for deterministic
+    /// consensus *must* have non-terminating executions, occurring with
+    /// correspondingly small probability; this field witnesses exactly
+    /// that for model-checked protocols.
+    pub infinite_execution_possible: Option<bool>,
+}
+
+impl ExploreOutcome {
+    /// Whether no consensus violation of either kind was found.
+    pub fn is_safe(&self) -> bool {
+        self.consistency_violation.is_none() && self.validity_violation.is_none()
+    }
+}
+
+/// The decision values still reachable from a configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Valency {
+    /// Only 0 is reachable.
+    Zero,
+    /// Only 1 is reachable.
+    One,
+    /// Both values are reachable — the configuration is *bivalent*.
+    Bivalent,
+    /// No decision is reachable (a deadlocked subtree).
+    Stuck,
+}
+
+impl Valency {
+    fn from_mask(m: u8) -> Valency {
+        match m {
+            1 => Valency::Zero,
+            2 => Valency::One,
+            3 => Valency::Bivalent,
+            _ => Valency::Stuck,
+        }
+    }
+}
+
+/// The result of [`Explorer::valency`].
+#[derive(Clone, Copy, Debug)]
+pub struct ValencyAnalysis {
+    /// The initial configuration's valency.
+    pub initial: Valency,
+    /// Counts per class over the reachable space.
+    pub zero_valent: usize,
+    /// Configurations from which only 1 is reachable.
+    pub one_valent: usize,
+    /// Configurations from which both values are reachable.
+    pub bivalent: usize,
+    /// Configurations from which no decision is reachable.
+    pub stuck: usize,
+    /// Total reachable configurations.
+    pub configs: usize,
+    /// Whether a cycle exists entirely inside the bivalent subgraph —
+    /// i.e. an adversary can keep the execution undecided forever.
+    pub bivalent_cycle: bool,
+    /// Bivalent configurations all of whose successors are univalent —
+    /// the *critical configurations* of the FLP argument.
+    pub critical_configs: usize,
+}
+
+/// Exhaustive explorer with budgets.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Explorer {
+    limits: ExploreLimits,
+}
+
+impl Explorer {
+    /// An explorer with the given budgets.
+    pub fn new(limits: ExploreLimits) -> Self {
+        Explorer { limits }
+    }
+
+    /// Explore every interleaving and coin outcome of `protocol` from
+    /// its initial configuration with the given inputs.
+    pub fn explore<P>(&self, protocol: &P, inputs: &[Decision]) -> ExploreOutcome
+    where
+        P: Protocol,
+    {
+        let start = Configuration::initial(protocol, inputs);
+        self.explore_from(protocol, start, inputs)
+    }
+
+    /// Explore from an arbitrary start configuration. `inputs` is the
+    /// set of values against which validity is checked.
+    pub fn explore_from<P>(
+        &self,
+        protocol: &P,
+        start: Configuration<P::State>,
+        inputs: &[Decision],
+    ) -> ExploreOutcome
+    where
+        P: Protocol,
+    {
+        // BFS with parent pointers for shortest witnesses.
+        let mut nodes: Vec<Configuration<P::State>> = vec![start.clone()];
+        let mut parent: Vec<Option<(usize, Step)>> = vec![None];
+        let mut depth: Vec<usize> = vec![0];
+        let mut index: HashMap<Configuration<P::State>, usize> = HashMap::new();
+        index.insert(start, 0);
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut queue: VecDeque<usize> = VecDeque::from([0]);
+
+        let mut consistency_violation = None;
+        let mut validity_violation = None;
+        let mut truncated = false;
+        let mut terminal_configs = 0usize;
+
+        while let Some(i) = queue.pop_front() {
+            let config = nodes[i].clone();
+
+            if config.is_inconsistent() && consistency_violation.is_none() {
+                consistency_violation = Some(path_to(&nodes, &parent, i));
+            }
+            if validity_violation.is_none() {
+                let invalid = config
+                    .decided_values()
+                    .iter()
+                    .any(|d| !inputs.contains(d));
+                if invalid {
+                    validity_violation = Some(path_to(&nodes, &parent, i));
+                }
+            }
+
+            let active = config.active_processes();
+            if active.is_empty() {
+                terminal_configs += 1;
+                continue;
+            }
+            if depth[i] >= self.limits.max_depth {
+                truncated = true;
+                continue;
+            }
+
+            for pid in active {
+                for (step, next) in successors(protocol, &config, pid) {
+                    if let Some(&j) = index.get(&next) {
+                        succ[i].push(j);
+                        continue;
+                    }
+                    if nodes.len() >= self.limits.max_configs {
+                        truncated = true;
+                        continue;
+                    }
+                    let j = nodes.len();
+                    nodes.push(next.clone());
+                    parent.push(Some((i, step)));
+                    depth.push(depth[i] + 1);
+                    succ.push(Vec::new());
+                    index.insert(next, j);
+                    succ[i].push(j);
+                    queue.push_back(j);
+                }
+            }
+        }
+
+        let (can_always_reach_termination, infinite_execution_possible) = if truncated {
+            (None, None)
+        } else {
+            (Some(all_can_terminate(&nodes, &succ)), Some(has_cycle(&succ)))
+        };
+
+        ExploreOutcome {
+            consistency_violation,
+            validity_violation,
+            configs_visited: nodes.len(),
+            terminal_configs,
+            truncated,
+            can_always_reach_termination,
+            infinite_execution_possible,
+        }
+    }
+
+    /// FLP-style **valency analysis**: classify every reachable
+    /// configuration by the set of decision values still reachable from
+    /// it. Returns `None` if the exploration hit a budget (valencies
+    /// would be unsound on a truncated graph).
+    ///
+    /// A configuration is *bivalent* if both 0 and 1 remain reachable,
+    /// *v-valent* if only `v` does, and *stuck* if no decision is
+    /// reachable at all (a deadlock). The classic impossibility
+    /// arguments — Fischer–Lynch–Paterson and Herlihy's hierarchy, which
+    /// this paper's randomized separation plays against — revolve
+    /// around bivalent configurations that can be kept bivalent forever;
+    /// [`ValencyAnalysis::bivalent_cycle`] reports whether such a
+    /// forever-undecided loop exists.
+    pub fn valency<P>(&self, protocol: &P, inputs: &[Decision]) -> Option<ValencyAnalysis>
+    where
+        P: Protocol,
+    {
+        let start = Configuration::initial(protocol, inputs);
+        let mut nodes: Vec<Configuration<P::State>> = vec![start.clone()];
+        let mut index: HashMap<Configuration<P::State>, usize> = HashMap::new();
+        index.insert(start, 0);
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut queue: VecDeque<usize> = VecDeque::from([0]);
+        while let Some(i) = queue.pop_front() {
+            let config = nodes[i].clone();
+            for pid in config.active_processes() {
+                for (_, next) in successors(protocol, &config, pid) {
+                    if let Some(&j) = index.get(&next) {
+                        succ[i].push(j);
+                        continue;
+                    }
+                    if nodes.len() >= self.limits.max_configs {
+                        return None;
+                    }
+                    let j = nodes.len();
+                    nodes.push(next.clone());
+                    succ.push(Vec::new());
+                    index.insert(next, j);
+                    succ[i].push(j);
+                    queue.push_back(j);
+                }
+            }
+        }
+
+        // Fixpoint: propagate reachable decision values backwards.
+        // mask bit 0 = "0 reachable", bit 1 = "1 reachable".
+        let n = nodes.len();
+        let mut mask = vec![0u8; n];
+        for (i, c) in nodes.iter().enumerate() {
+            for d in c.decided_values() {
+                mask[i] |= 1 << d.min(1);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let mut m = mask[i];
+                for &j in &succ[i] {
+                    m |= mask[j];
+                }
+                if m != mask[i] {
+                    mask[i] = m;
+                    changed = true;
+                }
+            }
+        }
+
+        let mut analysis = ValencyAnalysis {
+            initial: Valency::from_mask(mask[0]),
+            zero_valent: 0,
+            one_valent: 0,
+            bivalent: 0,
+            stuck: 0,
+            configs: n,
+            bivalent_cycle: false,
+            critical_configs: 0,
+        };
+        for &m in &mask {
+            match Valency::from_mask(m) {
+                Valency::Zero => analysis.zero_valent += 1,
+                Valency::One => analysis.one_valent += 1,
+                Valency::Bivalent => analysis.bivalent += 1,
+                Valency::Stuck => analysis.stuck += 1,
+            }
+        }
+        // A bivalent cycle: a cycle within the bivalent subgraph.
+        let bivalent_succ: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                if mask[i] == 3 {
+                    succ[i].iter().copied().filter(|&j| mask[j] == 3).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        analysis.bivalent_cycle = has_cycle(&bivalent_succ);
+        // Critical configurations: bivalent, every successor univalent.
+        for i in 0..n {
+            if mask[i] == 3
+                && !succ[i].is_empty()
+                && succ[i].iter().all(|&j| mask[j] != 3)
+            {
+                analysis.critical_configs += 1;
+            }
+        }
+        Some(analysis)
+    }
+
+    /// Exhaustively search for a reachable configuration satisfying
+    /// `bad`, returning a shortest execution reaching one (or `None` if
+    /// the property holds everywhere visited; check the second return
+    /// for truncation).
+    ///
+    /// This generalizes consensus checking to arbitrary safety
+    /// properties — e.g. mutual exclusion ("two processes in the
+    /// critical section") for the Burns–Lynch-style protocols the
+    /// paper's proof technique descends from.
+    pub fn find_violation<P, F>(
+        &self,
+        protocol: &P,
+        inputs: &[Decision],
+        bad: F,
+    ) -> (Option<Execution>, bool)
+    where
+        P: Protocol,
+        F: Fn(&Configuration<P::State>) -> bool,
+    {
+        let start = Configuration::initial(protocol, inputs);
+        let mut nodes: Vec<Configuration<P::State>> = vec![start.clone()];
+        let mut parent: Vec<Option<(usize, Step)>> = vec![None];
+        let mut depth: Vec<usize> = vec![0];
+        let mut index: HashMap<Configuration<P::State>, usize> = HashMap::new();
+        index.insert(start, 0);
+        let mut queue: VecDeque<usize> = VecDeque::from([0]);
+        let mut truncated = false;
+        while let Some(i) = queue.pop_front() {
+            let config = nodes[i].clone();
+            if bad(&config) {
+                return (Some(path_to(&nodes, &parent, i)), truncated);
+            }
+            if depth[i] >= self.limits.max_depth {
+                truncated = true;
+                continue;
+            }
+            for pid in config.active_processes() {
+                for (step, next) in successors(protocol, &config, pid) {
+                    if index.contains_key(&next) {
+                        continue;
+                    }
+                    if nodes.len() >= self.limits.max_configs {
+                        truncated = true;
+                        continue;
+                    }
+                    let j = nodes.len();
+                    nodes.push(next.clone());
+                    parent.push(Some((i, step)));
+                    depth.push(depth[i] + 1);
+                    index.insert(next, j);
+                    queue.push_back(j);
+                }
+            }
+        }
+        (None, truncated)
+    }
+
+    /// Search for a finite **solo execution** of `pid` from `config`
+    /// in which `pid` finishes (decides), exhausting `pid`'s coin
+    /// nondeterminism breadth-first. Returns a shortest witness.
+    ///
+    /// This realizes the paper's *nondeterministic solo termination*
+    /// property as a decision procedure (complete up to the explorer's
+    /// budgets).
+    pub fn solo_terminating<P>(
+        &self,
+        protocol: &P,
+        config: &Configuration<P::State>,
+        pid: ProcessId,
+    ) -> Option<Execution>
+    where
+        P: Protocol,
+    {
+        self.solo_deciding(protocol, config, pid).map(|(e, _)| e)
+    }
+
+    /// Like [`Explorer::solo_terminating`], but also returns the value
+    /// `pid` decides at the end of the witness.
+    pub fn solo_deciding<P>(
+        &self,
+        protocol: &P,
+        config: &Configuration<P::State>,
+        pid: ProcessId,
+    ) -> Option<(Execution, Decision)>
+    where
+        P: Protocol,
+    {
+        if !config.is_active(pid) {
+            return None;
+        }
+        // Only `pid`'s state and the object values evolve in a solo
+        // execution; key visited states on that pair.
+        let mut queue: VecDeque<(Configuration<P::State>, Execution)> =
+            VecDeque::from([(config.clone(), Execution::new())]);
+        let mut seen: HashSet<(P::State, Vec<crate::value::Value>)> = HashSet::new();
+        if let Some(s) = config.procs[pid.0].state() {
+            seen.insert((s.clone(), config.values.clone()));
+        }
+        let mut expanded = 0usize;
+        while let Some((c, path)) = queue.pop_front() {
+            if path.len() >= self.limits.max_depth {
+                continue;
+            }
+            expanded += 1;
+            if expanded > self.limits.max_configs {
+                return None;
+            }
+            for (step, next) in successors(protocol, &c, pid) {
+                let mut p = path.clone();
+                p.push(step);
+                if let Some(d) = next.procs[pid.0].decision() {
+                    return Some((p, d));
+                }
+                if let Some(s) = next.procs[pid.0].state() {
+                    let key = (s.clone(), next.values.clone());
+                    if seen.insert(key) {
+                        queue.push_back((next, p));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// All one-step successors of `config` by process `pid`: one per coin
+/// outcome (decides have a single successor).
+pub fn successors<P>(
+    protocol: &P,
+    config: &Configuration<P::State>,
+    pid: ProcessId,
+) -> Vec<(Step, Configuration<P::State>)>
+where
+    P: Protocol,
+{
+    let Some(state) = config.procs.get(pid.0).and_then(|p| p.state()) else {
+        return Vec::new();
+    };
+    match protocol.action(state) {
+        Action::Decide(_) => {
+            let mut next = config.clone();
+            next.step(protocol, pid, 0).expect("decide steps cannot fail");
+            vec![(Step::of(pid), next)]
+        }
+        Action::Invoke { object, op } => {
+            // Determine the response (and hence the coin domain) by
+            // applying the operation to the current value.
+            let specs = protocol.objects();
+            let Some(spec) = specs.get(object.0) else { return Vec::new() };
+            let Some(value) = config.values.get(object.0) else { return Vec::new() };
+            let Ok((_, resp)) = spec.kind.apply(value, &op) else { return Vec::new() };
+            let domain = protocol.coin_domain(state, &resp).max(1);
+            (0..domain)
+                .map(|coin| {
+                    let mut next = config.clone();
+                    next.step(protocol, pid, coin)
+                        .expect("enumerated coin outcomes are in range");
+                    (Step::with_coin(pid, coin), next)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Reconstruct the execution reaching node `i` from the BFS forest.
+fn path_to<S>(
+    _nodes: &[Configuration<S>],
+    parent: &[Option<(usize, Step)>],
+    mut i: usize,
+) -> Execution {
+    let mut steps = Vec::new();
+    while let Some((p, step)) = parent[i] {
+        steps.push(step);
+        i = p;
+    }
+    steps.reverse();
+    Execution::from_steps(steps)
+}
+
+/// Does the reachable graph contain a cycle? (Terminal nodes have no
+/// successors, so any cycle is among non-terminal configurations and
+/// witnesses an infinite execution.) Iterative three-color DFS.
+fn has_cycle(succ: &[Vec<usize>]) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = succ.len();
+    let mut color = vec![Color::White; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-child-index).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = Color::Gray;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < succ[node].len() {
+                let child = succ[node][*next];
+                *next += 1;
+                match color[child] {
+                    Color::Gray => return true,
+                    Color::White => {
+                        color[child] = Color::Gray;
+                        stack.push((child, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// Backward reachability: can every node reach a terminal node (no
+/// active processes)?
+fn all_can_terminate<S>(nodes: &[Configuration<S>], succ: &[Vec<usize>]) -> bool
+where
+    S: Clone + Eq + Hash + core::fmt::Debug,
+{
+    let n = nodes.len();
+    let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, outs) in succ.iter().enumerate() {
+        for &j in outs {
+            pred[j].push(i);
+        }
+    }
+    let mut can = vec![false; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, c) in nodes.iter().enumerate() {
+        if c.active_processes().is_empty() {
+            can[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(j) = queue.pop_front() {
+        for &i in &pred[j] {
+            if !can[i] {
+                can[i] = true;
+                queue.push_back(i);
+            }
+        }
+    }
+    can.iter().all(|c| *c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::ObjectKind;
+    use crate::op::{Operation, Response};
+    use crate::process::ObjectId;
+    use crate::protocol::ObjectSpec;
+    use crate::value::Value;
+
+    /// The naive, incorrect "consensus": write your input, read, decide
+    /// what you read. Exploration must find a consistency violation.
+    #[derive(Debug)]
+    struct Naive {
+        n: usize,
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    enum St {
+        Write(Decision),
+        Read,
+        Done(Decision),
+    }
+
+    impl Protocol for Naive {
+        type State = St;
+
+        fn objects(&self) -> Vec<ObjectSpec> {
+            vec![ObjectSpec::new(ObjectKind::Register, "r")]
+        }
+
+        fn num_processes(&self) -> usize {
+            self.n
+        }
+
+        fn initial_state(&self, _pid: ProcessId, input: Decision) -> St {
+            St::Write(input)
+        }
+
+        fn action(&self, s: &St) -> Action {
+            match s {
+                St::Write(d) => Action::Invoke {
+                    object: ObjectId(0),
+                    op: Operation::Write(Value::Int(*d as i64)),
+                },
+                St::Read => Action::Invoke { object: ObjectId(0), op: Operation::Read },
+                St::Done(d) => Action::Decide(*d),
+            }
+        }
+
+        fn transition(&self, s: &St, resp: &Response, _coin: u32) -> St {
+            match s {
+                St::Write(_) => St::Read,
+                St::Read => St::Done(resp.as_int().unwrap_or(0) as Decision),
+                St::Done(d) => St::Done(*d),
+            }
+        }
+
+        fn is_symmetric(&self) -> bool {
+            true
+        }
+    }
+
+    /// Correct single-CAS consensus; exploration must find it safe.
+    #[derive(Debug)]
+    struct Cas {
+        n: usize,
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    enum CasSt {
+        Try(Decision),
+        Done(Decision),
+    }
+
+    impl Protocol for Cas {
+        type State = CasSt;
+
+        fn objects(&self) -> Vec<ObjectSpec> {
+            vec![ObjectSpec::new(ObjectKind::CompareSwap, "c")]
+        }
+
+        fn num_processes(&self) -> usize {
+            self.n
+        }
+
+        fn initial_state(&self, _pid: ProcessId, input: Decision) -> CasSt {
+            CasSt::Try(input)
+        }
+
+        fn action(&self, s: &CasSt) -> Action {
+            match s {
+                CasSt::Try(d) => Action::Invoke {
+                    object: ObjectId(0),
+                    op: Operation::CompareSwap {
+                        expected: Value::Bottom,
+                        new: Value::Int(*d as i64),
+                    },
+                },
+                CasSt::Done(d) => Action::Decide(*d),
+            }
+        }
+
+        fn transition(&self, s: &CasSt, resp: &Response, _coin: u32) -> CasSt {
+            match s {
+                CasSt::Try(d) => match resp.value() {
+                    Some(Value::Bottom) => CasSt::Done(*d),
+                    Some(v) => CasSt::Done(v.as_int().unwrap_or(0) as Decision),
+                    None => CasSt::Done(*d),
+                },
+                done => done.clone(),
+            }
+        }
+    }
+
+    #[test]
+    fn naive_protocol_is_broken_and_the_witness_replays() {
+        let p = Naive { n: 2 };
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        assert!(!out.truncated);
+        let witness = out.consistency_violation.expect("must find a violation");
+        // Replay the witness and confirm it indeed decides both values.
+        let start = Configuration::initial(&p, &[0, 1]);
+        let (end, _) = witness.replay(&p, &start).unwrap();
+        assert!(end.is_inconsistent());
+        assert_eq!(end.decided_values(), vec![0, 1]);
+    }
+
+    #[test]
+    fn naive_protocol_is_valid_even_though_inconsistent() {
+        let p = Naive { n: 2 };
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        assert!(out.validity_violation.is_none());
+    }
+
+    #[test]
+    fn cas_consensus_explores_safe() {
+        let p = Cas { n: 3 };
+        let out = Explorer::default().explore(&p, &[1, 0, 1]);
+        assert!(!out.truncated);
+        assert!(out.is_safe());
+        assert_eq!(out.can_always_reach_termination, Some(true));
+        assert!(out.terminal_configs > 0);
+        // A deterministic wait-free protocol decides in a bounded
+        // number of steps: no infinite executions.
+        assert_eq!(out.infinite_execution_possible, Some(false));
+    }
+
+    #[test]
+    fn exploration_respects_budgets() {
+        let p = Naive { n: 3 };
+        let out = Explorer::new(ExploreLimits { max_configs: 10, max_depth: 3 })
+            .explore(&p, &[0, 1, 0]);
+        assert!(out.truncated);
+        assert!(out.configs_visited <= 10);
+        assert_eq!(out.can_always_reach_termination, None);
+    }
+
+    #[test]
+    fn solo_termination_witness_exists_and_replays() {
+        let p = Naive { n: 2 };
+        let config = Configuration::initial(&p, &[0, 1]);
+        let w = Explorer::default()
+            .solo_terminating(&p, &config, ProcessId(1))
+            .expect("solo witness");
+        assert_eq!(w.len(), 3, "write, read, decide");
+        let (end, _) = w.replay(&p, &config).unwrap();
+        assert_eq!(end.procs[1].decision(), Some(1));
+    }
+
+    #[test]
+    fn solo_deciding_reports_the_decision() {
+        let p = Cas { n: 2 };
+        let config = Configuration::initial(&p, &[1, 0]);
+        let (_, d) = Explorer::default()
+            .solo_deciding(&p, &config, ProcessId(0))
+            .expect("solo witness");
+        assert_eq!(d, 1, "running alone, P0 decides its own input");
+    }
+
+    #[test]
+    fn solo_on_inactive_process_is_none() {
+        let p = Cas { n: 2 };
+        let mut config = Configuration::initial(&p, &[1, 0]);
+        config.crash(ProcessId(0));
+        assert!(Explorer::default().solo_terminating(&p, &config, ProcessId(0)).is_none());
+    }
+
+    #[test]
+    fn valency_of_cas_consensus() {
+        // Mixed inputs: the initial configuration is bivalent (the
+        // schedule picks the winner), decisions are reached through
+        // critical configurations, and no bivalent cycle exists
+        // (deterministic wait-free protocols decide in bounded steps).
+        let p = Cas { n: 2 };
+        let a = Explorer::default().valency(&p, &[0, 1]).expect("not truncated");
+        assert_eq!(a.initial, Valency::Bivalent);
+        assert!(a.zero_valent > 0 && a.one_valent > 0);
+        assert!(a.critical_configs > 0, "someone must take the deciding step");
+        assert!(!a.bivalent_cycle);
+        assert_eq!(a.stuck, 0);
+        assert_eq!(
+            a.zero_valent + a.one_valent + a.bivalent + a.stuck,
+            a.configs
+        );
+    }
+
+    #[test]
+    fn valency_of_unanimous_inputs_is_univalent_everywhere() {
+        let p = Cas { n: 2 };
+        let a = Explorer::default().valency(&p, &[1, 1]).expect("not truncated");
+        assert_eq!(a.initial, Valency::One);
+        assert_eq!(a.bivalent, 0);
+        assert_eq!(a.zero_valent, 0);
+    }
+
+    #[test]
+    fn valency_respects_budgets() {
+        let p = Cas { n: 3 };
+        let tiny = Explorer::new(ExploreLimits { max_configs: 3, max_depth: 2 });
+        assert!(tiny.valency(&p, &[0, 1, 0]).is_none());
+    }
+
+    #[test]
+    fn successors_enumerate_coin_branches() {
+        /// One coin-flipping step with two outcomes.
+        #[derive(Debug)]
+        struct Flip;
+
+        #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+        enum F {
+            Start,
+            Done(Decision),
+        }
+
+        impl Protocol for Flip {
+            type State = F;
+
+            fn objects(&self) -> Vec<ObjectSpec> {
+                vec![ObjectSpec::new(ObjectKind::Register, "r")]
+            }
+
+            fn num_processes(&self) -> usize {
+                1
+            }
+
+            fn initial_state(&self, _pid: ProcessId, _input: Decision) -> F {
+                F::Start
+            }
+
+            fn action(&self, s: &F) -> Action {
+                match s {
+                    F::Start => Action::Invoke { object: ObjectId(0), op: Operation::Read },
+                    F::Done(d) => Action::Decide(*d),
+                }
+            }
+
+            fn coin_domain(&self, s: &F, _r: &Response) -> u32 {
+                match s {
+                    F::Start => 2,
+                    F::Done(_) => 1,
+                }
+            }
+
+            fn transition(&self, _s: &F, _r: &Response, coin: u32) -> F {
+                F::Done(coin as Decision)
+            }
+        }
+
+        let p = Flip;
+        let c = Configuration::initial(&p, &[0]);
+        let succs = successors(&p, &c, ProcessId(0));
+        assert_eq!(succs.len(), 2);
+        assert_ne!(succs[0].1, succs[1].1);
+    }
+}

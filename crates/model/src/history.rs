@@ -1,0 +1,193 @@
+//! Concurrent operation histories.
+//!
+//! All objects in the model are linearizable: "processes obtain results
+//! from their operations on an object as if those operations were
+//! performed sequentially in the order specified by the execution"
+//! (Section 2, citing Herlihy & Wing). To validate the *real*, threaded
+//! object implementations in `randsync-objects` against the model
+//! semantics, we record operation histories — each completed operation
+//! with its invocation/response interval — and check them with the
+//! [`LinearizabilityChecker`](crate::linearize::LinearizabilityChecker).
+
+use core::fmt;
+
+use crate::op::{Operation, Response};
+
+/// One completed operation in a history.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// The thread/process that performed the operation.
+    pub process: usize,
+    /// The operation applied.
+    pub op: Operation,
+    /// The response obtained.
+    pub response: Response,
+    /// Logical timestamp at invocation (from a shared monotone counter).
+    pub invoked_at: u64,
+    /// Logical timestamp at response. Always `> invoked_at`.
+    pub responded_at: u64,
+}
+
+impl Event {
+    /// Whether this event finished strictly before `other` began
+    /// (real-time precedence, which linearizations must respect).
+    pub fn precedes(&self, other: &Event) -> bool {
+        self.responded_at < other.invoked_at
+    }
+}
+
+/// A finite history of completed operations on a single object.
+#[derive(Clone, Default)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+impl History {
+    /// The empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// A history from recorded events.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        History { events }
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in recording order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether the history is *sequential*: no two operation intervals
+    /// overlap. Sequential histories are linearizable iff they follow
+    /// the object's sequential specification.
+    pub fn is_sequential(&self) -> bool {
+        let mut sorted: Vec<&Event> = self.events.iter().collect();
+        sorted.sort_by_key(|e| e.invoked_at);
+        sorted.windows(2).all(|w| w[0].responded_at < w[1].invoked_at)
+    }
+
+    /// Whether the recorded intervals are well-formed (each response
+    /// after its invocation, per-process intervals non-overlapping —
+    /// processes are sequential threads of control).
+    pub fn is_well_formed(&self) -> bool {
+        if self.events.iter().any(|e| e.invoked_at >= e.responded_at) {
+            return false;
+        }
+        let mut by_proc: std::collections::HashMap<usize, Vec<&Event>> = Default::default();
+        for e in &self.events {
+            by_proc.entry(e.process).or_default().push(e);
+        }
+        by_proc.values_mut().all(|evs| {
+            evs.sort_by_key(|e| e.invoked_at);
+            evs.windows(2).all(|w| w[0].responded_at < w[1].invoked_at)
+        })
+    }
+}
+
+impl fmt::Debug for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "history ({} events):", self.events.len())?;
+        for e in &self.events {
+            writeln!(
+                f,
+                "  [{:>4},{:>4}] p{}: {:?} → {:?}",
+                e.invoked_at, e.responded_at, e.process, e.op, e.response
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Event> for History {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        History { events: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn ev(process: usize, op: Operation, response: Response, i: u64, r: u64) -> Event {
+        Event { process, op, response, invoked_at: i, responded_at: r }
+    }
+
+    #[test]
+    fn precedence_is_strict_interval_order() {
+        let a = ev(0, Operation::Read, Response::Value(Value::Int(0)), 0, 1);
+        let b = ev(1, Operation::Read, Response::Value(Value::Int(0)), 2, 3);
+        let c = ev(1, Operation::Read, Response::Value(Value::Int(0)), 1, 4);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        assert!(!a.precedes(&c), "overlapping intervals are concurrent");
+        assert!(!c.precedes(&a));
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let h: History = [
+            ev(0, Operation::Write(Value::Int(1)), Response::Ack, 0, 1),
+            ev(1, Operation::Read, Response::Value(Value::Int(1)), 2, 3),
+        ]
+        .into_iter()
+        .collect();
+        assert!(h.is_sequential());
+        let h2: History = [
+            ev(0, Operation::Write(Value::Int(1)), Response::Ack, 0, 5),
+            ev(1, Operation::Read, Response::Value(Value::Int(1)), 2, 3),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!h2.is_sequential());
+    }
+
+    #[test]
+    fn well_formedness() {
+        // Response before invocation: malformed.
+        let bad: History =
+            [ev(0, Operation::Read, Response::Value(Value::Int(0)), 5, 5)].into_iter().collect();
+        assert!(!bad.is_well_formed());
+        // Same process overlapping itself: malformed.
+        let bad2: History = [
+            ev(0, Operation::Read, Response::Value(Value::Int(0)), 0, 4),
+            ev(0, Operation::Read, Response::Value(Value::Int(0)), 2, 6),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!bad2.is_well_formed());
+        // Distinct processes overlapping: fine.
+        let good: History = [
+            ev(0, Operation::Read, Response::Value(Value::Int(0)), 0, 4),
+            ev(1, Operation::Read, Response::Value(Value::Int(0)), 2, 6),
+        ]
+        .into_iter()
+        .collect();
+        assert!(good.is_well_formed());
+    }
+
+    #[test]
+    fn debug_lists_every_event() {
+        let h: History =
+            [ev(0, Operation::Read, Response::Value(Value::Int(0)), 0, 1)].into_iter().collect();
+        let s = format!("{h:?}");
+        assert!(s.contains("1 events"));
+        assert!(s.contains("p0"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Operations applicable to shared objects, and their responses.
+
+use core::fmt;
+
+use crate::value::Value;
+
+/// A primitive operation on a shared object.
+///
+/// Which operations an object accepts is determined by its
+/// [`ObjectKind`](crate::ObjectKind); applying an unsupported operation is
+/// a [`ModelError::UnsupportedOperation`](crate::ModelError) at
+/// application time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Operation {
+    /// READ: respond with the current value; trivial (never changes the
+    /// value).
+    Read,
+    /// WRITE(x): set the value to `x`; respond with an acknowledgement.
+    Write(Value),
+    /// SWAP(x): set the value to `x`; respond with the previous value.
+    Swap(Value),
+    /// TEST&SET: respond with the previous value and set the value to
+    /// `true`.
+    TestAndSet,
+    /// RESET: set the value back to the object's reset point (0 for
+    /// counters, `false` for test&set flags); respond with an
+    /// acknowledgement.
+    Reset,
+    /// FETCH&ADD(a): add `a` to the integer value; respond with the
+    /// previous value.
+    FetchAdd(i64),
+    /// COMPARE&SWAP(e, n): if the value equals `expected`, set it to
+    /// `new`; in either case respond with the previous value.
+    CompareSwap {
+        /// The value the register must currently hold for the swap to
+        /// take effect.
+        expected: Value,
+        /// The replacement value installed on success.
+        new: Value,
+    },
+    /// INC: increment a counter; respond with an acknowledgement.
+    Inc,
+    /// DEC: decrement a counter; respond with an acknowledgement.
+    Dec,
+}
+
+impl Operation {
+    /// A short human-readable mnemonic for traces.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Operation::Read => "read",
+            Operation::Write(_) => "write",
+            Operation::Swap(_) => "swap",
+            Operation::TestAndSet => "test&set",
+            Operation::Reset => "reset",
+            Operation::FetchAdd(_) => "fetch&add",
+            Operation::CompareSwap { .. } => "compare&swap",
+            Operation::Inc => "inc",
+            Operation::Dec => "dec",
+        }
+    }
+}
+
+impl fmt::Debug for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Read => write!(f, "read"),
+            Operation::Write(v) => write!(f, "write({v:?})"),
+            Operation::Swap(v) => write!(f, "swap({v:?})"),
+            Operation::TestAndSet => write!(f, "test&set"),
+            Operation::Reset => write!(f, "reset"),
+            Operation::FetchAdd(a) => write!(f, "fetch&add({a})"),
+            Operation::CompareSwap { expected, new } => {
+                write!(f, "compare&swap({expected:?}→{new:?})")
+            }
+            Operation::Inc => write!(f, "inc"),
+            Operation::Dec => write!(f, "dec"),
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The response returned by applying an [`Operation`] to an object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Response {
+    /// A fixed acknowledgement carrying no information (WRITE, INC, DEC,
+    /// RESET).
+    Ack,
+    /// A value-bearing response (READ, SWAP, TEST&SET, FETCH&ADD,
+    /// COMPARE&SWAP all return the previous value).
+    Value(Value),
+}
+
+impl Response {
+    /// Returns the carried value, if any.
+    pub fn value(&self) -> Option<Value> {
+        match self {
+            Response::Ack => None,
+            Response::Value(v) => Some(*v),
+        }
+    }
+
+    /// Returns the carried integer, if the response carries
+    /// [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        self.value().and_then(|v| v.as_int())
+    }
+}
+
+impl fmt::Debug for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Ack => write!(f, "ack"),
+            Response::Value(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_cover_all_operations() {
+        let ops = [
+            Operation::Read,
+            Operation::Write(Value::Int(1)),
+            Operation::Swap(Value::Int(1)),
+            Operation::TestAndSet,
+            Operation::Reset,
+            Operation::FetchAdd(2),
+            Operation::CompareSwap { expected: Value::Bottom, new: Value::Int(1) },
+            Operation::Inc,
+            Operation::Dec,
+        ];
+        for op in ops {
+            assert!(!op.mnemonic().is_empty());
+            assert!(!format!("{op:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn response_accessors() {
+        assert_eq!(Response::Ack.value(), None);
+        assert_eq!(Response::Value(Value::Int(4)).as_int(), Some(4));
+        assert_eq!(Response::Value(Value::Bool(true)).as_int(), None);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Operation::Write(Value::Int(3))), "write(3)");
+        assert_eq!(
+            format!(
+                "{:?}",
+                Operation::CompareSwap { expected: Value::Bottom, new: Value::Int(1) }
+            ),
+            "compare&swap(⊥→1)"
+        );
+        assert_eq!(format!("{:?}", Response::Ack), "ack");
+    }
+}

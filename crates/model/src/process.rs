@@ -1,0 +1,82 @@
+//! Identifiers for processes and objects.
+
+use core::fmt;
+
+/// The index of a process within a protocol instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// The index of a shared object within a protocol instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ObjectId(pub usize);
+
+impl ObjectId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<usize> for ObjectId {
+    fn from(i: usize) -> Self {
+        ObjectId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{:?}", ProcessId(4)), "P4");
+        assert_eq!(format!("{}", ObjectId(2)), "R2");
+    }
+
+    #[test]
+    fn conversions_and_ordering() {
+        assert_eq!(ProcessId::from(3).index(), 3);
+        assert_eq!(ObjectId::from(1).index(), 1);
+        assert!(ProcessId(1) < ProcessId(2));
+        assert!(ObjectId(0) < ObjectId(9));
+    }
+}

@@ -1,0 +1,343 @@
+//! Schedulers: who moves next.
+//!
+//! Processes are asynchronous — "they can halt or display arbitrary
+//! variations in speed" — so the scheduler *is* the adversary. The
+//! simulator asks a [`Scheduler`] which active process takes the next
+//! step; coin flips are drawn separately (the classic oblivious- vs
+//! adaptive-adversary distinction is realized by which scheduler you
+//! pick and whether it inspects the public object values offered to it).
+
+use crate::execution::Execution;
+use crate::process::ProcessId;
+use crate::rng::SplitMix64;
+use crate::value::Value;
+
+/// A view of the current configuration offered to schedulers: which
+/// processes are active, how many steps have elapsed, and the (public)
+/// object values. Schedulers must not see private process states —
+/// a strong adaptive adversary in the literature sees operations, not
+/// local coins.
+#[derive(Debug)]
+pub struct SchedView<'a> {
+    /// Processes currently able to take a step, in index order.
+    pub active: &'a [ProcessId],
+    /// Number of steps taken so far in this run.
+    pub step_index: usize,
+    /// Current shared-object values.
+    pub values: &'a [Value],
+}
+
+/// Chooses the next process to step.
+pub trait Scheduler {
+    /// The next process to run, drawn from `view.active`; `None` stops
+    /// the run. Returning a non-active process is treated as a stop.
+    fn next(&mut self, view: &SchedView<'_>) -> Option<ProcessId>;
+
+    /// A process to crash before the next step, if any. Defaults to no
+    /// failures.
+    fn crash_now(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        let _ = view;
+        None
+    }
+}
+
+/// Fair round-robin over the active processes.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobinScheduler {
+    cursor: usize,
+}
+
+impl RoundRobinScheduler {
+    /// A round-robin scheduler starting at process index 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn next(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        if view.active.is_empty() {
+            return None;
+        }
+        // Choose the first active pid with index >= cursor, wrapping.
+        let pick = view
+            .active
+            .iter()
+            .find(|p| p.0 >= self.cursor)
+            .or_else(|| view.active.first())
+            .copied()?;
+        self.cursor = pick.0 + 1;
+        Some(pick)
+    }
+}
+
+/// Uniformly random scheduling from a deterministic seed.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: SplitMix64,
+}
+
+impl RandomScheduler {
+    /// A random scheduler with the given seed. Equal seeds reproduce
+    /// identical schedules.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler { rng: SplitMix64::new(seed) }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        if view.active.is_empty() {
+            return None;
+        }
+        let i = self.rng.next_below(view.active.len() as u64) as usize;
+        Some(view.active[i])
+    }
+}
+
+/// Runs a single process alone — the paper's *solo executions*.
+#[derive(Clone, Copy, Debug)]
+pub struct SoloScheduler {
+    pid: ProcessId,
+}
+
+impl SoloScheduler {
+    /// A scheduler that only ever runs `pid`.
+    pub fn new(pid: ProcessId) -> Self {
+        SoloScheduler { pid }
+    }
+}
+
+impl Scheduler for SoloScheduler {
+    fn next(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        view.active.contains(&self.pid).then_some(self.pid)
+    }
+}
+
+/// Replays a fixed schedule (ignoring coins — those live in
+/// [`Execution`] replay; this scheduler is for driving the simulator
+/// down a predetermined process order while coins stay random).
+#[derive(Clone, Debug)]
+pub struct ScriptScheduler {
+    pids: Vec<ProcessId>,
+    at: usize,
+}
+
+impl ScriptScheduler {
+    /// A scheduler that plays out `pids` in order, then stops.
+    pub fn new(pids: Vec<ProcessId>) -> Self {
+        ScriptScheduler { pids, at: 0 }
+    }
+
+    /// Extract the process order of an execution as a script.
+    pub fn from_execution(e: &Execution) -> Self {
+        Self::new(e.steps().iter().map(|s| s.pid).collect())
+    }
+}
+
+impl Scheduler for ScriptScheduler {
+    fn next(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        let pid = *self.pids.get(self.at)?;
+        self.at += 1;
+        view.active.contains(&pid).then_some(pid)
+    }
+}
+
+/// A strong adaptive adversary against counter-walk protocols.
+///
+/// The adversary may observe shared-object values (not private states
+/// or coins). This one attributes each observed change of a watched
+/// object's integer value to the process it scheduled last, learns each
+/// process's current "direction", and then schedules so as to drag the
+/// value toward zero — the worst case for random-walk consensus, whose
+/// expected time analyses are exactly about defeating such schedulers.
+/// It cannot prevent termination (the walk's drift zones and coin
+/// variance win eventually); it only stretches the walk.
+#[derive(Clone, Debug)]
+pub struct ContrarianScheduler {
+    watched: usize,
+    last_value: Option<i64>,
+    last_pid: Option<ProcessId>,
+    /// Last observed per-process deltas, indexed by process id.
+    direction: Vec<i64>,
+    rng: SplitMix64,
+}
+
+impl ContrarianScheduler {
+    /// An adversary watching object index `watched`, breaking ties with
+    /// the seeded generator.
+    pub fn new(watched: usize, seed: u64) -> Self {
+        ContrarianScheduler {
+            watched,
+            last_value: None,
+            last_pid: None,
+            direction: Vec::new(),
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl Scheduler for ContrarianScheduler {
+    fn next(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        if view.active.is_empty() {
+            return None;
+        }
+        // Attribute the last observed delta to the last scheduled pid.
+        let current = view.values.get(self.watched).and_then(|v| v.as_int());
+        if let (Some(prev), Some(now), Some(pid)) = (self.last_value, current, self.last_pid) {
+            let delta = now - prev;
+            if delta != 0 {
+                if self.direction.len() <= pid.0 {
+                    self.direction.resize(pid.0 + 1, 0);
+                }
+                self.direction[pid.0] = delta;
+            }
+        }
+        self.last_value = current;
+
+        // Prefer a process whose last move opposes the current sign.
+        let value = current.unwrap_or(0);
+        let pick = view
+            .active
+            .iter()
+            .find(|p| {
+                let d = self.direction.get(p.0).copied().unwrap_or(0);
+                (value > 0 && d < 0) || (value < 0 && d > 0)
+            })
+            .copied()
+            .unwrap_or_else(|| {
+                let i = self.rng.next_below(view.active.len() as u64) as usize;
+                view.active[i]
+            });
+        self.last_pid = Some(pick);
+        Some(pick)
+    }
+}
+
+/// Wraps another scheduler and crashes a fixed set of processes at given
+/// step indices — failure injection for wait-freedom tests.
+#[derive(Clone, Debug)]
+pub struct CrashScheduler<S> {
+    inner: S,
+    /// `(step_index, pid)` pairs, in any order; each fires once.
+    plan: Vec<(usize, ProcessId)>,
+}
+
+impl<S: Scheduler> CrashScheduler<S> {
+    /// Wrap `inner`, crashing each `(step, pid)` in `plan` when the run
+    /// reaches that step index.
+    pub fn new(inner: S, plan: Vec<(usize, ProcessId)>) -> Self {
+        CrashScheduler { inner, plan }
+    }
+}
+
+impl<S: Scheduler> Scheduler for CrashScheduler<S> {
+    fn next(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        self.inner.next(view)
+    }
+
+    fn crash_now(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        if let Some(i) = self.plan.iter().position(|(s, _)| *s <= view.step_index) {
+            let (_, pid) = self.plan.swap_remove(i);
+            Some(pid)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(active: &'a [ProcessId], values: &'a [Value], step: usize) -> SchedView<'a> {
+        SchedView { active, step_index: step, values }
+    }
+
+    #[test]
+    fn round_robin_cycles_fairly() {
+        let mut s = RoundRobinScheduler::new();
+        let active = [ProcessId(0), ProcessId(1), ProcessId(2)];
+        let picks: Vec<usize> =
+            (0..6).map(|i| s.next(&view(&active, &[], i)).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_inactive() {
+        let mut s = RoundRobinScheduler::new();
+        let active = [ProcessId(0), ProcessId(2)];
+        let picks: Vec<usize> =
+            (0..4).map(|i| s.next(&view(&active, &[], i)).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn round_robin_stops_when_no_one_is_active() {
+        let mut s = RoundRobinScheduler::new();
+        assert_eq!(s.next(&view(&[], &[], 0)), None);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let active = [ProcessId(0), ProcessId(1), ProcessId(2)];
+        let run = |seed| {
+            let mut s = RandomScheduler::new(seed);
+            (0..20).map(|i| s.next(&view(&active, &[], i)).unwrap().0).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn solo_runs_only_its_process() {
+        let mut s = SoloScheduler::new(ProcessId(1));
+        let active = [ProcessId(0), ProcessId(1)];
+        assert_eq!(s.next(&view(&active, &[], 0)), Some(ProcessId(1)));
+        let without = [ProcessId(0)];
+        assert_eq!(s.next(&view(&without, &[], 1)), None);
+    }
+
+    #[test]
+    fn script_plays_in_order_then_stops() {
+        let mut s = ScriptScheduler::new(vec![ProcessId(1), ProcessId(0)]);
+        let active = [ProcessId(0), ProcessId(1)];
+        assert_eq!(s.next(&view(&active, &[], 0)), Some(ProcessId(1)));
+        assert_eq!(s.next(&view(&active, &[], 1)), Some(ProcessId(0)));
+        assert_eq!(s.next(&view(&active, &[], 2)), None);
+    }
+
+    #[test]
+    fn contrarian_learns_directions_and_opposes_the_sign() {
+        let mut s = ContrarianScheduler::new(0, 1);
+        let both = [ProcessId(0), ProcessId(1)];
+        let only0 = [ProcessId(0)];
+        let only1 = [ProcessId(1)];
+        // Force P0 to be scheduled, then show it the value rising: the
+        // +1 is attributed to P0.
+        assert_eq!(s.next(&view(&only0, &[Value::Int(0)], 0)), Some(ProcessId(0)));
+        // Force P1, attribute the following -1 to it.
+        assert_eq!(s.next(&view(&only1, &[Value::Int(1)], 1)), Some(ProcessId(1)));
+        assert_eq!(s.next(&view(&only0, &[Value::Int(0)], 2)), Some(ProcessId(0)));
+        // (The -1 from 1→0 was attributed to P1; the pick was P0.)
+        // Value strongly positive now (+2 attributed to P0): the
+        // adversary must deterministically choose the known
+        // decrementer P1 to drag the value back down.
+        assert_eq!(s.next(&view(&both, &[Value::Int(2)], 3)), Some(ProcessId(1)));
+    }
+
+    #[test]
+    fn contrarian_stops_when_no_one_is_active() {
+        let mut s = ContrarianScheduler::new(0, 7);
+        assert_eq!(s.next(&view(&[], &[], 0)), None);
+    }
+
+    #[test]
+    fn crash_scheduler_fires_each_plan_entry_once() {
+        let mut s = CrashScheduler::new(RoundRobinScheduler::new(), vec![(2, ProcessId(0))]);
+        let active = [ProcessId(0), ProcessId(1)];
+        assert_eq!(s.crash_now(&view(&active, &[], 0)), None);
+        assert_eq!(s.crash_now(&view(&active, &[], 2)), Some(ProcessId(0)));
+        assert_eq!(s.crash_now(&view(&active, &[], 3)), None);
+    }
+}

@@ -1,0 +1,280 @@
+//! The simulator: drive a protocol under a scheduler with seeded coins.
+
+use core::fmt;
+use core::hash::Hash;
+
+use crate::config::Configuration;
+use crate::error::ModelError;
+use crate::execution::{Execution, StepRecord};
+use crate::process::ProcessId;
+use crate::protocol::{Decision, Protocol};
+use crate::rng::SplitMix64;
+use crate::sched::{SchedView, Scheduler};
+
+/// The result of driving a protocol run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome<S> {
+    /// The final configuration.
+    pub config: Configuration<S>,
+    /// What happened at each step, in order.
+    pub records: Vec<StepRecord>,
+    /// Whether all non-faulty processes finished (decided) before the
+    /// step budget ran out or the scheduler stopped.
+    pub all_decided: bool,
+    /// Number of steps taken.
+    pub steps: usize,
+}
+
+impl<S> RunOutcome<S> {
+    /// The executed schedule, replayable with [`Execution::replay`].
+    pub fn execution(&self) -> Execution {
+        self.records.iter().map(|r| r.to_step()).collect()
+    }
+
+    /// Distinct decided values in the final configuration.
+    pub fn decided_values(&self) -> Vec<Decision>
+    where
+        S: Clone + Eq + Hash + fmt::Debug,
+    {
+        self.config.decided_values()
+    }
+}
+
+/// Drives protocols to completion (or to a step budget) under a
+/// pluggable scheduler, with coin flips drawn from a seeded generator.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    max_steps: usize,
+    coin_rng: SplitMix64,
+}
+
+impl Simulator {
+    /// A simulator with the given step budget and coin seed.
+    pub fn new(max_steps: usize, coin_seed: u64) -> Self {
+        Simulator { max_steps, coin_rng: SplitMix64::new(coin_seed) }
+    }
+
+    /// Run `protocol` from its initial configuration with the given
+    /// inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ModelError`] raised while stepping (a correct
+    /// protocol/scheduler pair never raises one).
+    pub fn run<P, Sch>(
+        &mut self,
+        protocol: &P,
+        inputs: &[Decision],
+        scheduler: &mut Sch,
+    ) -> Result<RunOutcome<P::State>, ModelError>
+    where
+        P: Protocol,
+        Sch: Scheduler + ?Sized,
+    {
+        let config = Configuration::initial(protocol, inputs);
+        self.run_from(protocol, config, scheduler)
+    }
+
+    /// Run `protocol` starting from an arbitrary configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run`].
+    pub fn run_from<P, Sch>(
+        &mut self,
+        protocol: &P,
+        mut config: Configuration<P::State>,
+        scheduler: &mut Sch,
+    ) -> Result<RunOutcome<P::State>, ModelError>
+    where
+        P: Protocol,
+        Sch: Scheduler + ?Sized,
+    {
+        let mut records = Vec::new();
+        let mut steps = 0usize;
+        loop {
+            let active = config.active_processes();
+            if active.is_empty() {
+                break;
+            }
+            if steps >= self.max_steps {
+                return Ok(RunOutcome { config, records, all_decided: false, steps });
+            }
+            let view = SchedView { active: &active, step_index: steps, values: &config.values };
+            if let Some(victim) = scheduler.crash_now(&view) {
+                config.crash(victim);
+                continue;
+            }
+            let Some(pid) = scheduler.next(&view) else { break };
+            if !active.contains(&pid) {
+                break;
+            }
+            let rng = &mut self.coin_rng;
+            let record =
+                config.step_with(protocol, pid, |domain| rng.next_below(domain as u64) as u32)?;
+            records.push(record);
+            steps += 1;
+        }
+        let all_decided = config
+            .procs
+            .iter()
+            .all(|p| !matches!(p, crate::config::ProcState::Active(_)));
+        Ok(RunOutcome { config, records, all_decided, steps })
+    }
+
+    /// Run `pid` alone from `config` until it decides or the step budget
+    /// is exhausted — a *solo execution* with random coins.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run`].
+    pub fn run_solo<P>(
+        &mut self,
+        protocol: &P,
+        config: Configuration<P::State>,
+        pid: ProcessId,
+    ) -> Result<RunOutcome<P::State>, ModelError>
+    where
+        P: Protocol,
+    {
+        let mut solo = crate::sched::SoloScheduler::new(pid);
+        let mut outcome = self.run_from(protocol, config, &mut solo)?;
+        // A solo run "terminates" when the solo process is done, even if
+        // others are still active.
+        outcome.all_decided = !outcome.config.is_active(pid);
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::ObjectKind;
+    use crate::op::{Operation, Response};
+    use crate::process::ObjectId;
+    use crate::protocol::{Action, ObjectSpec};
+    use crate::sched::{CrashScheduler, RandomScheduler, RoundRobinScheduler};
+
+    /// Consensus from one compare&swap register (Herlihy): CAS(⊥ → my
+    /// input), decide whatever the register then holds.
+    #[derive(Debug)]
+    pub struct CasConsensus {
+        n: usize,
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    pub enum St {
+        Try(Decision),
+        Done(Decision),
+    }
+
+    impl Protocol for CasConsensus {
+        type State = St;
+
+        fn objects(&self) -> Vec<ObjectSpec> {
+            vec![ObjectSpec::new(ObjectKind::CompareSwap, "decision")]
+        }
+
+        fn num_processes(&self) -> usize {
+            self.n
+        }
+
+        fn initial_state(&self, _pid: ProcessId, input: Decision) -> St {
+            St::Try(input)
+        }
+
+        fn action(&self, s: &St) -> Action {
+            match s {
+                St::Try(d) => Action::Invoke {
+                    object: ObjectId(0),
+                    op: Operation::CompareSwap {
+                        expected: crate::value::Value::Bottom,
+                        new: crate::value::Value::Int(*d as i64),
+                    },
+                },
+                St::Done(d) => Action::Decide(*d),
+            }
+        }
+
+        fn transition(&self, s: &St, resp: &Response, _coin: u32) -> St {
+            match s {
+                St::Try(d) => match resp.value() {
+                    Some(v) if v.is_bottom() => St::Done(*d),
+                    Some(v) => St::Done(v.as_int().unwrap_or(0) as Decision),
+                    None => St::Done(*d),
+                },
+                other => other.clone(),
+            }
+        }
+    }
+
+    #[test]
+    fn cas_consensus_is_consistent_under_round_robin() {
+        let p = CasConsensus { n: 4 };
+        let mut sim = Simulator::new(1000, 1);
+        let out = sim.run(&p, &[0, 1, 1, 0], &mut RoundRobinScheduler::new()).unwrap();
+        assert!(out.all_decided);
+        assert_eq!(out.decided_values().len(), 1);
+        // Round-robin: P0 CASes first, so everyone decides 0.
+        assert_eq!(out.decided_values(), vec![0]);
+    }
+
+    #[test]
+    fn cas_consensus_is_consistent_under_random_schedules() {
+        let p = CasConsensus { n: 5 };
+        for seed in 0..50 {
+            let mut sim = Simulator::new(1000, seed);
+            let mut sched = RandomScheduler::new(seed * 31 + 7);
+            let out = sim.run(&p, &[1, 0, 1, 0, 1], &mut sched).unwrap();
+            assert!(out.all_decided, "seed {seed}");
+            let vals = out.decided_values();
+            assert_eq!(vals.len(), 1, "seed {seed}: inconsistent {vals:?}");
+        }
+    }
+
+    #[test]
+    fn executions_recorded_by_the_simulator_replay_identically() {
+        let p = CasConsensus { n: 3 };
+        let mut sim = Simulator::new(1000, 5);
+        let mut sched = RandomScheduler::new(17);
+        let out = sim.run(&p, &[0, 1, 0], &mut sched).unwrap();
+        let exec = out.execution();
+        let start = Configuration::initial(&p, &[0, 1, 0]);
+        let (replayed, _) = exec.replay(&p, &start).unwrap();
+        assert_eq!(replayed, out.config);
+    }
+
+    #[test]
+    fn crash_injection_still_lets_survivors_decide() {
+        let p = CasConsensus { n: 3 };
+        let mut sim = Simulator::new(1000, 2);
+        // Crash P0 before anyone moves.
+        let mut sched =
+            CrashScheduler::new(RoundRobinScheduler::new(), vec![(0, ProcessId(0))]);
+        let out = sim.run(&p, &[0, 1, 1], &mut sched).unwrap();
+        let vals = out.decided_values();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals, vec![1], "P0 (input 0) crashed; P1 won the CAS");
+    }
+
+    #[test]
+    fn step_budget_halts_runs() {
+        let p = CasConsensus { n: 2 };
+        let mut sim = Simulator::new(1, 0);
+        let out = sim.run(&p, &[0, 1], &mut RoundRobinScheduler::new()).unwrap();
+        assert!(!out.all_decided);
+        assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn solo_run_decides_alone() {
+        let p = CasConsensus { n: 3 };
+        let mut sim = Simulator::new(1000, 0);
+        let config = Configuration::initial(&p, &[1, 0, 0]);
+        let out = sim.run_solo(&p, config, ProcessId(0)).unwrap();
+        assert!(out.all_decided);
+        assert_eq!(out.config.decisions(), vec![(ProcessId(0), 1)]);
+        // Others untouched.
+        assert!(out.config.is_active(ProcessId(1)));
+    }
+}

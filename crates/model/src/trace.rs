@@ -1,0 +1,130 @@
+//! Human-readable rendering of executions.
+//!
+//! Witnesses and counterexamples are step sequences; this module turns
+//! them into the narrated traces the examples and the CLI print, using
+//! the protocol's object names.
+
+use core::hash::Hash;
+
+use crate::config::Configuration;
+use crate::error::ModelError;
+use crate::execution::{Execution, StepRecord};
+use crate::protocol::Protocol;
+
+/// Render one record as a single line (`P1: r0.write(1) → ack`).
+pub fn render_record<P: Protocol>(protocol: &P, record: &StepRecord) -> String {
+    match (record.op, record.decided) {
+        (Some((obj, op, resp)), _) => {
+            let name = protocol
+                .objects()
+                .get(obj.0)
+                .map(|o| o.name.clone())
+                .unwrap_or_else(|| format!("{obj:?}"));
+            format!("{:?}: {name}.{op:?} → {resp:?}", record.pid)
+        }
+        (None, Some(d)) => format!("{:?}: DECIDES {d}", record.pid),
+        _ => format!("{:?}: (no-op)", record.pid),
+    }
+}
+
+/// Replay `execution` from `start` and render every step, one line
+/// each.
+///
+/// # Errors
+///
+/// Fails if the execution does not replay from `start`.
+pub fn render_execution<P, S>(
+    protocol: &P,
+    start: &Configuration<S>,
+    execution: &Execution,
+) -> Result<String, ModelError>
+where
+    P: Protocol<State = S>,
+    S: Clone + Eq + Hash + core::fmt::Debug,
+{
+    let (_, records) = execution.replay(protocol, start)?;
+    Ok(records
+        .iter()
+        .map(|r| render_record(protocol, r))
+        .collect::<Vec<_>>()
+        .join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::ObjectKind;
+    use crate::op::{Operation, Response};
+    use crate::process::{ObjectId, ProcessId};
+    use crate::protocol::{Action, Decision, ObjectSpec};
+    use crate::execution::Step;
+    use crate::value::Value;
+
+    #[derive(Debug)]
+    struct Tiny;
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    enum St {
+        Write,
+        Decide,
+    }
+
+    impl Protocol for Tiny {
+        type State = St;
+
+        fn objects(&self) -> Vec<ObjectSpec> {
+            vec![ObjectSpec::new(ObjectKind::Register, "scratch")]
+        }
+
+        fn num_processes(&self) -> usize {
+            1
+        }
+
+        fn initial_state(&self, _pid: ProcessId, _input: Decision) -> St {
+            St::Write
+        }
+
+        fn action(&self, s: &St) -> Action {
+            match s {
+                St::Write => Action::Invoke {
+                    object: ObjectId(0),
+                    op: Operation::Write(Value::Int(9)),
+                },
+                St::Decide => Action::Decide(1),
+            }
+        }
+
+        fn transition(&self, _s: &St, _r: &Response, _c: u32) -> St {
+            St::Decide
+        }
+    }
+
+    #[test]
+    fn rendering_uses_object_names_and_decisions() {
+        let p = Tiny;
+        let start = Configuration::initial(&p, &[0]);
+        let e = Execution::solo(ProcessId(0), &[0, 0]);
+        let text = render_execution(&p, &start, &e).unwrap();
+        assert_eq!(text, "P0: scratch.write(9) → ack\nP0: DECIDES 1");
+    }
+
+    #[test]
+    fn rendering_propagates_replay_errors() {
+        let p = Tiny;
+        let start = Configuration::initial(&p, &[0]);
+        let bad = Execution::from_steps(vec![Step::of(ProcessId(7))]);
+        assert!(render_execution(&p, &start, &bad).is_err());
+    }
+
+    #[test]
+    fn unknown_objects_fall_back_to_ids() {
+        let p = Tiny;
+        let rec = StepRecord {
+            pid: ProcessId(0),
+            op: Some((ObjectId(42), Operation::Read, Response::Ack)),
+            decided: None,
+            coin: 0,
+        };
+        assert!(render_record(&p, &rec).contains("R42"));
+    }
+}

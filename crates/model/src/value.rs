@@ -1,0 +1,137 @@
+//! Dynamic values held by simulated shared objects.
+//!
+//! The paper allows objects whose value sets are arbitrary (finite or
+//! infinite); one of its points is that the lower bound is independent of
+//! the size of an object's value space. We model values with a small
+//! dynamic sum type: an unbounded integer word, a boolean, an ordered
+//! pair, and the distinguished uninitialized value ⊥.
+
+use core::fmt;
+
+/// A value stored in a simulated shared object.
+///
+/// `Value` is deliberately dynamic: the lower-bound machinery treats
+/// objects generically through their operation algebra and never needs a
+/// static value type. `Bottom` is the conventional ⊥ used by
+/// compare&swap-style decision protocols.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
+pub enum Value {
+    /// The uninitialized value ⊥.
+    #[default]
+    Bottom,
+    /// An integer word (unbounded in the model; `i64` in practice — no
+    /// construction in the paper distinguishes value-space sizes).
+    Int(i64),
+    /// A boolean, used by test&set flags.
+    Bool(bool),
+    /// An ordered pair of words, used by protocols that pack
+    /// (round, preference)-style records into a single register.
+    Pair(i64, i64),
+}
+
+impl Value {
+    /// Returns the integer content, if this value is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean content, if this value is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the pair content, if this value is a [`Value::Pair`].
+    pub fn as_pair(&self) -> Option<(i64, i64)> {
+        match self {
+            Value::Pair(a, b) => Some((*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is ⊥.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, Value::Bottom)
+    }
+}
+
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<(i64, i64)> for Value {
+    fn from((a, b): (i64, i64)) -> Self {
+        Value::Pair(a, b)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bottom => write!(f, "⊥"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Pair(a, b) => write!(f, "({a},{b})"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Pair(1, 2).as_pair(), Some((1, 2)));
+        assert!(Value::Bottom.is_bottom());
+        assert!(!Value::Int(0).is_bottom());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(false), Value::Bool(false));
+        assert_eq!(Value::from((3, 4)), Value::Pair(3, 4));
+        assert_eq!(Value::default(), Value::Bottom);
+    }
+
+    #[test]
+    fn debug_formatting_is_compact() {
+        assert_eq!(format!("{:?}", Value::Bottom), "⊥");
+        assert_eq!(format!("{:?}", Value::Int(-3)), "-3");
+        assert_eq!(format!("{:?}", Value::Pair(0, 9)), "(0,9)");
+        assert_eq!(format!("{}", Value::Bool(true)), "true");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = [Value::Int(2), Value::Bottom, Value::Bool(true), Value::Int(1)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Bottom);
+    }
+}

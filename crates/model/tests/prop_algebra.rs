@@ -1,0 +1,187 @@
+//! Property tests for the Section 2 operation algebra.
+//!
+//! The classification predicates (`is_trivial`, `overwrites`,
+//! `commutes`, `is_historyless`) are decision procedures over sampled
+//! value/operation spaces; these properties check that the *definitions*
+//! they implement actually hold along randomly generated operation
+//! sequences — e.g. that an overwriting pair really yields identical
+//! response sequences for every continuation, which is the form in
+//! which the lower-bound proofs consume the algebra.
+
+use proptest::prelude::*;
+use randsync_model::{ObjectKind, Operation};
+
+fn arb_kind() -> impl Strategy<Value = ObjectKind> {
+    prop::sample::select(ObjectKind::all())
+}
+
+proptest! {
+    /// Applying a trivial operation never changes the value, from any
+    /// reachable value.
+    #[test]
+    fn trivial_ops_never_change_values(
+        kind in arb_kind(),
+        seed_ops in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        // Reach a random value by applying random ops from the initial
+        // value, then check every trivial op.
+        let ops = kind.sample_ops();
+        let mut v = kind.initial_value();
+        for idx in &seed_ops {
+            let op = &ops[idx.index(ops.len())];
+            if let Ok((next, _)) = kind.apply(&v, op) {
+                v = next;
+            }
+        }
+        for op in &ops {
+            if kind.is_trivial(op) {
+                let (next, _) = kind.apply(&v, op).unwrap();
+                prop_assert_eq!(next, v, "{:?} changed {:?}", op, v);
+            }
+        }
+    }
+
+    /// If `f` overwrites `g`, then for every starting value and every
+    /// continuation sequence, the value trajectory after `g·f` equals
+    /// the trajectory after just `f` — the exact property the block
+    /// write exploits ("the values of all the objects in V can be
+    /// fixed").
+    #[test]
+    fn overwrite_makes_prefixes_indistinguishable(
+        kind in arb_kind(),
+        fi in any::<prop::sample::Index>(),
+        gi in any::<prop::sample::Index>(),
+        start in any::<prop::sample::Index>(),
+        cont in prop::collection::vec(any::<prop::sample::Index>(), 0..6),
+    ) {
+        let ops = kind.sample_ops();
+        let values = kind.sample_values();
+        let f = ops[fi.index(ops.len())];
+        let g = ops[gi.index(ops.len())];
+        prop_assume!(kind.overwrites(&f, &g));
+        let x = values[start.index(values.len())];
+
+        let (gx, _) = kind.apply(&x, &g).unwrap();
+        let (mut via_gf, _) = kind.apply(&gx, &f).unwrap();
+        let (mut via_f, _) = kind.apply(&x, &f).unwrap();
+        prop_assert_eq!(via_gf, via_f);
+        for idx in &cont {
+            let op = &ops[idx.index(ops.len())];
+            let (a, ra) = kind.apply(&via_gf, op).unwrap();
+            let (b, rb) = kind.apply(&via_f, op).unwrap();
+            prop_assert_eq!(ra, rb, "responses diverged after overwrite");
+            via_gf = a;
+            via_f = b;
+        }
+    }
+
+    /// Commutation is symmetric and order-independent on values.
+    #[test]
+    fn commute_is_symmetric(
+        kind in arb_kind(),
+        fi in any::<prop::sample::Index>(),
+        gi in any::<prop::sample::Index>(),
+    ) {
+        let ops = kind.sample_ops();
+        let f = ops[fi.index(ops.len())];
+        let g = ops[gi.index(ops.len())];
+        prop_assert_eq!(kind.commutes(&f, &g), kind.commutes(&g, &f));
+    }
+
+    /// For a historyless kind, the value after any nonempty operation
+    /// sequence equals the value produced by its LAST nontrivial
+    /// operation alone (applied to any value) — "the value depends only
+    /// on the last nontrivial operation".
+    #[test]
+    fn historyless_value_is_a_function_of_the_last_nontrivial_op(
+        kind in arb_kind(),
+        seq in prop::collection::vec(any::<prop::sample::Index>(), 1..10),
+        other_start in any::<prop::sample::Index>(),
+    ) {
+        prop_assume!(kind.is_historyless());
+        let ops = kind.sample_ops();
+        let values = kind.sample_values();
+        let mut v = kind.initial_value();
+        let mut last_nontrivial: Option<Operation> = None;
+        for idx in &seq {
+            let op = ops[idx.index(ops.len())];
+            let (next, _) = kind.apply(&v, &op).unwrap();
+            v = next;
+            if !kind.is_trivial(&op) {
+                last_nontrivial = Some(op);
+            }
+        }
+        if let Some(op) = last_nontrivial {
+            // Applying that op to ANY value yields the same result.
+            let y = values[other_start.index(values.len())];
+            let (from_y, _) = kind.apply(&y, &op).unwrap();
+            prop_assert_eq!(v, from_y, "history leaked through {:?}", op);
+        }
+    }
+
+    /// Fetch&add operations commute pairwise — the value after a batch
+    /// is order-independent (counters likewise).
+    #[test]
+    fn fetch_add_batches_commute(
+        deltas in prop::collection::vec(-5i64..=5, 1..8),
+    ) {
+        let kind = ObjectKind::FetchAdd;
+        let apply_all = |ds: &[i64]| {
+            let mut v = kind.initial_value();
+            for d in ds {
+                let (next, _) = kind.apply(&v, &Operation::FetchAdd(*d)).unwrap();
+                v = next;
+            }
+            v
+        };
+        let forward = apply_all(&deltas);
+        let mut shuffled = deltas.clone();
+        shuffled.reverse();
+        prop_assert_eq!(forward, apply_all(&shuffled));
+    }
+
+    /// Bounded counters always stay within range under any op sequence.
+    #[test]
+    fn bounded_counter_stays_in_range(
+        lo in -10i64..=0,
+        span in 0i64..=10,
+        seq in prop::collection::vec(0usize..3, 0..40),
+    ) {
+        let hi = lo + span;
+        let kind = ObjectKind::BoundedCounter { lo, hi };
+        let ops = [Operation::Inc, Operation::Dec, Operation::Reset];
+        let mut v = kind.initial_value();
+        for i in seq {
+            let (next, _) = kind.apply(&v, &ops[i]).unwrap();
+            v = next;
+            let x = v.as_int().unwrap();
+            prop_assert!((lo..=hi).contains(&x), "{x} escaped [{lo},{hi}]");
+        }
+    }
+
+    /// Responses of value-returning operations always report the value
+    /// *before* the operation.
+    #[test]
+    fn rmw_responses_report_the_previous_value(
+        kind in arb_kind(),
+        vi in any::<prop::sample::Index>(),
+        oi in any::<prop::sample::Index>(),
+    ) {
+        let values = kind.sample_values();
+        let ops = kind.sample_ops();
+        let v = values[vi.index(values.len())];
+        let op = ops[oi.index(ops.len())];
+        if let Ok((_, resp)) = kind.apply(&v, &op) {
+            match op {
+                Operation::Read
+                | Operation::Swap(_)
+                | Operation::TestAndSet
+                | Operation::FetchAdd(_)
+                | Operation::CompareSwap { .. } => {
+                    prop_assert_eq!(resp.value(), Some(v));
+                }
+                _ => prop_assert_eq!(resp.value(), None),
+            }
+        }
+    }
+}

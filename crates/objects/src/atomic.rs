@@ -1,0 +1,452 @@
+//! Hardware-style primitives: thin, linearizable newtypes over
+//! `std::sync::atomic`.
+//!
+//! Every type here uses sequentially consistent orderings. The point of
+//! this crate is semantic fidelity to the paper's object types, not
+//! squeezing fences; `SeqCst` makes the linearizability arguments
+//! trivial (each operation is a single atomic instruction).
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+use crate::traits::{CompareSwap, Counter, FetchAdd, ReadWrite, ResetCounter, Swap, TestAndSet};
+
+const ORD: Ordering = Ordering::SeqCst;
+
+/// A read–write register (the paper's weakest object; historyless).
+#[derive(Debug, Default)]
+pub struct AtomicRegister {
+    cell: AtomicI64,
+}
+
+impl AtomicRegister {
+    /// A register holding `v`.
+    pub fn new(v: i64) -> Self {
+        AtomicRegister { cell: AtomicI64::new(v) }
+    }
+}
+
+impl ReadWrite for AtomicRegister {
+    fn read(&self) -> i64 {
+        self.cell.load(ORD)
+    }
+
+    fn write(&self, v: i64) {
+        self.cell.store(v, ORD);
+    }
+}
+
+/// A swap register: READ / WRITE / SWAP (historyless; interfering).
+#[derive(Debug, Default)]
+pub struct SwapRegister {
+    cell: AtomicI64,
+}
+
+impl SwapRegister {
+    /// A swap register holding `v`.
+    pub fn new(v: i64) -> Self {
+        SwapRegister { cell: AtomicI64::new(v) }
+    }
+}
+
+impl ReadWrite for SwapRegister {
+    fn read(&self) -> i64 {
+        self.cell.load(ORD)
+    }
+
+    fn write(&self, v: i64) {
+        self.cell.store(v, ORD);
+    }
+}
+
+impl Swap for SwapRegister {
+    fn swap(&self, v: i64) -> i64 {
+        self.cell.swap(v, ORD)
+    }
+}
+
+/// A test&set flag over `{false, true}`, initially `false`
+/// (historyless).
+#[derive(Debug, Default)]
+pub struct TestAndSetFlag {
+    flag: AtomicBool,
+}
+
+impl TestAndSetFlag {
+    /// A cleared flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TestAndSet for TestAndSetFlag {
+    fn test_and_set(&self) -> bool {
+        self.flag.swap(true, ORD)
+    }
+
+    fn reset(&self) {
+        self.flag.store(false, ORD);
+    }
+
+    fn is_set(&self) -> bool {
+        self.flag.load(ORD)
+    }
+}
+
+/// A fetch&add register (commuting, **not** historyless — one instance
+/// solves randomized n-process consensus, Theorem 4.4).
+#[derive(Debug, Default)]
+pub struct FetchAddRegister {
+    cell: AtomicI64,
+}
+
+impl FetchAddRegister {
+    /// A fetch&add register holding `v`.
+    pub fn new(v: i64) -> Self {
+        FetchAddRegister { cell: AtomicI64::new(v) }
+    }
+}
+
+impl FetchAdd for FetchAddRegister {
+    fn fetch_add(&self, delta: i64) -> i64 {
+        self.cell.fetch_add(delta, ORD)
+    }
+
+    fn load(&self) -> i64 {
+        self.cell.load(ORD)
+    }
+}
+
+impl Counter for FetchAddRegister {
+    fn inc(&self) {
+        self.cell.fetch_add(1, ORD);
+    }
+
+    fn dec(&self) {
+        self.cell.fetch_add(-1, ORD);
+    }
+
+    fn read(&self) -> i64 {
+        self.cell.load(ORD)
+    }
+}
+
+impl ResetCounter for FetchAddRegister {
+    fn reset(&self) {
+        self.cell.store(0, ORD);
+    }
+}
+
+/// A fetch&increment register: FETCH&ADD(1) and READ only (see the
+/// modeling note on
+/// [`ObjectKind::FetchIncrement`](randsync_model::ObjectKind)).
+#[derive(Debug, Default)]
+pub struct FetchIncRegister {
+    cell: AtomicI64,
+}
+
+impl FetchIncRegister {
+    /// A fetch&increment register holding `v`.
+    pub fn new(v: i64) -> Self {
+        FetchIncRegister { cell: AtomicI64::new(v) }
+    }
+
+    /// Atomically increment, returning the previous value.
+    pub fn fetch_inc(&self) -> i64 {
+        self.cell.fetch_add(1, ORD)
+    }
+
+    /// Read the value without changing it.
+    pub fn load(&self) -> i64 {
+        self.cell.load(ORD)
+    }
+}
+
+/// A fetch&decrement register: FETCH&ADD(-1) and READ only.
+#[derive(Debug, Default)]
+pub struct FetchDecRegister {
+    cell: AtomicI64,
+}
+
+impl FetchDecRegister {
+    /// A fetch&decrement register holding `v`.
+    pub fn new(v: i64) -> Self {
+        FetchDecRegister { cell: AtomicI64::new(v) }
+    }
+
+    /// Atomically decrement, returning the previous value.
+    pub fn fetch_dec(&self) -> i64 {
+        self.cell.fetch_add(-1, ORD)
+    }
+
+    /// Read the value without changing it.
+    pub fn load(&self) -> i64 {
+        self.cell.load(ORD)
+    }
+}
+
+/// A compare&swap register (deterministically universal; **not**
+/// historyless, **not** interfering).
+#[derive(Debug, Default)]
+pub struct CasRegister {
+    cell: AtomicI64,
+}
+
+impl CasRegister {
+    /// A CAS register holding `v`.
+    pub fn new(v: i64) -> Self {
+        CasRegister { cell: AtomicI64::new(v) }
+    }
+}
+
+impl CompareSwap for CasRegister {
+    fn compare_swap(&self, expected: i64, new: i64) -> i64 {
+        match self.cell.compare_exchange(expected, new, ORD, ORD) {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        }
+    }
+
+    fn load(&self) -> i64 {
+        self.cell.load(ORD)
+    }
+}
+
+/// An unbounded counter backed by a single atomic word.
+#[derive(Debug, Default)]
+pub struct AtomicCounter {
+    cell: AtomicI64,
+}
+
+impl AtomicCounter {
+    /// A counter at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Counter for AtomicCounter {
+    fn inc(&self) {
+        self.cell.fetch_add(1, ORD);
+    }
+
+    fn dec(&self) {
+        self.cell.fetch_add(-1, ORD);
+    }
+
+    fn read(&self) -> i64 {
+        self.cell.load(ORD)
+    }
+}
+
+impl ResetCounter for AtomicCounter {
+    fn reset(&self) {
+        self.cell.store(0, ORD);
+    }
+}
+
+/// A bounded counter over the inclusive range `[lo, hi]`; INC and DEC
+/// wrap modulo the range size (the paper's bounded-counter semantics,
+/// used by Aspnes's one-counter consensus, Theorem 4.2).
+///
+/// Implemented with a CAS loop; each individual INC/DEC is lock-free
+/// and linearizes at its successful compare-exchange.
+#[derive(Debug)]
+pub struct BoundedAtomicCounter {
+    cell: AtomicI64,
+    lo: i64,
+    hi: i64,
+}
+
+impl BoundedAtomicCounter {
+    /// A bounded counter over `[lo, hi]`, initially `0` clamped into
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "bounded counter range is empty");
+        BoundedAtomicCounter { cell: AtomicI64::new(0i64.clamp(lo, hi)), lo, hi }
+    }
+
+    /// The inclusive range of representable values.
+    pub fn range(&self) -> (i64, i64) {
+        (self.lo, self.hi)
+    }
+
+    fn add_wrapping(&self, delta: i64) {
+        let size = self.hi - self.lo + 1;
+        let mut cur = self.cell.load(ORD);
+        loop {
+            let next = self.lo + (cur - self.lo + delta).rem_euclid(size);
+            match self.cell.compare_exchange_weak(cur, next, ORD, ORD) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+impl Counter for BoundedAtomicCounter {
+    fn inc(&self) {
+        self.add_wrapping(1);
+    }
+
+    fn dec(&self) {
+        self.add_wrapping(-1);
+    }
+
+    fn read(&self) -> i64 {
+        self.cell.load(ORD)
+    }
+}
+
+impl ResetCounter for BoundedAtomicCounter {
+    fn reset(&self) {
+        self.cell.store(0i64.clamp(self.lo, self.hi), ORD);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn register_read_write() {
+        let r = AtomicRegister::new(3);
+        assert_eq!(r.read(), 3);
+        r.write(-9);
+        assert_eq!(r.read(), -9);
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let r = SwapRegister::new(1);
+        assert_eq!(r.swap(2), 1);
+        assert_eq!(r.swap(3), 2);
+        assert_eq!(r.read(), 3);
+    }
+
+    #[test]
+    fn tas_unique_winner_single_threaded() {
+        let f = TestAndSetFlag::new();
+        assert!(!f.is_set());
+        assert!(!f.test_and_set());
+        assert!(f.test_and_set());
+        assert!(f.is_set());
+        f.reset();
+        assert!(!f.test_and_set());
+    }
+
+    #[test]
+    fn fetch_add_and_counter_views_agree() {
+        let fa = FetchAddRegister::new(10);
+        assert_eq!(fa.fetch_add(-4), 10);
+        assert_eq!(fa.load(), 6);
+        fa.inc();
+        fa.dec();
+        fa.dec();
+        assert_eq!(Counter::read(&fa), 5);
+        fa.reset();
+        assert_eq!(fa.load(), 0);
+    }
+
+    #[test]
+    fn fetch_inc_dec_registers() {
+        let fi = FetchIncRegister::new(0);
+        assert_eq!(fi.fetch_inc(), 0);
+        assert_eq!(fi.fetch_inc(), 1);
+        assert_eq!(fi.load(), 2);
+        let fd = FetchDecRegister::new(0);
+        assert_eq!(fd.fetch_dec(), 0);
+        assert_eq!(fd.load(), -1);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let c = CasRegister::new(0);
+        assert_eq!(c.compare_swap(0, 7), 0, "success returns previous");
+        assert_eq!(c.compare_swap(0, 9), 7, "failure returns current");
+        assert_eq!(c.load(), 7);
+    }
+
+    #[test]
+    fn bounded_counter_wraps_both_ways() {
+        let c = BoundedAtomicCounter::new(-2, 2);
+        assert_eq!(c.range(), (-2, 2));
+        for _ in 0..2 {
+            c.inc();
+        }
+        assert_eq!(c.read(), 2);
+        c.inc();
+        assert_eq!(c.read(), -2, "inc past hi wraps");
+        c.dec();
+        assert_eq!(c.read(), 2, "dec past lo wraps");
+        c.reset();
+        assert_eq!(c.read(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range is empty")]
+    fn bounded_counter_rejects_empty_range() {
+        let _ = BoundedAtomicCounter::new(3, 2);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_tickets_are_unique() {
+        let fa = FetchAddRegister::new(0);
+        let seen = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let t = fa.fetch_add(1);
+                        assert!((0..800).contains(&t));
+                        seen.fetch_add(1, ORD);
+                    }
+                });
+            }
+        });
+        assert_eq!(fa.load(), 800);
+        assert_eq!(seen.load(ORD), 800);
+    }
+
+    #[test]
+    fn concurrent_tas_has_exactly_one_winner() {
+        for _ in 0..50 {
+            let f = TestAndSetFlag::new();
+            let winners = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        if !f.test_and_set() {
+                            winners.fetch_add(1, ORD);
+                        }
+                    });
+                }
+            });
+            assert_eq!(winners.load(ORD), 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_bounded_counter_balances() {
+        let c = BoundedAtomicCounter::new(-1000, 1000);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..250 {
+                        c.inc();
+                    }
+                });
+                s.spawn(|| {
+                    for _ in 0..250 {
+                        c.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.read(), 0);
+    }
+}

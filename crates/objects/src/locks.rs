@@ -1,0 +1,200 @@
+//! Spin locks over the paper's primitives — the *mutual exclusion* side
+//! of the story.
+//!
+//! The paper's opening contrast: "Traditionally, the theory of
+//! interprocess synchronization has centered around the notion of
+//! mutual exclusion … a new class of wait-free algorithms have become
+//! the focus." These locks are the traditional side, built from the
+//! same objects the wait-free side uses:
+//!
+//! * [`TasLock`] — a test&set spin lock (one historyless flag): simple,
+//!   correct, *not* fault-tolerant (a crashed holder wedges everyone) —
+//!   exactly the failure mode wait-free algorithms exist to avoid;
+//! * [`PetersonLock`] — Peterson's 2-thread algorithm from three plain
+//!   registers, the classical proof that registers alone achieve
+//!   2-process mutual exclusion (its model twin is exhaustively
+//!   verified in `randsync-consensus`'s `model_protocols::mutex`).
+//!
+//! Both provide RAII guards.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::traits::TestAndSet;
+use crate::TestAndSetFlag;
+
+const ORD: Ordering = Ordering::SeqCst;
+
+/// A test&set spin lock.
+#[derive(Debug, Default)]
+pub struct TasLock {
+    flag: TestAndSetFlag,
+}
+
+impl TasLock {
+    /// An unlocked lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spin until the lock is acquired; the guard releases on drop.
+    pub fn lock(&self) -> TasGuard<'_> {
+        let mut spins = 0u32;
+        // Test-and-test-and-set with capped exponential backoff.
+        loop {
+            if !self.flag.is_set() && !self.flag.test_and_set() {
+                return TasGuard { lock: self };
+            }
+            for _ in 0..(1u32 << spins.min(8)) {
+                std::hint::spin_loop();
+            }
+            spins += 1;
+        }
+    }
+
+    /// Try once; `None` if the lock is held.
+    pub fn try_lock(&self) -> Option<TasGuard<'_>> {
+        if !self.flag.test_and_set() {
+            Some(TasGuard { lock: self })
+        } else {
+            None
+        }
+    }
+}
+
+/// RAII guard for [`TasLock`].
+#[derive(Debug)]
+pub struct TasGuard<'a> {
+    lock: &'a TasLock,
+}
+
+impl Drop for TasGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.flag.reset();
+    }
+}
+
+/// Peterson's 2-thread lock from three read–write registers.
+#[derive(Debug, Default)]
+pub struct PetersonLock {
+    flags: [AtomicBool; 2],
+    turn: AtomicUsize,
+}
+
+impl PetersonLock {
+    /// An unlocked lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire as thread `me` (0 or 1); the guard releases on drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me > 1`.
+    pub fn lock(&self, me: usize) -> PetersonGuard<'_> {
+        assert!(me < 2, "Peterson's lock serves exactly two threads");
+        let other = 1 - me;
+        self.flags[me].store(true, ORD);
+        self.turn.store(other, ORD);
+        while self.flags[other].load(ORD) && self.turn.load(ORD) == other {
+            std::hint::spin_loop();
+        }
+        PetersonGuard { lock: self, me }
+    }
+}
+
+/// RAII guard for [`PetersonLock`].
+#[derive(Debug)]
+pub struct PetersonGuard<'a> {
+    lock: &'a PetersonLock,
+    me: usize,
+}
+
+impl Drop for PetersonGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.flags[self.me].store(false, ORD);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::UnsafeCell;
+
+    /// A deliberately non-atomic counter: lost updates are detectable
+    /// if mutual exclusion ever fails.
+    struct RacyCounter(UnsafeCell<u64>);
+    unsafe impl Sync for RacyCounter {}
+
+    impl RacyCounter {
+        fn bump(&self) {
+            // SAFETY (of the test): callers hold the lock under test.
+            unsafe { *self.0.get() += 1 };
+        }
+
+        fn get(&self) -> u64 {
+            unsafe { *self.0.get() }
+        }
+    }
+
+    #[test]
+    fn tas_lock_protects_a_racy_counter() {
+        let lock = TasLock::new();
+        let counter = RacyCounter(UnsafeCell::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (lock, counter) = (&lock, &counter);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        let _g = lock.lock();
+                        counter.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 40_000, "no lost updates under the lock");
+    }
+
+    #[test]
+    fn tas_try_lock_fails_while_held() {
+        let lock = TasLock::new();
+        let g = lock.try_lock().expect("uncontended");
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn peterson_lock_protects_a_racy_counter() {
+        let lock = PetersonLock::new();
+        let counter = RacyCounter(UnsafeCell::new(0));
+        std::thread::scope(|s| {
+            for me in 0..2 {
+                let (lock, counter) = (&lock, &counter);
+                s.spawn(move || {
+                    for _ in 0..20_000 {
+                        let _g = lock.lock(me);
+                        counter.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 40_000, "registers alone achieve 2-thread mutex");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two threads")]
+    fn peterson_rejects_a_third_thread() {
+        let _ = PetersonLock::new().lock(2);
+    }
+
+    #[test]
+    fn guards_release_on_drop() {
+        let lock = PetersonLock::new();
+        {
+            let _g = lock.lock(0);
+        }
+        // Re-acquirable by either side after release.
+        let _g2 = lock.lock(1);
+    }
+}

@@ -1,0 +1,197 @@
+//! A wait-free counter from n single-writer read–write registers.
+//!
+//! The paper (Corollary 4.3 and its surrounding discussion) relies on
+//! the existence of "deterministic counter implementations using O(n)
+//! read-write registers \[9, 30\]". This module provides the classic
+//! single-writer construction those citations build on: process `i`
+//! records its net contribution in its own register; INC and DEC are a
+//! single write to that register; READ is a *collect* — one read of each
+//! register — summed.
+//!
+//! Every operation is wait-free (INC/DEC take one step, READ takes n).
+//! The READ is *not* atomic with respect to concurrent INC/DEC by other
+//! processes: like the counters of Aspnes–Herlihy \[9\], a read returns a
+//! value between the minimum and maximum true count over its interval
+//! (each per-process register is read exactly once, so the collect sees
+//! each process's contribution at one instant inside the interval).
+//! That regularity guarantee is exactly what the randomized-consensus
+//! walk protocols need, and it is the reason the paper's O(n)-register
+//! upper bounds hold without requiring an atomic snapshot.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use crate::traits::Counter;
+
+const ORD: Ordering = Ordering::SeqCst;
+
+/// A counter distributed across `n` single-writer read–write registers.
+#[derive(Debug)]
+pub struct RegisterCounter {
+    slots: Arc<Vec<AtomicI64>>,
+}
+
+impl RegisterCounter {
+    /// A counter for `n` processes, all contributions 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a counter needs at least one process slot");
+        RegisterCounter { slots: Arc::new((0..n).map(|_| AtomicI64::new(0)).collect()) }
+    }
+
+    /// The number of register slots (= supported processes).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The single-writer handle for process `i`. Only this handle may
+    /// increment or decrement slot `i`; cloning the handle and using it
+    /// from two threads concurrently would violate the single-writer
+    /// discipline (updates could be lost, exactly as with a real
+    /// read–write register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_slots()`.
+    pub fn handle(&self, i: usize) -> CounterHandle {
+        assert!(i < self.slots.len(), "no slot {i}");
+        CounterHandle { slots: Arc::clone(&self.slots), me: i }
+    }
+
+    /// READ: collect every register once and sum.
+    pub fn read(&self) -> i64 {
+        self.slots.iter().map(|s| s.load(ORD)).sum()
+    }
+}
+
+/// Process `i`'s handle onto a [`RegisterCounter`].
+#[derive(Debug)]
+pub struct CounterHandle {
+    slots: Arc<Vec<AtomicI64>>,
+    me: usize,
+}
+
+impl CounterHandle {
+    /// INC: one write to the owned register.
+    pub fn inc(&self) {
+        // Single-writer: a plain load+store of the owned slot is a
+        // faithful read–write-register usage (no RMW is needed or used).
+        let v = self.slots[self.me].load(ORD);
+        self.slots[self.me].store(v + 1, ORD);
+    }
+
+    /// DEC: one write to the owned register.
+    pub fn dec(&self) {
+        let v = self.slots[self.me].load(ORD);
+        self.slots[self.me].store(v - 1, ORD);
+    }
+
+    /// READ: a collect over all registers.
+    pub fn read(&self) -> i64 {
+        self.slots.iter().map(|s| s.load(ORD)).sum()
+    }
+
+    /// This handle's process index.
+    pub fn index(&self) -> usize {
+        self.me
+    }
+}
+
+impl Counter for CounterHandle {
+    fn inc(&self) {
+        CounterHandle::inc(self);
+    }
+
+    fn dec(&self) {
+        CounterHandle::dec(self);
+    }
+
+    fn read(&self) -> i64 {
+        CounterHandle::read(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_counting() {
+        let c = RegisterCounter::new(3);
+        let h0 = c.handle(0);
+        let h2 = c.handle(2);
+        h0.inc();
+        h0.inc();
+        h2.dec();
+        assert_eq!(c.read(), 1);
+        assert_eq!(h0.read(), 1);
+        assert_eq!(h2.index(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no slot")]
+    fn out_of_range_handle_panics() {
+        let c = RegisterCounter::new(2);
+        let _ = c.handle(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_slots_rejected() {
+        let _ = RegisterCounter::new(0);
+    }
+
+    #[test]
+    fn concurrent_single_writer_counting_is_exact_at_quiescence() {
+        let c = RegisterCounter::new(8);
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let h = c.handle(i);
+                s.spawn(move || {
+                    for k in 0..1000 {
+                        if k % 3 == 0 {
+                            h.dec();
+                        } else {
+                            h.inc();
+                        }
+                    }
+                });
+            }
+        });
+        // Each thread: 666 incs, 334 decs → net +332; times 8 threads.
+        assert_eq!(c.read(), 8 * (666 - 334));
+    }
+
+    #[test]
+    fn reads_stay_within_the_true_count_envelope() {
+        // With only increments, any collect must return a value between
+        // 0 and the final count, and reads by one thread are monotone
+        // while others only increment.
+        let c = RegisterCounter::new(4);
+        let total = 4 * 500;
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let h = c.handle(i);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        h.inc();
+                    }
+                });
+            }
+            let reader = c.handle(0);
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..200 {
+                    let v = reader.read();
+                    assert!((0..=total as i64).contains(&v));
+                    assert!(v >= last, "increment-only counts are monotone per reader");
+                    last = v;
+                }
+            });
+        });
+        assert_eq!(c.read(), total as i64);
+    }
+}

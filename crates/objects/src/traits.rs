@@ -1,0 +1,88 @@
+//! Operation traits for threaded shared objects.
+//!
+//! Each trait corresponds to the operation set of one
+//! [`ObjectKind`](randsync_model::ObjectKind). Values are `i64` words
+//! (the model's `Value::Int`); consensus protocols encode richer records
+//! into words exactly as hardware programs do. All traits require
+//! `Send + Sync` so objects can be shared across threads by reference.
+
+/// READ / WRITE — the operation set of a read–write register.
+pub trait ReadWrite: Send + Sync {
+    /// Respond with the current value (trivial: never changes it).
+    fn read(&self) -> i64;
+    /// Set the value to `v`.
+    fn write(&self, v: i64);
+}
+
+/// SWAP — writes `v` and responds with the previous value.
+pub trait Swap: ReadWrite {
+    /// Atomically set the value to `v`, returning the value it replaced.
+    fn swap(&self, v: i64) -> i64;
+}
+
+/// TEST&SET over `{false, true}`.
+pub trait TestAndSet: Send + Sync {
+    /// Atomically set the flag, returning the **previous** value: the
+    /// unique caller that observes `false` "wins" the flag.
+    fn test_and_set(&self) -> bool;
+    /// Clear the flag.
+    fn reset(&self);
+    /// Read the flag without changing it (trivial).
+    fn is_set(&self) -> bool;
+}
+
+/// FETCH&ADD — the paper's fetch&add register.
+pub trait FetchAdd: Send + Sync {
+    /// Atomically add `delta`, returning the previous value.
+    fn fetch_add(&self, delta: i64) -> i64;
+    /// Read the value without changing it (= the information content of
+    /// `fetch_add(0)`).
+    fn load(&self) -> i64;
+}
+
+/// COMPARE&SWAP.
+pub trait CompareSwap: Send + Sync {
+    /// If the value equals `expected`, set it to `new`. Returns the
+    /// previous value in either case (success iff the return equals
+    /// `expected`).
+    fn compare_swap(&self, expected: i64, new: i64) -> i64;
+    /// Read the value without changing it (trivial).
+    fn load(&self) -> i64;
+}
+
+/// INC / DEC / READ — the paper's counter, minus RESET (see
+/// [`ResetCounter`]).
+pub trait Counter: Send + Sync {
+    /// Increment the count.
+    fn inc(&self);
+    /// Decrement the count.
+    fn dec(&self);
+    /// Respond with the current count (trivial).
+    fn read(&self) -> i64;
+}
+
+/// RESET for counters that support it. Split out because the
+/// O(n)-register counter construction provides INC/DEC/READ wait-free
+/// but no linearizable RESET.
+pub trait ResetCounter: Counter {
+    /// Set the count to 0.
+    fn reset(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traits_are_object_safe() {
+        // The separation harness stores heterogeneous objects behind
+        // trait objects; these casts must stay legal.
+        fn _rw(_: &dyn ReadWrite) {}
+        fn _sw(_: &dyn Swap) {}
+        fn _ts(_: &dyn TestAndSet) {}
+        fn _fa(_: &dyn FetchAdd) {}
+        fn _cs(_: &dyn CompareSwap) {}
+        fn _ct(_: &dyn Counter) {}
+        fn _rc(_: &dyn ResetCounter) {}
+    }
+}

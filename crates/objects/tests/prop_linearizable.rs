@@ -1,0 +1,138 @@
+//! Property tests: randomly generated concurrent workloads on every
+//! threaded object produce histories that linearize against the model
+//! semantics — the objects really are the objects the paper reasons
+//! about.
+
+use proptest::prelude::*;
+use randsync_model::{LinearizabilityChecker, ObjectKind, Value};
+use randsync_objects::traits::{CompareSwap, FetchAdd};
+use randsync_objects::{CasRegister, FetchAddRegister, Recorder, SwapRegister, TestAndSetFlag};
+
+/// A small op script per thread; values are kept tiny so the checker's
+/// search stays fast.
+#[derive(Clone, Copy, Debug)]
+enum ScriptOp {
+    Read,
+    Mutate(i64),
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<ScriptOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(ScriptOp::Read),
+            (0i64..3).prop_map(ScriptOp::Mutate),
+        ],
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn swap_register_histories_linearize(
+        scripts in prop::collection::vec(arb_script(), 2..4),
+    ) {
+        let reg = SwapRegister::new(0);
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            for (p, script) in scripts.iter().enumerate() {
+                let (rec, reg) = (&rec, &reg);
+                s.spawn(move || {
+                    for op in script {
+                        match op {
+                            ScriptOp::Read => { rec.read(p, reg); }
+                            ScriptOp::Mutate(v) => { rec.swap(p, reg, *v); }
+                        }
+                    }
+                });
+            }
+        });
+        let checker =
+            LinearizabilityChecker::with_initial(ObjectKind::SwapRegister, Value::Int(0));
+        prop_assert!(checker.is_linearizable(&rec.history()));
+    }
+
+    #[test]
+    fn fetch_add_histories_linearize(
+        scripts in prop::collection::vec(arb_script(), 2..4),
+    ) {
+        let reg = FetchAddRegister::new(0);
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            for (p, script) in scripts.iter().enumerate() {
+                let (rec, reg) = (&rec, &reg);
+                s.spawn(move || {
+                    for op in script {
+                        match op {
+                            ScriptOp::Read => {
+                                rec.record(p, randsync_model::Operation::Read, || {
+                                    randsync_model::Response::Value(Value::Int(reg.load()))
+                                });
+                            }
+                            ScriptOp::Mutate(v) => { rec.fetch_add(p, reg, *v); }
+                        }
+                    }
+                });
+            }
+        });
+        let checker =
+            LinearizabilityChecker::with_initial(ObjectKind::FetchAdd, Value::Int(0));
+        prop_assert!(checker.is_linearizable(&rec.history()));
+    }
+
+    #[test]
+    fn cas_histories_linearize(
+        scripts in prop::collection::vec(arb_script(), 2..4),
+    ) {
+        let reg = CasRegister::new(0);
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            for (p, script) in scripts.iter().enumerate() {
+                let (rec, reg) = (&rec, &reg);
+                s.spawn(move || {
+                    for op in script {
+                        match op {
+                            ScriptOp::Read => {
+                                rec.record(p, randsync_model::Operation::Read, || {
+                                    randsync_model::Response::Value(Value::Int(reg.load()))
+                                });
+                            }
+                            ScriptOp::Mutate(v) => {
+                                rec.compare_swap(p, reg, *v % 2, *v);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let checker =
+            LinearizabilityChecker::with_initial(ObjectKind::CompareSwap, Value::Int(0));
+        prop_assert!(checker.is_linearizable(&rec.history()));
+    }
+
+    #[test]
+    fn tas_histories_linearize_and_have_one_winner_per_epoch(
+        threads in 2usize..5,
+    ) {
+        let flag = TestAndSetFlag::new();
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            for p in 0..threads {
+                let (rec, flag) = (&rec, &flag);
+                s.spawn(move || {
+                    rec.test_and_set(p, flag);
+                });
+            }
+        });
+        let h = rec.history();
+        let checker = LinearizabilityChecker::new(ObjectKind::TestAndSet);
+        prop_assert!(checker.is_linearizable(&h));
+        let winners = h
+            .events()
+            .iter()
+            .filter(|e| e.response == randsync_model::Response::Value(Value::Bool(false)))
+            .count();
+        prop_assert_eq!(winners, 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! `randsync` — command-line front end for the reproduction.
+//!
+//! ```text
+//! randsync table [n]                 the Section 4 separation table
+//! randsync bounds <n>                thresholds for n processes
+//! randsync attack <protocol> [r]     run the lower-bound adversary
+//! randsync check <protocol> [r]      exhaustively model-check a protocol
+//! randsync walk <n> [seed]           threaded one-counter consensus demo
+//! ```
+//!
+//! Protocols for `attack`: `naive`, `optimistic`, `zigzag` (register
+//! protocols, Lemma 3.2 adversary), `swapchain`, `tasrace` (historyless
+//! non-register, Lemma 3.6 adversary). Protocols for `check`: those
+//! plus `cas`, `swap2`, `tas2`, `walk-counter`, `walk-fetchadd`.
+
+use std::process::ExitCode;
+
+use randsync::consensus::model_protocols::{
+    CasModel, NaiveWriteRead, Optimistic, SwapChain, SwapTwoModel, TasRace, TasTwoModel,
+    WalkBacking, WalkModel, Zigzag,
+};
+use randsync::consensus::spec::decide_concurrently;
+use randsync::consensus::{Consensus, WalkConsensus};
+use randsync::core::attack::{attack_identical, AttackOutcome};
+use randsync::core::combine31::CombineLimits;
+use randsync::core::combine35::{ample_pool, attack_historyless, GeneralOutcome};
+use randsync::core::bounds;
+use randsync::core::hierarchy::render_table;
+use randsync::model::{Configuration, Explorer, ExploreLimits, Protocol};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "table" => {
+            let n = parse(args.get(1), 1024);
+            print!("{}", render_table(n));
+            ExitCode::SUCCESS
+        }
+        "bounds" => {
+            let Some(n) = args.get(1).and_then(|s| s.parse::<u64>().ok()) else {
+                eprintln!("usage: randsync bounds <n>");
+                return ExitCode::FAILURE;
+            };
+            println!("n-process randomized binary consensus, n = {n}:");
+            println!(
+                "  historyless objects necessary (Thm 3.7) : {}",
+                bounds::min_historyless_objects(n)
+            );
+            println!(
+                "  bounded registers sufficient  (Sec 1)   : {}",
+                bounds::registers_upper_bound(n)
+            );
+            println!(
+                "  registers for identical procs (Thm 3.3) : {}",
+                bounds::min_registers_identical(n)
+            );
+            println!("  counter / fetch&add / CAS instances     : 1  (Thms 4.2/4.4, Herlihy)");
+            ExitCode::SUCCESS
+        }
+        "attack" => run_attack(&args[1..]),
+        "check" => run_check(&args[1..]),
+        "valency" => run_valency(&args[1..]),
+        "walk" => {
+            let n = parse(args.get(1), 4) as usize;
+            let seed = parse(args.get(2), 42);
+            let proto = WalkConsensus::with_bounded_counter(n.max(2), seed);
+            let inputs: Vec<u8> = (0..n.max(2)).map(|p| (p % 2) as u8).collect();
+            let ds = decide_concurrently(&proto, &inputs);
+            println!(
+                "{} with {} object(s): inputs {:?} → decisions {:?}",
+                proto.name(),
+                proto.object_count(),
+                inputs,
+                ds
+            );
+            ExitCode::SUCCESS
+        }
+        _ => {
+            println!(
+                "randsync — executable reproduction of Fich-Herlihy-Shavit (PODC 1993)\n\n\
+                 usage:\n  randsync table [n]\n  randsync bounds <n>\n  \
+                 randsync attack <naive|optimistic|zigzag|swapchain|tasrace> [r]\n  \
+                 randsync check <protocol> [r]\n  randsync valency <protocol>\n  \
+                 randsync walk <n> [seed]"
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn parse(arg: Option<&String>, default: u64) -> u64 {
+    arg.and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn run_attack(args: &[String]) -> ExitCode {
+    let which = args.first().map(String::as_str).unwrap_or("optimistic");
+    let r = parse(args.get(1), 2) as usize;
+    match which {
+        "naive" => report_register_attack(&NaiveWriteRead::new(2)),
+        "optimistic" => report_register_attack(&Optimistic::new(2, r.max(1))),
+        "zigzag" => report_register_attack(&Zigzag::new(2, r.max(1))),
+        "swapchain" => report_general_attack(&SwapChain::new(3), ample_pool(1)),
+        "tasrace" => report_general_attack(&TasRace::new(2), ample_pool(1)),
+        other => {
+            eprintln!("unknown attack target: {other}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn report_register_attack<P: Protocol>(protocol: &P) -> ExitCode {
+    match attack_identical(protocol, &CombineLimits::default()) {
+        Ok(AttackOutcome::Inconsistent { witness, stats }) => {
+            println!("inconsistency constructed (Lemma 3.2 adversary):");
+            println!("  {witness}");
+            println!(
+                "  cases: {} base splices, {} subset splits (Fig 3), {} incomparable \
+                 (Fig 4), {} clones",
+                stats.base_splices,
+                stats.subset_splits,
+                stats.incomparable_resolutions,
+                stats.clones_spawned
+            );
+            let minimal = witness.minimize(protocol);
+            println!(
+                "  minimized: {} steps, {} processes",
+                minimal.execution.len(),
+                minimal.processes_used
+            );
+            replay_trace(protocol, &witness);
+            ExitCode::SUCCESS
+        }
+        Ok(AttackOutcome::InvalidSolo { pid, input, decided, .. }) => {
+            println!("validity violation: {pid:?} (input {input}) decided {decided} solo");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("attack failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn report_general_attack<P: Protocol>(protocol: &P, pool: usize) -> ExitCode {
+    match attack_historyless(protocol, pool, &ExploreLimits::default()) {
+        Ok(GeneralOutcome::Inconsistent { witness, stats }) => {
+            println!("inconsistency constructed (Lemma 3.6 adversary):");
+            println!("  {witness}");
+            println!(
+                "  {} pieces executed, {} reconstructions, recursion depth {}",
+                stats.pieces_executed, stats.reconstructions, stats.max_depth
+            );
+            replay_trace(protocol, &witness);
+            ExitCode::SUCCESS
+        }
+        Ok(GeneralOutcome::InvalidExecution { input, decided, .. }) => {
+            println!("validity violation: unanimous input {input} decided {decided}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("attack failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn replay_trace<P: Protocol>(
+    protocol: &P,
+    witness: &randsync::core::witness::InconsistencyWitness,
+) {
+    println!("  trace:");
+    let start: Configuration<P::State> = witness.initial_configuration(protocol);
+    let text = randsync::model::render_execution(protocol, &start, &witness.execution)
+        .expect("witness replays");
+    for line in text.lines() {
+        println!("    {line}");
+    }
+}
+
+fn run_valency(args: &[String]) -> ExitCode {
+    let which = args.first().map(String::as_str).unwrap_or("cas");
+    let explorer =
+        Explorer::new(ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 });
+    let report = |a: Option<randsync::model::ValencyAnalysis>| match a {
+        Some(a) => {
+            println!("initial valency     : {:?}", a.initial);
+            println!("configurations      : {}", a.configs);
+            println!("  0-valent          : {}", a.zero_valent);
+            println!("  1-valent          : {}", a.one_valent);
+            println!("  bivalent          : {}", a.bivalent);
+            println!("  stuck             : {}", a.stuck);
+            println!("critical configs    : {}", a.critical_configs);
+            println!("bivalent cycle      : {}", a.bivalent_cycle);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("state space exceeded the budget; valencies would be unsound");
+            ExitCode::FAILURE
+        }
+    };
+    match which {
+        "cas" => report(explorer.valency(&CasModel::new(2), &[0, 1])),
+        "walk-counter" => report(explorer.valency(
+            &WalkModel::with_tight_margins(2, WalkBacking::BoundedCounter),
+            &[0, 1],
+        )),
+        "walk-deterministic" => report(explorer.valency(
+            &WalkModel::deterministic_variant(2, WalkBacking::BoundedCounter),
+            &[0, 1],
+        )),
+        "swap2" => report(explorer.valency(&SwapTwoModel, &[0, 1])),
+        "naive" => report(explorer.valency(&NaiveWriteRead::new(2), &[0, 1])),
+        other => {
+            eprintln!("unknown protocol for valency: {other}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let which = args.first().map(String::as_str).unwrap_or("cas");
+    let r = parse(args.get(1), 2) as usize;
+    let limits = ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 };
+    let explorer = Explorer::new(limits);
+    let verdict = |out: randsync::model::ExploreOutcome| {
+        println!(
+            "configs: {}{}",
+            out.configs_visited,
+            if out.truncated { " (truncated)" } else { "" }
+        );
+        match (&out.consistency_violation, &out.validity_violation) {
+            (None, None) => println!(
+                "SAFE — termination reachable: {:?}, infinite executions: {:?}",
+                out.can_always_reach_termination, out.infinite_execution_possible
+            ),
+            (Some(w), _) => println!("BROKEN — consistency violation in {} steps", w.len()),
+            (None, Some(w)) => println!("BROKEN — validity violation in {} steps", w.len()),
+        }
+    };
+    match which {
+        "cas" => verdict(explorer.explore(&CasModel::new(3), &[0, 1, 0])),
+        "swap2" => verdict(explorer.explore(&SwapTwoModel, &[0, 1])),
+        "tas2" => verdict(explorer.explore(&TasTwoModel, &[0, 1])),
+        "walk-counter" => verdict(
+            explorer
+                .explore(&WalkModel::with_tight_margins(2, WalkBacking::BoundedCounter), &[0, 1]),
+        ),
+        "walk-fetchadd" => verdict(
+            explorer.explore(&WalkModel::with_tight_margins(2, WalkBacking::FetchAdd), &[0, 1]),
+        ),
+        "naive" => verdict(explorer.explore(&NaiveWriteRead::new(2), &[0, 1])),
+        "optimistic" => verdict(explorer.explore(&Optimistic::new(2, r.max(1)), &[0, 1])),
+        "zigzag" => verdict(explorer.explore(&Zigzag::new(2, r.max(1)), &[0, 1])),
+        "swapchain" => verdict(explorer.explore(&SwapChain::new(3), &[0, 1, 1])),
+        "tasrace" => verdict(explorer.explore(&TasRace::new(2), &[0, 1])),
+        other => {
+            eprintln!("unknown protocol: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,41 @@
+//! # randsync
+//!
+//! An executable reproduction of Fich, Herlihy and Shavit, *"On the
+//! Space Complexity of Randomized Synchronization"* (PODC 1993 / JACM
+//! 1998): the Ω(√n) space lower bound for randomized consensus from
+//! historyless objects, the upper-bound protocols it is contrasted
+//! with, and the separation results of Section 4 — as a Rust workspace.
+//!
+//! This umbrella crate re-exports the four library crates:
+//!
+//! * [`model`] — the asynchronous shared-memory computation model:
+//!   typed objects and the historyless classification, protocols with
+//!   explicit coin nondeterminism, schedulers, replayable executions,
+//!   exhaustive exploration, linearizability checking;
+//! * [`objects`] — threaded, linearizable object implementations
+//!   (registers, swap, test&set, fetch&add, compare&swap, counters, the
+//!   n-register snapshot counter, the double-collect snapshot);
+//! * [`consensus`] — every consensus protocol the paper uses, threaded
+//!   and as model state machines (including deliberately flawed ones);
+//! * [`core`] — the paper's contribution made executable: block writes,
+//!   cloning, interruptible executions, the Lemma 3.1/3.5 combiners,
+//!   the closed-form bounds, and the Section 4 separation tables.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use randsync::consensus::{Consensus, WalkConsensus};
+//!
+//! // Theorem 4.2: randomized consensus from ONE bounded counter.
+//! let proto = WalkConsensus::with_bounded_counter(3, 42);
+//! let decisions = randsync::consensus::spec::decide_concurrently(&proto, &[0, 1, 1]);
+//! assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+//! ```
+
+pub use randsync_consensus as consensus;
+pub use randsync_core as core;
+pub use randsync_model as model;
+pub use randsync_objects as objects;

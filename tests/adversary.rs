@@ -1,0 +1,116 @@
+//! Integration: the lower-bound adversaries against the protocol zoo.
+//!
+//! Every flawed protocol must fall to the constructive attacks with a
+//! replay-verified witness whose process consumption respects the
+//! paper's budgets; every *correct* protocol must be rejected up front
+//! (wrong object class) — the adversary never fabricates violations.
+
+use randsync::consensus::model_protocols::{CasModel, NaiveWriteRead, Optimistic};
+use randsync::core::attack::{attack_identical, attack_for_witness, AttackError, AttackOutcome};
+use randsync::core::bounds::{max_identical_processes, max_processes_historyless};
+use randsync::core::combine31::CombineLimits;
+use randsync::core::combine35::{ample_pool, attack_historyless, GeneralOutcome};
+use randsync::model::ExploreLimits;
+
+#[test]
+fn lemma_32_breaks_every_optimistic_protocol() {
+    for r in 1..=4usize {
+        let p = Optimistic::new(2, r);
+        let (witness, stats) = attack_for_witness(&p, &CombineLimits::default())
+            .unwrap_or_else(|e| panic!("r={r}: {e}"));
+        witness.verify(&p).unwrap();
+        // Lemma 3.1's budget at v = w = 1: r² − r + 2 processes.
+        let budget = max_identical_processes(r as u64) + 1;
+        assert!(
+            witness.processes_used as u64 <= budget,
+            "r={r}: {} processes > budget {budget}",
+            witness.processes_used
+        );
+        // Deeper register counts exercise the nontrivial proof cases.
+        if r >= 2 {
+            assert!(stats.subset_splits + stats.incomparable_resolutions > 0, "r={r}");
+        }
+    }
+}
+
+#[test]
+fn lemma_36_breaks_flawed_protocols_with_an_ample_pool() {
+    for r in 1..=3usize {
+        let p = Optimistic::new(2, r);
+        let pool = ample_pool(r).max((max_processes_historyless(r as u64) + 1) as usize);
+        match attack_historyless(&p, pool, &ExploreLimits::default()) {
+            Ok(GeneralOutcome::Inconsistent { witness, stats }) => {
+                witness.verify(&p).unwrap();
+                assert!(witness.processes_used <= pool);
+                assert!(stats.pieces_executed >= 2);
+            }
+            Ok(GeneralOutcome::InvalidExecution { .. }) => panic!("optimistic is valid"),
+            Err(e) => panic!("r={r}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn both_attacks_agree_on_the_naive_protocol() {
+    let p = NaiveWriteRead::new(2);
+    let (w1, _) = attack_for_witness(&p, &CombineLimits::default()).unwrap();
+    w1.verify(&p).unwrap();
+    match attack_historyless(&p, 6, &ExploreLimits::default()).unwrap() {
+        GeneralOutcome::Inconsistent { witness, .. } => witness.verify(&p).unwrap(),
+        GeneralOutcome::InvalidExecution { .. } => panic!("naive is valid"),
+    }
+}
+
+#[test]
+fn correct_protocols_are_out_of_scope_not_falsified() {
+    // The CAS protocol is consensus — and it is not historyless, so
+    // neither attack applies. The adversary refuses rather than
+    // fabricating a witness.
+    let cas = CasModel::new(3);
+    assert!(matches!(
+        attack_identical(&cas, &CombineLimits::default()),
+        Err(AttackError::NotRegisters)
+    ));
+    assert!(attack_historyless(&cas, 12, &ExploreLimits::default()).is_err());
+}
+
+#[test]
+fn witnesses_grow_with_register_count() {
+    // More registers force longer combination executions — the shape
+    // behind the paper's r²-style process budgets.
+    let mut last_steps = 0usize;
+    for r in 1..=4usize {
+        let p = Optimistic::new(2, r);
+        let (witness, _) = attack_for_witness(&p, &CombineLimits::default()).unwrap();
+        assert!(
+            witness.execution.len() >= last_steps,
+            "r={r}: witness shrank ({} < {last_steps})",
+            witness.execution.len()
+        );
+        last_steps = witness.execution.len();
+    }
+}
+
+#[test]
+fn witness_replays_are_deterministic() {
+    let p = Optimistic::new(2, 2);
+    let (witness, _) = attack_for_witness(&p, &CombineLimits::default()).unwrap();
+    // Replaying twice produces identical final configurations.
+    let start = witness.initial_configuration(&p);
+    let (end1, _) = witness.execution.replay(&p, &start).unwrap();
+    let (end2, _) = witness.execution.replay(&p, &start).unwrap();
+    assert_eq!(end1, end2);
+    assert!(end1.is_inconsistent());
+}
+
+#[test]
+fn the_attack_outcome_is_inconsistency_not_invalidity() {
+    // These protocols decide only values they read or hold — validity
+    // is never the failure mode; consistency is.
+    for r in 1..=3usize {
+        match attack_identical(&Optimistic::new(2, r), &CombineLimits::default()).unwrap() {
+            AttackOutcome::Inconsistent { .. } => {}
+            AttackOutcome::InvalidSolo { .. } => panic!("unexpected validity violation"),
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end tests of the `randsync` CLI binary.
+
+use std::process::Command;
+
+fn randsync(args: &[&str]) -> (String, String, bool) {
+    let exe = env!("CARGO_BIN_EXE_randsync");
+    let out = Command::new(exe).args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_lists_every_subcommand() {
+    let (stdout, _, ok) = randsync(&[]);
+    assert!(ok);
+    for cmd in ["table", "bounds", "attack", "check", "valency", "walk"] {
+        assert!(stdout.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn bounds_reports_the_thresholds() {
+    let (stdout, _, ok) = randsync(&["bounds", "1024"]);
+    assert!(ok);
+    assert!(stdout.contains("Thm 3.7"));
+    assert!(stdout.contains(": 19"), "√n bound for 1024 is 19: {stdout}");
+    assert!(stdout.contains(": 1024"), "O(n) upper bound");
+}
+
+#[test]
+fn bounds_without_n_fails_with_usage() {
+    let (_, stderr, ok) = randsync(&["bounds"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn table_renders_primitives() {
+    let (stdout, _, ok) = randsync(&["table", "64"]);
+    assert!(ok);
+    assert!(stdout.contains("swap register"));
+    assert!(stdout.contains("compare&swap register"));
+}
+
+#[test]
+fn attack_zigzag_constructs_and_minimizes_a_witness() {
+    let (stdout, _, ok) = randsync(&["attack", "zigzag", "2"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("inconsistency constructed"));
+    assert!(stdout.contains("incomparable"), "zigzag must hit Figure 4");
+    assert!(stdout.contains("minimized:"));
+    assert!(stdout.contains("DECIDES 0") && stdout.contains("DECIDES 1"));
+}
+
+#[test]
+fn attack_swapchain_uses_the_general_adversary() {
+    let (stdout, _, ok) = randsync(&["attack", "swapchain"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Lemma 3.6"));
+    assert!(stdout.contains("pieces executed"));
+}
+
+#[test]
+fn check_verdicts_match_the_protocol_zoo() {
+    let (stdout, _, ok) = randsync(&["check", "cas"]);
+    assert!(ok);
+    assert!(stdout.contains("SAFE"));
+    let (stdout, _, ok) = randsync(&["check", "naive"]);
+    assert!(ok);
+    assert!(stdout.contains("BROKEN"));
+}
+
+#[test]
+fn valency_reports_the_flp_structure() {
+    let (stdout, _, ok) = randsync(&["valency", "walk-deterministic"]);
+    assert!(ok);
+    assert!(stdout.contains("Bivalent"));
+    assert!(stdout.contains("bivalent cycle      : true"));
+    let (stdout, _, ok) = randsync(&["valency", "cas"]);
+    assert!(ok);
+    assert!(stdout.contains("bivalent cycle      : false"));
+}
+
+#[test]
+fn walk_decides_consistently() {
+    let (stdout, _, ok) = randsync(&["walk", "4", "7"]);
+    assert!(ok);
+    assert!(stdout.contains("decisions"));
+    assert!(stdout.contains("1 object(s)"));
+}
+
+#[test]
+fn unknown_subtargets_fail_cleanly() {
+    let (_, stderr, ok) = randsync(&["attack", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown"));
+    let (_, stderr, ok) = randsync(&["check", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown"));
+}

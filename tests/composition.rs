@@ -1,0 +1,88 @@
+//! Integration: Theorem 2.1 on real object stacks.
+//!
+//! "Suppose f(n) instances of X solve n-process randomized consensus
+//! and g(n) instances of Y are required. Then any randomized
+//! non-blocking implementation of X by Y requires g(n)/f(n) instances
+//! of Y." We check the arithmetic against the concrete implementations
+//! this workspace actually ships: the counter-from-n-registers stack
+//! and the consensus protocols built on it.
+
+use randsync::consensus::{Consensus, WalkConsensus};
+use randsync::core::bounds::{composition_lower_bound, min_historyless_objects};
+use randsync::core::hierarchy::implementation_lower_bound;
+use randsync::model::ObjectKind;
+use randsync::objects::{SnapshotCounter, FetchAddRegister};
+use randsync::objects::traits::FetchAdd;
+
+#[test]
+fn the_register_counter_stack_satisfies_theorem_21() {
+    for n in [4u64, 16, 64, 256] {
+        // f(n) = 1: one counter solves randomized consensus (Thm 4.2).
+        let f = 1u64;
+        // g(n) = Ω(√n): registers are historyless (Thm 3.7).
+        let g = min_historyless_objects(n);
+        // Therefore ANY counter-from-registers implementation needs at
+        // least g/f registers...
+        let required = composition_lower_bound(g, f);
+        // ...and ours uses n, which must respect that bound.
+        let ours = SnapshotCounter::new(n as usize).num_slots() as u64;
+        assert!(ours >= required, "n={n}: {ours} < {required}");
+        // The hierarchy module computes the same corollary.
+        assert_eq!(implementation_lower_bound(ObjectKind::Counter, n), Some(required));
+    }
+}
+
+#[test]
+fn composing_walk_over_the_register_counter_counts_objects_multiplicatively() {
+    // Consensus-from-counter uses f = 1 counter; counter-from-registers
+    // uses h = n registers; the composed consensus-from-registers uses
+    // f · h = n registers — consistent with g(n) ≤ f(n)·h(n), i.e.
+    // h ≥ g/f (the proof of Theorem 2.1, instantiated).
+    for n in [3usize, 6, 10] {
+        let composed = WalkConsensus::with_register_counter(n, 1);
+        let f = 1usize;
+        let h = n;
+        assert_eq!(composed.object_count(), f * h);
+        let g = min_historyless_objects(n as u64);
+        assert!((composed.object_count() as u64) >= g);
+    }
+}
+
+#[test]
+fn fetch_add_implements_a_counter_with_one_instance() {
+    // The reduction behind Theorem 4.4: INC/DEC/READ from one
+    // fetch&add register (f&a response even gives back the old value,
+    // which a counter does not need).
+    let fa = FetchAddRegister::new(0);
+    fa.fetch_add(1);
+    fa.fetch_add(1);
+    fa.fetch_add(-1);
+    assert_eq!(fa.load(), 1);
+    // And one instance of that counter solves consensus:
+    let proto = WalkConsensus::with_fetch_add(FetchAddRegister::new(0), 4, 9);
+    assert_eq!(proto.object_count(), 1);
+    let ds = randsync::consensus::spec::decide_concurrently(&proto, &[1, 0, 1, 0]);
+    assert!(ds.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn corollary_bounds_grow_with_n_for_every_single_instance_target() {
+    for target in [
+        ObjectKind::CompareSwap,
+        ObjectKind::Counter,
+        ObjectKind::FetchAdd,
+        ObjectKind::FetchIncrement,
+        ObjectKind::FetchDecrement,
+    ] {
+        let small = implementation_lower_bound(target, 16).unwrap();
+        let large = implementation_lower_bound(target, 16_384).unwrap();
+        assert!(large > small, "{target:?}: {large} ≤ {small}");
+    }
+}
+
+#[test]
+fn composition_bound_is_tight_when_divisible() {
+    // Pure arithmetic sanity at the boundary.
+    assert_eq!(composition_lower_bound(12, 4), 3);
+    assert_eq!(composition_lower_bound(13, 4), 4);
+}

@@ -1,0 +1,115 @@
+//! Integration: the paper's Section 2 remark, made checkable.
+//!
+//! "Since it is impossible to implement consensus in a wait-free manner
+//! for two or more processes from only read-write registers, any
+//! randomized wait-free implementation of consensus for two or more
+//! processes from only read-write registers must have non-terminating
+//! executions. However, these executions must occur with
+//! correspondingly small probabilities."
+//!
+//! The same holds for counters (consensus number 1). The explorer's
+//! cycle detection witnesses the non-terminating executions in our
+//! randomized walk protocols, while the deterministic one-CAS protocol
+//! — built from an object of infinite consensus number — has none.
+
+use randsync::consensus::model_protocols::{
+    CasModel, SwapTwoModel, TasTwoModel, WalkBacking, WalkModel,
+};
+use randsync::model::{Explorer, ExploreLimits, RandomScheduler, Simulator};
+
+fn explorer() -> Explorer {
+    Explorer::new(ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 })
+}
+
+#[test]
+fn randomized_walk_consensus_must_have_infinite_executions() {
+    for backing in [WalkBacking::BoundedCounter, WalkBacking::FetchAdd] {
+        let p = WalkModel::with_tight_margins(2, backing);
+        let out = explorer().explore(&p, &[0, 1]);
+        assert!(!out.truncated, "{backing:?}");
+        assert!(out.is_safe(), "{backing:?}");
+        // Non-terminating executions exist (the coin can bounce
+        // forever)...
+        assert_eq!(out.infinite_execution_possible, Some(true), "{backing:?}");
+        // ...but termination stays reachable from everywhere, so they
+        // occur with probability 0 under fair coins.
+        assert_eq!(out.can_always_reach_termination, Some(true), "{backing:?}");
+    }
+}
+
+#[test]
+fn deterministic_one_object_protocols_always_terminate() {
+    // CAS has consensus number ∞: wait-free deterministic consensus
+    // exists, and indeed every execution decides within a bounded
+    // number of steps — no cycles anywhere in the state space.
+    let out = explorer().explore(&CasModel::new(3), &[0, 1, 0]);
+    assert_eq!(out.infinite_execution_possible, Some(false));
+
+    // Swap and test&set have consensus number 2: their deterministic
+    // 2-process protocols are likewise cycle-free.
+    let out = explorer().explore(&SwapTwoModel, &[0, 1]);
+    assert_eq!(out.infinite_execution_possible, Some(false));
+    let out = explorer().explore(&TasTwoModel, &[1, 0]);
+    assert_eq!(out.infinite_execution_possible, Some(false));
+}
+
+#[test]
+fn unanimous_walks_terminate_deterministically_despite_the_cycles() {
+    // With unanimous inputs the walk never flips a coin; although the
+    // *protocol* has infinite executions for mixed inputs, the
+    // unanimous-input state space is cycle-free.
+    let p = WalkModel::with_tight_margins(2, WalkBacking::BoundedCounter);
+    for input in [0, 1] {
+        let out = explorer().explore(&p, &[input; 2]);
+        assert!(out.is_safe());
+        assert_eq!(out.infinite_execution_possible, Some(false), "input {input}");
+    }
+}
+
+#[test]
+fn valency_separates_deterministic_power() {
+    // The FLP lens on the same protocols. One-CAS consensus: bivalent
+    // start, critical configurations where the race is settled, no
+    // bivalent cycle — the deterministic decision is forced in bounded
+    // steps.
+    let cas = explorer().valency(&CasModel::new(2), &[0, 1]).expect("not truncated");
+    assert_eq!(cas.initial, randsync::model::Valency::Bivalent);
+    assert!(cas.critical_configs > 0);
+    assert!(!cas.bivalent_cycle);
+
+    // The DETERMINISTIC walk variant on a counter: still safe, but the
+    // bivalent region contains a cycle — an adversary can keep it
+    // undecided forever. That is precisely why counters (consensus
+    // number 1) admit no deterministic wait-free consensus, and why
+    // the randomized walk needs its coins.
+    let det = randsync::consensus::model_protocols::WalkModel::deterministic_variant(
+        2,
+        WalkBacking::BoundedCounter,
+    );
+    let a = explorer().valency(&det, &[0, 1]).expect("not truncated");
+    assert!(a.bivalent > 0);
+    assert!(a.bivalent_cycle, "the adversary's forever-undecided loop must exist");
+
+    // The randomized walk also has bivalent cycles (same graph shape) —
+    // but every bivalent configuration still *can* decide either way,
+    // and the coins make escape certain. The difference between the two
+    // protocols is not the graph; it is who controls the branching.
+    let rand_walk = WalkModel::with_tight_margins(2, WalkBacking::BoundedCounter);
+    let b = explorer().valency(&rand_walk, &[0, 1]).expect("not truncated");
+    assert!(b.bivalent_cycle);
+    assert_eq!(b.stuck, 0, "no deadlocked subtree in the randomized walk");
+}
+
+#[test]
+fn long_simulated_runs_still_terminate_with_probability_one_in_practice() {
+    // Empirical face of "probability 0": even adversarially seeded
+    // long runs decide well before a generous step budget.
+    let p = WalkModel::with_default_margins(3, WalkBacking::BoundedCounter);
+    for seed in 0..40u64 {
+        let mut sim = Simulator::new(1_000_000, seed);
+        let mut sched = RandomScheduler::new(!seed);
+        let out = sim.run(&p, &[0, 1, 0], &mut sched).unwrap();
+        assert!(out.all_decided, "seed {seed} hit the budget");
+        assert!(out.steps < 1_000_000);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for executions, replay, and exploration witnesses.
+
+use proptest::prelude::*;
+use randsync::consensus::model_protocols::{NaiveWriteRead, Optimistic, Zigzag};
+use randsync::model::{
+    Configuration, Execution, Explorer, ProcessId, Protocol, RandomScheduler, Simulator,
+};
+
+proptest! {
+    /// Whatever the simulator does under a random schedule, recording
+    /// the schedule and replaying it from the initial configuration
+    /// reproduces the exact final configuration — replayability is the
+    /// foundation every witness rests on.
+    #[test]
+    fn simulated_runs_replay_exactly(
+        n in 2usize..5,
+        r in 1usize..4,
+        coin_seed in any::<u64>(),
+        sched_seed in any::<u64>(),
+        zig in any::<bool>(),
+    ) {
+        let inputs: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        if zig {
+            let p = Zigzag::new(n, r);
+            check_replay(&p, &inputs, coin_seed, sched_seed)?;
+        } else {
+            let p = Optimistic::new(n, r);
+            check_replay(&p, &inputs, coin_seed, sched_seed)?;
+        }
+    }
+
+    /// BFS counterexamples from the explorer are minimal: no strict
+    /// prefix of the witness already exhibits the inconsistency.
+    #[test]
+    fn explorer_witnesses_are_minimal(n in 2usize..4) {
+        let p = NaiveWriteRead::new(n);
+        let inputs: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let out = Explorer::default().explore(&p, &inputs);
+        let w = out.consistency_violation.expect("naive is flawed");
+        let start = Configuration::initial(&p, &inputs);
+        let (end, _) = w.replay(&p, &start).unwrap();
+        prop_assert!(end.is_inconsistent());
+        for k in 0..w.len() {
+            let prefix = Execution::from_steps(w.steps()[..k].to_vec());
+            let (mid, _) = prefix.replay(&p, &start).unwrap();
+            prop_assert!(!mid.is_inconsistent(), "witness has inconsistent prefix {k}");
+        }
+    }
+
+    /// Concatenation of executions behaves like sequential application.
+    #[test]
+    fn concatenation_is_sequential_application(
+        n in 2usize..5,
+        split in any::<prop::sample::Index>(),
+        sched_seed in any::<u64>(),
+    ) {
+        let p = Optimistic::new(n, 2);
+        let inputs: Vec<u8> = (0..n).map(|i| ((i + 1) % 2) as u8).collect();
+        let mut sim = Simulator::new(10_000, 7);
+        let mut sched = RandomScheduler::new(sched_seed);
+        let out = sim.run(&p, &inputs, &mut sched).unwrap();
+        let exec = out.execution();
+        let k = split.index(exec.len() + 1);
+        let a = Execution::from_steps(exec.steps()[..k].to_vec());
+        let b = Execution::from_steps(exec.steps()[k..].to_vec());
+        let start = Configuration::initial(&p, &inputs);
+        let (mid, _) = a.replay(&p, &start).unwrap();
+        let (end_via_parts, _) = b.replay(&p, &mid).unwrap();
+        let (end_direct, _) = a.then(&b).replay(&p, &start).unwrap();
+        prop_assert_eq!(end_via_parts, end_direct);
+    }
+
+    /// Solo executions never change other processes' states.
+    #[test]
+    fn solo_runs_do_not_touch_other_processes(
+        n in 2usize..5,
+        pid in any::<prop::sample::Index>(),
+        coin_seed in any::<u64>(),
+    ) {
+        let p = Optimistic::new(n, 2);
+        let inputs: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let start = Configuration::initial(&p, &inputs);
+        let target = ProcessId(pid.index(n));
+        let mut sim = Simulator::new(10_000, coin_seed);
+        let out = sim.run_solo(&p, start.clone(), target).unwrap();
+        for i in 0..n {
+            if i != target.index() {
+                prop_assert_eq!(&out.config.procs[i], &start.procs[i]);
+            }
+        }
+    }
+}
+
+fn check_replay<P: Protocol>(
+    p: &P,
+    inputs: &[u8],
+    coin_seed: u64,
+    sched_seed: u64,
+) -> Result<(), TestCaseError> {
+    let mut sim = Simulator::new(50_000, coin_seed);
+    let mut sched = RandomScheduler::new(sched_seed);
+    let out = sim.run(p, inputs, &mut sched).unwrap();
+    let start = Configuration::initial(p, inputs);
+    let (replayed, records) = out.execution().replay(p, &start).unwrap();
+    prop_assert_eq!(&replayed, &out.config);
+    prop_assert_eq!(records.len(), out.records.len());
+    for (a, b) in records.iter().zip(out.records.iter()) {
+        prop_assert_eq!(a, b);
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Integration: the zigzag protocol drives the Lemma 3.1 recursion
+//! through its Figure 4 (incomparable object sets) case.
+
+use randsync::consensus::model_protocols::Zigzag;
+use randsync::core::attack::attack_for_witness;
+use randsync::core::combine31::CombineLimits;
+
+#[test]
+fn zigzag_attack_exercises_the_incomparable_case() {
+    for r in 2..=4usize {
+        let p = Zigzag::new(2, r);
+        let (witness, stats) = attack_for_witness(&p, &CombineLimits::default())
+            .unwrap_or_else(|e| panic!("r={r}: {e}"));
+        witness.verify(&p).unwrap();
+        assert!(
+            stats.incomparable_resolutions > 0,
+            "r={r}: zigzag first-writes diverge, Figure 4 must fire; got {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn zigzag_with_one_register_degenerates_to_the_subset_case() {
+    let p = Zigzag::new(2, 1);
+    let (witness, stats) = attack_for_witness(&p, &CombineLimits::default()).unwrap();
+    witness.verify(&p).unwrap();
+    assert_eq!(stats.incomparable_resolutions, 0);
+}
