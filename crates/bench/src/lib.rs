@@ -10,7 +10,7 @@ pub mod stats;
 pub use stats::Summary;
 
 use randsync_consensus::model_protocols::{WalkBacking, WalkModel};
-use randsync_model::{RandomScheduler, Simulator};
+use randsync_model::{monte_carlo, RandomScheduler, Simulator};
 
 /// Print the standard experiment banner.
 pub fn banner(id: &str, title: &str, claim: &str) {
@@ -21,37 +21,38 @@ pub fn banner(id: &str, title: &str, claim: &str) {
 /// Simulate the walk consensus (model version) for `n` processes with
 /// alternating inputs over `trials` seeds; returns
 /// `(mean steps, max steps, max |cursor| excursion)`.
+///
+/// Seeds fan out across worker threads via [`monte_carlo`]; each trial
+/// derives its simulator and scheduler streams from its seed alone, so
+/// the profile is identical to a sequential loop over `0..trials`.
 pub fn walk_profile(n: usize, backing: WalkBacking, trials: u64) -> (f64, usize, i64) {
     let p = WalkModel::with_default_margins(n, backing);
     let inputs: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
-    let mut total = 0usize;
-    let mut max_steps = 0usize;
-    let mut max_exc = 0i64;
-    for seed in 0..trials {
+    let per_trial = monte_carlo(0..trials, 0, |seed| {
         let mut sim = Simulator::new(2_000_000, seed * 7 + 1);
         let mut sched = RandomScheduler::new(seed * 131 + 3);
         let out = sim.run(&p, &inputs, &mut sched).expect("simulation runs");
         assert!(out.all_decided, "walk did not terminate (n={n}, seed={seed})");
         assert_eq!(out.decided_values().len(), 1, "inconsistent (n={n}, seed={seed})");
-        total += out.steps;
-        max_steps = max_steps.max(out.steps);
         // Excursion from the records: track the cursor value.
         let mut cursor = 0i64;
+        let mut exc = 0i64;
         for r in &out.records {
-            if let Some((_, op, resp)) = r.op {
+            if let Some((_, op, _resp)) = r.op {
                 match op {
                     randsync_model::Operation::Inc => cursor += 1,
                     randsync_model::Operation::Dec => cursor -= 1,
-                    randsync_model::Operation::FetchAdd(d) => {
-                        let _ = resp;
-                        cursor += d;
-                    }
+                    randsync_model::Operation::FetchAdd(d) => cursor += d,
                     _ => {}
                 }
-                max_exc = max_exc.max(cursor.abs());
+                exc = exc.max(cursor.abs());
             }
         }
-    }
+        (out.steps, exc)
+    });
+    let total: usize = per_trial.iter().map(|(s, _)| s).sum();
+    let max_steps = per_trial.iter().map(|(s, _)| *s).max().unwrap_or(0);
+    let max_exc = per_trial.iter().map(|(_, e)| *e).max().unwrap_or(0);
     (total as f64 / trials as f64, max_steps, max_exc)
 }
 

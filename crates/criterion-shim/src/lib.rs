@@ -1,0 +1,229 @@
+//! A minimal, dependency-free benchmarking shim that is
+//! **API-compatible with the subset of [criterion] this workspace
+//! uses**. The build environment has no access to crates.io, so the
+//! workspace vendors this stand-in; the `crates/bench/benches/*` targets
+//! compile unchanged.
+//!
+//! Timing is a plain wall-clock sample loop (warm-up round, then
+//! `sample_size` timed samples of an adaptively chosen batch size) with
+//! mean/min/max reported on stdout. There is no statistical analysis,
+//! no HTML report, and no baseline comparison — the bench targets in
+//! this workspace use Criterion for order-of-magnitude timings next to
+//! the tables they print, and that is exactly what this provides.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement throughput annotation (accepted, unused).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `name` or `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured
+/// routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, measured: Vec::new() }
+    }
+
+    /// Measure `f`, recording per-iteration wall-clock times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim for samples of >= ~1ms so the
+        // clock resolution does not dominate very fast routines.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed();
+        let batch = if once >= Duration::from_millis(1) {
+            1
+        } else {
+            let per = once.as_nanos().max(1) as u64;
+            (1_000_000 / per).clamp(1, 100_000) as usize
+        };
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.measured.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.measured.is_empty() {
+            println!("bench {label:<44} (no samples)");
+            return;
+        }
+        let total: Duration = self.measured.iter().sum();
+        let mean = total / self.measured.len() as u32;
+        let min = self.measured.iter().min().copied().unwrap_or_default();
+        let max = self.measured.iter().max().copied().unwrap_or_default();
+        println!(
+            "bench {label:<44} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+            self.measured.len()
+        );
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; command-line filtering is not
+    /// implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Measure a single function.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&name.to_string());
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Measure `f` with the given input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Measure a named function within the group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export of [`std::hint::black_box`], as in criterion.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2).configure_from_args();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        for n in [1u32, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| n * 2);
+            });
+        }
+        group.bench_function("named", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("fair", 4).to_string(), "fair/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,372 @@
+//! The shared breadth-first exploration engine.
+//!
+//! Every exhaustive search in this crate — consensus checking
+//! ([`Explorer::explore_from`](super::Explorer::explore_from)), valency
+//! analysis ([`Explorer::valency`](super::Explorer::valency)), and
+//! safety-property search
+//! ([`Explorer::find_violation`](super::Explorer::find_violation)) — is
+//! a thin wrapper over [`bfs`]. The engine owns three responsibilities:
+//!
+//! 1. **Interning.** Each distinct configuration is stored exactly once,
+//!    in an append-only arena ([`BfsGraph::nodes`]). All bookkeeping
+//!    (parent links, depths, successor edges, the frontier) refers to
+//!    configurations by their `u32` arena index, so the graph costs a
+//!    few words per edge instead of a cloned `Configuration` per key.
+//! 2. **Dedup.** Novelty checks go through [`SeenMaps`]: a precomputed
+//!    64-bit hash selects a shard, the shard maps the hash to candidate
+//!    arena indices, and candidates are collision-checked against the
+//!    arena by full equality. Workers therefore never hold a clone of a
+//!    configuration just to use it as a map key.
+//! 3. **Deterministic parallelism.** Each BFS level is processed in two
+//!    phases. Phase 1 expands the frontier — in parallel chunks under
+//!    [`std::thread::scope`] when the frontier is large enough — with
+//!    *read-only* access to the arena and seen-maps, producing candidate
+//!    successors. Phase 2 merges the candidates sequentially, in
+//!    frontier order, at the level barrier: it resolves duplicates that
+//!    were discovered concurrently within the level, assigns arena
+//!    indices, and records edges. Because the merge runs in frontier
+//!    order, the arena order (and hence every witness, count, and flag
+//!    derived from it) is **identical to a sequential BFS regardless of
+//!    thread count**.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::config::{Configuration, ProcState};
+use crate::execution::Step;
+use crate::protocol::{Action, ObjectSpec, Protocol};
+
+use super::ExploreConfig;
+
+/// Frontiers smaller than this are expanded inline: at this scale the
+/// per-level thread spawn costs more than the expansion work it buys.
+const PARALLEL_FRONTIER_MIN: usize = 64;
+
+/// Deterministic 64-bit hash of a configuration. `DefaultHasher::new()`
+/// is SipHash with fixed keys, so equal configurations hash equally
+/// across threads, runs, and hosts.
+pub(super) fn config_hash<S: Hash>(config: &Configuration<S>) -> u64 {
+    let mut h = DefaultHasher::new();
+    config.hash(&mut h);
+    h.finish()
+}
+
+/// The sharded hash → arena-index dedup structure.
+///
+/// Keys are precomputed [`config_hash`] values; a key maps to every
+/// arena index whose configuration has that hash (almost always one —
+/// the `Vec` exists only for 64-bit collisions, and lookups confirm by
+/// full equality against the arena). Sharding by the low hash bits keeps
+/// lock contention negligible when many workers probe concurrently.
+pub(super) struct SeenMaps {
+    shards: Vec<Mutex<HashMap<u64, Vec<u32>>>>,
+    mask: u64,
+}
+
+impl SeenMaps {
+    /// A map with `shards` shards, rounded up to a power of two.
+    pub(super) fn new(shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(1);
+        SeenMaps {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    fn shard(&self, hash: u64) -> MutexGuard<'_, HashMap<u64, Vec<u32>>> {
+        // The maps are plain data; a panic while holding the lock cannot
+        // leave them incoherent, so poisoning is ignored.
+        self.shards[(hash & self.mask) as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The arena index of `config`, if it has been interned.
+    pub(super) fn probe<S: Eq>(
+        &self,
+        hash: u64,
+        config: &Configuration<S>,
+        arena: &[Configuration<S>],
+    ) -> Option<u32> {
+        self.shard(hash)
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&j| arena[j as usize] == *config)
+    }
+
+    /// Record that `config_hash == hash` lives at arena index `index`.
+    pub(super) fn insert(&self, hash: u64, index: u32) {
+        self.shard(hash).entry(hash).or_default().push(index);
+    }
+}
+
+/// The interned BFS forest produced by [`bfs`].
+pub(super) struct BfsGraph<S> {
+    /// The configuration arena, in BFS (insertion) order; index 0 is the
+    /// start configuration.
+    pub(super) nodes: Vec<Configuration<S>>,
+    /// `parent[i]` is the node and step that first reached node `i`
+    /// (`None` only for the start node); follows shortest paths.
+    pub(super) parent: Vec<Option<(u32, Step)>>,
+    /// BFS depth of each node.
+    pub(super) depth: Vec<u32>,
+    /// Successor edges, in `(pid, coin)` enumeration order, including
+    /// edges to already-interned nodes. Empty unless edges were
+    /// requested.
+    pub(super) succ: Vec<Vec<u32>>,
+    /// A successor was dropped because the arena reached `max_configs`.
+    pub(super) config_capped: bool,
+    /// The depth budget cut off at least one node that still had active
+    /// processes (i.e. exploration genuinely stopped early).
+    pub(super) depth_capped_active: bool,
+    /// The depth budget cut off at least one node of any kind (the
+    /// stricter flag used by safety search, which makes no claims about
+    /// nodes beyond the horizon).
+    pub(super) depth_capped_any: bool,
+    /// The first node (in BFS order) satisfying the stop predicate, if
+    /// one was given and matched.
+    pub(super) hit: Option<u32>,
+}
+
+/// A candidate successor produced during frontier expansion.
+enum SuccRef<S> {
+    /// Already interned at this arena index when the expansion probed.
+    Seen(u32),
+    /// Not interned at expansion time; carries the precomputed hash and
+    /// the (single) clone made once novelty was likely.
+    New { hash: u64, config: Configuration<S> },
+}
+
+/// Classify one candidate configuration: hash it in place, probe the
+/// seen-maps, and clone only if it looks novel. This is the
+/// hash-first/clone-on-insert discipline — known configurations cost a
+/// hash and a probe, never an allocation.
+fn classify<S: Clone + Eq + Hash>(
+    scratch: &Configuration<S>,
+    seen: &SeenMaps,
+    arena: &[Configuration<S>],
+) -> SuccRef<S> {
+    let hash = config_hash(scratch);
+    match seen.probe(hash, scratch, arena) {
+        Some(j) => SuccRef::Seen(j),
+        None => SuccRef::New { hash, config: scratch.clone() },
+    }
+}
+
+/// All one-step successors of `config`, classified against the current
+/// arena. Successors are enumerated in `(pid, coin)` order — the same
+/// order as [`super::successors`] — by mutating a single scratch clone
+/// in place and undoing each step, so a full configuration clone happens
+/// only for candidates that are not already interned.
+fn expand_node<P>(
+    protocol: &P,
+    specs: &[ObjectSpec],
+    config: &Configuration<P::State>,
+    seen: &SeenMaps,
+    arena: &[Configuration<P::State>],
+) -> Vec<(Step, SuccRef<P::State>)>
+where
+    P: Protocol,
+{
+    let mut out = Vec::new();
+    let mut scratch = config.clone();
+    for pid in config.active_processes() {
+        // `state` borrows from `config`, never from `scratch`, so the
+        // in-place mutations below cannot invalidate it.
+        let Some(state) = config.procs[pid.0].state() else { continue };
+        match protocol.action(state) {
+            Action::Decide(d) => {
+                let prev = std::mem::replace(&mut scratch.procs[pid.0], ProcState::Decided(d));
+                out.push((Step::of(pid), classify(&scratch, seen, arena)));
+                scratch.procs[pid.0] = prev;
+            }
+            Action::Invoke { object, op } => {
+                let Some(spec) = specs.get(object.0) else { continue };
+                let Some(value) = config.values.get(object.0) else { continue };
+                let Ok((new_value, resp)) = spec.kind.apply(value, &op) else { continue };
+                let domain = protocol.coin_domain(state, &resp).max(1);
+                let prev_value = std::mem::replace(&mut scratch.values[object.0], new_value);
+                for coin in 0..domain {
+                    let next_state = protocol.transition(state, &resp, coin);
+                    let prev_proc = std::mem::replace(
+                        &mut scratch.procs[pid.0],
+                        ProcState::Active(next_state),
+                    );
+                    out.push((Step::with_coin(pid, coin), classify(&scratch, seen, arena)));
+                    scratch.procs[pid.0] = prev_proc;
+                }
+                scratch.values[object.0] = prev_value;
+            }
+        }
+    }
+    out
+}
+
+/// Depth-synchronous breadth-first exploration from `start`.
+///
+/// When `stop` is given, the search halts at the end of the level in
+/// which the first (in BFS order) matching node is interned, recording
+/// it in [`BfsGraph::hit`]; the predicate is evaluated on every node
+/// exactly once, as it is interned. When `record_edges` is set, the full
+/// successor multigraph is recorded in [`BfsGraph::succ`].
+///
+/// The result is bit-identical for every `threads` setting: parallel
+/// workers only *propose* successors, and the sequential merge at each
+/// level barrier interns them in frontier order.
+pub(super) fn bfs<P>(
+    protocol: &P,
+    start: Configuration<P::State>,
+    config: &ExploreConfig,
+    record_edges: bool,
+    stop: Option<&(dyn Fn(&Configuration<P::State>) -> bool + Sync)>,
+) -> BfsGraph<P::State>
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
+    // `Protocol::objects` allocates a fresh Vec per call; hoist it out
+    // of the hot loop once for the whole search.
+    let specs = protocol.objects();
+    let threads = config.effective_threads();
+    let max_configs = config.limits.max_configs;
+    let max_depth = config.limits.max_depth;
+    let seen = SeenMaps::new(config.shard_count());
+
+    let mut g = BfsGraph {
+        nodes: Vec::new(),
+        parent: Vec::new(),
+        depth: Vec::new(),
+        succ: Vec::new(),
+        config_capped: false,
+        depth_capped_active: false,
+        depth_capped_any: false,
+        hit: None,
+    };
+    let start_hash = config_hash(&start);
+    g.nodes.push(start);
+    g.parent.push(None);
+    g.depth.push(0);
+    if record_edges {
+        g.succ.push(Vec::new());
+    }
+    seen.insert(start_hash, 0);
+    if let Some(pred) = stop {
+        if pred(&g.nodes[0]) {
+            g.hit = Some(0);
+            return g;
+        }
+    }
+
+    let mut frontier: Vec<u32> = vec![0];
+    let mut level_depth: usize = 0;
+
+    while !frontier.is_empty() && g.hit.is_none() {
+        if level_depth >= max_depth {
+            g.depth_capped_any = true;
+            if frontier
+                .iter()
+                .any(|&i| !g.nodes[i as usize].active_processes().is_empty())
+            {
+                g.depth_capped_active = true;
+            }
+            break;
+        }
+
+        // Phase 1: expand every frontier node against a frozen view of
+        // the arena and seen-maps. Nothing is interned yet, so workers
+        // may race freely; duplicates discovered concurrently are
+        // resolved by the merge below.
+        let expansions: Vec<Vec<(Step, SuccRef<P::State>)>> =
+            if threads > 1 && frontier.len() >= PARALLEL_FRONTIER_MIN {
+                let arena = g.nodes.as_slice();
+                let seen_ref = &seen;
+                let specs_ref = specs.as_slice();
+                let workers = threads.min(frontier.len());
+                let chunk = frontier.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = frontier
+                        .chunks(chunk)
+                        .map(|ids| {
+                            scope.spawn(move || {
+                                ids.iter()
+                                    .map(|&i| {
+                                        expand_node(
+                                            protocol,
+                                            specs_ref,
+                                            &arena[i as usize],
+                                            seen_ref,
+                                            arena,
+                                        )
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("exploration worker panicked"))
+                        .collect()
+                })
+            } else {
+                frontier
+                    .iter()
+                    .map(|&i| expand_node(protocol, &specs, &g.nodes[i as usize], &seen, &g.nodes))
+                    .collect()
+            };
+
+        // Phase 2: sequential merge at the level barrier, in frontier
+        // order. This is the only place the arena and seen-maps grow, so
+        // interning order — and everything derived from it — matches the
+        // sequential BFS exactly.
+        let mut next_frontier: Vec<u32> = Vec::new();
+        for (pos, candidates) in expansions.into_iter().enumerate() {
+            let parent_idx = frontier[pos];
+            for (step, cand) in candidates {
+                let interned = match cand {
+                    SuccRef::Seen(j) => Some(j),
+                    SuccRef::New { hash, config } => {
+                        // Re-probe: another frontier node earlier in the
+                        // merge may have interned this configuration
+                        // within the same level.
+                        if let Some(j) = seen.probe(hash, &config, &g.nodes) {
+                            Some(j)
+                        } else if g.nodes.len() >= max_configs {
+                            g.config_capped = true;
+                            None
+                        } else {
+                            debug_assert!(g.nodes.len() < u32::MAX as usize);
+                            let j = g.nodes.len() as u32;
+                            g.nodes.push(config);
+                            g.parent.push(Some((parent_idx, step)));
+                            g.depth.push(level_depth as u32 + 1);
+                            if record_edges {
+                                g.succ.push(Vec::new());
+                            }
+                            seen.insert(hash, j);
+                            if g.hit.is_none() {
+                                if let Some(pred) = stop {
+                                    if pred(&g.nodes[j as usize]) {
+                                        g.hit = Some(j);
+                                    }
+                                }
+                            }
+                            next_frontier.push(j);
+                            Some(j)
+                        }
+                    }
+                };
+                if record_edges {
+                    if let Some(j) = interned {
+                        g.succ[parent_idx as usize].push(j);
+                    }
+                }
+            }
+        }
+        frontier = next_frontier;
+        level_depth += 1;
+    }
+    g
+}

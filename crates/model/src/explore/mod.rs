@@ -13,14 +13,56 @@
 //!    finite solo execution in which a given process finishes.
 //!    [`Explorer::solo_terminating`] finds such a witness by exhausting
 //!    the process's coin nondeterminism.
+//!
+//! # Architecture: interned arena + sharded dedup + level-parallel BFS
+//!
+//! All exhaustive searches run on one engine (see [`engine`] — the
+//! module is private; this summary is the contract). Configurations are
+//! *interned*: each distinct configuration is stored once in an
+//! append-only arena and referred to by `u32` index everywhere else, so
+//! the search graph carries indices, not clones. Deduplication uses a
+//! precomputed 64-bit configuration hash routed to one of
+//! [`ExploreConfig::shards`] lock-protected maps from hash to arena
+//! indices, collision-checked by full equality against the arena.
+//!
+//! The BFS is **depth-synchronous**: each level is expanded as a whole,
+//! in parallel chunks across [`ExploreConfig::threads`] scoped threads
+//! when the frontier is large enough, against a frozen arena. New
+//! configurations are then interned by a sequential merge at the level
+//! barrier, in frontier order.
+//!
+//! ## Determinism guarantee
+//!
+//! For a fixed protocol, inputs, and [`ExploreLimits`], every result in
+//! this module — visit counts, witnesses, valencies, truncation flags —
+//! is **identical for every `threads` and `shards` setting**, including
+//! repeated runs. Parallel workers only *propose* successors; interning
+//! order is fixed by the sequential merge, and the hash function
+//! (std's `DefaultHasher`, SipHash with fixed keys) is deterministic.
+//! `threads = 1` is not a separate code path so much as the degenerate
+//! schedule of the same engine: the merge is what defines the
+//! semantics.
+//!
+//! ## Picking `threads` and `shards`
+//!
+//! The defaults (`threads = 0` → [`std::thread::available_parallelism`];
+//! `shards = 0` → 64) are right for almost everyone. Parallelism pays
+//! off once BFS levels hold a few hundred configurations — small spaces
+//! are expanded inline regardless, so oversubscribing `threads` on tiny
+//! protocols costs nothing. `shards` bounds lock contention on the
+//! dedup maps during expansion; it is rounded up to a power of two, and
+//! more than `4 × threads` shards buys little.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+mod engine;
+
+use std::collections::{HashSet, VecDeque};
 use std::hash::Hash;
 
-use crate::config::Configuration;
+use crate::config::{Configuration, ProcState};
 use crate::execution::{Execution, Step};
 use crate::process::ProcessId;
 use crate::protocol::{Action, Decision, Protocol};
+use crate::value::Value;
 
 /// Budgets bounding an exploration.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +76,41 @@ pub struct ExploreLimits {
 impl Default for ExploreLimits {
     fn default() -> Self {
         ExploreLimits { max_configs: 200_000, max_depth: 10_000 }
+    }
+}
+
+/// Full configuration of an [`Explorer`]: budgets plus the parallel
+/// execution shape.
+///
+/// The execution shape never affects results (see the module-level
+/// determinism guarantee) — only wall-clock time and lock contention.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExploreConfig {
+    /// Budgets bounding the exploration.
+    pub limits: ExploreLimits,
+    /// Worker threads for frontier expansion; `0` (the default) means
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Shard count for the dedup maps, rounded up to a power of two;
+    /// `0` (the default) means 64.
+    pub shards: usize,
+}
+
+impl ExploreConfig {
+    /// The actual worker-thread count this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    /// The actual shard count this configuration resolves to (a power
+    /// of two).
+    pub fn shard_count(&self) -> usize {
+        let shards = if self.shards == 0 { 64 } else { self.shards };
+        shards.next_power_of_two()
     }
 }
 
@@ -69,6 +146,10 @@ pub struct ExploreOutcome {
     /// correspondingly small probability; this field witnesses exactly
     /// that for model-checked protocols.
     pub infinite_execution_possible: Option<bool>,
+    /// Estimated resident size, in bytes, of the interned configuration
+    /// arena plus dedup maps at the end of the exploration. The arena is
+    /// append-only, so this is also its peak.
+    pub arena_bytes: usize,
 }
 
 impl ExploreOutcome {
@@ -128,20 +209,45 @@ pub struct ValencyAnalysis {
 /// Exhaustive explorer with budgets.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Explorer {
-    limits: ExploreLimits,
+    config: ExploreConfig,
 }
 
 impl Explorer {
-    /// An explorer with the given budgets.
+    /// An explorer with the given budgets and default parallelism.
     pub fn new(limits: ExploreLimits) -> Self {
-        Explorer { limits }
+        Explorer { config: ExploreConfig { limits, ..ExploreConfig::default() } }
+    }
+
+    /// An explorer with an explicit full configuration.
+    pub fn with_config(config: ExploreConfig) -> Self {
+        Explorer { config }
+    }
+
+    /// Set the worker-thread count (`0` = auto). Results do not depend
+    /// on this setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Set the dedup shard count (`0` = default). Results do not depend
+    /// on this setting.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// This explorer's full configuration.
+    pub fn config(&self) -> &ExploreConfig {
+        &self.config
     }
 
     /// Explore every interleaving and coin outcome of `protocol` from
     /// its initial configuration with the given inputs.
     pub fn explore<P>(&self, protocol: &P, inputs: &[Decision]) -> ExploreOutcome
     where
-        P: Protocol,
+        P: Protocol + Sync,
+        P::State: Send + Sync,
     {
         let start = Configuration::initial(protocol, inputs);
         self.explore_from(protocol, start, inputs)
@@ -156,91 +262,54 @@ impl Explorer {
         inputs: &[Decision],
     ) -> ExploreOutcome
     where
-        P: Protocol,
+        P: Protocol + Sync,
+        P::State: Send + Sync,
     {
-        // BFS with parent pointers for shortest witnesses.
-        let mut nodes: Vec<Configuration<P::State>> = vec![start.clone()];
-        let mut parent: Vec<Option<(usize, Step)>> = vec![None];
-        let mut depth: Vec<usize> = vec![0];
-        let mut index: HashMap<Configuration<P::State>, usize> = HashMap::new();
-        index.insert(start, 0);
-        let mut succ: Vec<Vec<usize>> = vec![Vec::new()];
-        let mut queue: VecDeque<usize> = VecDeque::from([0]);
+        let g = engine::bfs(protocol, start, &self.config, true, None);
 
+        // Scan the arena in BFS order: the first violating node found is
+        // the one a sequential BFS would have reported, and its parent
+        // chain is a shortest witness.
         let mut consistency_violation = None;
         let mut validity_violation = None;
-        let mut truncated = false;
         let mut terminal_configs = 0usize;
-
-        while let Some(i) = queue.pop_front() {
-            let config = nodes[i].clone();
-
-            if config.is_inconsistent() && consistency_violation.is_none() {
-                consistency_violation = Some(path_to(&nodes, &parent, i));
+        for (i, c) in g.nodes.iter().enumerate() {
+            if consistency_violation.is_none() && c.is_inconsistent() {
+                consistency_violation = Some(path_to(&g.parent, i as u32));
             }
-            if validity_violation.is_none() {
-                let invalid = config
-                    .decided_values()
-                    .iter()
-                    .any(|d| !inputs.contains(d));
-                if invalid {
-                    validity_violation = Some(path_to(&nodes, &parent, i));
-                }
+            if validity_violation.is_none()
+                && c.decided_values().iter().any(|d| !inputs.contains(d))
+            {
+                validity_violation = Some(path_to(&g.parent, i as u32));
             }
-
-            let active = config.active_processes();
-            if active.is_empty() {
+            if c.active_processes().is_empty() {
                 terminal_configs += 1;
-                continue;
-            }
-            if depth[i] >= self.limits.max_depth {
-                truncated = true;
-                continue;
-            }
-
-            for pid in active {
-                for (step, next) in successors(protocol, &config, pid) {
-                    if let Some(&j) = index.get(&next) {
-                        succ[i].push(j);
-                        continue;
-                    }
-                    if nodes.len() >= self.limits.max_configs {
-                        truncated = true;
-                        continue;
-                    }
-                    let j = nodes.len();
-                    nodes.push(next.clone());
-                    parent.push(Some((i, step)));
-                    depth.push(depth[i] + 1);
-                    succ.push(Vec::new());
-                    index.insert(next, j);
-                    succ[i].push(j);
-                    queue.push_back(j);
-                }
             }
         }
 
+        let truncated = g.config_capped || g.depth_capped_active;
         let (can_always_reach_termination, infinite_execution_possible) = if truncated {
             (None, None)
         } else {
-            (Some(all_can_terminate(&nodes, &succ)), Some(has_cycle(&succ)))
+            (Some(all_can_terminate(&g.nodes, &g.succ)), Some(has_cycle(&g.succ)))
         };
 
         ExploreOutcome {
             consistency_violation,
             validity_violation,
-            configs_visited: nodes.len(),
+            configs_visited: g.nodes.len(),
             terminal_configs,
             truncated,
             can_always_reach_termination,
             infinite_execution_possible,
+            arena_bytes: arena_footprint(&g.nodes),
         }
     }
 
     /// FLP-style **valency analysis**: classify every reachable
     /// configuration by the set of decision values still reachable from
-    /// it. Returns `None` if the exploration hit a budget (valencies
-    /// would be unsound on a truncated graph).
+    /// it. Returns `None` if the exploration hit the configuration
+    /// budget (valencies would be unsound on a truncated graph).
     ///
     /// A configuration is *bivalent* if both 0 and 1 remain reachable,
     /// *v-valent* if only `v` does, and *stuck* if no decision is
@@ -252,40 +321,24 @@ impl Explorer {
     /// forever-undecided loop exists.
     pub fn valency<P>(&self, protocol: &P, inputs: &[Decision]) -> Option<ValencyAnalysis>
     where
-        P: Protocol,
+        P: Protocol + Sync,
+        P::State: Send + Sync,
     {
+        // Valency classifies the entire reachable space; the depth
+        // budget does not apply (and never did).
+        let mut config = self.config;
+        config.limits.max_depth = usize::MAX;
         let start = Configuration::initial(protocol, inputs);
-        let mut nodes: Vec<Configuration<P::State>> = vec![start.clone()];
-        let mut index: HashMap<Configuration<P::State>, usize> = HashMap::new();
-        index.insert(start, 0);
-        let mut succ: Vec<Vec<usize>> = vec![Vec::new()];
-        let mut queue: VecDeque<usize> = VecDeque::from([0]);
-        while let Some(i) = queue.pop_front() {
-            let config = nodes[i].clone();
-            for pid in config.active_processes() {
-                for (_, next) in successors(protocol, &config, pid) {
-                    if let Some(&j) = index.get(&next) {
-                        succ[i].push(j);
-                        continue;
-                    }
-                    if nodes.len() >= self.limits.max_configs {
-                        return None;
-                    }
-                    let j = nodes.len();
-                    nodes.push(next.clone());
-                    succ.push(Vec::new());
-                    index.insert(next, j);
-                    succ[i].push(j);
-                    queue.push_back(j);
-                }
-            }
+        let g = engine::bfs(protocol, start, &config, true, None);
+        if g.config_capped {
+            return None;
         }
 
         // Fixpoint: propagate reachable decision values backwards.
         // mask bit 0 = "0 reachable", bit 1 = "1 reachable".
-        let n = nodes.len();
+        let n = g.nodes.len();
         let mut mask = vec![0u8; n];
-        for (i, c) in nodes.iter().enumerate() {
+        for (i, c) in g.nodes.iter().enumerate() {
             for d in c.decided_values() {
                 mask[i] |= 1 << d.min(1);
             }
@@ -295,8 +348,8 @@ impl Explorer {
             changed = false;
             for i in 0..n {
                 let mut m = mask[i];
-                for &j in &succ[i] {
-                    m |= mask[j];
+                for &j in &g.succ[i] {
+                    m |= mask[j as usize];
                 }
                 if m != mask[i] {
                     mask[i] = m;
@@ -324,10 +377,10 @@ impl Explorer {
             }
         }
         // A bivalent cycle: a cycle within the bivalent subgraph.
-        let bivalent_succ: Vec<Vec<usize>> = (0..n)
+        let bivalent_succ: Vec<Vec<u32>> = (0..n)
             .map(|i| {
                 if mask[i] == 3 {
-                    succ[i].iter().copied().filter(|&j| mask[j] == 3).collect()
+                    g.succ[i].iter().copied().filter(|&j| mask[j as usize] == 3).collect()
                 } else {
                     Vec::new()
                 }
@@ -337,8 +390,8 @@ impl Explorer {
         // Critical configurations: bivalent, every successor univalent.
         for i in 0..n {
             if mask[i] == 3
-                && !succ[i].is_empty()
-                && succ[i].iter().all(|&j| mask[j] != 3)
+                && !g.succ[i].is_empty()
+                && g.succ[i].iter().all(|&j| mask[j as usize] != 3)
             {
                 analysis.critical_configs += 1;
             }
@@ -362,45 +415,14 @@ impl Explorer {
         bad: F,
     ) -> (Option<Execution>, bool)
     where
-        P: Protocol,
-        F: Fn(&Configuration<P::State>) -> bool,
+        P: Protocol + Sync,
+        P::State: Send + Sync,
+        F: Fn(&Configuration<P::State>) -> bool + Sync,
     {
         let start = Configuration::initial(protocol, inputs);
-        let mut nodes: Vec<Configuration<P::State>> = vec![start.clone()];
-        let mut parent: Vec<Option<(usize, Step)>> = vec![None];
-        let mut depth: Vec<usize> = vec![0];
-        let mut index: HashMap<Configuration<P::State>, usize> = HashMap::new();
-        index.insert(start, 0);
-        let mut queue: VecDeque<usize> = VecDeque::from([0]);
-        let mut truncated = false;
-        while let Some(i) = queue.pop_front() {
-            let config = nodes[i].clone();
-            if bad(&config) {
-                return (Some(path_to(&nodes, &parent, i)), truncated);
-            }
-            if depth[i] >= self.limits.max_depth {
-                truncated = true;
-                continue;
-            }
-            for pid in config.active_processes() {
-                for (step, next) in successors(protocol, &config, pid) {
-                    if index.contains_key(&next) {
-                        continue;
-                    }
-                    if nodes.len() >= self.limits.max_configs {
-                        truncated = true;
-                        continue;
-                    }
-                    let j = nodes.len();
-                    nodes.push(next.clone());
-                    parent.push(Some((i, step)));
-                    depth.push(depth[i] + 1);
-                    index.insert(next, j);
-                    queue.push_back(j);
-                }
-            }
-        }
-        (None, truncated)
+        let g = engine::bfs(protocol, start, &self.config, false, Some(&bad));
+        let truncated = g.config_capped || g.depth_capped_any;
+        (g.hit.map(|i| path_to(&g.parent, i)), truncated)
     }
 
     /// Search for a finite **solo execution** of `pid` from `config`
@@ -424,6 +446,10 @@ impl Explorer {
 
     /// Like [`Explorer::solo_terminating`], but also returns the value
     /// `pid` decides at the end of the witness.
+    ///
+    /// Solo searches stay sequential: their state space is keyed on a
+    /// single process's state plus the object values and is tiny in
+    /// practice.
     pub fn solo_deciding<P>(
         &self,
         protocol: &P,
@@ -440,17 +466,17 @@ impl Explorer {
         // execution; key visited states on that pair.
         let mut queue: VecDeque<(Configuration<P::State>, Execution)> =
             VecDeque::from([(config.clone(), Execution::new())]);
-        let mut seen: HashSet<(P::State, Vec<crate::value::Value>)> = HashSet::new();
+        let mut seen: HashSet<(P::State, Vec<Value>)> = HashSet::new();
         if let Some(s) = config.procs[pid.0].state() {
             seen.insert((s.clone(), config.values.clone()));
         }
         let mut expanded = 0usize;
         while let Some((c, path)) = queue.pop_front() {
-            if path.len() >= self.limits.max_depth {
+            if path.len() >= self.config.limits.max_depth {
                 continue;
             }
             expanded += 1;
-            if expanded > self.limits.max_configs {
+            if expanded > self.config.limits.max_configs {
                 return None;
             }
             for (step, next) in successors(protocol, &c, pid) {
@@ -473,6 +499,11 @@ impl Explorer {
 
 /// All one-step successors of `config` by process `pid`: one per coin
 /// outcome (decides have a single successor).
+///
+/// This is the reference single-node expansion; the exploration engine
+/// enumerates successors in exactly this `(pid, coin)` order, but uses
+/// an in-place scratch configuration so it only clones for
+/// configurations that turn out to be new.
 pub fn successors<P>(
     protocol: &P,
     config: &Configuration<P::State>,
@@ -511,13 +542,9 @@ where
 }
 
 /// Reconstruct the execution reaching node `i` from the BFS forest.
-fn path_to<S>(
-    _nodes: &[Configuration<S>],
-    parent: &[Option<(usize, Step)>],
-    mut i: usize,
-) -> Execution {
+fn path_to(parent: &[Option<(u32, Step)>], mut i: u32) -> Execution {
     let mut steps = Vec::new();
-    while let Some((p, step)) = parent[i] {
+    while let Some((p, step)) = parent[i as usize] {
         steps.push(step);
         i = p;
     }
@@ -525,10 +552,30 @@ fn path_to<S>(
     Execution::from_steps(steps)
 }
 
+/// Estimated bytes held by the interned arena (plus dedup-map entries)
+/// for reporting. Counts each configuration's inline struct and its two
+/// heap vectors; `Value` is `Copy`, so object values carry no further
+/// indirection.
+fn arena_footprint<S>(nodes: &[Configuration<S>]) -> usize {
+    use std::mem::size_of;
+    // Per interned node the dedup maps hold roughly a key, an index, and
+    // bucket overhead.
+    const SEEN_ENTRY_BYTES: usize = 24;
+    nodes
+        .iter()
+        .map(|c| {
+            size_of::<Configuration<S>>()
+                + c.procs.len() * size_of::<ProcState<S>>()
+                + c.values.len() * size_of::<Value>()
+        })
+        .sum::<usize>()
+        + nodes.len() * SEEN_ENTRY_BYTES
+}
+
 /// Does the reachable graph contain a cycle? (Terminal nodes have no
 /// successors, so any cycle is among non-terminal configurations and
 /// witnesses an infinite execution.) Iterative three-color DFS.
-fn has_cycle(succ: &[Vec<usize>]) -> bool {
+fn has_cycle(succ: &[Vec<u32>]) -> bool {
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
         White,
@@ -546,7 +593,7 @@ fn has_cycle(succ: &[Vec<usize>]) -> bool {
         color[start] = Color::Gray;
         while let Some(&mut (node, ref mut next)) = stack.last_mut() {
             if *next < succ[node].len() {
-                let child = succ[node][*next];
+                let child = succ[node][*next] as usize;
                 *next += 1;
                 match color[child] {
                     Color::Gray => return true,
@@ -567,15 +614,15 @@ fn has_cycle(succ: &[Vec<usize>]) -> bool {
 
 /// Backward reachability: can every node reach a terminal node (no
 /// active processes)?
-fn all_can_terminate<S>(nodes: &[Configuration<S>], succ: &[Vec<usize>]) -> bool
+fn all_can_terminate<S>(nodes: &[Configuration<S>], succ: &[Vec<u32>]) -> bool
 where
     S: Clone + Eq + Hash + core::fmt::Debug,
 {
     let n = nodes.len();
-    let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pred: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (i, outs) in succ.iter().enumerate() {
         for &j in outs {
-            pred[j].push(i);
+            pred[j as usize].push(i as u32);
         }
     }
     let mut can = vec![false; n];
@@ -588,9 +635,9 @@ where
     }
     while let Some(j) = queue.pop_front() {
         for &i in &pred[j] {
-            if !can[i] {
-                can[i] = true;
-                queue.push_back(i);
+            if !can[i as usize] {
+                can[i as usize] = true;
+                queue.push_back(i as usize);
             }
         }
     }
@@ -870,5 +917,71 @@ mod tests {
         let succs = successors(&p, &c, ProcessId(0));
         assert_eq!(succs.len(), 2);
         assert_ne!(succs[0].1, succs[1].1);
+    }
+
+    /// The observable fields of an outcome, for cross-thread-count
+    /// comparison.
+    fn fingerprint(o: &ExploreOutcome) -> impl PartialEq + std::fmt::Debug {
+        (
+            o.consistency_violation.clone(),
+            o.validity_violation.clone(),
+            o.configs_visited,
+            o.terminal_configs,
+            o.truncated,
+            o.can_always_reach_termination,
+            o.infinite_execution_possible,
+        )
+    }
+
+    #[test]
+    fn exploration_is_identical_across_thread_counts() {
+        let p = Naive { n: 3 };
+        let base = Explorer::default().threads(1).explore(&p, &[0, 1, 0]);
+        for threads in [2, 4, 7] {
+            let out = Explorer::default().threads(threads).explore(&p, &[0, 1, 0]);
+            assert_eq!(
+                fingerprint(&base),
+                fingerprint(&out),
+                "threads={threads} diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn exploration_is_identical_across_shard_counts() {
+        let p = Cas { n: 3 };
+        let base = Explorer::default().shards(1).explore(&p, &[1, 0, 1]);
+        let wide = Explorer::default().shards(512).explore(&p, &[1, 0, 1]);
+        assert_eq!(fingerprint(&base), fingerprint(&wide));
+    }
+
+    #[test]
+    fn find_violation_matches_across_thread_counts() {
+        let p = Naive { n: 2 };
+        let bad = |c: &Configuration<St>| c.is_inconsistent();
+        let (w1, t1) = Explorer::default().threads(1).find_violation(&p, &[0, 1], bad);
+        let (w4, t4) = Explorer::default().threads(4).find_violation(&p, &[0, 1], bad);
+        assert_eq!(w1, w4);
+        assert_eq!(t1, t4);
+        assert!(w1.is_some(), "naive consensus is inconsistent");
+    }
+
+    #[test]
+    fn explore_config_resolution() {
+        let auto = ExploreConfig::default();
+        assert!(auto.effective_threads() >= 1);
+        assert_eq!(auto.shard_count(), 64);
+        let explicit = ExploreConfig { threads: 3, shards: 5, ..ExploreConfig::default() };
+        assert_eq!(explicit.effective_threads(), 3);
+        assert_eq!(explicit.shard_count(), 8, "rounded up to a power of two");
+    }
+
+    #[test]
+    fn outcome_reports_arena_footprint() {
+        let p = Cas { n: 2 };
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        assert!(out.arena_bytes > 0);
+        // At minimum the inline struct of every interned configuration.
+        assert!(out.arena_bytes >= out.configs_visited * std::mem::size_of::<Configuration<CasSt>>());
     }
 }

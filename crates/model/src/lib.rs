@@ -20,7 +20,12 @@
 //!   random, solo, crash-injecting, scripted);
 //! * bounded exhaustive state-space exploration ([`explore`]) used both to
 //!   model-check small protocols and to realize the paper's
-//!   "nondeterministic solo termination" witnesses;
+//!   "nondeterministic solo termination" witnesses — built on a parallel,
+//!   memory-lean BFS engine (interned configuration arena, sharded
+//!   hash-first dedup, depth-synchronous worker fan-out) whose results
+//!   are bit-identical at every thread count; [`ExploreConfig`] picks the
+//!   parallel shape and [`sim::monte_carlo`] batches simulation trials
+//!   the same deterministic way;
 //! * a history recorder and a Wing–Gong linearizability checker
 //!   ([`history`], [`linearize`]) for validating real, threaded object
 //!   implementations against the same [`ObjectKind`] semantics.
@@ -67,7 +72,7 @@ pub mod value;
 pub use config::{Configuration, ProcState};
 pub use error::ModelError;
 pub use execution::{Execution, Step, StepRecord};
-pub use explore::{ExploreLimits, ExploreOutcome, Explorer, Valency, ValencyAnalysis};
+pub use explore::{ExploreConfig, ExploreLimits, ExploreOutcome, Explorer, Valency, ValencyAnalysis};
 pub use history::{Event, History};
 pub use kind::ObjectKind;
 pub use linearize::LinearizabilityChecker;
@@ -79,6 +84,6 @@ pub use sched::{
     ContrarianScheduler, CrashScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
     ScriptScheduler, SoloScheduler,
 };
-pub use sim::{RunOutcome, Simulator};
+pub use sim::{monte_carlo, RunOutcome, Simulator};
 pub use trace::{render_execution, render_record};
 pub use value::Value;

@@ -146,6 +146,54 @@ impl Simulator {
     }
 }
 
+/// Fan a Monte Carlo seed range out across scoped worker threads.
+///
+/// `job` is invoked exactly once per seed in `seeds`; the returned
+/// vector holds the results **in seed order**, so the output is
+/// bit-identical to the sequential loop `seeds.map(job).collect()` for
+/// every `threads` setting (`0` means
+/// [`std::thread::available_parallelism`]). Each job should derive all
+/// of its randomness from its seed — e.g. a [`Simulator`] and scheduler
+/// built on per-seed [`SplitMix64`] streams — so that runs are
+/// independent and reproducible regardless of which worker executes
+/// them.
+///
+/// Workers take contiguous seed sub-ranges and write into disjoint
+/// slices of the result vector; there is no channel, no locking, and no
+/// per-seed allocation beyond the job's own.
+pub fn monte_carlo<T, F>(seeds: std::ops::Range<u64>, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let count = usize::try_from(seeds.end.saturating_sub(seeds.start))
+        .expect("seed range length exceeds usize");
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let workers = threads.min(count);
+    if workers <= 1 {
+        return seeds.map(job).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::with_capacity(count);
+    out.resize_with(count, || None);
+    let chunk = count.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slots) in out.chunks_mut(chunk).enumerate() {
+            let base = seeds.start + (w * chunk) as u64;
+            let job = &job;
+            scope.spawn(move || {
+                for (k, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(job(base + k as u64));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|t| t.expect("every seed slot is filled")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +312,32 @@ mod tests {
         let out = sim.run(&p, &[0, 1], &mut RoundRobinScheduler::new()).unwrap();
         assert!(!out.all_decided);
         assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn monte_carlo_matches_sequential_order_at_any_thread_count() {
+        let p = CasConsensus { n: 4 };
+        let run_one = |seed: u64| {
+            let mut sim = Simulator::new(1000, seed.wrapping_mul(7).wrapping_add(1));
+            let mut sched = RandomScheduler::new(seed.wrapping_mul(131).wrapping_add(3));
+            let out = sim.run(&p, &[0, 1, 1, 0], &mut sched).unwrap();
+            (out.steps, out.decided_values())
+        };
+        let sequential: Vec<_> = (0..40).map(run_one).collect();
+        for threads in [1, 2, 4, 9] {
+            let batched = monte_carlo(0..40, threads, run_one);
+            assert_eq!(sequential, batched, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_handles_degenerate_ranges() {
+        let empty: Vec<u64> = monte_carlo(5..5, 4, |s| s);
+        assert!(empty.is_empty());
+        let one = monte_carlo(7..8, 4, |s| s * 2);
+        assert_eq!(one, vec![14]);
+        let offset = monte_carlo(100..108, 3, |s| s);
+        assert_eq!(offset, (100..108).collect::<Vec<_>>());
     }
 
     #[test]

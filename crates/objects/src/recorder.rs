@@ -10,8 +10,8 @@
 //! simulator and the lower-bound machinery use.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use randsync_model::{Event, History, Operation, Response, Value};
 
 use crate::traits::{CompareSwap, Counter, FetchAdd, ReadWrite, Swap, TestAndSet};
@@ -31,6 +31,12 @@ impl Recorder {
         Self::default()
     }
 
+    fn lock_events(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        // A panic while holding the lock poisons it; recording is
+        // append-only, so the data is still coherent — keep going.
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Record an arbitrary operation: stamps the invocation, runs `f`,
     /// stamps the response, and logs the event. Returns `f`'s response.
     pub fn record<F>(&self, process: usize, op: Operation, f: F) -> Response
@@ -40,18 +46,18 @@ impl Recorder {
         let invoked_at = self.clock.fetch_add(1, ORD);
         let response = f();
         let responded_at = self.clock.fetch_add(1, ORD);
-        self.events.lock().push(Event { process, op, response, invoked_at, responded_at });
+        self.lock_events().push(Event { process, op, response, invoked_at, responded_at });
         response
     }
 
     /// The recorded history so far (a snapshot; recording may continue).
     pub fn history(&self) -> History {
-        History::from_events(self.events.lock().clone())
+        History::from_events(self.lock_events().clone())
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.lock_events().len()
     }
 
     /// Whether nothing has been recorded.

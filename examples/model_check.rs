@@ -9,7 +9,11 @@ use randsync::consensus::model_protocols::{
 };
 use randsync::model::{Configuration, Explorer, ExploreLimits, Protocol};
 
-fn check<P: Protocol>(name: &str, protocol: &P, inputs: &[u8]) {
+fn check<P>(name: &str, protocol: &P, inputs: &[u8])
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
     let explorer =
         Explorer::new(ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 });
     let out = explorer.explore(protocol, inputs);

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate plus an exploration-engine smoke run.
+#
+#   scripts/verify.sh          # from the repository root
+#
+# Steps:
+#   1. release build of the whole workspace
+#   2. the tier-1 test gate (root package) and the full workspace suite
+#   3. explore_perf --smoke: a small sequential-vs-parallel exploration
+#      whose outcomes must be identical (exits nonzero on divergence)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (tier-1 gate) =="
+cargo test -q
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== explore_perf --smoke =="
+cargo run --release --bin explore_perf -- --smoke --out target/BENCH_explore_smoke.json
+
+echo "verify.sh: all gates passed"

@@ -1,0 +1,212 @@
+//! Performance harness for the parallel exploration engine.
+//!
+//! Runs reference explorations sequentially (`threads = 1`) and with the
+//! host's full parallelism, checks the outcomes are equivalent, and
+//! writes throughput numbers (configurations/second), peak arena sizes,
+//! and thread counts to `BENCH_explore.json`. No external dependencies:
+//! timing is `std::time::Instant` and the JSON is written by hand.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin explore_perf            # full workloads (~10^5..10^6 configs)
+//! cargo run --release --bin explore_perf -- --smoke # small workload, a few seconds
+//! cargo run --release --bin explore_perf -- --out my.json
+//! ```
+//!
+//! The speedup column is only meaningful on multi-core hosts; the JSON
+//! records `host_parallelism` so readers can tell. Outcome equivalence
+//! between the sequential and parallel runs is asserted unconditionally
+//! — on any host, a run that produced different results would exit
+//! nonzero.
+
+use std::time::Instant;
+
+use randsync::consensus::model_protocols::{Optimistic, PhaseModel, WalkBacking, WalkModel};
+use randsync::model::{monte_carlo, ExploreLimits, ExploreOutcome, Explorer, Protocol};
+use randsync::model::{RandomScheduler, Simulator};
+
+/// One measured exploration workload.
+struct Row {
+    name: String,
+    configs: usize,
+    arena_bytes: usize,
+    seq_secs: f64,
+    par_secs: f64,
+    equivalent: bool,
+}
+
+impl Row {
+    fn seq_rate(&self) -> f64 {
+        self.configs as f64 / self.seq_secs
+    }
+    fn par_rate(&self) -> f64 {
+        self.configs as f64 / self.par_secs
+    }
+    fn speedup(&self) -> f64 {
+        self.seq_secs / self.par_secs
+    }
+}
+
+/// The outcome fields that must match between sequential and parallel
+/// runs (witness executions included — the engine is deterministic).
+fn equivalent(a: &ExploreOutcome, b: &ExploreOutcome) -> bool {
+    a.consistency_violation == b.consistency_violation
+        && a.validity_violation == b.validity_violation
+        && a.configs_visited == b.configs_visited
+        && a.terminal_configs == b.terminal_configs
+        && a.truncated == b.truncated
+        && a.can_always_reach_termination == b.can_always_reach_termination
+        && a.infinite_execution_possible == b.infinite_execution_possible
+}
+
+fn measure<P>(name: &str, protocol: &P, inputs: &[u8], threads: usize) -> Row
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
+    let limits = ExploreLimits { max_configs: 2_000_000, max_depth: 1_000_000 };
+
+    let t0 = Instant::now();
+    let seq = Explorer::new(limits).threads(1).explore(protocol, inputs);
+    let seq_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let par = Explorer::new(limits).threads(threads).explore(protocol, inputs);
+    let par_secs = t0.elapsed().as_secs_f64();
+
+    let row = Row {
+        name: name.to_string(),
+        configs: seq.configs_visited,
+        arena_bytes: seq.arena_bytes,
+        seq_secs,
+        par_secs,
+        equivalent: equivalent(&seq, &par),
+    };
+    println!(
+        "{name:<34} {:>9} configs  seq {:>8.3}s ({:>9.0}/s)  par[{threads}] {:>8.3}s ({:>9.0}/s)  x{:.2}  arena {:.1} MiB  {}",
+        row.configs,
+        row.seq_secs,
+        row.seq_rate(),
+        row.par_secs,
+        row.par_rate(),
+        row.speedup(),
+        row.arena_bytes as f64 / (1024.0 * 1024.0),
+        if row.equivalent { "OK" } else { "MISMATCH" },
+    );
+    row
+}
+
+/// Seed-batched Monte Carlo: the same trials sequentially and fanned
+/// out, as `(trials, seq_secs, par_secs, identical)`.
+fn measure_monte_carlo(trials: u64, threads: usize) -> (u64, f64, f64, bool) {
+    let p = WalkModel::with_default_margins(3, WalkBacking::BoundedCounter);
+    let inputs = [0u8, 1, 0];
+    let job = |seed: u64| {
+        let mut sim = Simulator::new(2_000_000, seed * 7 + 1);
+        let mut sched = RandomScheduler::new(seed * 131 + 3);
+        let out = sim.run(&p, &inputs, &mut sched).expect("simulation runs");
+        (out.steps, out.decided_values())
+    };
+    let t0 = Instant::now();
+    let seq: Vec<_> = (0..trials).map(job).collect();
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let par = monte_carlo(0..trials, threads, job);
+    let par_secs = t0.elapsed().as_secs_f64();
+    let identical = seq == par;
+    println!(
+        "monte_carlo walk n=3 x{trials:<6} trials  seq {seq_secs:>8.3}s  par[{threads}] {par_secs:>8.3}s  x{:.2}  {}",
+        seq_secs / par_secs,
+        if identical { "OK" } else { "MISMATCH" },
+    );
+    (trials, seq_secs, par_secs, identical)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_explore.json".to_string());
+
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // At least 2 so the parallel code path is exercised even on
+    // single-core hosts (where the speedup column then reads ~1 or
+    // below — the point of the run there is the equivalence check).
+    let threads = host.max(2);
+    println!(
+        "explore_perf: host_parallelism={host}, parallel runs use {threads} thread(s), mode={}",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let mut rows = Vec::new();
+    if smoke {
+        rows.push(measure("optimistic(n=3,r=3)", &Optimistic::new(3, 3), &[0, 1, 0], threads));
+    } else {
+        rows.push(measure("optimistic(n=3,r=3)", &Optimistic::new(3, 3), &[0, 1, 0], threads));
+        rows.push(measure(
+            "walk_counter(n=3,default)",
+            &WalkModel::with_default_margins(3, WalkBacking::BoundedCounter),
+            &[0, 1, 0],
+            threads,
+        ));
+        rows.push(measure("phase_model(n=3,rounds=3)", &PhaseModel::new(3, 3), &[0, 1, 0], threads));
+    }
+    let mc = measure_monte_carlo(if smoke { 20 } else { 200 }, threads);
+
+    let all_equivalent = rows.iter().all(|r| r.equivalent) && mc.3;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"explore_perf\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"threads_parallel\": {threads},\n"));
+    json.push_str("  \"threads_sequential\": 1,\n");
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"configs\": {}, \"peak_arena_bytes\": {}, \
+             \"seq_secs\": {:.6}, \"par_secs\": {:.6}, \
+             \"seq_configs_per_sec\": {:.1}, \"par_configs_per_sec\": {:.1}, \
+             \"speedup\": {:.3}, \"equivalent\": {}}}{}\n",
+            json_escape(&r.name),
+            r.configs,
+            r.arena_bytes,
+            r.seq_secs,
+            r.par_secs,
+            r.seq_rate(),
+            r.par_rate(),
+            r.speedup(),
+            r.equivalent,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"monte_carlo\": {{\"trials\": {}, \"seq_secs\": {:.6}, \"par_secs\": {:.6}, \
+         \"speedup\": {:.3}, \"identical\": {}}}\n",
+        mc.0,
+        mc.1,
+        mc.2,
+        mc.1 / mc.2,
+        mc.3,
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+
+    if !all_equivalent {
+        eprintln!("FAIL: parallel results diverged from sequential");
+        std::process::exit(1);
+    }
+}

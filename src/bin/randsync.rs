@@ -81,7 +81,7 @@ fn main() -> ExitCode {
                 "randsync — executable reproduction of Fich-Herlihy-Shavit (PODC 1993)\n\n\
                  usage:\n  randsync table [n]\n  randsync bounds <n>\n  \
                  randsync attack <naive|optimistic|zigzag|swapchain|tasrace> [r]\n  \
-                 randsync check <protocol> [r]\n  randsync valency <protocol>\n  \
+                 randsync check <protocol> [r]\n  randsync valency <protocol> [threads]\n  \
                  randsync walk <n> [seed]"
             );
             ExitCode::SUCCESS
@@ -180,8 +180,11 @@ fn replay_trace<P: Protocol>(
 
 fn run_valency(args: &[String]) -> ExitCode {
     let which = args.first().map(String::as_str).unwrap_or("cas");
-    let explorer =
-        Explorer::new(ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 });
+    // Optional worker-thread count; 0 (the default) resolves to the
+    // host's available parallelism. Results are identical either way.
+    let threads = parse(args.get(1), 0) as usize;
+    let explorer = Explorer::new(ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 })
+        .threads(threads);
     let report = |a: Option<randsync::model::ValencyAnalysis>| match a {
         Some(a) => {
             println!("initial valency     : {:?}", a.initial);
