@@ -2,8 +2,7 @@
 
 use randsync_model::{
     Action, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId, Protocol,
-    Response, Value,
-};
+    Response, Value, Symmetry,};
 
 /// Deterministic n-process consensus from one compare&swap register:
 /// `CAS(⊥ → input)`, decide whatever the register holds afterwards.
@@ -30,7 +29,7 @@ impl CasModel {
 }
 
 /// State of a [`CasModel`] process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum CasState {
     /// About to attempt the CAS with this input.
     Try(Decision),
@@ -79,6 +78,10 @@ impl Protocol for CasModel {
 
     fn is_symmetric(&self) -> bool {
         true
+    }
+
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Symmetric
     }
 }
 

@@ -16,8 +16,7 @@
 
 use randsync_model::{
     Action, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId, Protocol,
-    Response, Value,
-};
+    Response, Value, Symmetry,};
 
 /// Relay-baton "consensus" on one swap register: correct for n = 2
 /// (see [`SwapTwoModel`](crate::model_protocols::SwapTwoModel)), flawed
@@ -40,7 +39,7 @@ impl SwapChain {
 }
 
 /// State of a [`SwapChain`] process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ChainState {
     /// About to swap in the encoded input (input + 1; ⊥ is 0).
     Swap(Decision),
@@ -86,6 +85,10 @@ impl Protocol for SwapChain {
     fn is_symmetric(&self) -> bool {
         true
     }
+
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Symmetric
+    }
 }
 
 /// One-flag "consensus": test&set once; the winner keeps its input,
@@ -109,7 +112,7 @@ impl TasRace {
 }
 
 /// State of a [`TasRace`] process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum RaceState {
     /// About to test&set with this input.
     Race(Decision),
@@ -151,6 +154,10 @@ impl Protocol for TasRace {
     fn is_symmetric(&self) -> bool {
         true
     }
+
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Symmetric
+    }
 }
 
 /// A flawed protocol over a **mixed** historyless object set — one
@@ -183,7 +190,7 @@ impl MixedZigzag {
 }
 
 /// State of a [`MixedZigzag`] process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum MixedState {
     /// Performing access `k` (0 or 1) of the input-dependent pair.
     Access {
@@ -277,6 +284,10 @@ impl Protocol for MixedZigzag {
 
     fn is_symmetric(&self) -> bool {
         true
+    }
+
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Symmetric
     }
 }
 

@@ -32,7 +32,7 @@ pub struct PetersonMutex;
 
 /// State of a [`PetersonMutex`] process (the id is baked in: each
 /// process owns one flag).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum PetersonState {
     /// About to raise the own intent flag.
     RaiseFlag {
@@ -169,7 +169,7 @@ pub struct FlagOnlyMutex {
 }
 
 /// State of a [`FlagOnlyMutex`] process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum FlagState {
     /// (Impatient variant) about to peek at the other's flag before
     /// raising one's own.
@@ -282,7 +282,7 @@ impl Protocol for FlagOnlyMutex {
 pub struct TournamentMutex;
 
 /// Which match a process is currently playing.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Level {
     /// The semifinal: processes {0,1} play node 1, {2,3} play node 2.
     Leaf,
@@ -292,7 +292,7 @@ pub enum Level {
 
 /// State of a [`TournamentMutex`] process: Peterson phases parameterized
 /// by the tournament level.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum TournamentState {
     /// About to raise the intent flag at the current level.
     Raise {

@@ -12,8 +12,7 @@
 
 use randsync_model::{
     Action, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId, Protocol,
-    Response, Value,
-};
+    Response, Value, Symmetry,};
 
 /// The simplest flawed protocol: write your input to the single
 /// register, read it back, decide what you read.
@@ -39,7 +38,7 @@ impl NaiveWriteRead {
 }
 
 /// State of a [`NaiveWriteRead`] process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum NaiveState {
     /// About to write the input.
     Write(Decision),
@@ -88,6 +87,10 @@ impl Protocol for NaiveWriteRead {
     fn is_symmetric(&self) -> bool {
         true
     }
+
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Symmetric
+    }
 }
 
 /// A write-all / validate-all protocol over `r` registers: write your
@@ -124,7 +127,7 @@ impl Optimistic {
 }
 
 /// State of an [`Optimistic`] process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum OptState {
     /// Writing the input to register `k`.
     Write {
@@ -205,6 +208,10 @@ impl Protocol for Optimistic {
 
     fn is_symmetric(&self) -> bool {
         true
+    }
+
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Symmetric
     }
 }
 
@@ -308,6 +315,10 @@ impl Protocol for Zigzag {
 
     fn is_symmetric(&self) -> bool {
         true
+    }
+
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Symmetric
     }
 }
 

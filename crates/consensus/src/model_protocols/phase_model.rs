@@ -16,8 +16,7 @@
 
 use randsync_model::{
     Action, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId, Protocol,
-    Response, Value,
-};
+    Response, Value, Symmetry,};
 
 /// Flag indices within a round's object block.
 const PROP0: usize = 0;
@@ -54,7 +53,7 @@ impl PhaseModel {
 }
 
 /// State of a [`PhaseModel`] process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum PhaseState {
     /// About to set `prop[r][prefer]`.
     WriteProp {
@@ -231,6 +230,10 @@ impl Protocol for PhaseModel {
 
     fn is_symmetric(&self) -> bool {
         true
+    }
+
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Symmetric
     }
 }
 

@@ -2,8 +2,7 @@
 
 use randsync_model::{
     Action, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId, Protocol,
-    Response, Value,
-};
+    Response, Value, Symmetry,};
 
 /// 2-process consensus from one swap register (Section 4's "response
 /// from one application … different than … the second").
@@ -11,7 +10,7 @@ use randsync_model::{
 pub struct SwapTwoModel;
 
 /// State of a [`SwapTwoModel`] process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum SwapState {
     /// About to swap in the (encoded) input.
     Swapping(Decision),
@@ -58,6 +57,10 @@ impl Protocol for SwapTwoModel {
     fn is_symmetric(&self) -> bool {
         true
     }
+
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Symmetric
+    }
 }
 
 /// 2-process consensus from one test&set register plus two single-writer
@@ -68,7 +71,7 @@ pub struct TasTwoModel;
 /// State of a [`TasTwoModel`] process. The process id is baked into the
 /// state (this protocol is *not* symmetric: each process owns a
 /// register).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum TasState {
     /// About to publish the input in the own register.
     Publish {

@@ -14,8 +14,7 @@
 
 use randsync_model::{
     Action, Decision, ObjectId, ObjectKind, ObjectSpec, Operation, ProcessId, Protocol,
-    Response,
-};
+    Response, Symmetry,};
 
 /// Which single shared object the walk runs over.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -160,7 +159,7 @@ enum ReadOutcome {
 }
 
 /// State of a [`WalkModel`] process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct WalkState {
     /// The process's input.
     pub input: Decision,
@@ -283,6 +282,10 @@ impl Protocol for WalkModel {
 
     fn is_symmetric(&self) -> bool {
         true
+    }
+
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Symmetric
     }
 }
 

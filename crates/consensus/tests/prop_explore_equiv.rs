@@ -109,7 +109,7 @@ where
     P: Protocol + Sync,
     P::State: Send + Sync,
 {
-    let out = Explorer::with_config(ExploreConfig { limits, threads, shards })
+    let out = Explorer::with_config(ExploreConfig { limits, threads, shards, ..ExploreConfig::default() })
         .explore(protocol, inputs);
     RefOutcome {
         consistency_depth: out.consistency_violation.as_ref().map(|w| w.len()),
@@ -197,9 +197,9 @@ proptest! {
     ) {
         let p = PhaseModel::new(2, rounds);
         let limits = ExploreLimits::default();
-        let base = Explorer::with_config(ExploreConfig { limits, threads: 1, shards: 1 })
+        let base = Explorer::with_config(ExploreConfig { limits, threads: 1, shards: 1, ..ExploreConfig::default() })
             .valency(&p, &[a, b]);
-        let par = Explorer::with_config(ExploreConfig { limits, threads: 4, shards: 64 })
+        let par = Explorer::with_config(ExploreConfig { limits, threads: 4, shards: 64, ..ExploreConfig::default() })
             .valency(&p, &[a, b]);
         match (base, par) {
             (Some(x), Some(y)) => {

@@ -16,7 +16,12 @@ use crate::protocol::{Action, Decision, ObjectSpec, Protocol};
 use crate::value::Value;
 
 /// The status and local state of one process.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// The derived `Ord` (requiring `S: Ord`) gives configurations of
+/// symmetric protocols a well-defined canonical form: sorting the
+/// process vector picks one representative per permutation class. Only
+/// totality of the order matters, not which order it is.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ProcState<S> {
     /// Running, with the given protocol state.
     Active(S),
@@ -282,6 +287,27 @@ impl<S: Clone + Eq + Hash + core::fmt::Debug> Configuration<S> {
     }
 }
 
+impl<S: Ord> Configuration<S> {
+    /// Rewrite this configuration into its **canonical representative**
+    /// under process-identity permutation: the process vector sorted by
+    /// the derived [`ProcState`] order. Object values are untouched.
+    ///
+    /// Two configurations are permutations of one another iff their
+    /// canonical forms are equal. Sound to identify only for protocols
+    /// whose behaviour is independent of process identity
+    /// ([`Symmetry::Symmetric`](crate::protocol::Symmetry)); see
+    /// `explore::canonical` for the quotient argument.
+    pub fn canonicalize(&mut self) {
+        self.procs.sort_unstable();
+    }
+
+    /// Whether the process vector is already in canonical (sorted)
+    /// order.
+    pub fn is_canonical(&self) -> bool {
+        self.procs.windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,7 +319,7 @@ mod tests {
     #[derive(Debug)]
     struct WriteReadDecide;
 
-    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     enum St {
         Write(Decision),
         Reading,
@@ -489,6 +515,20 @@ mod tests {
             c.next_action(&p, ProcessId(1)),
             Some(crate::protocol::Action::Decide(_))
         ));
+    }
+
+    #[test]
+    fn canonicalization_sorts_processes_and_identifies_permutations() {
+        let p = WriteReadDecide;
+        let mut a = Configuration::initial(&p, &[0, 1]);
+        let mut b = Configuration::initial(&p, &[1, 0]);
+        assert_ne!(a, b, "raw permutations are distinct");
+        a.canonicalize();
+        b.canonicalize();
+        assert_eq!(a, b, "canonical forms coincide");
+        assert!(a.is_canonical());
+        // Canonicalization never touches object values.
+        assert_eq!(a.values, vec![Value::Bottom]);
     }
 
     #[test]

@@ -221,7 +221,7 @@ mod tests {
     #[derive(Debug)]
     struct FetchOnce;
 
-    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     enum St {
         Start,
         Done(Decision),

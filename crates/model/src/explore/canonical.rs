@@ -1,0 +1,202 @@
+//! Symmetry reduction: quotienting the configuration space by
+//! process-identity permutation.
+//!
+//! # Why the quotient is sound
+//!
+//! The paper's lower-bound machinery (Theorem 3.3 and the cloning
+//! arguments of Lemmas 3.1–3.6) works in a model of **identical
+//! processes**: behaviour is a function of the local state alone, never
+//! of the process id ([`Protocol`]'s contract), and for protocols
+//! declaring [`Symmetry::Symmetric`] the initial state ignores the id
+//! too. In that model, permuting the process slots of an execution —
+//! relabel every step's process id by a permutation π — yields another
+//! valid execution, step for step, reaching the permuted configuration.
+//! Consequently:
+//!
+//! * **Reachability commutes with permutation**: `C` is reachable from
+//!   `C₀` iff `π(C)` is reachable from `π(C₀)`. All permuted starts
+//!   `π(C₀)` share one canonical representative, so the classes the
+//!   quotient search visits are exactly the classes of raw-reachable
+//!   configurations. (The raw set itself is closed under all of `Sₙ`
+//!   only when `C₀` is symmetric — uniform inputs; in general it is
+//!   closed under the stabilizer of `C₀`, which is why
+//!   [`ExploreOutcome::raw_configs`](super::ExploreOutcome::raw_configs)
+//!   is exact for uniform inputs and an upper bound otherwise.)
+//! * **Verdicts are permutation-invariant**: consistency violations,
+//!   validity violations, "all processes decided", and the set of
+//!   decision values reachable from `C` (its valency) depend only on
+//!   the *multiset* of process states plus the object values.
+//!
+//! So exploring one **canonical representative** per permutation class
+//! — here, the configuration whose process vector is sorted by the
+//! derived [`ProcState`] order — visits every class exactly once and
+//! reports the same `is_safe()` verdict, valency classification, and
+//! violation existence as exploring the raw space, while the frontier
+//! shrinks by up to `n!`. Cycle facts survive the quotient in both
+//! directions: a quotient cycle lifts to a raw cycle (iterate the
+//! lifted path inside a finite class until a raw configuration
+//! repeats), and a raw cycle projects onto a quotient closed walk.
+//!
+//! Witness executions found in canonical mode are *quotient-level*:
+//! each recorded step is taken from the canonical parent and the result
+//! re-canonicalized. Replaying one therefore means interleaving
+//! [`Configuration::step`] with [`Configuration::canonicalize`]; the
+//! existence of a raw witness of the same length follows by unwinding
+//! the permutations, but the raw step sequence itself is not recorded.
+//!
+//! The canonical order is deliberately the *protocol-level* `Ord` on
+//! states, not an artifact of interning: it is identical across runs,
+//! thread counts, and shard counts, which is what preserves the
+//! engine's determinism guarantee.
+
+use crate::config::{Configuration, ProcState};
+use crate::protocol::{Protocol, Symmetry};
+
+/// Maps configurations to canonical representatives under
+/// process-identity permutation, when enabled.
+///
+/// Built per exploration by [`Canonicalizer::for_protocol`]: reduction
+/// is applied only when the caller asked for it *and* the protocol
+/// declares [`Symmetry::Symmetric`] — an asymmetric protocol is never
+/// quotiented, whatever the caller requested.
+#[derive(Clone, Copy, Debug)]
+pub struct Canonicalizer {
+    enabled: bool,
+}
+
+impl Canonicalizer {
+    /// A canonicalizer for `protocol`, active iff `requested` and the
+    /// protocol declares itself [`Symmetry::Symmetric`].
+    pub fn for_protocol<P: Protocol>(protocol: &P, requested: bool) -> Self {
+        Canonicalizer { enabled: requested && protocol.symmetry() == Symmetry::Symmetric }
+    }
+
+    /// A canonicalizer that never reduces (raw exploration).
+    pub fn disabled() -> Self {
+        Canonicalizer { enabled: false }
+    }
+
+    /// Whether this canonicalizer reduces at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Map `config` to its class representative in place: sort the
+    /// process vector. No-op when disabled.
+    pub fn canonicalize<S: Ord>(&self, config: &mut Configuration<S>) {
+        if self.enabled {
+            config.canonicalize();
+        }
+    }
+
+    /// The number of **distinct raw configurations** in the permutation
+    /// class of a canonical (sorted) process vector: the multinomial
+    /// `n! / ∏ mᵢ!` over the multiplicities `mᵢ` of equal states.
+    /// Returns 1 when disabled (the class is the configuration itself).
+    ///
+    /// Saturates at `usize::MAX` — irrelevant at model-checking scales,
+    /// but the arithmetic is total.
+    pub fn class_size<S: Eq>(&self, procs: &[ProcState<S>]) -> usize {
+        if !self.enabled {
+            return 1;
+        }
+        permutations_of_sorted(procs)
+    }
+}
+
+/// `n! / ∏ mᵢ!` for a slice whose equal elements are adjacent (sorted),
+/// computed incrementally without factorial overflow: element `k+1`
+/// contributes a factor `(k+1) / (run length so far)`, which is always
+/// integral when folded as a running product of binomial steps.
+pub(super) fn permutations_of_sorted<T: Eq>(sorted: &[T]) -> usize {
+    let mut total: u128 = 1;
+    let mut run = 0u128; // multiplicity of the current run of equals
+    for (k, item) in sorted.iter().enumerate() {
+        if k > 0 && *item == sorted[k - 1] {
+            run += 1;
+        } else {
+            run = 1;
+        }
+        // Running multinomial: C(k+1 over new element) = (k+1)/run.
+        total = total.saturating_mul(k as u128 + 1) / run;
+        if total > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    total as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::ObjectKind;
+    use crate::op::Response;
+    use crate::process::ProcessId;
+    use crate::protocol::{Action, Decision, ObjectSpec};
+
+    /// A one-step protocol whose symmetry declaration is a field.
+    #[derive(Debug)]
+    struct TwoStep {
+        n: usize,
+        symmetric: bool,
+    }
+
+    impl Protocol for TwoStep {
+        type State = u8;
+
+        fn objects(&self) -> Vec<ObjectSpec> {
+            vec![ObjectSpec::new(ObjectKind::Register, "r")]
+        }
+
+        fn num_processes(&self) -> usize {
+            self.n
+        }
+
+        fn initial_state(&self, _pid: ProcessId, input: Decision) -> u8 {
+            input
+        }
+
+        fn action(&self, s: &u8) -> Action {
+            Action::Decide(*s)
+        }
+
+        fn transition(&self, s: &u8, _resp: &Response, _coin: u32) -> u8 {
+            *s
+        }
+
+        fn symmetry(&self) -> Symmetry {
+            if self.symmetric {
+                Symmetry::Symmetric
+            } else {
+                Symmetry::Asymmetric
+            }
+        }
+    }
+
+    #[test]
+    fn multinomial_counts_distinct_permutations() {
+        assert_eq!(permutations_of_sorted::<u8>(&[]), 1);
+        assert_eq!(permutations_of_sorted(&[7]), 1);
+        assert_eq!(permutations_of_sorted(&[1, 2, 3]), 6);
+        assert_eq!(permutations_of_sorted(&[1, 1, 2]), 3);
+        assert_eq!(permutations_of_sorted(&[1, 1, 1]), 1);
+        assert_eq!(permutations_of_sorted(&[1, 1, 2, 2]), 6);
+        assert_eq!(permutations_of_sorted(&[0, 1, 1, 2, 2, 2]), 60);
+    }
+
+    #[test]
+    fn canonicalizer_respects_protocol_declaration() {
+        let sym = TwoStep { n: 2, symmetric: true };
+        let asym = TwoStep { n: 2, symmetric: false };
+        assert!(Canonicalizer::for_protocol(&sym, true).enabled());
+        assert!(!Canonicalizer::for_protocol(&sym, false).enabled());
+        assert!(!Canonicalizer::for_protocol(&asym, true).enabled());
+        assert!(!Canonicalizer::disabled().enabled());
+    }
+
+    #[test]
+    fn class_size_of_raw_mode_is_one() {
+        let c = Canonicalizer::disabled();
+        assert_eq!(c.class_size::<u8>(&[ProcState::Crashed, ProcState::Retired]), 1);
+    }
+}

@@ -5,61 +5,61 @@
 //! analysis ([`Explorer::valency`](super::Explorer::valency)), and
 //! safety-property search
 //! ([`Explorer::find_violation`](super::Explorer::find_violation)) — is
-//! a thin wrapper over [`bfs`]. The engine owns three responsibilities:
+//! a thin wrapper over [`bfs`]. The engine owns four responsibilities:
 //!
-//! 1. **Interning.** Each distinct configuration is stored exactly once,
-//!    in an append-only arena ([`BfsGraph::nodes`]). All bookkeeping
-//!    (parent links, depths, successor edges, the frontier) refers to
-//!    configurations by their `u32` arena index, so the graph costs a
-//!    few words per edge instead of a cloned `Configuration` per key.
-//! 2. **Dedup.** Novelty checks go through [`SeenMaps`]: a precomputed
-//!    64-bit hash selects a shard, the shard maps the hash to candidate
-//!    arena indices, and candidates are collision-checked against the
-//!    arena by full equality. Workers therefore never hold a clone of a
-//!    configuration just to use it as a map key.
-//! 3. **Deterministic parallelism.** Each BFS level is processed in two
+//! 1. **Packing.** Each distinct configuration is stored exactly once,
+//!    as a fixed-stride run of `u32` words in an append-only
+//!    [`PackedArena`] (interned states and values; see [`super::pack`]).
+//!    All bookkeeping — parent links, depths, successor edges, the
+//!    frontier — refers to configurations by their `u32` arena index,
+//!    so the graph costs a few words per node instead of two heap
+//!    vectors, and hashing/equality run over flat words.
+//! 2. **Canonicalization.** When the caller opts in and the protocol
+//!    declares itself [`Symmetric`](crate::protocol::Symmetry), every
+//!    candidate successor is mapped to its permutation-class
+//!    representative (sorted process vector) before dedup, so the
+//!    search runs on the symmetry quotient (see [`super::canonical`]).
+//! 3. **Dedup.** Novelty checks go through [`SeenMaps`]: a precomputed
+//!    64-bit hash of the packed words selects a shard, the shard maps
+//!    the hash to candidate arena indices, and candidates are
+//!    collision-checked by word-slice equality against the arena.
+//! 4. **Deterministic parallelism.** Each BFS level is processed in two
 //!    phases. Phase 1 expands the frontier — in parallel chunks under
 //!    [`std::thread::scope`] when the frontier is large enough — with
-//!    *read-only* access to the arena and seen-maps, producing candidate
-//!    successors. Phase 2 merges the candidates sequentially, in
-//!    frontier order, at the level barrier: it resolves duplicates that
-//!    were discovered concurrently within the level, assigns arena
-//!    indices, and records edges. Because the merge runs in frontier
-//!    order, the arena order (and hence every witness, count, and flag
-//!    derived from it) is **identical to a sequential BFS regardless of
-//!    thread count**.
+//!    *read-only* access to the arena and seen-maps, producing
+//!    candidate successors. Phase 2 merges the candidates sequentially,
+//!    in frontier order, at the level barrier: it resolves duplicates
+//!    discovered concurrently within the level, interns new states into
+//!    the codec, assigns arena indices, and records edges. Because the
+//!    merge runs in frontier order — and because the canonical order is
+//!    the protocol-level `Ord` on states, not an interning artifact —
+//!    the arena order (and hence every witness, count, and flag derived
+//!    from it) is **identical to a sequential BFS regardless of thread
+//!    count**.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use crate::config::{Configuration, ProcState};
+use crate::config::Configuration;
 use crate::execution::Step;
 use crate::protocol::{Action, ObjectSpec, Protocol};
 
+use super::canonical::{permutations_of_sorted, Canonicalizer};
+use super::pack::{hash_words, PackedArena};
 use super::ExploreConfig;
 
 /// Frontiers smaller than this are expanded inline: at this scale the
 /// per-level thread spawn costs more than the expansion work it buys.
 const PARALLEL_FRONTIER_MIN: usize = 64;
 
-/// Deterministic 64-bit hash of a configuration. `DefaultHasher::new()`
-/// is SipHash with fixed keys, so equal configurations hash equally
-/// across threads, runs, and hosts.
-pub(super) fn config_hash<S: Hash>(config: &Configuration<S>) -> u64 {
-    let mut h = DefaultHasher::new();
-    config.hash(&mut h);
-    h.finish()
-}
-
 /// The sharded hash → arena-index dedup structure.
 ///
-/// Keys are precomputed [`config_hash`] values; a key maps to every
-/// arena index whose configuration has that hash (almost always one —
-/// the `Vec` exists only for 64-bit collisions, and lookups confirm by
-/// full equality against the arena). Sharding by the low hash bits keeps
-/// lock contention negligible when many workers probe concurrently.
+/// Keys are precomputed [`hash_words`] values of packed
+/// configurations; a key maps to every arena index whose words have
+/// that hash (almost always one — the `Vec` exists only for 64-bit
+/// collisions, and lookups confirm by word-slice equality against the
+/// arena). Sharding by the low hash bits keeps lock contention
+/// negligible when many workers probe concurrently.
 pub(super) struct SeenMaps {
     shards: Vec<Mutex<HashMap<u64, Vec<u32>>>>,
     mask: u64,
@@ -83,21 +83,23 @@ impl SeenMaps {
             .unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// The arena index of `config`, if it has been interned.
-    pub(super) fn probe<S: Eq>(
+    /// The arena index of the configuration packed as `words`, if it
+    /// has been interned.
+    pub(super) fn probe<S: Clone + Eq + std::hash::Hash>(
         &self,
         hash: u64,
-        config: &Configuration<S>,
-        arena: &[Configuration<S>],
+        words: &[u32],
+        arena: &PackedArena<S>,
     ) -> Option<u32> {
         self.shard(hash)
             .get(&hash)?
             .iter()
             .copied()
-            .find(|&j| arena[j as usize] == *config)
+            .find(|&j| arena.words_of(j) == words)
     }
 
-    /// Record that `config_hash == hash` lives at arena index `index`.
+    /// Record that the configuration whose words hash to `hash` lives
+    /// at arena index `index`.
     pub(super) fn insert(&self, hash: u64, index: u32) {
         self.shard(hash).entry(hash).or_default().push(index);
     }
@@ -105,11 +107,13 @@ impl SeenMaps {
 
 /// The interned BFS forest produced by [`bfs`].
 pub(super) struct BfsGraph<S> {
-    /// The configuration arena, in BFS (insertion) order; index 0 is the
-    /// start configuration.
-    pub(super) nodes: Vec<Configuration<S>>,
+    /// The packed configuration arena, in BFS (insertion) order; index
+    /// 0 is the start configuration (canonicalized in canonical mode).
+    pub(super) arena: PackedArena<S>,
     /// `parent[i]` is the node and step that first reached node `i`
-    /// (`None` only for the start node); follows shortest paths.
+    /// (`None` only for the start node); follows shortest paths. In
+    /// canonical mode the step applies to the canonical parent and the
+    /// result re-canonicalizes to node `i`.
     pub(super) parent: Vec<Option<(u32, Step)>>,
     /// BFS depth of each node.
     pub(super) depth: Vec<u32>,
@@ -117,6 +121,12 @@ pub(super) struct BfsGraph<S> {
     /// edges to already-interned nodes. Empty unless edges were
     /// requested.
     pub(super) succ: Vec<Vec<u32>>,
+    /// Whether the search ran on the symmetry quotient.
+    pub(super) canonical: bool,
+    /// Total raw configurations represented: the sum over interned
+    /// nodes of their permutation-class sizes. Equals the node count in
+    /// raw mode.
+    pub(super) raw_represented: usize,
     /// A successor was dropped because the arena reached `max_configs`.
     pub(super) config_capped: bool,
     /// The depth budget cut off at least one node that still had active
@@ -135,25 +145,32 @@ pub(super) struct BfsGraph<S> {
 enum SuccRef<S> {
     /// Already interned at this arena index when the expansion probed.
     Seen(u32),
-    /// Not interned at expansion time; carries the precomputed hash and
-    /// the (single) clone made once novelty was likely.
-    New { hash: u64, config: Configuration<S> },
+    /// Not interned at expansion time; carries the (single) clone made
+    /// once novelty was likely — already canonicalized in canonical
+    /// mode. The merge re-encodes it against the grown codec.
+    New(Configuration<S>),
 }
 
-/// Classify one candidate configuration: hash it in place, probe the
-/// seen-maps, and clone only if it looks novel. This is the
-/// hash-first/clone-on-insert discipline — known configurations cost a
-/// hash and a probe, never an allocation.
-fn classify<S: Clone + Eq + Hash>(
-    scratch: &Configuration<S>,
+/// Classify one candidate configuration (already canonical if the mode
+/// asks for it): pack it against the frozen codec, probe the seen-maps,
+/// and clone only if it looks novel. This is the hash-first /
+/// clone-on-insert discipline — known configurations cost an encode, a
+/// hash, and a probe, never an allocation. A candidate that fails to
+/// pack contains a never-interned state, so it cannot be a duplicate of
+/// anything interned.
+fn classify<S: Clone + Eq + std::hash::Hash>(
+    cand: &Configuration<S>,
     seen: &SeenMaps,
-    arena: &[Configuration<S>],
+    arena: &PackedArena<S>,
+    words: &mut Vec<u32>,
 ) -> SuccRef<S> {
-    let hash = config_hash(scratch);
-    match seen.probe(hash, scratch, arena) {
-        Some(j) => SuccRef::Seen(j),
-        None => SuccRef::New { hash, config: scratch.clone() },
+    if arena.try_encode(cand, words) {
+        let hash = hash_words(words);
+        if let Some(j) = seen.probe(hash, words, arena) {
+            return SuccRef::Seen(j);
+        }
     }
+    SuccRef::New(cand.clone())
 }
 
 /// All one-step successors of `config`, classified against the current
@@ -165,22 +182,42 @@ fn expand_node<P>(
     protocol: &P,
     specs: &[ObjectSpec],
     config: &Configuration<P::State>,
+    canon: &Canonicalizer,
     seen: &SeenMaps,
-    arena: &[Configuration<P::State>],
+    arena: &PackedArena<P::State>,
 ) -> Vec<(Step, SuccRef<P::State>)>
 where
     P: Protocol,
 {
     let mut out = Vec::new();
     let mut scratch = config.clone();
+    // Reusable buffers: the canonical copy of each candidate and its
+    // packed words.
+    let mut sorted = if canon.enabled() { Some(config.clone()) } else { None };
+    let mut words: Vec<u32> = Vec::new();
+    let mut push = |step: Step, scratch: &Configuration<P::State>, out: &mut Vec<_>| {
+        let cand: &Configuration<P::State> = match &mut sorted {
+            Some(c) => {
+                c.procs.clone_from(&scratch.procs);
+                c.values.clone_from(&scratch.values);
+                c.canonicalize();
+                c
+            }
+            None => scratch,
+        };
+        out.push((step, classify(cand, seen, arena, &mut words)));
+    };
     for pid in config.active_processes() {
         // `state` borrows from `config`, never from `scratch`, so the
         // in-place mutations below cannot invalidate it.
         let Some(state) = config.procs[pid.0].state() else { continue };
         match protocol.action(state) {
             Action::Decide(d) => {
-                let prev = std::mem::replace(&mut scratch.procs[pid.0], ProcState::Decided(d));
-                out.push((Step::of(pid), classify(&scratch, seen, arena)));
+                let prev = std::mem::replace(
+                    &mut scratch.procs[pid.0],
+                    crate::config::ProcState::Decided(d),
+                );
+                push(Step::of(pid), &scratch, &mut out);
                 scratch.procs[pid.0] = prev;
             }
             Action::Invoke { object, op } => {
@@ -193,9 +230,9 @@ where
                     let next_state = protocol.transition(state, &resp, coin);
                     let prev_proc = std::mem::replace(
                         &mut scratch.procs[pid.0],
-                        ProcState::Active(next_state),
+                        crate::config::ProcState::Active(next_state),
                     );
-                    out.push((Step::with_coin(pid, coin), classify(&scratch, seen, arena)));
+                    push(Step::with_coin(pid, coin), &scratch, &mut out);
                     scratch.procs[pid.0] = prev_proc;
                 }
                 scratch.values[object.0] = prev_value;
@@ -210,12 +247,14 @@ where
 /// When `stop` is given, the search halts at the end of the level in
 /// which the first (in BFS order) matching node is interned, recording
 /// it in [`BfsGraph::hit`]; the predicate is evaluated on every node
-/// exactly once, as it is interned. When `record_edges` is set, the full
-/// successor multigraph is recorded in [`BfsGraph::succ`].
+/// exactly once, as it is interned (on the canonical representative in
+/// canonical mode). When `record_edges` is set, the full successor
+/// multigraph is recorded in [`BfsGraph::succ`].
 ///
 /// The result is bit-identical for every `threads` setting: parallel
 /// workers only *propose* successors, and the sequential merge at each
-/// level barrier interns them in frontier order.
+/// level barrier interns them — and assigns codec ids — in frontier
+/// order.
 pub(super) fn bfs<P>(
     protocol: &P,
     start: Configuration<P::State>,
@@ -234,27 +273,41 @@ where
     let max_configs = config.limits.max_configs;
     let max_depth = config.limits.max_depth;
     let seen = SeenMaps::new(config.shard_count());
+    let canon = Canonicalizer::for_protocol(protocol, config.canonical);
+
+    let mut start = start;
+    canon.canonicalize(&mut start);
 
     let mut g = BfsGraph {
-        nodes: Vec::new(),
+        arena: PackedArena::new(start.procs.len(), start.values.len()),
         parent: Vec::new(),
         depth: Vec::new(),
         succ: Vec::new(),
+        canonical: canon.enabled(),
+        raw_represented: 0,
         config_capped: false,
         depth_capped_active: false,
         depth_capped_any: false,
         hit: None,
     };
-    let start_hash = config_hash(&start);
-    g.nodes.push(start);
+    // Reusable packed-word buffer for everything the merge interns.
+    let mut words: Vec<u32> = Vec::new();
+    g.arena.encode_intern(&start, &mut words);
+    let start_hash = hash_words(&words);
+    g.arena.push(&words);
     g.parent.push(None);
     g.depth.push(0);
     if record_edges {
         g.succ.push(Vec::new());
     }
     seen.insert(start_hash, 0);
+    g.raw_represented = g.raw_represented.saturating_add(if canon.enabled() {
+        permutations_of_sorted(&start.procs)
+    } else {
+        1
+    });
     if let Some(pred) = stop {
-        if pred(&g.nodes[0]) {
+        if pred(&start) {
             g.hit = Some(0);
             return g;
         }
@@ -266,24 +319,24 @@ where
     while !frontier.is_empty() && g.hit.is_none() {
         if level_depth >= max_depth {
             g.depth_capped_any = true;
-            if frontier
-                .iter()
-                .any(|&i| !g.nodes[i as usize].active_processes().is_empty())
-            {
+            if frontier.iter().any(|&i| g.arena.has_active(i)) {
                 g.depth_capped_active = true;
             }
             break;
         }
 
         // Phase 1: expand every frontier node against a frozen view of
-        // the arena and seen-maps. Nothing is interned yet, so workers
-        // may race freely; duplicates discovered concurrently are
-        // resolved by the merge below.
+        // the arena, codec, and seen-maps. Nothing is interned yet, so
+        // workers may race freely; duplicates discovered concurrently
+        // are resolved by the merge below. Frontier nodes are decoded
+        // from the packed arena on the fly — the engine never holds
+        // more than one heap configuration per in-flight expansion.
         let expansions: Vec<Vec<(Step, SuccRef<P::State>)>> =
             if threads > 1 && frontier.len() >= PARALLEL_FRONTIER_MIN {
-                let arena = g.nodes.as_slice();
+                let arena = &g.arena;
                 let seen_ref = &seen;
                 let specs_ref = specs.as_slice();
+                let canon_ref = &canon;
                 let workers = threads.min(frontier.len());
                 let chunk = frontier.len().div_ceil(workers);
                 std::thread::scope(|scope| {
@@ -296,7 +349,8 @@ where
                                         expand_node(
                                             protocol,
                                             specs_ref,
-                                            &arena[i as usize],
+                                            &arena.decode(i),
+                                            canon_ref,
                                             seen_ref,
                                             arena,
                                         )
@@ -313,42 +367,52 @@ where
             } else {
                 frontier
                     .iter()
-                    .map(|&i| expand_node(protocol, &specs, &g.nodes[i as usize], &seen, &g.nodes))
+                    .map(|&i| {
+                        expand_node(protocol, &specs, &g.arena.decode(i), &canon, &seen, &g.arena)
+                    })
                     .collect()
             };
 
         // Phase 2: sequential merge at the level barrier, in frontier
-        // order. This is the only place the arena and seen-maps grow, so
-        // interning order — and everything derived from it — matches the
-        // sequential BFS exactly.
+        // order. This is the only place the arena, the codec, and the
+        // seen-maps grow, so interning order — and everything derived
+        // from it — matches the sequential BFS exactly.
         let mut next_frontier: Vec<u32> = Vec::new();
         for (pos, candidates) in expansions.into_iter().enumerate() {
             let parent_idx = frontier[pos];
             for (step, cand) in candidates {
                 let interned = match cand {
                     SuccRef::Seen(j) => Some(j),
-                    SuccRef::New { hash, config } => {
-                        // Re-probe: another frontier node earlier in the
-                        // merge may have interned this configuration
-                        // within the same level.
-                        if let Some(j) = seen.probe(hash, &config, &g.nodes) {
+                    SuccRef::New(cand_config) => {
+                        // Re-encode against the grown codec (interning
+                        // any genuinely new states) and re-probe:
+                        // another frontier node earlier in the merge may
+                        // have interned this configuration within the
+                        // same level.
+                        g.arena.encode_intern(&cand_config, &mut words);
+                        let hash = hash_words(&words);
+                        if let Some(j) = seen.probe(hash, &words, &g.arena) {
                             Some(j)
-                        } else if g.nodes.len() >= max_configs {
+                        } else if g.arena.len() >= max_configs {
                             g.config_capped = true;
                             None
                         } else {
-                            debug_assert!(g.nodes.len() < u32::MAX as usize);
-                            let j = g.nodes.len() as u32;
-                            g.nodes.push(config);
+                            let j = g.arena.push(&words);
                             g.parent.push(Some((parent_idx, step)));
                             g.depth.push(level_depth as u32 + 1);
                             if record_edges {
                                 g.succ.push(Vec::new());
                             }
                             seen.insert(hash, j);
+                            g.raw_represented =
+                                g.raw_represented.saturating_add(if canon.enabled() {
+                                    permutations_of_sorted(&cand_config.procs)
+                                } else {
+                                    1
+                                });
                             if g.hit.is_none() {
                                 if let Some(pred) = stop {
-                                    if pred(&g.nodes[j as usize]) {
+                                    if pred(&cand_config) {
                                         g.hit = Some(j);
                                     }
                                 }

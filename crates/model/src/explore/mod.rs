@@ -14,16 +14,28 @@
 //!    [`Explorer::solo_terminating`] finds such a witness by exhausting
 //!    the process's coin nondeterminism.
 //!
-//! # Architecture: interned arena + sharded dedup + level-parallel BFS
+//! # Architecture: packed arena + sharded dedup + level-parallel BFS
 //!
 //! All exhaustive searches run on one engine (see [`engine`] — the
 //! module is private; this summary is the contract). Configurations are
-//! *interned*: each distinct configuration is stored once in an
-//! append-only arena and referred to by `u32` index everywhere else, so
-//! the search graph carries indices, not clones. Deduplication uses a
-//! precomputed 64-bit configuration hash routed to one of
+//! *interned and packed*: each distinct configuration is stored once,
+//! as a fixed-stride run of `u32` words (small-int encoded process
+//! states and object values against a per-protocol codec — see
+//! [`pack`]) in one append-only flat buffer, and referred to by `u32`
+//! index everywhere else, so the search graph carries indices, not
+//! clones, and hashing/equality run over flat words. Deduplication uses
+//! a precomputed 64-bit hash of the packed words routed to one of
 //! [`ExploreConfig::shards`] lock-protected maps from hash to arena
-//! indices, collision-checked by full equality against the arena.
+//! indices, collision-checked by word equality against the arena.
+//!
+//! When [`ExploreConfig::canonical`] is set *and* the protocol declares
+//! [`Symmetry::Symmetric`](crate::protocol::Symmetry), the search runs
+//! on the **symmetry quotient**: every configuration is mapped to the
+//! canonical representative of its process-permutation class (sorted
+//! process vector) before dedup, shrinking the space by up to `n!`
+//! while preserving every verdict (see [`canonical`] for the soundness
+//! argument). [`ExploreOutcome::raw_configs`] still reports the raw
+//! count via per-class multinomials.
 //!
 //! The BFS is **depth-synchronous**: each level is expanded as a whole,
 //! in parallel chunks across [`ExploreConfig::threads`] scoped threads
@@ -53,12 +65,15 @@
 //! dedup maps during expansion; it is rounded up to a power of two, and
 //! more than `4 × threads` shards buys little.
 
+mod canonical;
 mod engine;
+mod pack;
+
+pub use canonical::Canonicalizer;
 
 use std::collections::{HashSet, VecDeque};
-use std::hash::Hash;
 
-use crate::config::{Configuration, ProcState};
+use crate::config::Configuration;
 use crate::execution::{Execution, Step};
 use crate::process::ProcessId;
 use crate::protocol::{Action, Decision, Protocol};
@@ -94,6 +109,16 @@ pub struct ExploreConfig {
     /// Shard count for the dedup maps, rounded up to a power of two;
     /// `0` (the default) means 64.
     pub shards: usize,
+    /// Explore the process-symmetry quotient instead of the raw space.
+    ///
+    /// Takes effect only for protocols declaring
+    /// [`Symmetry::Symmetric`](crate::protocol::Symmetry) — asymmetric
+    /// protocols are explored raw regardless. Verdicts (safety,
+    /// valency, violation existence, termination/cycle facts) are
+    /// unchanged by this setting; visit counts and witness step
+    /// sequences may differ (witnesses become quotient-level; see
+    /// [`canonical`]).
+    pub canonical: bool,
 }
 
 impl ExploreConfig {
@@ -146,16 +171,46 @@ pub struct ExploreOutcome {
     /// correspondingly small probability; this field witnesses exactly
     /// that for model-checked protocols.
     pub infinite_execution_possible: Option<bool>,
-    /// Estimated resident size, in bytes, of the interned configuration
-    /// arena plus dedup maps at the end of the exploration. The arena is
-    /// append-only, so this is also its peak.
+    /// Estimated resident size, in bytes, of the packed configuration
+    /// arena (words plus codec tables) and dedup maps at the end of the
+    /// exploration. The arena is append-only, so this is also its peak.
     pub arena_bytes: usize,
+    /// Whether this exploration ran on the process-symmetry quotient
+    /// (requested via [`ExploreConfig::canonical`] *and* granted by the
+    /// protocol's symmetry declaration).
+    pub canonicalized: bool,
+    /// Number of canonical representatives interned — equals
+    /// [`configs_visited`](ExploreOutcome::configs_visited).
+    pub canonical_configs: usize,
+    /// Number of **raw** configurations the visited set represents: in
+    /// canonical mode, the sum of permutation-class sizes over visited
+    /// representatives — the size of the full permutation closure of
+    /// the raw reachable set. When the initial configuration is itself
+    /// permutation-symmetric (uniform inputs) and the search was not
+    /// truncated, this is exactly the raw reachable count; with mixed
+    /// inputs the raw set is closed only under permutations fixing the
+    /// start, so this is an upper bound. In raw mode, equal to
+    /// `configs_visited`. Saturates at `usize::MAX`.
+    pub raw_configs: usize,
+    /// Average arena bytes per visited configuration
+    /// (`arena_bytes / configs_visited`).
+    pub bytes_per_config: f64,
 }
 
 impl ExploreOutcome {
     /// Whether no consensus violation of either kind was found.
     pub fn is_safe(&self) -> bool {
         self.consistency_violation.is_none() && self.validity_violation.is_none()
+    }
+
+    /// How many raw configurations each visited node stands for on
+    /// average — the symmetry-reduction factor
+    /// (`raw_configs / canonical_configs`; `1.0` in raw mode).
+    pub fn reduction_factor(&self) -> f64 {
+        if self.canonical_configs == 0 {
+            return 1.0;
+        }
+        self.raw_configs as f64 / self.canonical_configs as f64
     }
 }
 
@@ -237,6 +292,15 @@ impl Explorer {
         self
     }
 
+    /// Request symmetry-quotient exploration (see
+    /// [`ExploreConfig::canonical`]). Only protocols declaring
+    /// [`Symmetry::Symmetric`](crate::protocol::Symmetry) are actually
+    /// reduced; verdicts are unchanged either way.
+    pub fn canonical(mut self, canonical: bool) -> Self {
+        self.config.canonical = canonical;
+        self
+    }
+
     /// This explorer's full configuration.
     pub fn config(&self) -> &ExploreConfig {
         &self.config
@@ -266,23 +330,30 @@ impl Explorer {
         P::State: Send + Sync,
     {
         let g = engine::bfs(protocol, start, &self.config, true, None);
+        let n = g.arena.len();
 
-        // Scan the arena in BFS order: the first violating node found is
-        // the one a sequential BFS would have reported, and its parent
-        // chain is a shortest witness.
+        // Scan the arena in BFS order — directly over the packed words,
+        // no decoding: the first violating node found is the one a
+        // sequential BFS would have reported, and its parent chain is a
+        // shortest witness. (In canonical mode, a quotient-level one;
+        // violations are permutation-invariant, so existence agrees with
+        // the raw space.)
         let mut consistency_violation = None;
         let mut validity_violation = None;
+        let mut terminal = vec![false; n];
         let mut terminal_configs = 0usize;
-        for (i, c) in g.nodes.iter().enumerate() {
-            if consistency_violation.is_none() && c.is_inconsistent() {
-                consistency_violation = Some(path_to(&g.parent, i as u32));
+        for i in 0..n {
+            let i = i as u32;
+            if consistency_violation.is_none() && g.arena.is_inconsistent(i) {
+                consistency_violation = Some(path_to(&g.parent, i));
             }
             if validity_violation.is_none()
-                && c.decided_values().iter().any(|d| !inputs.contains(d))
+                && g.arena.decided_values(i).iter().any(|d| !inputs.contains(d))
             {
-                validity_violation = Some(path_to(&g.parent, i as u32));
+                validity_violation = Some(path_to(&g.parent, i));
             }
-            if c.active_processes().is_empty() {
+            if !g.arena.has_active(i) {
+                terminal[i as usize] = true;
                 terminal_configs += 1;
             }
         }
@@ -291,18 +362,23 @@ impl Explorer {
         let (can_always_reach_termination, infinite_execution_possible) = if truncated {
             (None, None)
         } else {
-            (Some(all_can_terminate(&g.nodes, &g.succ)), Some(has_cycle(&g.succ)))
+            (Some(all_can_terminate(&terminal, &g.succ)), Some(has_cycle(&g.succ)))
         };
 
+        let arena_bytes = arena_bytes(&g.arena);
         ExploreOutcome {
             consistency_violation,
             validity_violation,
-            configs_visited: g.nodes.len(),
+            configs_visited: n,
             terminal_configs,
             truncated,
             can_always_reach_termination,
             infinite_execution_possible,
-            arena_bytes: arena_footprint(&g.nodes),
+            arena_bytes,
+            canonicalized: g.canonical,
+            canonical_configs: n,
+            raw_configs: g.raw_represented,
+            bytes_per_config: if n == 0 { 0.0 } else { arena_bytes as f64 / n as f64 },
         }
     }
 
@@ -336,10 +412,10 @@ impl Explorer {
 
         // Fixpoint: propagate reachable decision values backwards.
         // mask bit 0 = "0 reachable", bit 1 = "1 reachable".
-        let n = g.nodes.len();
+        let n = g.arena.len();
         let mut mask = vec![0u8; n];
-        for (i, c) in g.nodes.iter().enumerate() {
-            for d in c.decided_values() {
+        for i in 0..n {
+            for d in g.arena.decided_values(i as u32) {
                 mask[i] |= 1 << d.min(1);
             }
         }
@@ -552,24 +628,12 @@ fn path_to(parent: &[Option<(u32, Step)>], mut i: u32) -> Execution {
     Execution::from_steps(steps)
 }
 
-/// Estimated bytes held by the interned arena (plus dedup-map entries)
-/// for reporting. Counts each configuration's inline struct and its two
-/// heap vectors; `Value` is `Copy`, so object values carry no further
-/// indirection.
-fn arena_footprint<S>(nodes: &[Configuration<S>]) -> usize {
-    use std::mem::size_of;
-    // Per interned node the dedup maps hold roughly a key, an index, and
-    // bucket overhead.
+/// Estimated bytes held by the packed arena plus the dedup maps, for
+/// reporting. Per interned node the dedup maps hold roughly a key, an
+/// index, and bucket overhead on top of the arena's own words + codec.
+fn arena_bytes<S: Clone + Eq + std::hash::Hash>(arena: &pack::PackedArena<S>) -> usize {
     const SEEN_ENTRY_BYTES: usize = 24;
-    nodes
-        .iter()
-        .map(|c| {
-            size_of::<Configuration<S>>()
-                + c.procs.len() * size_of::<ProcState<S>>()
-                + c.values.len() * size_of::<Value>()
-        })
-        .sum::<usize>()
-        + nodes.len() * SEEN_ENTRY_BYTES
+    arena.bytes() + arena.len() * SEEN_ENTRY_BYTES
 }
 
 /// Does the reachable graph contain a cycle? (Terminal nodes have no
@@ -613,12 +677,9 @@ fn has_cycle(succ: &[Vec<u32>]) -> bool {
 }
 
 /// Backward reachability: can every node reach a terminal node (no
-/// active processes)?
-fn all_can_terminate<S>(nodes: &[Configuration<S>], succ: &[Vec<u32>]) -> bool
-where
-    S: Clone + Eq + Hash + core::fmt::Debug,
-{
-    let n = nodes.len();
+/// active processes)? `terminal[i]` flags the terminal nodes.
+fn all_can_terminate(terminal: &[bool], succ: &[Vec<u32>]) -> bool {
+    let n = terminal.len();
     let mut pred: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (i, outs) in succ.iter().enumerate() {
         for &j in outs {
@@ -627,8 +688,8 @@ where
     }
     let mut can = vec![false; n];
     let mut queue: VecDeque<usize> = VecDeque::new();
-    for (i, c) in nodes.iter().enumerate() {
-        if c.active_processes().is_empty() {
+    for (i, &t) in terminal.iter().enumerate() {
+        if t {
             can[i] = true;
             queue.push_back(i);
         }
@@ -660,7 +721,7 @@ mod tests {
         n: usize,
     }
 
-    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     enum St {
         Write(Decision),
         Read,
@@ -704,15 +765,21 @@ mod tests {
         fn is_symmetric(&self) -> bool {
             true
         }
+
+        fn symmetry(&self) -> crate::protocol::Symmetry {
+            crate::protocol::Symmetry::Symmetric
+        }
     }
 
     /// Correct single-CAS consensus; exploration must find it safe.
+    /// Deliberately left with the default (asymmetric) symmetry
+    /// declaration, so canonical requests against it must be inert.
     #[derive(Debug)]
     struct Cas {
         n: usize,
     }
 
-    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     enum CasSt {
         Try(Decision),
         Done(Decision),
@@ -872,7 +939,7 @@ mod tests {
         #[derive(Debug)]
         struct Flip;
 
-        #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
         enum F {
             Start,
             Done(Decision),
@@ -981,7 +1048,99 @@ mod tests {
         let p = Cas { n: 2 };
         let out = Explorer::default().explore(&p, &[0, 1]);
         assert!(out.arena_bytes > 0);
-        // At minimum the inline struct of every interned configuration.
-        assert!(out.arena_bytes >= out.configs_visited * std::mem::size_of::<Configuration<CasSt>>());
+        // At minimum the packed words of every interned configuration
+        // (2 process slots + 1 object slot, 4 bytes each).
+        assert!(out.arena_bytes >= out.configs_visited * 3 * 4);
+        assert!(out.bytes_per_config >= 12.0);
+        // The point of packing: far below the old heap representation
+        // (inline struct + two spilled vectors was >100 B/config).
+        assert!(
+            out.bytes_per_config < 100.0,
+            "packed arena should be compact, got {} B/config",
+            out.bytes_per_config
+        );
+    }
+
+    #[test]
+    fn raw_mode_reports_trivial_reduction() {
+        let p = Cas { n: 2 };
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        assert!(!out.canonicalized);
+        assert_eq!(out.canonical_configs, out.configs_visited);
+        assert_eq!(out.raw_configs, out.configs_visited);
+        assert_eq!(out.reduction_factor(), 1.0);
+    }
+
+    #[test]
+    fn canonical_exploration_agrees_with_raw_and_reduces() {
+        let p = Naive { n: 3 };
+        let raw = Explorer::default().explore(&p, &[0, 1, 1]);
+        let canon = Explorer::default().canonical(true).explore(&p, &[0, 1, 1]);
+        assert!(!raw.truncated && !canon.truncated);
+        assert!(canon.canonicalized);
+        // Verdicts agree: both find the consistency violation, neither a
+        // validity violation, same termination/cycle facts.
+        assert_eq!(raw.is_safe(), canon.is_safe());
+        assert!(canon.consistency_violation.is_some());
+        assert!(canon.validity_violation.is_none());
+        assert_eq!(raw.can_always_reach_termination, canon.can_always_reach_termination);
+        assert_eq!(raw.infinite_execution_possible, canon.infinite_execution_possible);
+        // The quotient genuinely shrinks the space. With mixed inputs
+        // the multinomial accounting bounds the raw count from above
+        // (the raw set is closed only under stabilizer permutations).
+        assert!(canon.configs_visited < raw.configs_visited);
+        assert!(canon.raw_configs >= raw.configs_visited);
+        assert!(canon.reduction_factor() > 1.0);
+    }
+
+    #[test]
+    fn canonical_raw_count_is_exact_for_uniform_inputs() {
+        // A permutation-symmetric start (uniform inputs) makes the raw
+        // reachable set closed under *all* process permutations, so the
+        // per-class multinomial sum recovers the raw count exactly.
+        let p = Naive { n: 3 };
+        let raw = Explorer::default().explore(&p, &[1, 1, 1]);
+        let canon = Explorer::default().canonical(true).explore(&p, &[1, 1, 1]);
+        assert!(!raw.truncated && !canon.truncated);
+        assert_eq!(canon.raw_configs, raw.configs_visited);
+        assert!(canon.configs_visited < raw.configs_visited);
+    }
+
+    #[test]
+    fn canonical_request_on_asymmetric_protocol_is_inert() {
+        let p = Cas { n: 3 };
+        let raw = Explorer::default().explore(&p, &[1, 0, 1]);
+        let req = Explorer::default().canonical(true).explore(&p, &[1, 0, 1]);
+        assert!(!req.canonicalized, "Cas does not declare Symmetric");
+        assert_eq!(raw.configs_visited, req.configs_visited);
+        assert_eq!(req.raw_configs, req.configs_visited);
+    }
+
+    #[test]
+    fn canonical_valency_agrees_with_raw_on_classification() {
+        let p = Naive { n: 2 };
+        let raw = Explorer::default().valency(&p, &[0, 1]).expect("not truncated");
+        let canon =
+            Explorer::default().canonical(true).valency(&p, &[0, 1]).expect("not truncated");
+        assert_eq!(raw.initial, canon.initial);
+        assert_eq!(raw.bivalent_cycle, canon.bivalent_cycle);
+        assert_eq!(raw.stuck == 0, canon.stuck == 0);
+        assert!(canon.configs <= raw.configs);
+    }
+
+    #[test]
+    fn canonical_exploration_is_identical_across_thread_counts() {
+        let p = Naive { n: 3 };
+        let base = Explorer::default().canonical(true).threads(1).explore(&p, &[0, 1, 0]);
+        for threads in [2, 4] {
+            let out =
+                Explorer::default().canonical(true).threads(threads).explore(&p, &[0, 1, 0]);
+            assert_eq!(
+                fingerprint(&base),
+                fingerprint(&out),
+                "canonical threads={threads} diverged from sequential"
+            );
+            assert_eq!(base.raw_configs, out.raw_configs);
+        }
     }
 }

@@ -21,11 +21,14 @@
 //! * bounded exhaustive state-space exploration ([`explore`]) used both to
 //!   model-check small protocols and to realize the paper's
 //!   "nondeterministic solo termination" witnesses — built on a parallel,
-//!   memory-lean BFS engine (interned configuration arena, sharded
-//!   hash-first dedup, depth-synchronous worker fan-out) whose results
-//!   are bit-identical at every thread count; [`ExploreConfig`] picks the
-//!   parallel shape and [`sim::monte_carlo`] batches simulation trials
-//!   the same deterministic way;
+//!   memory-lean BFS engine (bit-packed interned configuration arena,
+//!   sharded hash-first dedup, depth-synchronous worker fan-out) whose
+//!   results are bit-identical at every thread count; protocols declaring
+//!   [`Symmetry::Symmetric`] can additionally be explored on the
+//!   process-permutation quotient ([`ExploreConfig::canonical`]), cutting
+//!   visited configurations by up to `n!` with identical verdicts;
+//!   [`ExploreConfig`] picks the parallel shape and [`sim::monte_carlo`]
+//!   batches simulation trials the same deterministic way;
 //! * a history recorder and a Wing–Gong linearizability checker
 //!   ([`history`], [`linearize`]) for validating real, threaded object
 //!   implementations against the same [`ObjectKind`] semantics.
@@ -72,13 +75,16 @@ pub mod value;
 pub use config::{Configuration, ProcState};
 pub use error::ModelError;
 pub use execution::{Execution, Step, StepRecord};
-pub use explore::{ExploreConfig, ExploreLimits, ExploreOutcome, Explorer, Valency, ValencyAnalysis};
+pub use explore::{
+    Canonicalizer, ExploreConfig, ExploreLimits, ExploreOutcome, Explorer, Valency,
+    ValencyAnalysis,
+};
 pub use history::{Event, History};
 pub use kind::ObjectKind;
 pub use linearize::LinearizabilityChecker;
 pub use op::{Operation, Response};
 pub use process::{ObjectId, ProcessId};
-pub use protocol::{Action, Decision, ObjectSpec, Protocol};
+pub use protocol::{Action, Decision, ObjectSpec, Protocol, Symmetry};
 pub use rng::SplitMix64;
 pub use sched::{
     ContrarianScheduler, CrashScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,

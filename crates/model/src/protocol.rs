@@ -30,6 +30,36 @@ use crate::value::Value;
 /// A consensus decision value. Binary consensus uses `0` and `1`.
 pub type Decision = u8;
 
+/// Whether a protocol's processes are interchangeable — the paper's
+/// Section 3.1 *identical processes* hypothesis, as a capability
+/// declaration the exploration engine can act on.
+///
+/// For a [`Symmetry::Symmetric`] protocol, any permutation of a
+/// configuration's process states is reachable exactly when the
+/// configuration itself is (permuting every step's process id permutes
+/// the whole execution), so the explorer may soundly quotient the state
+/// space by process-identity permutation
+/// ([`ExploreConfig::canonical`](crate::explore::ExploreConfig::canonical)).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Symmetry {
+    /// Process identity may matter (e.g. the state embeds the process
+    /// id, or processes own per-id registers). The explorer never
+    /// quotients such a protocol.
+    #[default]
+    Asymmetric,
+    /// Identical processes: [`Protocol::initial_state`] ignores `pid`
+    /// and no state depends on process identity. Permuting process
+    /// states yields an equivalent configuration.
+    Symmetric,
+}
+
+impl Symmetry {
+    /// Whether this is [`Symmetry::Symmetric`].
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, Symmetry::Symmetric)
+    }
+}
+
 /// The declaration of one shared object used by a protocol.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct ObjectSpec {
@@ -84,8 +114,11 @@ impl fmt::Debug for Action {
 /// arguments. All nondeterminism is expressed through the coin domain.
 pub trait Protocol {
     /// Per-process local state. Must be cheap to clone and hashable so
-    /// configurations can be memoized during exploration.
-    type State: Clone + Eq + Hash + fmt::Debug;
+    /// configurations can be memoized during exploration, and totally
+    /// ordered so symmetric configurations have a well-defined canonical
+    /// representative (the sorted process vector); any derived `Ord` is
+    /// fine — only totality matters, never the particular order.
+    type State: Clone + Eq + Ord + Hash + fmt::Debug;
 
     /// The shared objects this protocol uses, in [`ObjectId`] order.
     fn objects(&self) -> Vec<ObjectSpec>;
@@ -118,6 +151,18 @@ pub trait Protocol {
     /// ignore `pid`; the cloning machinery relies on this.
     fn is_symmetric(&self) -> bool {
         false
+    }
+
+    /// Declares whether the explorer may quotient this protocol's state
+    /// space by process-identity permutation (see [`Symmetry`]).
+    ///
+    /// The default, [`Symmetry::Asymmetric`], keeps exploration exact
+    /// over raw configurations. Override to [`Symmetry::Symmetric`]
+    /// only when process behaviour is genuinely identity-free — the
+    /// same contract [`is_symmetric`](Protocol::is_symmetric) promises
+    /// the cloning adversary, here promised to the canonicalizer.
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::Asymmetric
     }
 }
 
@@ -152,6 +197,10 @@ impl<P: Protocol + ?Sized> Protocol for &P {
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
     }
+
+    fn symmetry(&self) -> Symmetry {
+        (**self).symmetry()
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +220,7 @@ mod tests {
         }
     }
 
-    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     pub enum St {
         Fresh(Decision),
         Ready(Decision),
@@ -209,6 +258,38 @@ mod tests {
         fn is_symmetric(&self) -> bool {
             true
         }
+
+        fn symmetry(&self) -> Symmetry {
+            Symmetry::Symmetric
+        }
+    }
+
+    #[test]
+    fn symmetry_defaults_to_asymmetric() {
+        /// A protocol relying on every default.
+        #[derive(Debug)]
+        struct Plain;
+        impl Protocol for Plain {
+            type State = St;
+            fn objects(&self) -> Vec<ObjectSpec> {
+                vec![ObjectSpec::new(ObjectKind::Register, "r")]
+            }
+            fn num_processes(&self) -> usize {
+                1
+            }
+            fn initial_state(&self, _pid: ProcessId, input: Decision) -> St {
+                St::Fresh(input)
+            }
+            fn action(&self, _state: &St) -> Action {
+                Action::Decide(0)
+            }
+            fn transition(&self, state: &St, _resp: &Response, _coin: u32) -> St {
+                state.clone()
+            }
+        }
+        assert_eq!(Plain.symmetry(), Symmetry::Asymmetric);
+        assert!(!Plain.symmetry().is_symmetric());
+        assert!(DecideOwnInput::new(2).symmetry().is_symmetric());
     }
 
     #[test]

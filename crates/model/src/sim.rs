@@ -146,6 +146,11 @@ impl Simulator {
     }
 }
 
+/// Minimum seeds per worker before [`monte_carlo`] spawns threads: a
+/// typical trial runs in tens of microseconds, so a worker must batch a
+/// handful of them to amortize its spawn/join cost.
+pub const MIN_SEEDS_PER_WORKER: usize = 16;
+
 /// Fan a Monte Carlo seed range out across scoped worker threads.
 ///
 /// `job` is invoked exactly once per seed in `seeds`; the returned
@@ -161,6 +166,12 @@ impl Simulator {
 /// Workers take contiguous seed sub-ranges and write into disjoint
 /// slices of the result vector; there is no channel, no locking, and no
 /// per-seed allocation beyond the job's own.
+///
+/// Spawning is amortized: when the host has a single hardware thread,
+/// or the range is so short that each worker would get fewer than
+/// [`MIN_SEEDS_PER_WORKER`] seeds, the loop runs sequentially — thread
+/// spawn and join would cost more than the parallelism buys (the output
+/// is identical either way).
 pub fn monte_carlo<T, F>(seeds: std::ops::Range<u64>, threads: usize, job: F) -> Vec<T>
 where
     T: Send,
@@ -168,12 +179,11 @@ where
 {
     let count = usize::try_from(seeds.end.saturating_sub(seeds.start))
         .expect("seed range length exceeds usize");
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    let workers = threads.min(count);
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = if threads == 0 { host } else { threads };
+    // More workers than cores never helps a CPU-bound trial loop; on a
+    // single-core host extra workers are pure spawn overhead.
+    let workers = threads.min(host).min(count.div_ceil(MIN_SEEDS_PER_WORKER));
     if workers <= 1 {
         return seeds.map(job).collect();
     }
@@ -210,7 +220,7 @@ mod tests {
         n: usize,
     }
 
-    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     pub enum St {
         Try(Decision),
         Done(Decision),
@@ -338,6 +348,21 @@ mod tests {
         assert_eq!(one, vec![14]);
         let offset = monte_carlo(100..108, 3, |s| s);
         assert_eq!(offset, (100..108).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn monte_carlo_sequential_fallback_is_exact() {
+        // Ranges too short to amortize a spawn (fewer than
+        // MIN_SEEDS_PER_WORKER seeds per would-be worker) run on the
+        // caller's thread; output must be indistinguishable.
+        let short = MIN_SEEDS_PER_WORKER - 1;
+        let seq: Vec<u64> = (0..short as u64).map(|s| s * 3).collect();
+        assert_eq!(monte_carlo(0..short as u64, 8, |s| s * 3), seq);
+        // Just past one batch, with enough threads requested that each
+        // worker would starve: still exact.
+        let n = (MIN_SEEDS_PER_WORKER + 3) as u64;
+        let seq: Vec<u64> = (0..n).map(|s| s + 7).collect();
+        assert_eq!(monte_carlo(0..n, 64, |s| s + 7), seq);
     }
 
     #[test]

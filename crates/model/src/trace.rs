@@ -63,7 +63,7 @@ mod tests {
     #[derive(Debug)]
     struct Tiny;
 
-    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     enum St {
         Write,
         Decide,

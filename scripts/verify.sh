@@ -6,8 +6,12 @@
 # Steps:
 #   1. release build of the whole workspace
 #   2. the tier-1 test gate (root package) and the full workspace suite
-#   3. explore_perf --smoke: a small sequential-vs-parallel exploration
-#      whose outcomes must be identical (exits nonzero on divergence)
+#   3. the canonical-vs-raw equivalence property suite (symmetry
+#      quotient must never change a verdict)
+#   4. explore_perf --smoke: a small exploration measured raw and
+#      canonical, sequential and parallel; the binary exits nonzero on
+#      any divergence (parallel vs sequential, or canonical verdicts vs
+#      raw verdicts), which fails this script
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,7 +25,10 @@ cargo test -q
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
-echo "== explore_perf --smoke =="
+echo "== canonical/raw equivalence properties =="
+cargo test -q --release -p randsync-consensus --test prop_canonical_equiv
+
+echo "== explore_perf --smoke (raw + canonical, verdict divergence fails) =="
 cargo run --release --bin explore_perf -- --smoke --out target/BENCH_explore_smoke.json
 
 echo "verify.sh: all gates passed"

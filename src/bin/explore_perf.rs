@@ -1,10 +1,15 @@
 //! Performance harness for the parallel exploration engine.
 //!
-//! Runs reference explorations sequentially (`threads = 1`) and with the
-//! host's full parallelism, checks the outcomes are equivalent, and
-//! writes throughput numbers (configurations/second), peak arena sizes,
-//! and thread counts to `BENCH_explore.json`. No external dependencies:
-//! timing is `std::time::Instant` and the JSON is written by hand.
+//! Each workload is explored four ways: **raw** (every reachable
+//! configuration, packed arena) and **canonical** (process-symmetry
+//! quotient), both sequentially (`threads = 1`) and with the host's
+//! full parallelism. The harness checks that parallel results are
+//! bit-identical to sequential in both modes, that raw and canonical
+//! agree on every verdict (safety, termination reachability, infinite
+//! executions), and writes configuration counts, packed-arena sizes,
+//! throughput, and symmetry-reduction factors to `BENCH_explore.json`.
+//! No external dependencies: timing is `std::time::Instant` and the
+//! JSON is written by hand.
 //!
 //! Usage:
 //!
@@ -15,10 +20,10 @@
 //! ```
 //!
 //! The speedup column is only meaningful on multi-core hosts; the JSON
-//! records `host_parallelism` so readers can tell. Outcome equivalence
-//! between the sequential and parallel runs is asserted unconditionally
-//! — on any host, a run that produced different results would exit
-//! nonzero.
+//! records `host_parallelism` so readers can tell. Equivalence is
+//! asserted unconditionally — on any host, a run that produced
+//! divergent results (parallel vs sequential, or canonical verdicts vs
+//! raw verdicts) exits nonzero.
 
 use std::time::Instant;
 
@@ -26,13 +31,32 @@ use randsync::consensus::model_protocols::{Optimistic, PhaseModel, WalkBacking, 
 use randsync::model::{monte_carlo, ExploreLimits, ExploreOutcome, Explorer, Protocol};
 use randsync::model::{RandomScheduler, Simulator};
 
-/// One measured exploration workload.
+/// One measured exploration workload, raw and canonical.
 struct Row {
     name: String,
+    /// Canonical-mode visited configurations (the headline number).
     configs: usize,
+    /// Canonical-mode packed-arena peak bytes (the headline number).
     arena_bytes: usize,
+    /// Raw-mode visited configurations.
+    raw_configs: usize,
+    /// Raw-mode packed-arena peak bytes.
+    raw_arena_bytes: usize,
+    /// Whether the raw run hit a budget (the canonical run never did in
+    /// any shipped workload).
+    raw_truncated: bool,
+    /// Raw configurations the canonical set represents (multinomial
+    /// closure; exact for uniform inputs, an upper bound otherwise).
+    /// Unlike `raw_configs` this is budget-independent.
+    represented_raw_configs: usize,
+    /// Raw configurations represented per canonical node
+    /// (`ExploreOutcome::reduction_factor`).
+    reduction: f64,
+    /// Canonical-mode arena bytes per configuration.
+    bytes_per_config: f64,
     seq_secs: f64,
     par_secs: f64,
+    raw_seq_secs: f64,
     equivalent: bool,
 }
 
@@ -43,14 +67,18 @@ impl Row {
     fn par_rate(&self) -> f64 {
         self.configs as f64 / self.par_secs
     }
+    fn raw_rate(&self) -> f64 {
+        self.raw_configs as f64 / self.raw_seq_secs
+    }
     fn speedup(&self) -> f64 {
         self.seq_secs / self.par_secs
     }
 }
 
 /// The outcome fields that must match between sequential and parallel
-/// runs (witness executions included — the engine is deterministic).
-fn equivalent(a: &ExploreOutcome, b: &ExploreOutcome) -> bool {
+/// runs of the *same* mode (witness executions included — the engine is
+/// deterministic).
+fn same_mode_equivalent(a: &ExploreOutcome, b: &ExploreOutcome) -> bool {
     a.consistency_violation == b.consistency_violation
         && a.validity_violation == b.validity_violation
         && a.configs_visited == b.configs_visited
@@ -58,40 +86,80 @@ fn equivalent(a: &ExploreOutcome, b: &ExploreOutcome) -> bool {
         && a.truncated == b.truncated
         && a.can_always_reach_termination == b.can_always_reach_termination
         && a.infinite_execution_possible == b.infinite_execution_possible
+        && a.raw_configs == b.raw_configs
 }
 
-fn measure<P>(name: &str, protocol: &P, inputs: &[u8], threads: usize) -> Row
+/// The verdicts that must match between raw and canonical exploration
+/// (counts and witness step sequences legitimately differ). Only
+/// checkable when the raw run completed within budget.
+fn cross_mode_equivalent(raw: &ExploreOutcome, canon: &ExploreOutcome) -> bool {
+    if raw.truncated {
+        // Raw hit the budget: the quotient completing where the raw
+        // space could not is the *point*; there is nothing to compare.
+        return !canon.truncated;
+    }
+    raw.is_safe() == canon.is_safe()
+        && raw.consistency_violation.is_some() == canon.consistency_violation.is_some()
+        && raw.validity_violation.is_some() == canon.validity_violation.is_some()
+        && raw.can_always_reach_termination == canon.can_always_reach_termination
+        && raw.infinite_execution_possible == canon.infinite_execution_possible
+}
+
+fn measure<P>(
+    name: &str,
+    protocol: &P,
+    inputs: &[u8],
+    threads: usize,
+    limits: ExploreLimits,
+) -> Row
 where
     P: Protocol + Sync,
     P::State: Send + Sync,
 {
-    let limits = ExploreLimits { max_configs: 2_000_000, max_depth: 1_000_000 };
+    let t0 = Instant::now();
+    let raw_seq = Explorer::new(limits).threads(1).explore(protocol, inputs);
+    let raw_seq_secs = t0.elapsed().as_secs_f64();
+    let raw_par = Explorer::new(limits).threads(threads).explore(protocol, inputs);
 
     let t0 = Instant::now();
-    let seq = Explorer::new(limits).threads(1).explore(protocol, inputs);
+    let seq = Explorer::new(limits).canonical(true).threads(1).explore(protocol, inputs);
     let seq_secs = t0.elapsed().as_secs_f64();
-
     let t0 = Instant::now();
-    let par = Explorer::new(limits).threads(threads).explore(protocol, inputs);
+    let par = Explorer::new(limits).canonical(true).threads(threads).explore(protocol, inputs);
     let par_secs = t0.elapsed().as_secs_f64();
+
+    let equivalent = same_mode_equivalent(&seq, &par)
+        && same_mode_equivalent(&raw_seq, &raw_par)
+        && cross_mode_equivalent(&raw_seq, &seq);
 
     let row = Row {
         name: name.to_string(),
         configs: seq.configs_visited,
         arena_bytes: seq.arena_bytes,
+        raw_configs: raw_seq.configs_visited,
+        raw_arena_bytes: raw_seq.arena_bytes,
+        raw_truncated: raw_seq.truncated,
+        represented_raw_configs: seq.raw_configs,
+        reduction: seq.reduction_factor(),
+        bytes_per_config: seq.bytes_per_config,
         seq_secs,
         par_secs,
-        equivalent: equivalent(&seq, &par),
+        raw_seq_secs,
+        equivalent,
     };
     println!(
-        "{name:<34} {:>9} configs  seq {:>8.3}s ({:>9.0}/s)  par[{threads}] {:>8.3}s ({:>9.0}/s)  x{:.2}  arena {:.1} MiB  {}",
+        "{name:<28} canon {:>8} cfg {:>6.1} MiB ({:>5.1} B/cfg)  raw {:>8} cfg{} {:>6.1} MiB  reduce x{:.2}  seq {:>7.3}s ({:>8.0}/s)  par[{threads}] {:>7.3}s  x{:.2}  {}",
         row.configs,
+        row.arena_bytes as f64 / (1024.0 * 1024.0),
+        row.bytes_per_config,
+        row.raw_configs,
+        if row.raw_truncated { "*" } else { " " },
+        row.raw_arena_bytes as f64 / (1024.0 * 1024.0),
+        row.reduction,
         row.seq_secs,
         row.seq_rate(),
         row.par_secs,
-        row.par_rate(),
         row.speedup(),
-        row.arena_bytes as f64 / (1024.0 * 1024.0),
         if row.equivalent { "OK" } else { "MISMATCH" },
     );
     row
@@ -147,18 +215,41 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     );
 
+    let wide = ExploreLimits { max_configs: 2_000_000, max_depth: 1_000_000 };
     let mut rows = Vec::new();
     if smoke {
-        rows.push(measure("optimistic(n=3,r=3)", &Optimistic::new(3, 3), &[0, 1, 0], threads));
+        rows.push(measure("optimistic(n=3,r=3)", &Optimistic::new(3, 3), &[0, 1, 0], threads, wide));
     } else {
-        rows.push(measure("optimistic(n=3,r=3)", &Optimistic::new(3, 3), &[0, 1, 0], threads));
+        rows.push(measure("optimistic(n=3,r=3)", &Optimistic::new(3, 3), &[0, 1, 0], threads, wide));
         rows.push(measure(
             "walk_counter(n=3,default)",
             &WalkModel::with_default_margins(3, WalkBacking::BoundedCounter),
             &[0, 1, 0],
             threads,
+            wide,
         ));
-        rows.push(measure("phase_model(n=3,rounds=3)", &PhaseModel::new(3, 3), &[0, 1, 0], threads));
+        rows.push(measure(
+            "phase_model(n=3,rounds=3)",
+            &PhaseModel::new(3, 3),
+            &[0, 1, 0],
+            threads,
+            wide,
+        ));
+        // The n=4 frontier workload runs at the explorer's *default*
+        // budgets: raw exploration blows through them (truncated at
+        // max_configs), canonical exploration completes — the symmetry
+        // quotient turns an infeasible space into a feasible one. The
+        // uniform input vector maximizes the quotient (the start is
+        // fully symmetric) and makes `raw_configs` exact, so the JSON
+        // still records the true raw-space size the budget could not
+        // hold.
+        rows.push(measure(
+            "walk_tight(n=4,uniform)",
+            &WalkModel::with_tight_margins(4, WalkBacking::BoundedCounter),
+            &[0, 0, 0, 0],
+            threads,
+            ExploreLimits::default(),
+        ));
     }
     let mc = measure_monte_carlo(if smoke { 20 } else { 200 }, threads);
 
@@ -175,16 +266,28 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"configs\": {}, \"peak_arena_bytes\": {}, \
-             \"seq_secs\": {:.6}, \"par_secs\": {:.6}, \
+             \"raw_configs\": {}, \"raw_arena_bytes\": {}, \"raw_truncated\": {}, \
+             \"represented_raw_configs\": {}, \
+             \"reduction\": {:.3}, \"bytes_per_config\": {:.2}, \
+             \"seq_secs\": {:.6}, \"par_secs\": {:.6}, \"raw_seq_secs\": {:.6}, \
              \"seq_configs_per_sec\": {:.1}, \"par_configs_per_sec\": {:.1}, \
+             \"raw_configs_per_sec\": {:.1}, \
              \"speedup\": {:.3}, \"equivalent\": {}}}{}\n",
             json_escape(&r.name),
             r.configs,
             r.arena_bytes,
+            r.raw_configs,
+            r.raw_arena_bytes,
+            r.raw_truncated,
+            r.represented_raw_configs,
+            r.reduction,
+            r.bytes_per_config,
             r.seq_secs,
             r.par_secs,
+            r.raw_seq_secs,
             r.seq_rate(),
             r.par_rate(),
+            r.raw_rate(),
             r.speedup(),
             r.equivalent,
             if i + 1 < rows.len() { "," } else { "" },
@@ -206,7 +309,7 @@ fn main() {
     println!("wrote {out_path}");
 
     if !all_equivalent {
-        eprintln!("FAIL: parallel results diverged from sequential");
+        eprintln!("FAIL: results diverged (parallel vs sequential, or canonical vs raw)");
         std::process::exit(1);
     }
 }

@@ -81,7 +81,7 @@ fn main() -> ExitCode {
                 "randsync — executable reproduction of Fich-Herlihy-Shavit (PODC 1993)\n\n\
                  usage:\n  randsync table [n]\n  randsync bounds <n>\n  \
                  randsync attack <naive|optimistic|zigzag|swapchain|tasrace> [r]\n  \
-                 randsync check <protocol> [r]\n  randsync valency <protocol> [threads]\n  \
+                 randsync check <protocol> [r]\n  randsync valency <protocol> [threads] [--canonical]\n  \
                  randsync walk <n> [seed]"
             );
             ExitCode::SUCCESS
@@ -179,46 +179,74 @@ fn replay_trace<P: Protocol>(
 }
 
 fn run_valency(args: &[String]) -> ExitCode {
-    let which = args.first().map(String::as_str).unwrap_or("cas");
+    // `randsync valency <protocol> [threads] [--canonical]`
+    let canonical = args.iter().any(|a| a == "--canonical" || a == "canonical");
+    let rest: Vec<&String> =
+        args.iter().filter(|a| *a != "--canonical" && *a != "canonical").collect();
+    let which = rest.first().map(|s| s.as_str()).unwrap_or("cas");
     // Optional worker-thread count; 0 (the default) resolves to the
     // host's available parallelism. Results are identical either way.
-    let threads = parse(args.get(1), 0) as usize;
+    let threads = parse(rest.get(1).copied(), 0) as usize;
     let explorer = Explorer::new(ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 })
-        .threads(threads);
-    let report = |a: Option<randsync::model::ValencyAnalysis>| match a {
-        Some(a) => {
-            println!("initial valency     : {:?}", a.initial);
-            println!("configurations      : {}", a.configs);
-            println!("  0-valent          : {}", a.zero_valent);
-            println!("  1-valent          : {}", a.one_valent);
-            println!("  bivalent          : {}", a.bivalent);
-            println!("  stuck             : {}", a.stuck);
-            println!("critical configs    : {}", a.critical_configs);
-            println!("bivalent cycle      : {}", a.bivalent_cycle);
-            ExitCode::SUCCESS
-        }
-        None => {
-            eprintln!("state space exceeded the budget; valencies would be unsound");
-            ExitCode::FAILURE
-        }
-    };
+        .threads(threads)
+        .canonical(canonical);
     match which {
-        "cas" => report(explorer.valency(&CasModel::new(2), &[0, 1])),
-        "walk-counter" => report(explorer.valency(
+        "cas" => valency_report(&explorer, &CasModel::new(2), &[0, 1]),
+        "walk-counter" => valency_report(
+            &explorer,
             &WalkModel::with_tight_margins(2, WalkBacking::BoundedCounter),
             &[0, 1],
-        )),
-        "walk-deterministic" => report(explorer.valency(
+        ),
+        "walk-deterministic" => valency_report(
+            &explorer,
             &WalkModel::deterministic_variant(2, WalkBacking::BoundedCounter),
             &[0, 1],
-        )),
-        "swap2" => report(explorer.valency(&SwapTwoModel, &[0, 1])),
-        "naive" => report(explorer.valency(&NaiveWriteRead::new(2), &[0, 1])),
+        ),
+        "swap2" => valency_report(&explorer, &SwapTwoModel, &[0, 1]),
+        "naive" => valency_report(&explorer, &NaiveWriteRead::new(2), &[0, 1]),
         other => {
             eprintln!("unknown protocol for valency: {other}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Run the valency analysis and print it, followed by the symmetry
+/// reduction achieved (from a same-budget exploration, which also
+/// reports the packed-arena footprint).
+fn valency_report<P>(explorer: &Explorer, protocol: &P, inputs: &[u8]) -> ExitCode
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
+    let Some(a) = explorer.valency(protocol, inputs) else {
+        eprintln!("state space exceeded the budget; valencies would be unsound");
+        return ExitCode::FAILURE;
+    };
+    println!("initial valency     : {:?}", a.initial);
+    println!("configurations      : {}", a.configs);
+    println!("  0-valent          : {}", a.zero_valent);
+    println!("  1-valent          : {}", a.one_valent);
+    println!("  bivalent          : {}", a.bivalent);
+    println!("  stuck             : {}", a.stuck);
+    println!("critical configs    : {}", a.critical_configs);
+    println!("bivalent cycle      : {}", a.bivalent_cycle);
+    let out = explorer.explore(protocol, inputs);
+    if out.canonicalized {
+        println!(
+            "symmetry reduction  : {} canonical configs represent {} raw ({:.2}x)",
+            out.canonical_configs,
+            out.raw_configs,
+            out.reduction_factor()
+        );
+    } else {
+        println!("symmetry reduction  : off (raw exploration)");
+    }
+    println!(
+        "arena               : {} bytes ({:.1} B/config)",
+        out.arena_bytes, out.bytes_per_config
+    );
+    ExitCode::SUCCESS
 }
 
 fn run_check(args: &[String]) -> ExitCode {
