@@ -3,7 +3,8 @@
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use randsync_bench::banner;
-use randsync_model::{ObjectKind, Operation, Value};
+use randsync_model::{ObjectKind, ObjectSpec, Operation, Value};
+use randsync_objects::bridge;
 use randsync_objects::traits::{CompareSwap, Counter, FetchAdd, ReadWrite, Swap, TestAndSet};
 use randsync_objects::{
     AtomicCounter, AtomicRegister, BoundedAtomicCounter, CasRegister, FetchAddRegister,
@@ -73,6 +74,36 @@ fn main() {
     });
     let bounded = BoundedAtomicCounter::new(-1000, 1000);
     group.bench_function("bounded_counter/inc", |b| b.iter(|| bounded.inc()));
+    group.finish();
+
+    // The same primitives behind the runtime's object bridge: every
+    // threaded protocol run pays this `dyn DynObject` + word-codec
+    // dispatch per shared-memory operation, so its margin over the raw
+    // trait calls above is the interpreter's per-op overhead.
+    let mut group = c.benchmark_group("ops_bridged_dyn");
+    group.throughput(Throughput::Elements(1));
+    for kind in [
+        ObjectKind::Register,
+        ObjectKind::SwapRegister,
+        ObjectKind::FetchAdd,
+        ObjectKind::CompareSwap,
+        ObjectKind::Counter,
+    ] {
+        let obj = bridge::instantiate(&ObjectSpec::new(kind, "bench")).unwrap();
+        let op = match kind {
+            ObjectKind::Register => Operation::Write(Value::Int(7)),
+            ObjectKind::SwapRegister => Operation::Swap(Value::Int(3)),
+            ObjectKind::FetchAdd => Operation::FetchAdd(1),
+            ObjectKind::CompareSwap => Operation::CompareSwap {
+                expected: Value::Int(0),
+                new: Value::Int(0),
+            },
+            _ => Operation::Inc,
+        };
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(obj.apply(0, &op).unwrap()))
+        });
+    }
     group.finish();
 
     // The register-based counter: INC is one write, READ is a scan —

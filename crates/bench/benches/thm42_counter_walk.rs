@@ -4,6 +4,11 @@
 //! We verify the protocol's space claim (1 object, cursor within ±3n),
 //! measure the random walk's total work as n grows (the classic
 //! quadratic hitting-time shape), and time the threaded protocol.
+//!
+//! The threaded group exercises the unified path end to end: each
+//! `decide` call drives the `WalkModel` state machine through the
+//! runtime interpreter against the real counter, so this bench times
+//! interpreter dispatch *and* the atomics underneath it.
 
 use criterion::{BenchmarkId, Criterion};
 use randsync_bench::{banner, walk_profile};

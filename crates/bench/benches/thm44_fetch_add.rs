@@ -5,7 +5,10 @@
 //! FETCH&ADD(±1)/(0)), so one instance solves randomized n-process
 //! consensus — although fetch&add's deterministic consensus number is
 //! only 2. Same harness as T4.2, on the fetch&add backing, plus the
-//! deterministic-vs-randomized contrast.
+//! deterministic-vs-randomized contrast. As in T4.2, the threaded
+//! group runs the `WalkModel` state machine through the runtime
+//! interpreter over the real fetch&add register — one protocol
+//! definition, timed on its production interpreter.
 
 use criterion::{BenchmarkId, Criterion};
 use randsync_bench::{banner, walk_profile};

@@ -5,21 +5,26 @@
 //! deterministically and wait-free. Each process attempts
 //! `CAS(⊥ → input)` once; the register's value after any attempt is the
 //! winner's input, and everyone decides it.
+//!
+//! The algorithm lives in [`CasModel`] — the same state machine the
+//! explorer checks exhaustively. This type instantiates it on real
+//! atomics: the constructor bridges the model's object spec to a
+//! [`CasRegister`](randsync_objects::CasRegister) and `decide` drives
+//! the caller's process through the threaded runtime.
 
-use randsync_objects::traits::CompareSwap;
-use randsync_objects::CasRegister;
+use randsync_model::runtime::DynObject;
+use randsync_model::Protocol;
+use randsync_objects::bridge;
 
+use crate::model_protocols::CasModel;
 use crate::spec::Consensus;
-
-/// Sentinel encoding of ⊥ in the CAS word (inputs are 0 or 1).
-const BOTTOM: i64 = -1;
 
 /// Wait-free deterministic consensus from a single compare&swap
 /// register.
 #[derive(Debug)]
 pub struct CasConsensus {
-    reg: CasRegister,
-    n: usize,
+    model: CasModel,
+    objects: Vec<Box<dyn DynObject>>,
 }
 
 impl CasConsensus {
@@ -30,28 +35,25 @@ impl CasConsensus {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "consensus needs at least one process");
-        CasConsensus { reg: CasRegister::new(BOTTOM), n }
+        let model = CasModel::new(n);
+        let objects = bridge::instantiate_all(&model).expect("CAS spec bridges");
+        CasConsensus { model, objects }
     }
 }
 
 impl Consensus for CasConsensus {
     fn decide(&self, process: usize, input: u8) -> u8 {
-        assert!(process < self.n, "process index out of range");
+        assert!(process < self.num_processes(), "process index out of range");
         assert!(input <= 1, "binary consensus inputs are 0 or 1");
-        let prev = self.reg.compare_swap(BOTTOM, input as i64);
-        if prev == BOTTOM {
-            input
-        } else {
-            prev as u8
-        }
+        crate::driver::decide_boxed(&self.model, &self.objects, process, input, 0)
     }
 
     fn num_processes(&self) -> usize {
-        self.n
+        Protocol::num_processes(&self.model)
     }
 
     fn object_count(&self) -> usize {
-        1
+        self.objects.len()
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,53 @@
+//! Crate-internal glue: drive one process of a model protocol on the
+//! calling thread.
+//!
+//! The threaded consensus implementations in this crate are thin
+//! instantiations of their `model_protocols` state machines: the
+//! constructor bridges the protocol's [`ObjectSpec`]s to real atomics
+//! and `decide` runs the caller's process through
+//! [`randsync_model::runtime::drive_process`]. This module holds the
+//! two-line plumbing they share.
+//!
+//! [`ObjectSpec`]: randsync_model::ObjectSpec
+
+use randsync_model::runtime::{self, DynObject};
+use randsync_model::{ProcessId, Protocol};
+
+/// Run process `process` of `model` to its decision on the calling
+/// thread, with coins drawn from the per-process stream of `seed`.
+///
+/// Panics if the objects reject an operation (they implement the
+/// declared kinds, so they never do) or if the step budget — effectively
+/// unbounded — runs out.
+pub(crate) fn decide_on<P: Protocol>(
+    model: &P,
+    objects: &[&dyn DynObject],
+    process: usize,
+    input: u8,
+    seed: u64,
+) -> u8 {
+    let mut rng = runtime::process_rng(seed, process);
+    let (decision, _steps) = runtime::drive_process(
+        model,
+        objects,
+        ProcessId(process),
+        input,
+        &mut rng,
+        usize::MAX,
+    )
+    .expect("bridged objects implement the declared kinds");
+    decision.expect("protocol terminates")
+}
+
+/// [`decide_on`] over boxed objects (the common case: the consensus
+/// struct owns its bridged objects).
+pub(crate) fn decide_boxed<P: Protocol>(
+    model: &P,
+    objects: &[Box<dyn DynObject>],
+    process: usize,
+    input: u8,
+    seed: u64,
+) -> u8 {
+    let refs: Vec<&dyn DynObject> = objects.iter().map(AsRef::as_ref).collect();
+    decide_on(model, &refs, process, input, seed)
+}

@@ -12,30 +12,31 @@
 //! — a perfect two-way race. Like test&set (and unlike swap), the
 //! response carries no payload, so each process publishes its input in
 //! its own register first; the loser reads the winner's.
+//!
+//! The algorithm lives in [`FetchIncTwoModel`] — the explorer proves it
+//! safe over every interleaving. This type instantiates that state
+//! machine on real atomics through the bridge and the threaded runtime.
 
-use randsync_objects::traits::ReadWrite;
-use randsync_objects::{AtomicRegister, FetchIncRegister};
+use randsync_model::runtime::DynObject;
+use randsync_objects::bridge;
 
+use crate::model_protocols::FetchIncTwoModel;
 use crate::spec::Consensus;
-
-/// Register value meaning "not yet published".
-const UNSET: i64 = -1;
 
 /// Wait-free deterministic 2-process consensus from one
 /// fetch&increment register plus two single-writer registers.
 #[derive(Debug)]
 pub struct FetchIncTwoConsensus {
-    ticket: FetchIncRegister,
-    inputs: [AtomicRegister; 2],
+    model: FetchIncTwoModel,
+    objects: Vec<Box<dyn DynObject>>,
 }
 
 impl FetchIncTwoConsensus {
     /// A fresh instance (always for exactly 2 processes).
     pub fn new() -> Self {
-        FetchIncTwoConsensus {
-            ticket: FetchIncRegister::new(0),
-            inputs: [AtomicRegister::new(UNSET), AtomicRegister::new(UNSET)],
-        }
+        let model = FetchIncTwoModel;
+        let objects = bridge::instantiate_all(&model).expect("fetch&inc spec bridges");
+        FetchIncTwoConsensus { model, objects }
     }
 }
 
@@ -49,14 +50,7 @@ impl Consensus for FetchIncTwoConsensus {
     fn decide(&self, process: usize, input: u8) -> u8 {
         assert!(process < 2, "fetch&inc consensus supports exactly 2 processes");
         assert!(input <= 1, "binary consensus inputs are 0 or 1");
-        self.inputs[process].write(input as i64);
-        if self.ticket.fetch_inc() == 0 {
-            input
-        } else {
-            let other = self.inputs[1 - process].read();
-            debug_assert_ne!(other, UNSET, "winner published before racing");
-            other as u8
-        }
+        crate::driver::decide_boxed(&self.model, &self.objects, process, input, 0)
     }
 
     fn num_processes(&self) -> usize {

@@ -28,5 +28,5 @@ pub use historyless::{MixedZigzag, SwapChain, TasRace};
 pub use mutex::{FlagOnlyMutex, PetersonMutex, TournamentMutex};
 pub use naive::{NaiveWriteRead, Optimistic, Zigzag};
 pub use phase_model::PhaseModel;
-pub use two_proc::{SwapTwoModel, TasTwoModel};
+pub use two_proc::{FetchIncTwoModel, SwapTwoModel, TasTwoModel};
 pub use walk_model::{WalkBacking, WalkModel};

@@ -150,6 +150,101 @@ impl Protocol for TasTwoModel {
     }
 }
 
+/// 2-process consensus from one fetch&increment register plus two
+/// single-writer input registers.
+///
+/// Section 4: FETCH&ADD from any starting value answers its first
+/// caller differently than its second, so it solves 2-process
+/// consensus. Like test&set (and unlike swap) the response carries no
+/// payload, so each process publishes its input in its own register
+/// before racing; the loser reads the winner's.
+#[derive(Clone, Debug)]
+pub struct FetchIncTwoModel;
+
+/// State of a [`FetchIncTwoModel`] process. As with [`TasTwoModel`],
+/// the process id is baked into the state (each process owns a
+/// register), so the protocol is *not* symmetric.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FetchIncState {
+    /// About to publish the input in the own register.
+    Publish {
+        /// Which process this is (0 or 1).
+        me: usize,
+        /// The input to publish.
+        input: Decision,
+    },
+    /// About to fetch&increment the ticket.
+    Race {
+        /// Which process this is.
+        me: usize,
+        /// The published input.
+        input: Decision,
+    },
+    /// Drew ticket 1; about to read the winner's register.
+    ReadOther {
+        /// Which process this is.
+        me: usize,
+    },
+    /// Decided.
+    Done(Decision),
+}
+
+impl Protocol for FetchIncTwoModel {
+    type State = FetchIncState;
+
+    fn objects(&self) -> Vec<ObjectSpec> {
+        vec![
+            ObjectSpec::new(ObjectKind::FetchIncrement, "ticket"),
+            ObjectSpec::with_initial(ObjectKind::Register, Value::Bottom, "in0"),
+            ObjectSpec::with_initial(ObjectKind::Register, Value::Bottom, "in1"),
+        ]
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self, pid: ProcessId, input: Decision) -> FetchIncState {
+        FetchIncState::Publish { me: pid.index(), input }
+    }
+
+    fn action(&self, s: &FetchIncState) -> Action {
+        match s {
+            FetchIncState::Publish { me, input } => Action::Invoke {
+                object: ObjectId(1 + me),
+                op: Operation::Write(Value::Int(*input as i64)),
+            },
+            FetchIncState::Race { .. } => {
+                Action::Invoke { object: ObjectId(0), op: Operation::FetchAdd(1) }
+            }
+            FetchIncState::ReadOther { me } => {
+                Action::Invoke { object: ObjectId(1 + (1 - me)), op: Operation::Read }
+            }
+            FetchIncState::Done(d) => Action::Decide(*d),
+        }
+    }
+
+    fn transition(&self, s: &FetchIncState, resp: &Response, _coin: u32) -> FetchIncState {
+        match s {
+            FetchIncState::Publish { me, input } => {
+                FetchIncState::Race { me: *me, input: *input }
+            }
+            FetchIncState::Race { me, input } => {
+                // Ticket 0 wins; any later ticket loses.
+                if resp.as_int() == Some(0) {
+                    FetchIncState::Done(*input)
+                } else {
+                    FetchIncState::ReadOther { me: *me }
+                }
+            }
+            FetchIncState::ReadOther { .. } => {
+                FetchIncState::Done(resp.as_int().unwrap_or(0).clamp(0, 1) as Decision)
+            }
+            done => done.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +269,27 @@ mod tests {
             assert!(!out.truncated);
             assert!(out.is_safe(), "inputs {inputs:?}");
         }
+    }
+
+    #[test]
+    fn fetch_inc_two_is_model_checked_safe() {
+        let p = FetchIncTwoModel;
+        for inputs in [[0, 1], [1, 0], [0, 0], [1, 1]] {
+            let out = Explorer::default().explore(&p, &inputs);
+            assert!(!out.truncated);
+            assert!(out.is_safe(), "inputs {inputs:?}");
+            assert_eq!(out.can_always_reach_termination, Some(true));
+        }
+    }
+
+    #[test]
+    fn fetch_inc_model_ticket_is_not_historyless() {
+        // fetch&inc keeps count — the paper's Section 4 point is exactly
+        // that such non-historyless objects escape the space lower bound.
+        let p = FetchIncTwoModel;
+        let objs = p.objects();
+        assert_eq!(objs.len(), 3);
+        assert_eq!(objs[0].kind, ObjectKind::FetchIncrement);
     }
 
     #[test]

@@ -16,26 +16,32 @@
 //! being historyless they still need Ω(√n) instances for randomized
 //! n-process consensus (Theorem 3.7), while the "deterministically
 //! weaker" fetch&add needs only one instance (Theorem 4.4).
+//!
+//! The algorithm lives in [`SwapTwoModel`] — the explorer proves it
+//! safe over every interleaving. This type instantiates that state
+//! machine on a real [`SwapRegister`](randsync_objects::SwapRegister)
+//! through the bridge and the threaded runtime.
 
-use randsync_objects::traits::Swap;
-use randsync_objects::SwapRegister;
+use randsync_model::runtime::DynObject;
+use randsync_objects::bridge;
 
+use crate::model_protocols::SwapTwoModel;
 use crate::spec::Consensus;
-
-/// Encoding: ⊥ = 0, input v = v + 1.
-const BOTTOM: i64 = 0;
 
 /// Wait-free deterministic 2-process consensus from a single swap
 /// register.
 #[derive(Debug)]
 pub struct SwapTwoConsensus {
-    reg: SwapRegister,
+    model: SwapTwoModel,
+    objects: Vec<Box<dyn DynObject>>,
 }
 
 impl SwapTwoConsensus {
     /// A fresh instance (always for exactly 2 processes).
     pub fn new() -> Self {
-        SwapTwoConsensus { reg: SwapRegister::new(BOTTOM) }
+        let model = SwapTwoModel;
+        let objects = bridge::instantiate_all(&model).expect("swap spec bridges");
+        SwapTwoConsensus { model, objects }
     }
 }
 
@@ -49,12 +55,7 @@ impl Consensus for SwapTwoConsensus {
     fn decide(&self, process: usize, input: u8) -> u8 {
         assert!(process < 2, "swap consensus supports exactly 2 processes");
         assert!(input <= 1, "binary consensus inputs are 0 or 1");
-        let prev = self.reg.swap(input as i64 + 1);
-        if prev == BOTTOM {
-            input
-        } else {
-            (prev - 1) as u8
-        }
+        crate::driver::decide_boxed(&self.model, &self.objects, process, input, 0)
     }
 
     fn num_processes(&self) -> usize {

@@ -12,30 +12,33 @@
 //! covers the paper's Section 4 observation that historyless objects
 //! like swap and test&set solve 2-process (but not 3-process)
 //! consensus deterministically.
+//!
+//! The algorithm lives in [`TasTwoModel`] — the explorer proves it safe
+//! over every interleaving. This type instantiates that state machine
+//! on a real [`TestAndSetFlag`](randsync_objects::TestAndSetFlag) and
+//! two [`AtomicRegister`](randsync_objects::AtomicRegister)s through
+//! the bridge and the threaded runtime.
 
-use randsync_objects::traits::{ReadWrite, TestAndSet};
-use randsync_objects::{AtomicRegister, TestAndSetFlag};
+use randsync_model::runtime::DynObject;
+use randsync_objects::bridge;
 
+use crate::model_protocols::TasTwoModel;
 use crate::spec::Consensus;
 
 /// Wait-free deterministic 2-process consensus from one test&set flag
 /// plus two single-writer read–write registers.
 #[derive(Debug)]
 pub struct TasTwoConsensus {
-    flag: TestAndSetFlag,
-    inputs: [AtomicRegister; 2],
+    model: TasTwoModel,
+    objects: Vec<Box<dyn DynObject>>,
 }
-
-/// Register value meaning "not yet published".
-const UNSET: i64 = -1;
 
 impl TasTwoConsensus {
     /// A fresh instance (always for exactly 2 processes).
     pub fn new() -> Self {
-        TasTwoConsensus {
-            flag: TestAndSetFlag::new(),
-            inputs: [AtomicRegister::new(UNSET), AtomicRegister::new(UNSET)],
-        }
+        let model = TasTwoModel;
+        let objects = bridge::instantiate_all(&model).expect("test&set spec bridges");
+        TasTwoConsensus { model, objects }
     }
 }
 
@@ -49,18 +52,7 @@ impl Consensus for TasTwoConsensus {
     fn decide(&self, process: usize, input: u8) -> u8 {
         assert!(process < 2, "test&set consensus supports exactly 2 processes");
         assert!(input <= 1, "binary consensus inputs are 0 or 1");
-        // Publish, then race.
-        self.inputs[process].write(input as i64);
-        if !self.flag.test_and_set() {
-            // Winner: own input prevails.
-            input
-        } else {
-            // Loser: the winner is the other process, and it published
-            // *before* test&set-ing, so its register is set.
-            let other = self.inputs[1 - process].read();
-            debug_assert_ne!(other, UNSET, "winner published before winning");
-            other as u8
-        }
+        crate::driver::decide_boxed(&self.model, &self.objects, process, input, 0)
     }
 
     fn num_processes(&self) -> usize {

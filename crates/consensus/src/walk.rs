@@ -17,6 +17,14 @@
 //!   termination rather than wait-freedom, which is precisely the
 //!   termination property the paper's lower bound is stated against.)
 //!
+//! The protocol's state machine lives in
+//! [`WalkModel`](crate::model_protocols::WalkModel) — the same machine
+//! the explorer model checks exhaustively. This type **instantiates**
+//! that machine on real shared memory: each [`CounterAccess`] backing is
+//! exposed to [`randsync_model::runtime`] as the model's single shared
+//! object, and `decide` drives the caller's process through the
+//! interpreter. There is no second copy of the step logic here.
+//!
 //! # The protocol
 //!
 //! The shared object is a counter `c`, initially 0. Fix a *drift margin*
@@ -66,10 +74,14 @@
 //! increments can land on top, which is why a bounded counter with
 //! range `±(D + n)` never wraps.
 
-use randsync_model::SplitMix64;
+use core::fmt;
+
+use randsync_model::runtime::DynObject;
+use randsync_model::{ModelError, ObjectKind, Operation, Protocol, Response, Value};
 use randsync_objects::traits::{Counter, FetchAdd};
 use randsync_objects::{AtomicCounter, BoundedAtomicCounter, FetchAddRegister, SnapshotCounter};
 
+use crate::model_protocols::{WalkBacking, WalkModel};
 use crate::spec::Consensus;
 
 /// Per-process access to a counter-like shared object.
@@ -83,6 +95,16 @@ pub trait CounterAccess: Send + Sync {
     fn inc(&self, process: usize);
     /// Decrement by one.
     fn dec(&self, process: usize);
+    /// Atomically move by `delta` (±1) and return the **previous**
+    /// value, for backings that support it natively. The default
+    /// (`None`) makes the runtime fall back to
+    /// [`inc`](CounterAccess::inc)/[`dec`](CounterAccess::dec) with an
+    /// uninformative response — sound, because the walk never consults
+    /// its move responses.
+    fn fetch_move(&self, process: usize, delta: i64) -> Option<i64> {
+        let _ = (process, delta);
+        None
+    }
     /// How many shared-object instances back this counter.
     fn object_count(&self) -> usize;
     /// A short name for reporting.
@@ -136,6 +158,7 @@ impl WalkParams {
 #[derive(Debug)]
 pub struct WalkConsensus<A> {
     access: A,
+    model: WalkModel,
     n: usize,
     params: WalkParams,
     seed: u64,
@@ -148,11 +171,14 @@ impl<A: CounterAccess> WalkConsensus<A> {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or the margins are non-positive or inverted.
+    /// Panics if `n == 0`, the margins are non-positive or inverted, or
+    /// the margins are too tight for agreement (the model requires
+    /// `decide − (n−1) ≥ drift`).
     pub fn new(access: A, n: usize, params: WalkParams, seed: u64) -> Self {
         assert!(n > 0, "consensus needs at least one process");
         assert!(params.drift > 0 && params.decide > params.drift, "bad walk margins");
-        WalkConsensus { access, n, params, seed, name: "walk-consensus" }
+        let model = WalkModel::new(n, WalkBacking::Counter, params.drift, params.decide);
+        WalkConsensus { access, model, n, params, seed, name: "walk-consensus" }
     }
 
     /// The margins in force.
@@ -160,57 +186,21 @@ impl<A: CounterAccess> WalkConsensus<A> {
         &self.params
     }
 
-    fn walk(&self, process: usize, input: u8) -> u8 {
-        assert!(process < self.n, "process index out of range");
-        assert!(input <= 1, "binary consensus inputs are 0 or 1");
-        let mut rng = SplitMix64::new(self.seed ^ (process as u64).wrapping_mul(0x9E37));
-        let mut evidence = false;
-        let mut own_moves: i64 = 0; // increments for input 1, decrements for input 0
-        let mut prev_read: Option<i64> = None;
-        let d = self.params.decide;
-        let w = self.params.drift;
-        loop {
-            let v = self.access.read(process);
-            if v >= d {
-                return 1;
-            }
-            if v <= -d {
-                return 0;
-            }
-            if !evidence {
-                // Sound conflict detection (see module docs): under
-                // unanimous inputs these conditions can never fire.
-                let conflicting = match input {
-                    1 => v < own_moves || prev_read.is_some_and(|p| v < p),
-                    _ => v > -own_moves || prev_read.is_some_and(|p| v > p),
-                };
-                if conflicting {
-                    evidence = true;
-                }
-            }
-            prev_read = Some(v);
-            let move_up = if !evidence {
-                input == 1
-            } else if v >= w {
-                true
-            } else if v <= -w {
-                false
-            } else {
-                rng.next_bool()
-            };
-            if move_up {
-                self.access.inc(process);
-            } else {
-                self.access.dec(process);
-            }
-            own_moves += 1;
-        }
+    /// Re-express the model over `backing`: the margins are unchanged;
+    /// only the declared object kind and the shape of the move
+    /// operations differ.
+    fn with_backing(mut self, backing: WalkBacking) -> Self {
+        self.model = WalkModel::new(self.n, backing, self.params.drift, self.params.decide);
+        self
     }
 }
 
 impl<A: CounterAccess> Consensus for WalkConsensus<A> {
     fn decide(&self, process: usize, input: u8) -> u8 {
-        self.walk(process, input)
+        assert!(process < self.n, "process index out of range");
+        assert!(input <= 1, "binary consensus inputs are 0 or 1");
+        let obj = AccessObject { access: &self.access, kind: self.model.objects()[0].kind };
+        crate::driver::decide_on(&self.model, &[&obj], process, input, self.seed)
     }
 
     fn num_processes(&self) -> usize {
@@ -223,6 +213,58 @@ impl<A: CounterAccess> Consensus for WalkConsensus<A> {
 
     fn name(&self) -> &'static str {
         self.name
+    }
+}
+
+// ----- the runtime's view of a backing ------------------------------
+
+/// A [`CounterAccess`] backing exposed to the threaded runtime as the
+/// walk model's single shared object ("cursor").
+struct AccessObject<'a, A> {
+    access: &'a A,
+    kind: ObjectKind,
+}
+
+impl<A: CounterAccess> fmt::Debug for AccessObject<'_, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AccessObject")
+            .field("kind", &self.kind)
+            .field("access", &self.access.access_name())
+            .finish()
+    }
+}
+
+impl<A: CounterAccess> DynObject for AccessObject<'_, A> {
+    fn kind(&self) -> ObjectKind {
+        self.kind
+    }
+
+    fn apply(&self, process: usize, op: &Operation) -> Result<Response, ModelError> {
+        match *op {
+            Operation::Read => Ok(Response::Value(Value::Int(self.access.read(process)))),
+            Operation::Inc => {
+                self.access.inc(process);
+                Ok(Response::Ack)
+            }
+            Operation::Dec => {
+                self.access.dec(process);
+                Ok(Response::Ack)
+            }
+            Operation::FetchAdd(delta @ (1 | -1)) => {
+                Ok(match self.access.fetch_move(process, delta) {
+                    Some(old) => Response::Value(Value::Int(old)),
+                    None => {
+                        if delta == 1 {
+                            self.access.inc(process);
+                        } else {
+                            self.access.dec(process);
+                        }
+                        Response::Ack
+                    }
+                })
+            }
+            _ => Err(ModelError::UnsupportedOperation { kind: self.kind, op: *op }),
+        }
     }
 }
 
@@ -285,6 +327,10 @@ impl CounterAccess for FetchAddRegister {
         self.fetch_add(-1);
     }
 
+    fn fetch_move(&self, _process: usize, delta: i64) -> Option<i64> {
+        Some(self.fetch_add(delta))
+    }
+
     fn object_count(&self) -> usize {
         1
     }
@@ -324,7 +370,8 @@ impl WalkConsensus<BoundedAtomicCounter> {
     pub fn with_bounded_counter(n: usize, seed: u64) -> Self {
         let params = WalkParams::atomic(n);
         let range = params.required_range(n);
-        let mut me = Self::new(BoundedAtomicCounter::new(-range, range), n, params, seed);
+        let mut me = Self::new(BoundedAtomicCounter::new(-range, range), n, params, seed)
+            .with_backing(WalkBacking::BoundedCounter);
         me.name = "one-bounded-counter walk (Thm 4.2)";
         me
     }
@@ -334,7 +381,8 @@ impl WalkConsensus<FetchAddRegister> {
     /// **Theorem 4.4**: randomized consensus from one fetch&add
     /// register.
     pub fn with_fetch_add(reg: FetchAddRegister, n: usize, seed: u64) -> Self {
-        let mut me = Self::new(reg, n, WalkParams::atomic(n), seed);
+        let mut me = Self::new(reg, n, WalkParams::atomic(n), seed)
+            .with_backing(WalkBacking::FetchAdd);
         me.name = "one-fetch&add walk (Thm 4.4)";
         me
     }
@@ -453,5 +501,23 @@ mod tests {
     fn non_binary_input_panics() {
         let proto = WalkConsensus::with_bounded_counter(2, 0);
         let _ = proto.decide(0, 2);
+    }
+
+    #[test]
+    fn fetch_add_moves_report_the_previous_value() {
+        // The FetchAdd backing serves moves natively (fetch_move),
+        // so its responses carry the pre-move value even though the
+        // walk itself never reads them.
+        let reg = FetchAddRegister::new(7);
+        let obj = AccessObject { access: &reg, kind: ObjectKind::FetchAdd };
+        let r = obj.apply(0, &Operation::FetchAdd(1)).unwrap();
+        assert_eq!(r, Response::Value(Value::Int(7)));
+        // Counters fall back to inc/dec and answer Ack.
+        let ctr = AtomicCounter::new();
+        let obj = AccessObject { access: &ctr, kind: ObjectKind::Counter };
+        assert_eq!(obj.apply(0, &Operation::FetchAdd(-1)).unwrap(), Response::Ack);
+        assert_eq!(CounterAccess::read(&ctr, 0), -1);
+        // Operations outside the counter interface are rejected.
+        assert!(obj.apply(0, &Operation::TestAndSet).is_err());
     }
 }

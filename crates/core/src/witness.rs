@@ -8,6 +8,7 @@
 
 use core::fmt;
 
+use randsync_model::runtime::{self, DynObject, ModelObject};
 use randsync_model::{Configuration, Decision, Execution, ModelError, ProcessId, Protocol};
 
 /// A concrete execution, from an initial configuration, in which two
@@ -31,24 +32,49 @@ pub struct InconsistencyWitness {
 }
 
 impl InconsistencyWitness {
-    /// Re-execute the witness from the initial configuration and check
-    /// that it really decides both values.
+    /// Re-execute the witness and check that it really decides both
+    /// values.
+    ///
+    /// The replay goes through the same interpreter that drives the
+    /// threaded runtime ([`runtime::replay_execution`]), over
+    /// [`ModelObject`] instances seeded from the protocol's
+    /// [`ObjectSpec`](randsync_model::ObjectSpec)s — so a verified
+    /// witness is a schedule the *runtime*, not just the configuration
+    /// algebra, reproduces.
     ///
     /// # Errors
     ///
-    /// Returns the final configuration's defect as a [`WitnessError`]:
-    /// a replay failure, or an execution that does not in fact decide
-    /// both values.
+    /// Returns the defect as a [`WitnessError`]: a replay failure, or
+    /// an execution that does not in fact decide both values.
     pub fn verify<P>(&self, protocol: &P) -> Result<(), WitnessError>
     where
         P: Protocol,
     {
-        let start = Configuration::initial_with_pool(protocol, &self.inputs, self.inputs.len());
-        let (end, _) = self
-            .execution
-            .replay(protocol, &start)
+        let objects = ModelObject::instantiate_all(protocol);
+        let refs: Vec<&dyn DynObject> = objects.iter().map(AsRef::as_ref).collect();
+        self.verify_on(protocol, &refs)
+    }
+
+    /// [`InconsistencyWitness::verify`] against caller-supplied shared
+    /// objects — e.g. the bridged atomics-backed objects of
+    /// `randsync-objects` — instead of fresh [`ModelObject`]s. The
+    /// objects must be freshly initialized per the protocol's specs and
+    /// in object-id order.
+    ///
+    /// # Errors
+    ///
+    /// See [`InconsistencyWitness::verify`].
+    pub fn verify_on<P>(
+        &self,
+        protocol: &P,
+        objects: &[&dyn DynObject],
+    ) -> Result<(), WitnessError>
+    where
+        P: Protocol,
+    {
+        let decisions = runtime::replay_execution(protocol, objects, &self.inputs, &self.execution)
             .map_err(WitnessError::Replay)?;
-        let z = end.procs.get(self.decides_zero.index()).and_then(|p| p.decision());
+        let z = decisions.get(self.decides_zero.index()).copied().flatten();
         if z != Some(0) {
             return Err(WitnessError::WrongDecision {
                 pid: self.decides_zero,
@@ -56,7 +82,7 @@ impl InconsistencyWitness {
                 got: z,
             });
         }
-        let o = end.procs.get(self.decides_one.index()).and_then(|p| p.decision());
+        let o = decisions.get(self.decides_one.index()).copied().flatten();
         if o != Some(1) {
             return Err(WitnessError::WrongDecision {
                 pid: self.decides_one,

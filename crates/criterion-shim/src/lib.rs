@@ -143,6 +143,10 @@ impl Criterion {
         b.report(&name.to_string());
         self
     }
+
+    /// Accepted for compatibility; results are reported as each
+    /// benchmark completes, so there is no deferred summary to print.
+    pub fn final_summary(&self) {}
 }
 
 /// A group of related benchmarks sharing a name prefix.

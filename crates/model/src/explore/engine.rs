@@ -48,6 +48,9 @@ use super::canonical::{permutations_of_sorted, Canonicalizer};
 use super::pack::{hash_words, PackedArena};
 use super::ExploreConfig;
 
+/// A caller-supplied early-stop predicate over configurations.
+pub(super) type StopFn<'a, S> = dyn Fn(&Configuration<S>) -> bool + Sync + 'a;
+
 /// Frontiers smaller than this are expanded inline: at this scale the
 /// per-level thread spawn costs more than the expansion work it buys.
 const PARALLEL_FRONTIER_MIN: usize = 64;
@@ -260,7 +263,7 @@ pub(super) fn bfs<P>(
     start: Configuration<P::State>,
     config: &ExploreConfig,
     record_edges: bool,
-    stop: Option<&(dyn Fn(&Configuration<P::State>) -> bool + Sync)>,
+    stop: Option<&StopFn<'_, P::State>>,
 ) -> BfsGraph<P::State>
 where
     P: Protocol + Sync,

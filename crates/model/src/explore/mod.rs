@@ -414,9 +414,9 @@ impl Explorer {
         // mask bit 0 = "0 reachable", bit 1 = "1 reachable".
         let n = g.arena.len();
         let mut mask = vec![0u8; n];
-        for i in 0..n {
+        for (i, m) in mask.iter_mut().enumerate() {
             for d in g.arena.decided_values(i as u32) {
-                mask[i] |= 1 << d.min(1);
+                *m |= 1 << d.min(1);
             }
         }
         let mut changed = true;

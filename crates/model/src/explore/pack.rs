@@ -84,7 +84,7 @@ impl<S: Clone + Eq + Hash> PackedArena<S> {
 
     /// Number of interned configurations.
     pub(super) fn len(&self) -> usize {
-        if self.stride == 0 { 0 } else { self.words.len() / self.stride }
+        self.words.len().checked_div(self.stride).unwrap_or(0)
     }
 
     /// The packed words of configuration `i`.

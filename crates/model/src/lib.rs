@@ -67,6 +67,7 @@ pub mod op;
 pub mod process;
 pub mod protocol;
 pub mod rng;
+pub mod runtime;
 pub mod sched;
 pub mod sim;
 pub mod trace;
@@ -86,6 +87,7 @@ pub use op::{Operation, Response};
 pub use process::{ObjectId, ProcessId};
 pub use protocol::{Action, Decision, ObjectSpec, Protocol, Symmetry};
 pub use rng::SplitMix64;
+pub use runtime::{DynObject, ModelObject, RunReport, Runtime};
 pub use sched::{
     ContrarianScheduler, CrashScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
     ScriptScheduler, SoloScheduler,

@@ -1,0 +1,451 @@
+//! The object bridge: an atomics-backed [`DynObject`] for every
+//! bridgeable [`ObjectKind`].
+//!
+//! The threaded runtime (`randsync_model::runtime`) drives protocol
+//! state machines against objects behind the [`DynObject`] trait. This
+//! module supplies the production implementations: each [`ObjectSpec`]
+//! is mapped to the matching lock-free object from this crate, so a
+//! model-checked protocol runs on the very atomics the paper's upper
+//! bounds are about.
+//!
+//! Register-family objects ([`ObjectKind::Register`],
+//! [`ObjectKind::SwapRegister`], [`ObjectKind::CompareSwap`]) hold
+//! arbitrary model [`Value`]s while the underlying atomics hold a
+//! single `i64` word, so those bridges go through a small injective
+//! word codec ([`encode_value`]/[`decode_value`]). Equality of encoded
+//! words coincides with equality of values, which is all a register,
+//! swap, or compare&swap semantics ever asks of its contents. The
+//! integer-valued kinds (fetch&add family, counters, test&set) bridge
+//! directly.
+//!
+//! The bridge's soundness contract — every response equals what
+//! [`ObjectKind::apply`] prescribes at the linearization point — is
+//! exercised by `tests/prop_kind_conformance.rs`.
+
+use randsync_model::runtime::DynObject;
+use randsync_model::{ModelError, ObjectKind, ObjectSpec, Operation, Protocol, Response, Value};
+
+use crate::atomic::{
+    AtomicCounter, AtomicRegister, BoundedAtomicCounter, CasRegister, FetchAddRegister,
+    SwapRegister, TestAndSetFlag,
+};
+use crate::traits::{CompareSwap, Counter, FetchAdd, ReadWrite, ResetCounter, Swap, TestAndSet};
+
+/// Half-range bound for each component of an encoded [`Value::Pair`].
+const PAIR_HALF: i64 = 1 << 29;
+
+/// Encode a model [`Value`] into a single `i64` word.
+///
+/// The encoding is injective (distinct values get distinct words), so
+/// word equality is value equality — the property register, swap and
+/// compare&swap semantics rely on. Layout: a 2-bit tag in the low bits
+/// (`0` = Int, `1` = Bool, `2` = Pair, `3` = Bottom) under the payload.
+///
+/// # Panics
+///
+/// Panics if an `Int` exceeds 61 bits of magnitude or a `Pair`
+/// component exceeds ±2²⁹ — far beyond anything a protocol in this
+/// workspace stores.
+pub fn encode_value(v: &Value) -> i64 {
+    match v {
+        Value::Int(x) => {
+            assert!(
+                (-(1 << 60)..(1 << 60)).contains(x),
+                "register word overflow encoding {x}"
+            );
+            x << 2 // tag 0b00
+        }
+        Value::Bool(b) => ((*b as i64) << 2) | 0b01,
+        Value::Pair(a, b) => {
+            assert!(
+                (-PAIR_HALF..PAIR_HALF).contains(a) && (-PAIR_HALF..PAIR_HALF).contains(b),
+                "register word overflow encoding pair ({a}, {b})"
+            );
+            let packed = (a + PAIR_HALF) | ((b + PAIR_HALF) << 31);
+            (packed << 2) | 0b10
+        }
+        Value::Bottom => 0b11,
+    }
+}
+
+/// Decode a word produced by [`encode_value`] back into a [`Value`].
+pub fn decode_value(w: i64) -> Value {
+    match w & 0b11 {
+        0b00 => Value::Int(w >> 2),
+        0b01 => Value::Bool((w >> 2) != 0),
+        0b10 => {
+            let packed = w >> 2;
+            let a = (packed & ((1 << 31) - 1)) - PAIR_HALF;
+            let b = (packed >> 31) - PAIR_HALF;
+            Value::Pair(a, b)
+        }
+        _ => Value::Bottom,
+    }
+}
+
+fn unsupported(kind: ObjectKind, op: &Operation) -> ModelError {
+    ModelError::UnsupportedOperation { kind, op: *op }
+}
+
+/// [`ObjectKind::Register`] over an [`AtomicRegister`] holding encoded
+/// words.
+#[derive(Debug)]
+struct RegisterObject {
+    inner: AtomicRegister,
+}
+
+impl DynObject for RegisterObject {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Register
+    }
+
+    fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        match op {
+            Operation::Read => Ok(Response::Value(decode_value(self.inner.read()))),
+            Operation::Write(x) => {
+                self.inner.write(encode_value(x));
+                Ok(Response::Ack)
+            }
+            other => Err(unsupported(self.kind(), other)),
+        }
+    }
+}
+
+/// [`ObjectKind::SwapRegister`] over a [`SwapRegister`] holding encoded
+/// words.
+#[derive(Debug)]
+struct SwapObject {
+    inner: SwapRegister,
+}
+
+impl DynObject for SwapObject {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::SwapRegister
+    }
+
+    fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        match op {
+            Operation::Read => Ok(Response::Value(decode_value(self.inner.read()))),
+            Operation::Write(x) => {
+                self.inner.write(encode_value(x));
+                Ok(Response::Ack)
+            }
+            Operation::Swap(x) => {
+                Ok(Response::Value(decode_value(self.inner.swap(encode_value(x)))))
+            }
+            other => Err(unsupported(self.kind(), other)),
+        }
+    }
+}
+
+/// [`ObjectKind::TestAndSet`] over a [`TestAndSetFlag`].
+#[derive(Debug)]
+struct TasObject {
+    inner: TestAndSetFlag,
+}
+
+impl DynObject for TasObject {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::TestAndSet
+    }
+
+    fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        match op {
+            Operation::Read => Ok(Response::Value(Value::Bool(self.inner.is_set()))),
+            Operation::TestAndSet => {
+                Ok(Response::Value(Value::Bool(self.inner.test_and_set())))
+            }
+            Operation::Reset => {
+                self.inner.reset();
+                Ok(Response::Ack)
+            }
+            other => Err(unsupported(self.kind(), other)),
+        }
+    }
+}
+
+/// The fetch&add family ([`ObjectKind::FetchAdd`],
+/// [`ObjectKind::FetchIncrement`], [`ObjectKind::FetchDecrement`]) over
+/// a [`FetchAddRegister`]; the restricted kinds only differ in which
+/// deltas [`ObjectKind::supports`] admits, so the same atomic backs all
+/// three.
+#[derive(Debug)]
+struct FetchAddObject {
+    kind: ObjectKind,
+    inner: FetchAddRegister,
+}
+
+impl DynObject for FetchAddObject {
+    fn kind(&self) -> ObjectKind {
+        self.kind
+    }
+
+    fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        if !self.kind.supports(op) {
+            return Err(unsupported(self.kind, op));
+        }
+        match op {
+            Operation::Read => Ok(Response::Value(Value::Int(self.inner.load()))),
+            Operation::FetchAdd(a) => {
+                Ok(Response::Value(Value::Int(self.inner.fetch_add(*a))))
+            }
+            other => Err(unsupported(self.kind, other)),
+        }
+    }
+}
+
+/// [`ObjectKind::CompareSwap`] over a [`CasRegister`] holding encoded
+/// words.
+#[derive(Debug)]
+struct CasObject {
+    inner: CasRegister,
+}
+
+impl DynObject for CasObject {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::CompareSwap
+    }
+
+    fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        match op {
+            Operation::Read => Ok(Response::Value(decode_value(self.inner.load()))),
+            Operation::CompareSwap { expected, new } => {
+                let old =
+                    self.inner.compare_swap(encode_value(expected), encode_value(new));
+                Ok(Response::Value(decode_value(old)))
+            }
+            other => Err(unsupported(self.kind(), other)),
+        }
+    }
+}
+
+/// [`ObjectKind::Counter`] over an [`AtomicCounter`].
+#[derive(Debug)]
+struct CounterObject {
+    inner: AtomicCounter,
+}
+
+impl DynObject for CounterObject {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Counter
+    }
+
+    fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        match op {
+            Operation::Read => Ok(Response::Value(Value::Int(self.inner.read()))),
+            Operation::Inc => {
+                self.inner.inc();
+                Ok(Response::Ack)
+            }
+            Operation::Dec => {
+                self.inner.dec();
+                Ok(Response::Ack)
+            }
+            Operation::Reset => {
+                self.inner.reset();
+                Ok(Response::Ack)
+            }
+            other => Err(unsupported(self.kind(), other)),
+        }
+    }
+}
+
+/// [`ObjectKind::BoundedCounter`] over a [`BoundedAtomicCounter`] with
+/// the same range (and therefore the same wrap-around semantics).
+#[derive(Debug)]
+struct BoundedCounterObject {
+    inner: BoundedAtomicCounter,
+}
+
+impl DynObject for BoundedCounterObject {
+    fn kind(&self) -> ObjectKind {
+        let (lo, hi) = self.inner.range();
+        ObjectKind::BoundedCounter { lo, hi }
+    }
+
+    fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        match op {
+            Operation::Read => Ok(Response::Value(Value::Int(self.inner.read()))),
+            Operation::Inc => {
+                self.inner.inc();
+                Ok(Response::Ack)
+            }
+            Operation::Dec => {
+                self.inner.dec();
+                Ok(Response::Ack)
+            }
+            Operation::Reset => {
+                self.inner.reset();
+                Ok(Response::Ack)
+            }
+            other => Err(unsupported(self.kind(), other)),
+        }
+    }
+}
+
+/// Build the atomics-backed object for `spec`.
+///
+/// Every [`ObjectKind`] is bridgeable. The integer-valued kinds whose
+/// concrete objects fix their own initial value (test&set flags start
+/// unset, counters start at the kind's initial) reject specs that ask
+/// for a different one with [`ModelError::TypeMismatch`]; the
+/// word-codec kinds and the fetch&add family honour any initial value.
+///
+/// # Errors
+///
+/// [`ModelError::TypeMismatch`] if `spec.initial` is outside the kind's
+/// value space or not representable by the concrete object.
+pub fn instantiate(spec: &ObjectSpec) -> Result<Box<dyn DynObject>, ModelError> {
+    let mismatch = || ModelError::TypeMismatch { kind: spec.kind, value: spec.initial };
+    Ok(match spec.kind {
+        ObjectKind::Register => {
+            Box::new(RegisterObject { inner: AtomicRegister::new(encode_value(&spec.initial)) })
+        }
+        ObjectKind::SwapRegister => {
+            Box::new(SwapObject { inner: SwapRegister::new(encode_value(&spec.initial)) })
+        }
+        ObjectKind::CompareSwap => {
+            Box::new(CasObject { inner: CasRegister::new(encode_value(&spec.initial)) })
+        }
+        ObjectKind::TestAndSet => {
+            if spec.initial != Value::Bool(false) {
+                return Err(mismatch());
+            }
+            Box::new(TasObject { inner: TestAndSetFlag::new() })
+        }
+        ObjectKind::FetchAdd | ObjectKind::FetchIncrement | ObjectKind::FetchDecrement => {
+            let init = spec.initial.as_int().ok_or_else(mismatch)?;
+            Box::new(FetchAddObject { kind: spec.kind, inner: FetchAddRegister::new(init) })
+        }
+        ObjectKind::Counter => {
+            if spec.initial != Value::Int(0) {
+                return Err(mismatch());
+            }
+            Box::new(CounterObject { inner: AtomicCounter::new() })
+        }
+        ObjectKind::BoundedCounter { lo, hi } => {
+            if spec.initial != spec.kind.initial_value() {
+                return Err(mismatch());
+            }
+            Box::new(BoundedCounterObject { inner: BoundedAtomicCounter::new(lo, hi) })
+        }
+    })
+}
+
+/// One atomics-backed object per [`ObjectSpec`] of `protocol`, in
+/// object-id order — ready to hand to
+/// [`Runtime::run`](randsync_model::Runtime::run).
+///
+/// # Errors
+///
+/// See [`instantiate`].
+pub fn instantiate_all<P: Protocol>(
+    protocol: &P,
+) -> Result<Vec<Box<dyn DynObject>>, ModelError> {
+    protocol.objects().iter().map(instantiate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips_and_separates() {
+        let values = [
+            Value::Bottom,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(0),
+            Value::Int(1),
+            Value::Int(-1),
+            Value::Int(123_456_789),
+            Value::Pair(0, 0),
+            Value::Pair(-3, 7),
+            Value::Pair(PAIR_HALF - 1, -PAIR_HALF),
+        ];
+        for v in &values {
+            assert_eq!(&decode_value(encode_value(v)), v, "round trip {v:?}");
+        }
+        for (i, a) in values.iter().enumerate() {
+            for b in &values[i + 1..] {
+                assert_ne!(encode_value(a), encode_value(b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_and_int_zero_are_distinct_words() {
+        // The ⊥-vs-written distinction is what one-CAS consensus hinges
+        // on; the codec must never conflate them.
+        assert_ne!(encode_value(&Value::Bottom), encode_value(&Value::Int(0)));
+    }
+
+    #[test]
+    fn every_kind_instantiates_with_default_initial() {
+        for kind in ObjectKind::all() {
+            let spec = ObjectSpec::new(kind, "o");
+            let obj = instantiate(&spec).expect("default initial bridges");
+            assert_eq!(obj.kind(), kind);
+            // The first read must observe the declared initial value.
+            let (_, expect) = kind.apply(&spec.initial, &Operation::Read).unwrap();
+            assert_eq!(obj.apply(0, &Operation::Read).unwrap(), expect, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn register_family_honours_bottom_initials() {
+        for kind in [ObjectKind::Register, ObjectKind::SwapRegister, ObjectKind::CompareSwap] {
+            let spec = ObjectSpec::with_initial(kind, Value::Bottom, "o");
+            let obj = instantiate(&spec).unwrap();
+            assert_eq!(
+                obj.apply(0, &Operation::Read).unwrap(),
+                Response::Value(Value::Bottom)
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_initial_kinds_reject_other_initials() {
+        for spec in [
+            ObjectSpec::with_initial(ObjectKind::TestAndSet, Value::Bool(true), "o"),
+            ObjectSpec::with_initial(ObjectKind::Counter, Value::Int(5), "o"),
+            ObjectSpec::with_initial(
+                ObjectKind::BoundedCounter { lo: -2, hi: 2 },
+                Value::Int(1),
+                "o",
+            ),
+        ] {
+            assert!(matches!(instantiate(&spec), Err(ModelError::TypeMismatch { .. })));
+        }
+    }
+
+    #[test]
+    fn unsupported_operations_are_rejected() {
+        let reg = instantiate(&ObjectSpec::new(ObjectKind::Register, "r")).unwrap();
+        assert!(matches!(
+            reg.apply(0, &Operation::Swap(Value::Int(1))),
+            Err(ModelError::UnsupportedOperation { .. })
+        ));
+        let fi = instantiate(&ObjectSpec::new(ObjectKind::FetchIncrement, "t")).unwrap();
+        assert!(matches!(
+            fi.apply(0, &Operation::FetchAdd(2)),
+            Err(ModelError::UnsupportedOperation { .. })
+        ));
+    }
+
+    #[test]
+    fn cas_object_matches_model_semantics() {
+        let spec = ObjectSpec::new(ObjectKind::CompareSwap, "d");
+        let obj = instantiate(&spec).unwrap();
+        let cas = |e: Value, n: Value| {
+            obj.apply(0, &Operation::CompareSwap { expected: e, new: n }).unwrap()
+        };
+        assert_eq!(cas(Value::Bottom, Value::Int(1)), Response::Value(Value::Bottom));
+        assert_eq!(cas(Value::Bottom, Value::Int(0)), Response::Value(Value::Int(1)));
+        assert_eq!(
+            obj.apply(0, &Operation::Read).unwrap(),
+            Response::Value(Value::Int(1)),
+            "failed CAS must not overwrite"
+        );
+    }
+}

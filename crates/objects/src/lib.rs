@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod atomic;
+pub mod bridge;
 pub mod locks;
 pub mod recorder;
 pub mod register_counter;
@@ -50,6 +51,7 @@ pub use atomic::{
     AtomicCounter, AtomicRegister, BoundedAtomicCounter, CasRegister, FetchAddRegister,
     FetchDecRegister, FetchIncRegister, SwapRegister, TestAndSetFlag,
 };
+pub use bridge::{decode_value, encode_value, instantiate, instantiate_all};
 pub use locks::{PetersonLock, TasLock};
 pub use recorder::Recorder;
 pub use register_counter::{CounterHandle, RegisterCounter};

@@ -8,10 +8,15 @@
 #   2. the tier-1 test gate (root package) and the full workspace suite
 #   3. the canonical-vs-raw equivalence property suite (symmetry
 #      quotient must never change a verdict)
-#   4. explore_perf --smoke: a small exploration measured raw and
+#   4. object-kind conformance properties: every bridged threaded
+#      object against its ObjectKind operational semantics
+#   5. the differential harness: threaded runtime vs simulator vs
+#      explorer, per registry protocol
+#   6. explore_perf --smoke: a small exploration measured raw and
 #      canonical, sequential and parallel; the binary exits nonzero on
 #      any divergence (parallel vs sequential, or canonical verdicts vs
 #      raw verdicts), which fails this script
+#   7. randsync run smoke: one protocol per backing on real threads
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,7 +33,18 @@ cargo test -q --workspace
 echo "== canonical/raw equivalence properties =="
 cargo test -q --release -p randsync-consensus --test prop_canonical_equiv
 
+echo "== object-kind conformance properties =="
+cargo test -q --release -p randsync-objects --test prop_kind_conformance
+
+echo "== differential harness (runtime vs simulator vs explorer) =="
+cargo test -q --release --test differential
+
 echo "== explore_perf --smoke (raw + canonical, verdict divergence fails) =="
 cargo run --release --bin explore_perf -- --smoke --out target/BENCH_explore_smoke.json
+
+echo "== randsync run smoke (threaded runtime) =="
+cargo run --release --bin randsync -- run walk-counter 2 1
+cargo run --release --bin randsync -- run fetchinc2 2 7
+cargo run --release --bin randsync -- run cas 3 42
 
 echo "verify.sh: all gates passed"

@@ -27,9 +27,16 @@
 
 use std::time::Instant;
 
-use randsync::consensus::model_protocols::{Optimistic, PhaseModel, WalkBacking, WalkModel};
+use randsync::consensus::registry::{self, AnyProtocol};
 use randsync::model::{monte_carlo, ExploreLimits, ExploreOutcome, Explorer, Protocol};
 use randsync::model::{RandomScheduler, Simulator};
+
+/// Build a workload protocol from the shared registry (the single
+/// source of protocol constructors — no local protocol list).
+fn from_registry(name: &str, n: usize, r: usize) -> AnyProtocol {
+    let entry = registry::find(name).unwrap_or_else(|| panic!("{name} is registered"));
+    (entry.build)(n, r)
+}
 
 /// One measured exploration workload, raw and canonical.
 struct Row {
@@ -168,7 +175,7 @@ where
 /// Seed-batched Monte Carlo: the same trials sequentially and fanned
 /// out, as `(trials, seq_secs, par_secs, identical)`.
 fn measure_monte_carlo(trials: u64, threads: usize) -> (u64, f64, f64, bool) {
-    let p = WalkModel::with_default_margins(3, WalkBacking::BoundedCounter);
+    let p = from_registry("walk-default", 3, 1);
     let inputs = [0u8, 1, 0];
     let job = |seed: u64| {
         let mut sim = Simulator::new(2_000_000, seed * 7 + 1);
@@ -218,19 +225,31 @@ fn main() {
     let wide = ExploreLimits { max_configs: 2_000_000, max_depth: 1_000_000 };
     let mut rows = Vec::new();
     if smoke {
-        rows.push(measure("optimistic(n=3,r=3)", &Optimistic::new(3, 3), &[0, 1, 0], threads, wide));
+        rows.push(measure(
+            "optimistic(n=3,r=3)",
+            &from_registry("optimistic", 3, 3),
+            &[0, 1, 0],
+            threads,
+            wide,
+        ));
     } else {
-        rows.push(measure("optimistic(n=3,r=3)", &Optimistic::new(3, 3), &[0, 1, 0], threads, wide));
+        rows.push(measure(
+            "optimistic(n=3,r=3)",
+            &from_registry("optimistic", 3, 3),
+            &[0, 1, 0],
+            threads,
+            wide,
+        ));
         rows.push(measure(
             "walk_counter(n=3,default)",
-            &WalkModel::with_default_margins(3, WalkBacking::BoundedCounter),
+            &from_registry("walk-default", 3, 1),
             &[0, 1, 0],
             threads,
             wide,
         ));
         rows.push(measure(
             "phase_model(n=3,rounds=3)",
-            &PhaseModel::new(3, 3),
+            &from_registry("phase", 3, 3),
             &[0, 1, 0],
             threads,
             wide,
@@ -245,7 +264,7 @@ fn main() {
         // hold.
         rows.push(measure(
             "walk_tight(n=4,uniform)",
-            &WalkModel::with_tight_margins(4, WalkBacking::BoundedCounter),
+            &from_registry("walk-counter", 4, 1),
             &[0, 0, 0, 0],
             threads,
             ExploreLimits::default(),

@@ -3,22 +3,23 @@
 //! ```text
 //! randsync table [n]                 the Section 4 separation table
 //! randsync bounds <n>                thresholds for n processes
+//! randsync protocols                 the protocol registry inventory
 //! randsync attack <protocol> [r]     run the lower-bound adversary
 //! randsync check <protocol> [r]      exhaustively model-check a protocol
+//! randsync valency <protocol> [t]    valency analysis (FLP structure)
+//! randsync run <protocol> [n] [seed] execute on real threads via the runtime
 //! randsync walk <n> [seed]           threaded one-counter consensus demo
 //! ```
 //!
-//! Protocols for `attack`: `naive`, `optimistic`, `zigzag` (register
-//! protocols, Lemma 3.2 adversary), `swapchain`, `tasrace` (historyless
-//! non-register, Lemma 3.6 adversary). Protocols for `check`: those
-//! plus `cas`, `swap2`, `tas2`, `walk-counter`, `walk-fetchadd`.
+//! Protocol names come from the shared registry
+//! (`randsync::consensus::registry`); `randsync protocols` lists them
+//! all with their paper hooks. `attack` applies only to the flawed
+//! entries the adversaries target; `run` applies only to entries whose
+//! termination survives free thread scheduling.
 
 use std::process::ExitCode;
 
-use randsync::consensus::model_protocols::{
-    CasModel, NaiveWriteRead, Optimistic, SwapChain, SwapTwoModel, TasRace, TasTwoModel,
-    WalkBacking, WalkModel, Zigzag,
-};
+use randsync::consensus::registry::{self, AttackFamily, ProtocolEntry};
 use randsync::consensus::spec::decide_concurrently;
 use randsync::consensus::{Consensus, WalkConsensus};
 use randsync::core::attack::{attack_identical, AttackOutcome};
@@ -26,7 +27,9 @@ use randsync::core::combine31::CombineLimits;
 use randsync::core::combine35::{ample_pool, attack_historyless, GeneralOutcome};
 use randsync::core::bounds;
 use randsync::core::hierarchy::render_table;
+use randsync::model::runtime::Runtime;
 use randsync::model::{Configuration, Explorer, ExploreLimits, Protocol};
+use randsync::objects::bridge;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,9 +61,14 @@ fn main() -> ExitCode {
             println!("  counter / fetch&add / CAS instances     : 1  (Thms 4.2/4.4, Herlihy)");
             ExitCode::SUCCESS
         }
+        "protocols" => {
+            print!("{}", registry::markdown_table());
+            ExitCode::SUCCESS
+        }
         "attack" => run_attack(&args[1..]),
         "check" => run_check(&args[1..]),
         "valency" => run_valency(&args[1..]),
+        "run" => run_threaded(&args[1..]),
         "walk" => {
             let n = parse(args.get(1), 4) as usize;
             let seed = parse(args.get(2), 42);
@@ -79,10 +87,12 @@ fn main() -> ExitCode {
         _ => {
             println!(
                 "randsync — executable reproduction of Fich-Herlihy-Shavit (PODC 1993)\n\n\
-                 usage:\n  randsync table [n]\n  randsync bounds <n>\n  \
-                 randsync attack <naive|optimistic|zigzag|swapchain|tasrace> [r]\n  \
+                 usage:\n  randsync table [n]\n  randsync bounds <n>\n  randsync protocols\n  \
+                 randsync attack <naive|optimistic|zigzag|swapchain|tasrace|...> [r]\n  \
                  randsync check <protocol> [r]\n  randsync valency <protocol> [threads] [--canonical]\n  \
-                 randsync walk <n> [seed]"
+                 randsync run <protocol> [n] [seed]\n  \
+                 randsync walk <n> [seed]\n\n\
+                 protocol names: see `randsync protocols`"
             );
             ExitCode::SUCCESS
         }
@@ -93,17 +103,32 @@ fn parse(arg: Option<&String>, default: u64) -> u64 {
     arg.and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
+/// Resolve a registry name or fail with the conventional message.
+fn lookup(which: &str) -> Result<&'static ProtocolEntry, ExitCode> {
+    registry::find(which).ok_or_else(|| {
+        eprintln!("unknown protocol: {which} (see `randsync protocols`)");
+        ExitCode::FAILURE
+    })
+}
+
 fn run_attack(args: &[String]) -> ExitCode {
     let which = args.first().map(String::as_str).unwrap_or("optimistic");
     let r = parse(args.get(1), 2) as usize;
-    match which {
-        "naive" => report_register_attack(&NaiveWriteRead::new(2)),
-        "optimistic" => report_register_attack(&Optimistic::new(2, r.max(1))),
-        "zigzag" => report_register_attack(&Zigzag::new(2, r.max(1))),
-        "swapchain" => report_general_attack(&SwapChain::new(3), ample_pool(1)),
-        "tasrace" => report_general_attack(&TasRace::new(2), ample_pool(1)),
-        other => {
-            eprintln!("unknown attack target: {other}");
+    let entry = match lookup(which) {
+        Ok(e) => e,
+        Err(code) => {
+            eprintln!("unknown attack target: {which}");
+            return code;
+        }
+    };
+    let protocol = (entry.build)(entry.default_n, r);
+    match entry.attack {
+        AttackFamily::RegisterIdentical => report_register_attack(&protocol),
+        AttackFamily::Historyless => report_general_attack(&protocol, ample_pool(1)),
+        AttackFamily::NotApplicable => {
+            eprintln!(
+                "unknown attack target: {which} (no adversary applies — the protocol is correct)"
+            );
             ExitCode::FAILURE
         }
     }
@@ -190,25 +215,11 @@ fn run_valency(args: &[String]) -> ExitCode {
     let explorer = Explorer::new(ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 })
         .threads(threads)
         .canonical(canonical);
-    match which {
-        "cas" => valency_report(&explorer, &CasModel::new(2), &[0, 1]),
-        "walk-counter" => valency_report(
-            &explorer,
-            &WalkModel::with_tight_margins(2, WalkBacking::BoundedCounter),
-            &[0, 1],
-        ),
-        "walk-deterministic" => valency_report(
-            &explorer,
-            &WalkModel::deterministic_variant(2, WalkBacking::BoundedCounter),
-            &[0, 1],
-        ),
-        "swap2" => valency_report(&explorer, &SwapTwoModel, &[0, 1]),
-        "naive" => valency_report(&explorer, &NaiveWriteRead::new(2), &[0, 1]),
-        other => {
-            eprintln!("unknown protocol for valency: {other}");
-            ExitCode::FAILURE
-        }
-    }
+    let entry = match lookup(which) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    valency_report(&explorer, &entry.build_default(), entry.default_inputs)
 }
 
 /// Run the valency analysis and print it, followed by the symmetry
@@ -252,43 +263,76 @@ where
 fn run_check(args: &[String]) -> ExitCode {
     let which = args.first().map(String::as_str).unwrap_or("cas");
     let r = parse(args.get(1), 2) as usize;
+    let entry = match lookup(which) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
     let limits = ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 };
     let explorer = Explorer::new(limits);
-    let verdict = |out: randsync::model::ExploreOutcome| {
-        println!(
-            "configs: {}{}",
-            out.configs_visited,
-            if out.truncated { " (truncated)" } else { "" }
-        );
-        match (&out.consistency_violation, &out.validity_violation) {
-            (None, None) => println!(
-                "SAFE — termination reachable: {:?}, infinite executions: {:?}",
-                out.can_always_reach_termination, out.infinite_execution_possible
-            ),
-            (Some(w), _) => println!("BROKEN — consistency violation in {} steps", w.len()),
-            (None, Some(w)) => println!("BROKEN — validity violation in {} steps", w.len()),
-        }
-    };
-    match which {
-        "cas" => verdict(explorer.explore(&CasModel::new(3), &[0, 1, 0])),
-        "swap2" => verdict(explorer.explore(&SwapTwoModel, &[0, 1])),
-        "tas2" => verdict(explorer.explore(&TasTwoModel, &[0, 1])),
-        "walk-counter" => verdict(
-            explorer
-                .explore(&WalkModel::with_tight_margins(2, WalkBacking::BoundedCounter), &[0, 1]),
+    let out = explorer.explore(&(entry.build)(entry.default_n, r), entry.default_inputs);
+    println!(
+        "configs: {}{}",
+        out.configs_visited,
+        if out.truncated { " (truncated)" } else { "" }
+    );
+    match (&out.consistency_violation, &out.validity_violation) {
+        (None, None) => println!(
+            "SAFE — termination reachable: {:?}, infinite executions: {:?}",
+            out.can_always_reach_termination, out.infinite_execution_possible
         ),
-        "walk-fetchadd" => verdict(
-            explorer.explore(&WalkModel::with_tight_margins(2, WalkBacking::FetchAdd), &[0, 1]),
-        ),
-        "naive" => verdict(explorer.explore(&NaiveWriteRead::new(2), &[0, 1])),
-        "optimistic" => verdict(explorer.explore(&Optimistic::new(2, r.max(1)), &[0, 1])),
-        "zigzag" => verdict(explorer.explore(&Zigzag::new(2, r.max(1)), &[0, 1])),
-        "swapchain" => verdict(explorer.explore(&SwapChain::new(3), &[0, 1, 1])),
-        "tasrace" => verdict(explorer.explore(&TasRace::new(2), &[0, 1])),
-        other => {
-            eprintln!("unknown protocol: {other}");
-            return ExitCode::FAILURE;
-        }
+        (Some(w), _) => println!("BROKEN — consistency violation in {} steps", w.len()),
+        (None, Some(w)) => println!("BROKEN — validity violation in {} steps", w.len()),
     }
     ExitCode::SUCCESS
+}
+
+/// `randsync run <protocol> [n] [seed]`: instantiate a registry
+/// protocol's state machine on real bridged objects and execute it with
+/// one OS thread per process.
+fn run_threaded(args: &[String]) -> ExitCode {
+    let which = args.first().map(String::as_str).unwrap_or("walk-counter");
+    let entry = match lookup(which) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    if !entry.runnable {
+        eprintln!(
+            "{which} is model-only (its termination needs a fair scheduler or coin \
+             enumeration); use `randsync check {which}` instead"
+        );
+        return ExitCode::FAILURE;
+    }
+    let n = parse(args.get(1), entry.default_n as u64) as usize;
+    let seed = parse(args.get(2), 42);
+    let protocol = (entry.build)(n, entry.default_r);
+    let n = protocol.num_processes(); // fixed-arity entries ignore the request
+    let inputs: Vec<u8> = if n == entry.default_n {
+        entry.default_inputs.to_vec()
+    } else {
+        registry::alternating_inputs(n)
+    };
+    let objects = match bridge::instantiate_all(&protocol) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cannot bridge {which} onto real objects: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = Runtime::new(seed).run(&protocol, &inputs, &objects);
+    println!("{} — {} ({})", entry.name, entry.objects, entry.paper);
+    println!("  processes : {n} (one OS thread each), seed {seed}");
+    println!("  inputs    : {inputs:?}");
+    println!("  decisions : {:?}", report.decisions);
+    println!("  steps     : {:?}", report.steps);
+    println!("  wall      : {:.3} ms", report.wall.as_secs_f64() * 1e3);
+    let ok = report.all_decided() && report.consistent() && report.valid(&inputs);
+    println!(
+        "  verdict   : {}",
+        if ok { "consistent and valid" } else { "VIOLATION (expected for flawed protocols)" }
+    );
+    if ok || !entry.expected_safe {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

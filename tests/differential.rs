@@ -1,0 +1,192 @@
+//! Differential harness: the **threaded runtime** and the **simulator**
+//! must agree about every protocol in the registry.
+//!
+//! One protocol definition (`impl Protocol`) now has three interpreters
+//! — the exhaustive explorer, the seeded simulator, and the threaded
+//! runtime over bridged `randsync-objects`. This suite runs the same
+//! registry entry through all three and cross-checks them:
+//!
+//! * entries marked `expected_safe` are consistent and valid under
+//!   **both** the threaded runtime and the simulator, for every seed;
+//! * no interpreter ever produces a decision value outside the
+//!   explorer's reachable-decision set for the initial configuration
+//!   (its valency);
+//! * every assertion message carries the seed that produced the run,
+//!   so a failure replays with `randsync run <protocol> <n> <seed>`.
+//!
+//! Flawed entries (the adversary's prey) are exempt from the safety
+//! assertions — they exist to be broken — but still must stay inside
+//! the explorer's decision envelope.
+
+use randsync::consensus::registry::{self, ProtocolEntry};
+use randsync::model::explore::{Explorer, ExploreLimits, Valency};
+use randsync::model::runtime::Runtime;
+use randsync::model::sim::{monte_carlo, Simulator};
+use randsync::model::sched::RandomScheduler;
+use randsync::model::Decision;
+use randsync::objects::bridge;
+
+/// Seeds exercised per entry per interpreter. Kept modest: the walk
+/// protocols take thousands of shared-memory steps per seed.
+const SEEDS: std::ops::Range<u64> = 0..12;
+
+/// Per-process step budget for the threaded runtime (the walk
+/// protocols terminate only with probability 1).
+const THREAD_BUDGET: usize = 2_000_000;
+
+/// Step budget for one simulated schedule.
+const SIM_BUDGET: usize = 200_000;
+
+/// Decision envelope from the explorer: the set of values reachable
+/// from the initial configuration, or `None` if the state space
+/// exceeds the budget (then the envelope check is skipped).
+fn reachable_decisions(entry: &ProtocolEntry) -> Option<Vec<Decision>> {
+    let protocol = entry.build_default();
+    let explorer =
+        Explorer::new(ExploreLimits { max_configs: 150_000, max_depth: usize::MAX }).canonical(true);
+    let analysis = explorer.valency(&protocol, entry.default_inputs)?;
+    Some(match analysis.initial {
+        Valency::Zero => vec![0],
+        Valency::One => vec![1],
+        Valency::Bivalent => vec![0, 1],
+        Valency::Stuck => vec![],
+    })
+}
+
+/// Every registry entry, through the threaded runtime on bridged
+/// objects: safe entries decide, consistently and validly, on every
+/// seed; nobody escapes the explorer's decision envelope.
+#[test]
+fn threaded_runtime_agrees_with_the_model() {
+    for entry in registry::registry().iter().filter(|e| e.runnable) {
+        let protocol = entry.build_default();
+        let inputs = entry.default_inputs;
+        let envelope = reachable_decisions(entry);
+        for seed in SEEDS {
+            let objects = bridge::instantiate_all(&protocol)
+                .unwrap_or_else(|e| panic!("{}: bridge failed: {e}", entry.name));
+            let report =
+                Runtime::new(seed).max_steps(THREAD_BUDGET).run(&protocol, inputs, &objects);
+            if entry.expected_safe {
+                assert!(
+                    report.all_decided(),
+                    "{}: threaded run (seed {seed}) did not decide within budget",
+                    entry.name
+                );
+                assert!(
+                    report.consistent(),
+                    "{}: threaded run (seed {seed}) violated consistency: {:?}",
+                    entry.name,
+                    report.decisions
+                );
+                assert!(
+                    report.valid(inputs),
+                    "{}: threaded run (seed {seed}) violated validity: {:?}",
+                    entry.name,
+                    report.decisions
+                );
+            }
+            if let Some(envelope) = &envelope {
+                for d in report.decided_values() {
+                    assert!(
+                        envelope.contains(&d),
+                        "{}: threaded run (seed {seed}) decided {d}, outside the \
+                         explorer's reachable set {envelope:?}",
+                        entry.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same entries through the simulator under a seeded random
+/// scheduler: the model-side interpreter must uphold exactly the
+/// guarantees the threaded side does.
+#[test]
+fn simulator_agrees_with_the_threaded_runtime() {
+    for entry in registry::registry().iter().filter(|e| e.runnable) {
+        let envelope = reachable_decisions(entry);
+        let outcomes = monte_carlo(SEEDS, 2, |seed| {
+            let protocol = entry.build_default();
+            let mut sim = Simulator::new(SIM_BUDGET, seed);
+            let mut sched = RandomScheduler::new(seed ^ 0xD1FF);
+            let out = sim
+                .run(&protocol, entry.default_inputs, &mut sched)
+                .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", entry.name));
+            (seed, out.all_decided, out.decided_values())
+        });
+        for (seed, all_decided, decided) in outcomes {
+            if entry.expected_safe {
+                assert!(
+                    all_decided,
+                    "{}: simulated run (seed {seed}) did not decide within budget",
+                    entry.name
+                );
+                assert!(
+                    decided.len() <= 1,
+                    "{}: simulated run (seed {seed}) violated consistency: {decided:?}",
+                    entry.name
+                );
+                assert!(
+                    decided.iter().all(|d| entry.default_inputs.contains(d)),
+                    "{}: simulated run (seed {seed}) violated validity: {decided:?}",
+                    entry.name
+                );
+            }
+            if let Some(envelope) = &envelope {
+                for d in &decided {
+                    assert!(
+                        envelope.contains(d),
+                        "{}: simulated run (seed {seed}) decided {d}, outside the \
+                         explorer's reachable set {envelope:?}",
+                        entry.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A witness produced by the lower-bound adversary replays through the
+/// runtime interpreter on **bridged atomics-backed objects** exactly as
+/// it does on model objects: the violating schedule is real, not an
+/// artifact of the configuration algebra.
+#[test]
+fn adversary_witnesses_replay_on_real_objects() {
+    use randsync::core::{attack_identical, AttackOutcome};
+    use randsync::model::runtime::DynObject;
+
+    let entry = registry::find("naive").expect("naive is registered");
+    let protocol = entry.build_default();
+    let outcome = attack_identical(&protocol, &Default::default())
+        .expect("the adversary breaks the naive protocol");
+    let AttackOutcome::Inconsistent { witness, .. } = outcome else {
+        panic!("expected an inconsistency witness, got {outcome:?}");
+    };
+    witness.verify(&protocol).expect("witness replays on model objects");
+
+    let boxed = bridge::instantiate_all(&protocol).expect("naive's registers bridge");
+    let refs: Vec<&dyn DynObject> = boxed.iter().map(AsRef::as_ref).collect();
+    witness
+        .verify_on(&protocol, &refs)
+        .expect("witness replays on bridged atomics-backed objects");
+}
+
+/// The two interpreters see the same protocol *shape*: same object
+/// specs, same process count, and the bridge accepts every spec the
+/// registry can emit.
+#[test]
+fn every_runnable_entry_bridges() {
+    use randsync::model::Protocol;
+    for entry in registry::registry().iter().filter(|e| e.runnable) {
+        let protocol = entry.build_default();
+        let objects = bridge::instantiate_all(&protocol)
+            .unwrap_or_else(|e| panic!("{}: bridge failed: {e}", entry.name));
+        assert_eq!(objects.len(), protocol.objects().len(), "{}", entry.name);
+        for (obj, spec) in objects.iter().zip(protocol.objects()) {
+            assert_eq!(obj.kind(), spec.kind, "{}: bridged kind mismatch", entry.name);
+        }
+        assert_eq!(entry.default_inputs.len(), protocol.num_processes(), "{}", entry.name);
+    }
+}
