@@ -106,6 +106,26 @@ fn main() {
     }
     group.finish();
 
+    // The observability tax on the bridge: every bridged `apply` now
+    // carries a relaxed-load enabled check, and — when the metrics
+    // registry is on — one relaxed counter increment. `disabled` must
+    // sit within noise of `ops_bridged_dyn` above (the check is the
+    // whole cost), and `enabled` bounds what `--metrics` costs per op.
+    let mut group = c.benchmark_group("ops_bridged_metrics");
+    group.throughput(Throughput::Elements(1));
+    let obj = bridge::instantiate(&ObjectSpec::new(ObjectKind::SwapRegister, "bench")).unwrap();
+    let op = Operation::Swap(Value::Int(3));
+    randsync_obs::set_metrics_enabled(false);
+    group.bench_function("swap/disabled", |b| {
+        b.iter(|| std::hint::black_box(obj.apply(0, &op).unwrap()))
+    });
+    randsync_obs::set_metrics_enabled(true);
+    group.bench_function("swap/enabled", |b| {
+        b.iter(|| std::hint::black_box(obj.apply(0, &op).unwrap()))
+    });
+    randsync_obs::set_metrics_enabled(false);
+    group.finish();
+
     // The register-based counter: INC is one write, READ is a scan —
     // the O(n) space trade-off has a time face too.
     let mut group = c.benchmark_group("snapshot_counter_read");

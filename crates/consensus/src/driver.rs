@@ -27,13 +27,14 @@ pub(crate) fn decide_on<P: Protocol>(
     seed: u64,
 ) -> u8 {
     let mut rng = runtime::process_rng(seed, process);
-    let (decision, _steps) = runtime::drive_process(
+    let (decision, _stats) = runtime::drive_process(
         model,
         objects,
         ProcessId(process),
         input,
         &mut rng,
         usize::MAX,
+        None,
     )
     .expect("bridged objects implement the declared kinds");
     decision.expect("protocol terminates")

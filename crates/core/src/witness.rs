@@ -101,6 +101,76 @@ impl InconsistencyWitness {
         Configuration::initial_with_pool(protocol, &self.inputs, self.inputs.len())
     }
 
+    /// Package this witness as a flight-recorder
+    /// [`ExecutionTrace`](randsync_obs::ExecutionTrace) for the protocol
+    /// registered under `protocol_label`, built with parameters `n` and
+    /// `r`.
+    ///
+    /// The trace's `inputs` are the witness's full process *pool*
+    /// (which may exceed `n` — the adversaries clone processes), and
+    /// its decisions record the witness's claim: `decides_zero` → 0,
+    /// `decides_one` → 1, everyone else undecided. `randsync replay`
+    /// re-executes the schedule and checks those decisions.
+    pub fn flight_trace(
+        &self,
+        protocol_label: &str,
+        n: usize,
+        r: usize,
+    ) -> randsync_obs::ExecutionTrace {
+        let mut decisions = vec![None; self.inputs.len()];
+        if let Some(slot) = decisions.get_mut(self.decides_zero.index()) {
+            *slot = Some(0);
+        }
+        if let Some(slot) = decisions.get_mut(self.decides_one.index()) {
+            *slot = Some(1);
+        }
+        randsync_obs::ExecutionTrace {
+            schema_version: randsync_obs::TRACE_SCHEMA_VERSION,
+            protocol: protocol_label.to_string(),
+            n,
+            r,
+            seed: 0,
+            interpreter: "witness".to_string(),
+            inputs: self.inputs.clone(),
+            steps: self
+                .execution
+                .steps()
+                .iter()
+                .map(|s| (s.pid.index() as u32, s.coin))
+                .collect(),
+            decisions,
+        }
+    }
+
+    /// Dump [`InconsistencyWitness::flight_trace`] into `dir` under a
+    /// content-derived file name and return the path — the harnesses'
+    /// on-failure hook, so a failing check always leaves a
+    /// `randsync replay`-able artifact behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors as [`std::io::Error`].
+    pub fn dump_flight_trace(
+        &self,
+        protocol_label: &str,
+        n: usize,
+        r: usize,
+        dir: &std::path::Path,
+    ) -> std::io::Result<std::path::PathBuf> {
+        let trace = self.flight_trace(protocol_label, n, r);
+        let path = dir.join(format!(
+            "randsync-witness-{}-n{}-r{}-{}steps.jsonl",
+            protocol_label.replace(|c: char| !c.is_ascii_alphanumeric(), "_"),
+            n,
+            r,
+            trace.steps.len(),
+        ));
+        trace
+            .write_to(&path)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        Ok(path)
+    }
+
     /// Greedily minimize the witness: repeatedly drop steps whose
     /// removal leaves an execution that still replays and still decides
     /// two different values (delta-debugging style, one pass from the
@@ -279,6 +349,34 @@ mod tests {
             m.processes_used <= w.processes_used,
             "minimization should never need more processes"
         );
+    }
+
+    #[test]
+    fn flight_trace_round_trips_and_replays() {
+        let (p, w) = naive_violation();
+        let dir = std::env::temp_dir();
+        let path = w.dump_flight_trace("naive", 2, 2, &dir).expect("dump");
+        let trace = randsync_obs::ExecutionTrace::read_from(&path).expect("read back");
+        assert_eq!(trace.protocol, "naive");
+        assert_eq!(trace.inputs, w.inputs);
+        assert_eq!(trace.steps.len(), w.execution.len());
+        // The recorded steps rebuild the witness's execution exactly.
+        let rebuilt = Execution::from_steps(
+            trace
+                .steps
+                .iter()
+                .map(|&(pid, coin)| Step::with_coin(ProcessId(pid as usize), coin))
+                .collect(),
+        );
+        let objects = ModelObject::instantiate_all(&p);
+        let refs: Vec<&dyn DynObject> = objects.iter().map(AsRef::as_ref).collect();
+        let decisions =
+            runtime::replay_execution(&p, &refs, &trace.inputs, &rebuilt).expect("replays");
+        assert_eq!(decisions[w.decides_zero.index()], Some(0));
+        assert_eq!(decisions[w.decides_one.index()], Some(1));
+        assert_eq!(trace.decisions[w.decides_zero.index()], Some(0));
+        assert_eq!(trace.decisions[w.decides_one.index()], Some(1));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

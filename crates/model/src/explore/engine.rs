@@ -106,6 +106,58 @@ impl SeenMaps {
     pub(super) fn insert(&self, hash: u64, index: u32) {
         self.shard(hash).entry(hash).or_default().push(index);
     }
+
+    /// Number of interned entries per shard — the load-balance view the
+    /// metrics layer reports (`explore.shard_entries`).
+    pub(super) fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .map(Vec::len)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Pre-resolved global-registry handles for the engine's per-level
+/// metrics flush. Tallies are kept in plain locals during the merge and
+/// written here once per level barrier, so the per-candidate path never
+/// touches an atomic; the struct only exists when metrics were enabled
+/// when the search started.
+struct EngineMetrics {
+    levels: randsync_obs::Counter,
+    candidates: randsync_obs::Counter,
+    dedup_hits: randsync_obs::Counter,
+    interned: randsync_obs::Counter,
+    frontier: randsync_obs::Histogram,
+    arena_bytes: randsync_obs::Gauge,
+    max_depth: randsync_obs::Gauge,
+    raw_represented: randsync_obs::Gauge,
+    shard_entries: randsync_obs::Histogram,
+}
+
+impl EngineMetrics {
+    fn resolve() -> Option<Self> {
+        if !randsync_obs::metrics_enabled() {
+            return None;
+        }
+        let m = randsync_obs::global_metrics();
+        Some(EngineMetrics {
+            levels: m.counter("explore.levels"),
+            candidates: m.counter("explore.candidates"),
+            dedup_hits: m.counter("explore.dedup_hits"),
+            interned: m.counter("explore.interned"),
+            frontier: m.histogram("explore.frontier"),
+            arena_bytes: m.gauge("explore.arena_bytes"),
+            max_depth: m.gauge("explore.max_depth"),
+            raw_represented: m.gauge("explore.raw_represented"),
+            shard_entries: m.histogram("explore.shard_entries"),
+        })
+    }
 }
 
 /// The interned BFS forest produced by [`bfs`].
@@ -318,6 +370,7 @@ where
 
     let mut frontier: Vec<u32> = vec![0];
     let mut level_depth: usize = 0;
+    let metrics = EngineMetrics::resolve();
 
     while !frontier.is_empty() && g.hit.is_none() {
         if level_depth >= max_depth {
@@ -381,11 +434,20 @@ where
         // seen-maps grow, so interning order — and everything derived
         // from it — matches the sequential BFS exactly.
         let mut next_frontier: Vec<u32> = Vec::new();
+        // Plain-local level tallies; flushed to the registry once per
+        // level barrier (see EngineMetrics).
+        let mut level_candidates = 0u64;
+        let mut level_dedup = 0u64;
+        let mut level_interned = 0u64;
         for (pos, candidates) in expansions.into_iter().enumerate() {
             let parent_idx = frontier[pos];
             for (step, cand) in candidates {
+                level_candidates += 1;
                 let interned = match cand {
-                    SuccRef::Seen(j) => Some(j),
+                    SuccRef::Seen(j) => {
+                        level_dedup += 1;
+                        Some(j)
+                    }
                     SuccRef::New(cand_config) => {
                         // Re-encode against the grown codec (interning
                         // any genuinely new states) and re-probe:
@@ -395,6 +457,7 @@ where
                         g.arena.encode_intern(&cand_config, &mut words);
                         let hash = hash_words(&words);
                         if let Some(j) = seen.probe(hash, &words, &g.arena) {
+                            level_dedup += 1;
                             Some(j)
                         } else if g.arena.len() >= max_configs {
                             g.config_capped = true;
@@ -420,6 +483,7 @@ where
                                     }
                                 }
                             }
+                            level_interned += 1;
                             next_frontier.push(j);
                             Some(j)
                         }
@@ -432,8 +496,37 @@ where
                 }
             }
         }
+        if let Some(m) = &metrics {
+            m.levels.inc();
+            m.candidates.add(level_candidates);
+            m.dedup_hits.add(level_dedup);
+            m.interned.add(level_interned);
+            m.frontier.observe(frontier.len() as u64);
+            m.arena_bytes.record_max(g.arena.bytes() as i64);
+            m.max_depth.record_max(level_depth as i64 + 1);
+            m.raw_represented.record_max(g.raw_represented as i64);
+        }
+        if randsync_obs::tracing_active() {
+            randsync_obs::emit(
+                "explore.level",
+                &[
+                    ("depth", randsync_obs::Field::U64(level_depth as u64)),
+                    ("frontier", randsync_obs::Field::U64(frontier.len() as u64)),
+                    ("candidates", randsync_obs::Field::U64(level_candidates)),
+                    ("dedup_hits", randsync_obs::Field::U64(level_dedup)),
+                    ("interned", randsync_obs::Field::U64(level_interned)),
+                    ("configs", randsync_obs::Field::U64(g.arena.len() as u64)),
+                    ("arena_bytes", randsync_obs::Field::U64(g.arena.bytes() as u64)),
+                ],
+            );
+        }
         frontier = next_frontier;
         level_depth += 1;
+    }
+    if let Some(m) = &metrics {
+        for size in seen.shard_sizes() {
+            m.shard_entries.observe(size as u64);
+        }
     }
     g
 }

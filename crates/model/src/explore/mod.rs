@@ -1129,6 +1129,55 @@ mod tests {
     }
 
     #[test]
+    fn metrics_capture_exploration_progress() {
+        // Metrics must not perturb results, and an instrumented search
+        // must leave a non-trivial snapshot behind. Counters are global
+        // (other tests may explore concurrently while the flag is on),
+        // so assertions are lower bounds from *before/after deltas*.
+        let p = Naive { n: 3 };
+        let quiet = Explorer::default().explore(&p, &[0, 1, 1]);
+        let m = randsync_obs::global_metrics();
+        let before = m.snapshot();
+        randsync_obs::set_metrics_enabled(true);
+        let loud = Explorer::default().explore(&p, &[0, 1, 1]);
+        randsync_obs::set_metrics_enabled(false);
+        let after = m.snapshot();
+        assert_eq!(fingerprint(&quiet), fingerprint(&loud), "metrics changed the result");
+        let delta = |name: &str| {
+            after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0)
+        };
+        assert!(delta("explore.levels") > 0);
+        assert!(
+            delta("explore.interned") >= loud.configs_visited as u64 - 1,
+            "every interned config past the root is counted"
+        );
+        assert!(delta("explore.candidates") >= delta("explore.interned"));
+        assert!(delta("explore.dedup_hits") > 0, "Naive revisits configurations");
+        assert!(after.gauge("explore.arena_bytes").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn trace_sink_sees_per_level_events() {
+        let ring = std::sync::Arc::new(randsync_obs::RingSink::new(256));
+        randsync_obs::install_trace_sink(ring.clone());
+        let p = Naive { n: 2 };
+        let out = Explorer::default().explore(&p, &[0, 1]);
+        randsync_obs::clear_trace_sink();
+        let levels: Vec<String> = ring
+            .lines()
+            .into_iter()
+            .filter(|l| l.contains("\"explore.level\""))
+            .collect();
+        assert!(!levels.is_empty(), "at least one level event");
+        // Events parse and carry the advertised fields.
+        let v = randsync_obs::parse_json(&levels[0]).expect("event line parses");
+        for field in ["depth", "frontier", "candidates", "dedup_hits", "interned", "configs"] {
+            assert!(v.get(field).is_some(), "missing {field}");
+        }
+        assert!(!out.truncated);
+    }
+
+    #[test]
     fn canonical_exploration_is_identical_across_thread_counts() {
         let p = Naive { n: 3 };
         let base = Explorer::default().canonical(true).threads(1).explore(&p, &[0, 1, 0]);

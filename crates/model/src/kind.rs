@@ -347,6 +347,22 @@ impl ObjectKind {
         }
     }
 
+    /// A machine-friendly identifier (metric-name component: lowercase,
+    /// underscores, no parameters).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ObjectKind::Register => "register",
+            ObjectKind::SwapRegister => "swap",
+            ObjectKind::TestAndSet => "test_and_set",
+            ObjectKind::FetchAdd => "fetch_add",
+            ObjectKind::FetchIncrement => "fetch_increment",
+            ObjectKind::FetchDecrement => "fetch_decrement",
+            ObjectKind::CompareSwap => "compare_swap",
+            ObjectKind::Counter => "counter",
+            ObjectKind::BoundedCounter { .. } => "bounded_counter",
+        }
+    }
+
     /// All the kinds this crate models (with a representative bounded
     /// counter).
     pub fn all() -> Vec<ObjectKind> {

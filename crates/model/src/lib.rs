@@ -87,7 +87,7 @@ pub use op::{Operation, Response};
 pub use process::{ObjectId, ProcessId};
 pub use protocol::{Action, Decision, ObjectSpec, Protocol, Symmetry};
 pub use rng::SplitMix64;
-pub use runtime::{DynObject, ModelObject, RunReport, Runtime};
+pub use runtime::{DynObject, FlightLog, ModelObject, ProcessStats, RunReport, Runtime};
 pub use sched::{
     ContrarianScheduler, CrashScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
     ScriptScheduler, SoloScheduler,

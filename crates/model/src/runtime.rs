@@ -30,7 +30,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::error::ModelError;
-use crate::execution::Execution;
+use crate::execution::{Execution, Step};
 use crate::kind::ObjectKind;
 use crate::op::{Operation, Response};
 use crate::process::ProcessId;
@@ -116,13 +116,86 @@ pub fn process_rng(seed: u64, process: usize) -> SplitMix64 {
     SplitMix64::new(seed ^ (process as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Per-process execution statistics gathered by [`drive_process`].
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct ProcessStats {
+    /// Number of operations issued.
+    pub steps: usize,
+    /// Number of non-trivial coin flips drawn (coin domain > 1).
+    pub coin_flips: u64,
+    /// Operations issued per object kind, in first-use order.
+    pub ops_by_kind: Vec<(ObjectKind, u64)>,
+}
+
+impl ProcessStats {
+    fn record_op(&mut self, kind: ObjectKind) {
+        match self.ops_by_kind.iter_mut().find(|(k, _)| *k == kind) {
+            Some(slot) => slot.1 += 1,
+            None => self.ops_by_kind.push((kind, 1)),
+        }
+    }
+}
+
+/// The flight recorder: an append-only, thread-shared log of
+/// [`Step`]s in **linearization order**.
+///
+/// Recording a concurrent run is only useful if the recorded order is
+/// an order the objects actually linearized in — otherwise a
+/// sequential replay diverges. [`drive_process`] guarantees this by
+/// holding the log's lock across the *whole* step (object apply → coin
+/// draw → record), so the log order and the linearization order are
+/// the same order by construction. Untraced runs never touch the lock.
+#[derive(Debug, Default)]
+pub struct FlightLog {
+    steps: Mutex<Vec<Step>>,
+}
+
+impl FlightLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.lock().expect("flight log poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one step (used for decide steps, which involve no shared
+    /// object and therefore need no extended critical section).
+    fn push(&self, step: Step) {
+        self.steps.lock().expect("flight log poisoned").push(step);
+    }
+
+    /// The recorded schedule, replayable with [`replay_execution`].
+    pub fn to_execution(&self) -> Execution {
+        Execution::from_steps(self.steps.lock().expect("flight log poisoned").clone())
+    }
+
+    /// Consume the log into its recorded schedule.
+    pub fn into_execution(self) -> Execution {
+        Execution::from_steps(self.steps.into_inner().expect("flight log poisoned"))
+    }
+}
+
 /// Run one process of `protocol` to completion on the calling thread,
 /// issuing its operations against `objects` (indexed by [`ObjectId`]).
 ///
 /// Returns the decision (or `None` if `max_steps` ran out first) and
-/// the number of operations issued. The loop is the threaded analogue
+/// the process's [`ProcessStats`]. The loop is the threaded analogue
 /// of [`Configuration::step_with`]: `action` → [`DynObject::apply`] →
 /// coin from the declared domain → `transition`.
+///
+/// With `flight: Some(log)`, every step (including the final decide)
+/// is recorded in linearization order: the log's lock is held across
+/// apply + coin draw + record, serializing traced runs so that
+/// [`replay_execution`] on the recorded schedule reproduces this run
+/// bit-for-bit. Pass `None` for the normal lock-free path.
 ///
 /// [`ObjectId`]: crate::process::ObjectId
 /// [`Configuration::step_with`]: crate::config::Configuration::step_with
@@ -138,24 +211,47 @@ pub fn drive_process<P: Protocol>(
     input: Decision,
     rng: &mut SplitMix64,
     max_steps: usize,
-) -> Result<(Option<Decision>, usize), ModelError> {
+    flight: Option<&FlightLog>,
+) -> Result<(Option<Decision>, ProcessStats), ModelError> {
     let mut state = protocol.initial_state(pid, input);
-    let mut steps = 0usize;
-    while steps < max_steps {
+    let mut stats = ProcessStats::default();
+    while stats.steps < max_steps {
         match protocol.action(&state) {
-            Action::Decide(d) => return Ok((Some(d), steps)),
+            Action::Decide(d) => {
+                if let Some(log) = flight {
+                    log.push(Step::of(pid));
+                }
+                return Ok((Some(d), stats));
+            }
             Action::Invoke { object, op } => {
                 let obj = objects.get(object.0).ok_or(ModelError::NoSuchObject(object))?;
-                let resp = obj.apply(pid.index(), &op)?;
-                let domain = protocol.coin_domain(&state, &resp).max(1);
-                let coin =
-                    if domain == 1 { 0 } else { rng.next_below(domain as u64) as u32 };
+                let (resp, coin, domain) = if let Some(log) = flight {
+                    // Traced: linearize apply + coin + record under the
+                    // log's lock so the log order is the real order.
+                    let mut steps = log.steps.lock().expect("flight log poisoned");
+                    let resp = obj.apply(pid.index(), &op)?;
+                    let domain = protocol.coin_domain(&state, &resp).max(1);
+                    let coin =
+                        if domain == 1 { 0 } else { rng.next_below(domain as u64) as u32 };
+                    steps.push(Step::with_coin(pid, coin));
+                    (resp, coin, domain)
+                } else {
+                    let resp = obj.apply(pid.index(), &op)?;
+                    let domain = protocol.coin_domain(&state, &resp).max(1);
+                    let coin =
+                        if domain == 1 { 0 } else { rng.next_below(domain as u64) as u32 };
+                    (resp, coin, domain)
+                };
+                if domain > 1 {
+                    stats.coin_flips += 1;
+                }
+                stats.record_op(obj.kind());
                 state = protocol.transition(&state, &resp, coin);
-                steps += 1;
+                stats.steps += 1;
             }
         }
     }
-    Ok((None, steps))
+    Ok((None, stats))
 }
 
 /// What a threaded [`Runtime::run`] observed.
@@ -165,6 +261,10 @@ pub struct RunReport {
     pub decisions: Vec<Option<Decision>>,
     /// Per-process operation counts.
     pub steps: Vec<usize>,
+    /// Per-process non-trivial coin flips (coin domain > 1).
+    pub coin_flips: Vec<u64>,
+    /// Per-process operation counts by object kind, in first-use order.
+    pub ops_by_kind: Vec<Vec<(ObjectKind, u64)>>,
     /// Wall-clock duration of the whole run.
     pub wall: Duration,
     /// The master seed the coin streams were derived from.
@@ -172,6 +272,26 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Total coin flips across all processes.
+    pub fn total_coin_flips(&self) -> u64 {
+        self.coin_flips.iter().sum()
+    }
+
+    /// Operation counts by object kind summed across processes, sorted
+    /// by kind slug for stable output.
+    pub fn total_ops_by_kind(&self) -> Vec<(ObjectKind, u64)> {
+        let mut totals: Vec<(ObjectKind, u64)> = Vec::new();
+        for per_process in &self.ops_by_kind {
+            for &(kind, count) in per_process {
+                match totals.iter_mut().find(|(k, _)| *k == kind) {
+                    Some(slot) => slot.1 += count,
+                    None => totals.push((kind, count)),
+                }
+            }
+        }
+        totals.sort_by_key(|(k, _)| k.slug());
+        totals
+    }
     /// Whether every process decided within the step budget.
     pub fn all_decided(&self) -> bool {
         self.decisions.iter().all(Option::is_some)
@@ -234,6 +354,45 @@ impl Runtime {
     where
         P: Protocol + Sync,
     {
+        self.run_inner(protocol, inputs, objects, None)
+    }
+
+    /// Like [`Runtime::run`], but with the flight recorder on: also
+    /// returns the executed schedule + coin stream, in linearization
+    /// order, such that [`replay_execution`] reproduces the report's
+    /// decisions bit-for-bit.
+    ///
+    /// Tracing serializes the run (each step holds a global log lock
+    /// across its object operation), so traced runs measure *an*
+    /// interleaving, not lock-free timing — see DESIGN.md §12.
+    ///
+    /// # Panics
+    ///
+    /// As [`Runtime::run`].
+    pub fn run_traced<P>(
+        &self,
+        protocol: &P,
+        inputs: &[Decision],
+        objects: &[Box<dyn DynObject>],
+    ) -> (RunReport, Execution)
+    where
+        P: Protocol + Sync,
+    {
+        let flight = FlightLog::new();
+        let report = self.run_inner(protocol, inputs, objects, Some(&flight));
+        (report, flight.into_execution())
+    }
+
+    fn run_inner<P>(
+        &self,
+        protocol: &P,
+        inputs: &[Decision],
+        objects: &[Box<dyn DynObject>],
+        flight: Option<&FlightLog>,
+    ) -> RunReport
+    where
+        P: Protocol + Sync,
+    {
         let n = protocol.num_processes();
         assert_eq!(inputs.len(), n, "one input per process");
         assert_eq!(
@@ -245,6 +404,8 @@ impl Runtime {
         let start = Instant::now();
         let mut decisions = vec![None; n];
         let mut steps = vec![0usize; n];
+        let mut coin_flips = vec![0u64; n];
+        let mut ops_by_kind = vec![Vec::new(); n];
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (pid, &input) in inputs.iter().enumerate() {
@@ -253,17 +414,59 @@ impl Runtime {
                 let seed = self.seed;
                 handles.push(scope.spawn(move || {
                     let mut rng = process_rng(seed, pid);
-                    drive_process(protocol, refs, ProcessId(pid), input, &mut rng, max_steps)
-                        .expect("objects implement the declared kinds")
+                    drive_process(
+                        protocol,
+                        refs,
+                        ProcessId(pid),
+                        input,
+                        &mut rng,
+                        max_steps,
+                        flight,
+                    )
+                    .expect("objects implement the declared kinds")
                 }));
             }
             for (pid, handle) in handles.into_iter().enumerate() {
-                let (d, s) = handle.join().expect("runtime process thread panicked");
+                let (d, stats) = handle.join().expect("runtime process thread panicked");
                 decisions[pid] = d;
-                steps[pid] = s;
+                steps[pid] = stats.steps;
+                coin_flips[pid] = stats.coin_flips;
+                ops_by_kind[pid] = stats.ops_by_kind;
             }
         });
-        RunReport { decisions, steps, wall: start.elapsed(), seed: self.seed }
+        let report = RunReport {
+            decisions,
+            steps,
+            coin_flips,
+            ops_by_kind,
+            wall: start.elapsed(),
+            seed: self.seed,
+        };
+        // Batched flush: one pass over already-aggregated stats, so the
+        // per-operation hot path stays untouched.
+        if randsync_obs::metrics_enabled() {
+            let m = randsync_obs::global_metrics();
+            m.counter("runtime.runs").inc();
+            m.counter("runtime.steps").add(report.steps.iter().map(|&s| s as u64).sum());
+            m.counter("runtime.coin_flips").add(report.total_coin_flips());
+            m.counter("runtime.decided").add(report.decisions.iter().flatten().count() as u64);
+            for (kind, count) in report.total_ops_by_kind() {
+                m.counter(&format!("runtime.ops.{}", kind.slug())).add(count);
+            }
+        }
+        if randsync_obs::tracing_active() {
+            randsync_obs::emit(
+                "runtime.run",
+                &[
+                    ("processes", randsync_obs::Field::U64(n as u64)),
+                    ("steps", randsync_obs::Field::U64(report.steps.iter().map(|&s| s as u64).sum())),
+                    ("all_decided", randsync_obs::Field::Bool(report.all_decided())),
+                    ("traced", randsync_obs::Field::Bool(flight.is_some())),
+                    ("wall_micros", randsync_obs::Field::U64(report.wall.as_micros() as u64)),
+                ],
+            );
+        }
+        report
     }
 }
 
@@ -515,6 +718,68 @@ mod tests {
         for (pid, d) in decisions.iter().enumerate() {
             assert_eq!(*d, end.procs[pid].decision());
         }
+    }
+
+    #[test]
+    fn stats_count_coin_flips_and_ops_by_kind() {
+        let p = CoinProto;
+        let objects = ModelObject::instantiate_all(&p);
+        let refs: Vec<&dyn DynObject> = objects.iter().map(AsRef::as_ref).collect();
+        let mut rng = process_rng(3, 0);
+        let (d, stats) =
+            drive_process(&p, &refs, ProcessId(0), 0, &mut rng, usize::MAX, None).unwrap();
+        assert!(d.is_some());
+        assert_eq!(stats.steps, 1);
+        assert_eq!(stats.coin_flips, 1, "CoinProto flips on its single read");
+        assert_eq!(stats.ops_by_kind, vec![(ObjectKind::Register, 1)]);
+
+        // CAS consensus never flips a coin (domain 1 throughout).
+        let p = CasProto { n: 1 };
+        let objects = ModelObject::instantiate_all(&p);
+        let report = Runtime::new(0).run(&p, &[1], &objects);
+        assert_eq!(report.total_coin_flips(), 0);
+        assert_eq!(report.total_ops_by_kind(), vec![(ObjectKind::CompareSwap, 1)]);
+    }
+
+    #[test]
+    fn traced_runs_replay_bit_for_bit() {
+        let p = CasProto { n: 4 };
+        let inputs = [0, 1, 1, 0];
+        for seed in 0..10 {
+            let objects = ModelObject::instantiate_all(&p);
+            let (report, execution) = Runtime::new(seed).run_traced(&p, &inputs, &objects);
+            assert!(report.all_decided());
+            // Replay on *fresh* objects must reproduce the decisions.
+            let fresh = ModelObject::instantiate_all(&p);
+            let refs: Vec<&dyn DynObject> = fresh.iter().map(AsRef::as_ref).collect();
+            let replayed = replay_execution(&p, &refs, &inputs, &execution).unwrap();
+            assert_eq!(replayed, report.decisions, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn traced_coin_protocol_replays_the_same_coins() {
+        let p = CoinProto;
+        for seed in 0..16 {
+            let objects = ModelObject::instantiate_all(&p);
+            let (report, execution) = Runtime::new(seed).run_traced(&p, &[0], &objects);
+            let fresh = ModelObject::instantiate_all(&p);
+            let refs: Vec<&dyn DynObject> = fresh.iter().map(AsRef::as_ref).collect();
+            let replayed = replay_execution(&p, &refs, &[0], &execution).unwrap();
+            assert_eq!(replayed, report.decisions, "seed {seed}: coin must be recorded");
+        }
+    }
+
+    #[test]
+    fn traced_budget_exhaustion_replays_as_undecided() {
+        let p = CasProto { n: 2 };
+        let objects = ModelObject::instantiate_all(&p);
+        let (report, execution) = Runtime::new(0).max_steps(0).run_traced(&p, &[0, 1], &objects);
+        assert_eq!(report.decisions, vec![None, None]);
+        let fresh = ModelObject::instantiate_all(&p);
+        let refs: Vec<&dyn DynObject> = fresh.iter().map(AsRef::as_ref).collect();
+        let replayed = replay_execution(&p, &refs, &[0, 1], &execution).unwrap();
+        assert_eq!(replayed, report.decisions);
     }
 
     #[test]

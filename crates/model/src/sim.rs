@@ -119,6 +119,15 @@ impl Simulator {
             .procs
             .iter()
             .all(|p| !matches!(p, crate::config::ProcState::Active(_)));
+        // One flush per run, not per step: a run is the natural batch.
+        if randsync_obs::metrics_enabled() {
+            let m = randsync_obs::global_metrics();
+            m.counter("sim.runs").inc();
+            m.counter("sim.steps").add(steps as u64);
+            if all_decided {
+                m.counter("sim.decided_runs").inc();
+            }
+        }
         Ok(RunOutcome { config, records, all_decided, steps })
     }
 
@@ -184,6 +193,12 @@ where
     // More workers than cores never helps a CPU-bound trial loop; on a
     // single-core host extra workers are pure spawn overhead.
     let workers = threads.min(host).min(count.div_ceil(MIN_SEEDS_PER_WORKER));
+    if randsync_obs::metrics_enabled() {
+        let m = randsync_obs::global_metrics();
+        m.counter("sim.mc.batches").inc();
+        m.counter("sim.mc.trials").add(count as u64);
+        m.gauge("sim.mc.workers").record_max(workers.max(1) as i64);
+    }
     if workers <= 1 {
         return seeds.map(job).collect();
     }

@@ -21,7 +21,9 @@ pub struct AtomicRegister {
 impl AtomicRegister {
     /// A register holding `v`.
     pub fn new(v: i64) -> Self {
-        AtomicRegister { cell: AtomicI64::new(v) }
+        AtomicRegister {
+            cell: AtomicI64::new(v),
+        }
     }
 }
 
@@ -44,7 +46,9 @@ pub struct SwapRegister {
 impl SwapRegister {
     /// A swap register holding `v`.
     pub fn new(v: i64) -> Self {
-        SwapRegister { cell: AtomicI64::new(v) }
+        SwapRegister {
+            cell: AtomicI64::new(v),
+        }
     }
 }
 
@@ -102,7 +106,9 @@ pub struct FetchAddRegister {
 impl FetchAddRegister {
     /// A fetch&add register holding `v`.
     pub fn new(v: i64) -> Self {
-        FetchAddRegister { cell: AtomicI64::new(v) }
+        FetchAddRegister {
+            cell: AtomicI64::new(v),
+        }
     }
 }
 
@@ -147,7 +153,9 @@ pub struct FetchIncRegister {
 impl FetchIncRegister {
     /// A fetch&increment register holding `v`.
     pub fn new(v: i64) -> Self {
-        FetchIncRegister { cell: AtomicI64::new(v) }
+        FetchIncRegister {
+            cell: AtomicI64::new(v),
+        }
     }
 
     /// Atomically increment, returning the previous value.
@@ -170,7 +178,9 @@ pub struct FetchDecRegister {
 impl FetchDecRegister {
     /// A fetch&decrement register holding `v`.
     pub fn new(v: i64) -> Self {
-        FetchDecRegister { cell: AtomicI64::new(v) }
+        FetchDecRegister {
+            cell: AtomicI64::new(v),
+        }
     }
 
     /// Atomically decrement, returning the previous value.
@@ -194,7 +204,9 @@ pub struct CasRegister {
 impl CasRegister {
     /// A CAS register holding `v`.
     pub fn new(v: i64) -> Self {
-        CasRegister { cell: AtomicI64::new(v) }
+        CasRegister {
+            cell: AtomicI64::new(v),
+        }
     }
 }
 
@@ -266,7 +278,11 @@ impl BoundedAtomicCounter {
     /// Panics if `lo > hi`.
     pub fn new(lo: i64, hi: i64) -> Self {
         assert!(lo <= hi, "bounded counter range is empty");
-        BoundedAtomicCounter { cell: AtomicI64::new(0i64.clamp(lo, hi)), lo, hi }
+        BoundedAtomicCounter {
+            cell: AtomicI64::new(0i64.clamp(lo, hi)),
+            lo,
+            hi,
+        }
     }
 
     /// The inclusive range of representable values.

@@ -87,11 +87,36 @@ fn unsupported(kind: ObjectKind, op: &Operation) -> ModelError {
     ModelError::UnsupportedOperation { kind, op: *op }
 }
 
+/// Per-object operation counter feeding `bridge.ops.<kind>` in the
+/// global metrics registry.
+///
+/// The disabled path is one relaxed load and a branch — no atomic
+/// write, no registry lookup — which is what keeps the `ops_bridged_dyn`
+/// bench delta within noise (EXPERIMENTS.md). The handle resolves
+/// lazily on the first counted operation, so merely instantiating
+/// objects never registers metrics.
+#[derive(Debug, Default)]
+struct OpCounter(std::sync::OnceLock<randsync_obs::Counter>);
+
+impl OpCounter {
+    #[inline]
+    fn hit(&self, kind: ObjectKind) {
+        if randsync_obs::metrics_enabled() {
+            self.0
+                .get_or_init(|| {
+                    randsync_obs::global_metrics().counter(&format!("bridge.ops.{}", kind.slug()))
+                })
+                .inc();
+        }
+    }
+}
+
 /// [`ObjectKind::Register`] over an [`AtomicRegister`] holding encoded
 /// words.
 #[derive(Debug)]
 struct RegisterObject {
     inner: AtomicRegister,
+    stats: OpCounter,
 }
 
 impl DynObject for RegisterObject {
@@ -100,6 +125,7 @@ impl DynObject for RegisterObject {
     }
 
     fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        self.stats.hit(self.kind());
         match op {
             Operation::Read => Ok(Response::Value(decode_value(self.inner.read()))),
             Operation::Write(x) => {
@@ -116,6 +142,7 @@ impl DynObject for RegisterObject {
 #[derive(Debug)]
 struct SwapObject {
     inner: SwapRegister,
+    stats: OpCounter,
 }
 
 impl DynObject for SwapObject {
@@ -124,15 +151,16 @@ impl DynObject for SwapObject {
     }
 
     fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        self.stats.hit(self.kind());
         match op {
             Operation::Read => Ok(Response::Value(decode_value(self.inner.read()))),
             Operation::Write(x) => {
                 self.inner.write(encode_value(x));
                 Ok(Response::Ack)
             }
-            Operation::Swap(x) => {
-                Ok(Response::Value(decode_value(self.inner.swap(encode_value(x)))))
-            }
+            Operation::Swap(x) => Ok(Response::Value(decode_value(
+                self.inner.swap(encode_value(x)),
+            ))),
             other => Err(unsupported(self.kind(), other)),
         }
     }
@@ -142,6 +170,7 @@ impl DynObject for SwapObject {
 #[derive(Debug)]
 struct TasObject {
     inner: TestAndSetFlag,
+    stats: OpCounter,
 }
 
 impl DynObject for TasObject {
@@ -150,11 +179,10 @@ impl DynObject for TasObject {
     }
 
     fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        self.stats.hit(self.kind());
         match op {
             Operation::Read => Ok(Response::Value(Value::Bool(self.inner.is_set()))),
-            Operation::TestAndSet => {
-                Ok(Response::Value(Value::Bool(self.inner.test_and_set())))
-            }
+            Operation::TestAndSet => Ok(Response::Value(Value::Bool(self.inner.test_and_set()))),
             Operation::Reset => {
                 self.inner.reset();
                 Ok(Response::Ack)
@@ -173,6 +201,7 @@ impl DynObject for TasObject {
 struct FetchAddObject {
     kind: ObjectKind,
     inner: FetchAddRegister,
+    stats: OpCounter,
 }
 
 impl DynObject for FetchAddObject {
@@ -181,14 +210,13 @@ impl DynObject for FetchAddObject {
     }
 
     fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        self.stats.hit(self.kind);
         if !self.kind.supports(op) {
             return Err(unsupported(self.kind, op));
         }
         match op {
             Operation::Read => Ok(Response::Value(Value::Int(self.inner.load()))),
-            Operation::FetchAdd(a) => {
-                Ok(Response::Value(Value::Int(self.inner.fetch_add(*a))))
-            }
+            Operation::FetchAdd(a) => Ok(Response::Value(Value::Int(self.inner.fetch_add(*a)))),
             other => Err(unsupported(self.kind, other)),
         }
     }
@@ -199,6 +227,7 @@ impl DynObject for FetchAddObject {
 #[derive(Debug)]
 struct CasObject {
     inner: CasRegister,
+    stats: OpCounter,
 }
 
 impl DynObject for CasObject {
@@ -207,11 +236,13 @@ impl DynObject for CasObject {
     }
 
     fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        self.stats.hit(self.kind());
         match op {
             Operation::Read => Ok(Response::Value(decode_value(self.inner.load()))),
             Operation::CompareSwap { expected, new } => {
-                let old =
-                    self.inner.compare_swap(encode_value(expected), encode_value(new));
+                let old = self
+                    .inner
+                    .compare_swap(encode_value(expected), encode_value(new));
                 Ok(Response::Value(decode_value(old)))
             }
             other => Err(unsupported(self.kind(), other)),
@@ -223,6 +254,7 @@ impl DynObject for CasObject {
 #[derive(Debug)]
 struct CounterObject {
     inner: AtomicCounter,
+    stats: OpCounter,
 }
 
 impl DynObject for CounterObject {
@@ -231,6 +263,7 @@ impl DynObject for CounterObject {
     }
 
     fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        self.stats.hit(self.kind());
         match op {
             Operation::Read => Ok(Response::Value(Value::Int(self.inner.read()))),
             Operation::Inc => {
@@ -255,6 +288,7 @@ impl DynObject for CounterObject {
 #[derive(Debug)]
 struct BoundedCounterObject {
     inner: BoundedAtomicCounter,
+    stats: OpCounter,
 }
 
 impl DynObject for BoundedCounterObject {
@@ -264,6 +298,7 @@ impl DynObject for BoundedCounterObject {
     }
 
     fn apply(&self, _process: usize, op: &Operation) -> Result<Response, ModelError> {
+        self.stats.hit(self.kind());
         match op {
             Operation::Read => Ok(Response::Value(Value::Int(self.inner.read()))),
             Operation::Inc => {
@@ -296,38 +331,57 @@ impl DynObject for BoundedCounterObject {
 /// [`ModelError::TypeMismatch`] if `spec.initial` is outside the kind's
 /// value space or not representable by the concrete object.
 pub fn instantiate(spec: &ObjectSpec) -> Result<Box<dyn DynObject>, ModelError> {
-    let mismatch = || ModelError::TypeMismatch { kind: spec.kind, value: spec.initial };
+    let mismatch = || ModelError::TypeMismatch {
+        kind: spec.kind,
+        value: spec.initial,
+    };
     Ok(match spec.kind {
-        ObjectKind::Register => {
-            Box::new(RegisterObject { inner: AtomicRegister::new(encode_value(&spec.initial)) })
-        }
-        ObjectKind::SwapRegister => {
-            Box::new(SwapObject { inner: SwapRegister::new(encode_value(&spec.initial)) })
-        }
-        ObjectKind::CompareSwap => {
-            Box::new(CasObject { inner: CasRegister::new(encode_value(&spec.initial)) })
-        }
+        ObjectKind::Register => Box::new(RegisterObject {
+            inner: AtomicRegister::new(encode_value(&spec.initial)),
+            stats: OpCounter::default(),
+        }),
+        ObjectKind::SwapRegister => Box::new(SwapObject {
+            inner: SwapRegister::new(encode_value(&spec.initial)),
+            stats: OpCounter::default(),
+        }),
+        ObjectKind::CompareSwap => Box::new(CasObject {
+            inner: CasRegister::new(encode_value(&spec.initial)),
+            stats: OpCounter::default(),
+        }),
         ObjectKind::TestAndSet => {
             if spec.initial != Value::Bool(false) {
                 return Err(mismatch());
             }
-            Box::new(TasObject { inner: TestAndSetFlag::new() })
+            Box::new(TasObject {
+                inner: TestAndSetFlag::new(),
+                stats: OpCounter::default(),
+            })
         }
         ObjectKind::FetchAdd | ObjectKind::FetchIncrement | ObjectKind::FetchDecrement => {
             let init = spec.initial.as_int().ok_or_else(mismatch)?;
-            Box::new(FetchAddObject { kind: spec.kind, inner: FetchAddRegister::new(init) })
+            Box::new(FetchAddObject {
+                kind: spec.kind,
+                inner: FetchAddRegister::new(init),
+                stats: OpCounter::default(),
+            })
         }
         ObjectKind::Counter => {
             if spec.initial != Value::Int(0) {
                 return Err(mismatch());
             }
-            Box::new(CounterObject { inner: AtomicCounter::new() })
+            Box::new(CounterObject {
+                inner: AtomicCounter::new(),
+                stats: OpCounter::default(),
+            })
         }
         ObjectKind::BoundedCounter { lo, hi } => {
             if spec.initial != spec.kind.initial_value() {
                 return Err(mismatch());
             }
-            Box::new(BoundedCounterObject { inner: BoundedAtomicCounter::new(lo, hi) })
+            Box::new(BoundedCounterObject {
+                inner: BoundedAtomicCounter::new(lo, hi),
+                stats: OpCounter::default(),
+            })
         }
     })
 }
@@ -339,9 +393,7 @@ pub fn instantiate(spec: &ObjectSpec) -> Result<Box<dyn DynObject>, ModelError> 
 /// # Errors
 ///
 /// See [`instantiate`].
-pub fn instantiate_all<P: Protocol>(
-    protocol: &P,
-) -> Result<Vec<Box<dyn DynObject>>, ModelError> {
+pub fn instantiate_all<P: Protocol>(protocol: &P) -> Result<Vec<Box<dyn DynObject>>, ModelError> {
     protocol.objects().iter().map(instantiate).collect()
 }
 
@@ -394,7 +446,11 @@ mod tests {
 
     #[test]
     fn register_family_honours_bottom_initials() {
-        for kind in [ObjectKind::Register, ObjectKind::SwapRegister, ObjectKind::CompareSwap] {
+        for kind in [
+            ObjectKind::Register,
+            ObjectKind::SwapRegister,
+            ObjectKind::CompareSwap,
+        ] {
             let spec = ObjectSpec::with_initial(kind, Value::Bottom, "o");
             let obj = instantiate(&spec).unwrap();
             assert_eq!(
@@ -415,7 +471,10 @@ mod tests {
                 "o",
             ),
         ] {
-            assert!(matches!(instantiate(&spec), Err(ModelError::TypeMismatch { .. })));
+            assert!(matches!(
+                instantiate(&spec),
+                Err(ModelError::TypeMismatch { .. })
+            ));
         }
     }
 
@@ -438,14 +497,50 @@ mod tests {
         let spec = ObjectSpec::new(ObjectKind::CompareSwap, "d");
         let obj = instantiate(&spec).unwrap();
         let cas = |e: Value, n: Value| {
-            obj.apply(0, &Operation::CompareSwap { expected: e, new: n }).unwrap()
+            obj.apply(
+                0,
+                &Operation::CompareSwap {
+                    expected: e,
+                    new: n,
+                },
+            )
+            .unwrap()
         };
-        assert_eq!(cas(Value::Bottom, Value::Int(1)), Response::Value(Value::Bottom));
-        assert_eq!(cas(Value::Bottom, Value::Int(0)), Response::Value(Value::Int(1)));
+        assert_eq!(
+            cas(Value::Bottom, Value::Int(1)),
+            Response::Value(Value::Bottom)
+        );
+        assert_eq!(
+            cas(Value::Bottom, Value::Int(0)),
+            Response::Value(Value::Int(1))
+        );
         assert_eq!(
             obj.apply(0, &Operation::Read).unwrap(),
             Response::Value(Value::Int(1)),
             "failed CAS must not overwrite"
         );
+    }
+
+    #[test]
+    fn metrics_count_bridged_operations_only_when_enabled() {
+        // Counters are process-global: assert on before/after deltas so
+        // concurrently running tests cannot interfere (none of them
+        // enables metrics).
+        let obj = instantiate(&ObjectSpec::new(ObjectKind::SwapRegister, "s")).unwrap();
+        obj.apply(0, &Operation::Read).unwrap();
+        let before = randsync_obs::global_metrics()
+            .snapshot()
+            .counter("bridge.ops.swap")
+            .unwrap_or(0);
+        randsync_obs::set_metrics_enabled(true);
+        obj.apply(0, &Operation::Swap(Value::Int(4))).unwrap();
+        obj.apply(1, &Operation::Read).unwrap();
+        randsync_obs::set_metrics_enabled(false);
+        obj.apply(0, &Operation::Read).unwrap();
+        let after = randsync_obs::global_metrics()
+            .snapshot()
+            .counter("bridge.ops.swap")
+            .unwrap_or(0);
+        assert_eq!(after - before, 2, "only the enabled-window ops count");
     }
 }

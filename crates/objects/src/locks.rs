@@ -179,7 +179,11 @@ mod tests {
                 });
             }
         });
-        assert_eq!(counter.get(), 40_000, "registers alone achieve 2-thread mutex");
+        assert_eq!(
+            counter.get(),
+            40_000,
+            "registers alone achieve 2-thread mutex"
+        );
     }
 
     #[test]

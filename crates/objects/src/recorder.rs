@@ -46,7 +46,13 @@ impl Recorder {
         let invoked_at = self.clock.fetch_add(1, ORD);
         let response = f();
         let responded_at = self.clock.fetch_add(1, ORD);
-        self.lock_events().push(Event { process, op, response, invoked_at, responded_at });
+        self.lock_events().push(Event {
+            process,
+            op,
+            response,
+            invoked_at,
+            responded_at,
+        });
         response
     }
 
@@ -96,7 +102,9 @@ impl Recorder {
         let r = self.record(process, Operation::TestAndSet, || {
             Response::Value(Value::Bool(flag.test_and_set()))
         });
-        r.value().and_then(|v| v.as_bool()).expect("test&set response carries a bool")
+        r.value()
+            .and_then(|v| v.as_bool())
+            .expect("test&set response carries a bool")
     }
 
     /// Record a FETCH&ADD.
@@ -164,8 +172,7 @@ mod tests {
         assert_eq!(rec.swap(0, &reg, 7), 5);
         assert_eq!(rec.read(0, &reg), 7);
         assert_eq!(rec.len(), 3);
-        let checker =
-            LinearizabilityChecker::with_initial(ObjectKind::SwapRegister, Value::Int(0));
+        let checker = LinearizabilityChecker::with_initial(ObjectKind::SwapRegister, Value::Int(0));
         assert!(checker.is_linearizable(&rec.history()));
     }
 
@@ -227,8 +234,7 @@ mod tests {
                 });
             }
         });
-        let checker =
-            LinearizabilityChecker::with_initial(ObjectKind::CompareSwap, Value::Int(0));
+        let checker = LinearizabilityChecker::with_initial(ObjectKind::CompareSwap, Value::Int(0));
         assert!(checker.is_linearizable(&rec.history()));
     }
 

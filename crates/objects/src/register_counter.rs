@@ -39,7 +39,9 @@ impl RegisterCounter {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a counter needs at least one process slot");
-        RegisterCounter { slots: Arc::new((0..n).map(|_| AtomicI64::new(0)).collect()) }
+        RegisterCounter {
+            slots: Arc::new((0..n).map(|_| AtomicI64::new(0)).collect()),
+        }
     }
 
     /// The number of register slots (= supported processes).
@@ -58,7 +60,10 @@ impl RegisterCounter {
     /// Panics if `i >= self.num_slots()`.
     pub fn handle(&self, i: usize) -> CounterHandle {
         assert!(i < self.slots.len(), "no slot {i}");
-        CounterHandle { slots: Arc::clone(&self.slots), me: i }
+        CounterHandle {
+            slots: Arc::clone(&self.slots),
+            me: i,
+        }
     }
 
     /// READ: collect every register once and sum.

@@ -40,7 +40,9 @@ impl SnapshotArray {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a snapshot needs at least one segment");
-        SnapshotArray { segments: Arc::new((0..n).map(|_| AtomicU64::new(0)).collect()) }
+        SnapshotArray {
+            segments: Arc::new((0..n).map(|_| AtomicU64::new(0)).collect()),
+        }
     }
 
     /// Number of segments.
@@ -96,7 +98,9 @@ impl SnapshotArray {
 
 impl Clone for SnapshotArray {
     fn clone(&self) -> Self {
-        SnapshotArray { segments: Arc::clone(&self.segments) }
+        SnapshotArray {
+            segments: Arc::clone(&self.segments),
+        }
     }
 }
 
@@ -127,7 +131,9 @@ impl SnapshotCounter {
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
-        SnapshotCounter { snap: SnapshotArray::new(n) }
+        SnapshotCounter {
+            snap: SnapshotArray::new(n),
+        }
     }
 
     /// Number of single-writer register slots.
@@ -220,10 +226,7 @@ mod tests {
                         // Either the writer was between the two updates
                         // (v[1] == -(v[0]-1)) or at a quiescent point
                         // (v[1] == -v[0]).
-                        assert!(
-                            v[1] == -v[0] || v[1] == -(v[0] - 1),
-                            "torn snapshot: {v:?}"
-                        );
+                        assert!(v[1] == -v[0] || v[1] == -(v[0] - 1), "torn snapshot: {v:?}");
                     }
                 }
             });

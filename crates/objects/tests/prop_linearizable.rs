@@ -18,10 +18,7 @@ enum ScriptOp {
 
 fn arb_script() -> impl Strategy<Value = Vec<ScriptOp>> {
     prop::collection::vec(
-        prop_oneof![
-            Just(ScriptOp::Read),
-            (0i64..3).prop_map(ScriptOp::Mutate),
-        ],
+        prop_oneof![Just(ScriptOp::Read), (0i64..3).prop_map(ScriptOp::Mutate),],
         1..4,
     )
 }

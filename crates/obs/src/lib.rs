@@ -1,0 +1,41 @@
+//! Zero-dependency observability for the randsync workspace.
+//!
+//! The build environment is offline, so this crate fills the role
+//! `metrics`/`tracing`/`serde_json` would normally play, with three
+//! pillars (DESIGN.md §12):
+//!
+//! - [`metrics`] — a process-global [`metrics::MetricsRegistry`] of
+//!   lock-free counters, gauges, and power-of-two histograms. Hot
+//!   paths guard on [`metrics::metrics_enabled`] (one relaxed atomic
+//!   load) so instrumentation costs nothing when off.
+//! - [`trace`] — structured events and spans through a pluggable
+//!   [`trace::TraceSink`]: a JSONL file writer for post-mortem
+//!   analysis and a bounded ring buffer for always-on capture.
+//! - [`flight`] — the flight recorder artifact
+//!   [`flight::ExecutionTrace`]: the full schedule + coin stream of
+//!   one execution as JSONL, which `randsync replay` re-executes
+//!   deterministically.
+//!
+//! [`json`] is the shared hand-rolled JSON value/parser/writer that
+//! keeps all of the above dependency-free. This crate is a leaf: it
+//! depends on nothing in the workspace, so every other crate may
+//! depend on it.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod flight;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use flight::{ExecutionTrace, TraceError, TRACE_SCHEMA_VERSION};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use metrics::{
+    global as global_metrics, metrics_enabled, set_metrics_enabled, Counter, Gauge, Histogram,
+    MetricValue, MetricsRegistry, Snapshot,
+};
+pub use trace::{
+    clear_trace_sink, emit, install_trace_sink, now_micros, span, tracing_active, Field,
+    JsonlSink, RingSink, Span, TraceSink,
+};

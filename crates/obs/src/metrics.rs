@@ -1,0 +1,462 @@
+//! Lock-free metrics: counters, gauges, power-of-two histograms, and a
+//! registry that snapshots them all into JSON or aligned text.
+//!
+//! The hot-path contract: a [`Counter`] increment is one relaxed atomic
+//! add, and callers that want *zero* cost when observability is off
+//! guard on [`metrics_enabled`] — a single relaxed load of a process
+//! global — before touching any handle at all. Handles are `Arc`s into
+//! the registry's storage, so they can be hoisted out of loops and
+//! cloned into worker threads freely.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// Global switch consulted by instrumented hot paths.
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether metrics collection is currently enabled (one relaxed load).
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn global metrics collection on or off.
+///
+/// Instrumented code guards per-operation updates on
+/// [`metrics_enabled`]; batch-level instrumentation (for example the
+/// explorer's per-depth flush) may record regardless, since its cost is
+/// already amortized away.
+pub fn set_metrics_enabled(enabled: bool) {
+    METRICS_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// A monotonically increasing `u64` counter handle.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge handle: a value that can move both ways.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is below it (monotone max).
+    pub fn record_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i < 64` counts values whose
+/// bit length is `i` (i.e. `v == 0` → bucket 0, otherwise
+/// `floor(log2 v) + 1`), so bucket boundaries are powers of two.
+const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Shared storage behind [`Histogram`] handles.
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A power-of-two-bucket histogram handle for `u64` samples.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = (u64::BITS - v.leading_zeros()) as usize;
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time value of one metric, captured by [`MetricsRegistry::snapshot`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram reading: non-empty buckets as `(upper_bound, count)`
+    /// pairs (`upper_bound` is inclusive, `2^k - 1`), plus aggregates.
+    Histogram {
+        /// Total samples.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Largest sample.
+        max: u64,
+        /// Non-empty `(inclusive upper bound, count)` buckets, ascending.
+        buckets: Vec<(u64, u64)>,
+    },
+}
+
+/// A sorted point-in-time capture of every metric in a registry.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// True when no metrics were registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find(|(n, _)| n == name).and_then(|(_, v)| match v {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries.iter().find(|(n, _)| n == name).and_then(|(_, v)| match v {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// Encode as a JSON object keyed by metric name.
+    pub fn to_json(&self) -> Json {
+        let fields = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let v = match value {
+                    MetricValue::Counter(c) => Json::Int(i128::from(*c)),
+                    MetricValue::Gauge(g) => Json::Int(i128::from(*g)),
+                    MetricValue::Histogram { count, sum, max, buckets } => Json::Obj(vec![
+                        ("count".to_string(), Json::Int(i128::from(*count))),
+                        ("sum".to_string(), Json::Int(i128::from(*sum))),
+                        ("max".to_string(), Json::Int(i128::from(*max))),
+                        (
+                            "buckets".to_string(),
+                            Json::Arr(
+                                buckets
+                                    .iter()
+                                    .map(|(le, n)| {
+                                        Json::Arr(vec![
+                                            Json::Int(i128::from(*le)),
+                                            Json::Int(i128::from(*n)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        Json::Obj(fields)
+    }
+
+    /// Render as aligned `name value` text lines for terminals.
+    pub fn to_text(&self) -> String {
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let _ = write!(out, "{name:width$}  ");
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{g}");
+                }
+                MetricValue::Histogram { count, sum, max, .. } => {
+                    let mean = if *count == 0 { 0.0 } else { *sum as f64 / *count as f64 };
+                    let _ = writeln!(out, "count={count} sum={sum} max={max} mean={mean:.1}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A named collection of metrics with get-or-register semantics.
+///
+/// Registration takes a mutex; the returned handles are lock-free.
+/// Names are conventionally dot-separated, lowest-frequency component
+/// first: `explore.dedup_hits`, `bridge.ops.register`, `sim.trials`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it at zero if new.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// The gauge named `name`, registering it at zero if new.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// The histogram named `name`, registering it empty if new.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map.entry(name.to_string()).or_insert_with(|| {
+            Metric::Histogram(Histogram(Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            })))
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Capture every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let entries = map
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => {
+                        let buckets = h
+                            .0
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, b)| {
+                                let n = b.load(Ordering::Relaxed);
+                                if n == 0 {
+                                    return None;
+                                }
+                                // Bucket i holds values of bit length i:
+                                // inclusive upper bound 2^i - 1.
+                                let le = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                                Some((le, n))
+                            })
+                            .collect();
+                        MetricValue::Histogram {
+                            count: h.count(),
+                            sum: h.sum(),
+                            max: h.max(),
+                            buckets,
+                        }
+                    }
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Drop every registered metric (handles keep their storage alive
+    /// but disappear from future snapshots).
+    pub fn clear(&self) {
+        self.inner.lock().expect("metrics registry poisoned").clear();
+    }
+}
+
+/// The process-wide registry used by all built-in instrumentation.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x.total");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("x.total").get(), 5, "same name shares storage");
+        let g = reg.gauge("x.depth");
+        g.set(7);
+        g.add(-2);
+        g.record_max(3);
+        assert_eq!(g.get(), 5);
+        g.record_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x.sizes");
+        for v in [0, 1, 1, 3, 8, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), u64::MAX);
+        let snap = reg.snapshot();
+        let MetricValue::Histogram { buckets, count, .. } = &snap.entries[0].1 else {
+            panic!("expected histogram");
+        };
+        assert_eq!(*count, 6);
+        // 0 → le 0; 1,1 → le 1; 3 → le 3; 8 → le 15; MAX → le MAX.
+        assert_eq!(
+            buckets,
+            &vec![(0, 1), (1, 2), (3, 1), (15, 1), (u64::MAX, 1)]
+        );
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queriable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").inc();
+        reg.gauge("c.third").set(-4);
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "b.second", "c.third"]);
+        assert_eq!(snap.counter("a.first"), Some(1));
+        assert_eq!(snap.gauge("c.third"), Some(-4));
+        assert_eq!(snap.counter("c.third"), None, "type mismatch is None");
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn snapshot_encodes_to_json_and_text() {
+        let reg = MetricsRegistry::new();
+        reg.counter("n.ops").add(3);
+        reg.histogram("n.sizes").observe(5);
+        let snap = reg.snapshot();
+        let json = snap.to_json().render();
+        assert!(json.contains("\"n.ops\":3"), "{json}");
+        assert!(json.contains("\"n.sizes\""), "{json}");
+        crate::json::parse(&json).expect("snapshot JSON parses back");
+        let text = snap.to_text();
+        assert!(text.contains("n.ops"), "{text}");
+        assert!(text.contains("count=1"), "{text}");
+    }
+
+    #[test]
+    fn enable_flag_round_trips() {
+        // Global state: restore it so other tests are unaffected.
+        let before = metrics_enabled();
+        set_metrics_enabled(true);
+        assert!(metrics_enabled());
+        set_metrics_enabled(false);
+        assert!(!metrics_enabled());
+        set_metrics_enabled(before);
+    }
+
+    #[test]
+    fn clear_empties_future_snapshots() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("gone");
+        c.inc();
+        reg.clear();
+        assert!(reg.snapshot().is_empty());
+        c.inc(); // handle still works, just unregistered
+        assert_eq!(c.get(), 2);
+    }
+}

@@ -1,0 +1,368 @@
+//! Structured tracing: timestamped events and spans fanned out to a
+//! pluggable [`TraceSink`].
+//!
+//! Emission is guarded the same way as metrics: [`tracing_active`] is
+//! one relaxed atomic load, so call sites can skip field construction
+//! entirely when no sink is installed. Timestamps are microseconds
+//! since a process-wide monotonic base (`Instant`), never wall-clock,
+//! so traces are immune to clock steps and cheap to subtract.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::{write_escaped, Json};
+
+/// One typed field value attached to an event.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Field {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Field {
+    fn to_json(&self) -> Json {
+        match self {
+            Field::U64(v) => Json::Int(i128::from(*v)),
+            Field::I64(v) => Json::Int(i128::from(*v)),
+            Field::F64(v) => Json::Float(*v),
+            Field::Str(v) => Json::Str(v.clone()),
+            Field::Bool(v) => Json::Bool(*v),
+        }
+    }
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<i64> for Field {
+    fn from(v: i64) -> Self {
+        Field::I64(v)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(v)
+    }
+}
+
+impl From<bool> for Field {
+    fn from(v: bool) -> Self {
+        Field::Bool(v)
+    }
+}
+
+/// Microseconds elapsed since the process-wide monotonic base.
+pub fn now_micros() -> u64 {
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    let base = *BASE.get_or_init(Instant::now);
+    Instant::now().duration_since(base).as_micros() as u64
+}
+
+/// Receives trace events. Implementations must tolerate concurrent
+/// calls from many threads.
+pub trait TraceSink: Send + Sync {
+    /// Handle one event: a name, a timestamp from [`now_micros`], and
+    /// typed fields.
+    fn event(&self, name: &str, timestamp_micros: u64, fields: &[(&str, Field)]);
+
+    /// Flush any buffering (default: nothing).
+    fn flush(&self) {}
+}
+
+static TRACING_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn sink_slot() -> &'static Mutex<Option<Arc<dyn TraceSink>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<dyn TraceSink>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Whether a sink is installed (one relaxed load — guard on this
+/// before building fields).
+#[inline]
+pub fn tracing_active() -> bool {
+    TRACING_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Install `sink` as the process-wide trace sink, replacing any
+/// previous one (the previous sink is flushed first).
+pub fn install_trace_sink(sink: Arc<dyn TraceSink>) {
+    let mut slot = sink_slot().lock().expect("trace sink slot poisoned");
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+    *slot = Some(sink);
+    TRACING_ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Remove and flush the installed sink, if any, and return it.
+pub fn clear_trace_sink() -> Option<Arc<dyn TraceSink>> {
+    let mut slot = sink_slot().lock().expect("trace sink slot poisoned");
+    TRACING_ACTIVE.store(false, Ordering::Relaxed);
+    let old = slot.take();
+    if let Some(sink) = &old {
+        sink.flush();
+    }
+    old
+}
+
+/// Emit one event to the installed sink (no-op when none is installed).
+pub fn emit(name: &str, fields: &[(&str, Field)]) {
+    if !tracing_active() {
+        return;
+    }
+    let sink = sink_slot().lock().expect("trace sink slot poisoned").clone();
+    if let Some(sink) = sink {
+        sink.event(name, now_micros(), fields);
+    }
+}
+
+/// RAII span: emits `<name>.start` on creation and `<name>.end` (with
+/// an `elapsed_micros` field appended) on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    started: Instant,
+    fields: Vec<(String, Field)>,
+}
+
+/// Open a span. Cheap when tracing is inactive (fields are still
+/// cloned; guard on [`tracing_active`] in hot loops).
+pub fn span(name: &str, fields: &[(&str, Field)]) -> Span {
+    let span = Span {
+        name: name.to_string(),
+        started: Instant::now(),
+        fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+    };
+    if tracing_active() {
+        emit(&format!("{name}.start"), fields);
+    }
+    span
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !tracing_active() {
+            return;
+        }
+        let elapsed = self.started.elapsed().as_micros() as u64;
+        let mut fields: Vec<(&str, Field)> =
+            self.fields.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        fields.push(("elapsed_micros", Field::U64(elapsed)));
+        emit(&format!("{}.end", self.name), &fields);
+    }
+}
+
+/// Render one event as a single-line JSON object:
+/// `{"ts":<micros>,"event":<name>,<field>...}`.
+pub fn render_event_json(name: &str, timestamp_micros: u64, fields: &[(&str, Field)]) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"ts\":");
+    let _ = fmt::Write::write_fmt(&mut out, format_args!("{timestamp_micros}"));
+    out.push_str(",\"event\":");
+    write_escaped(name, &mut out);
+    for (key, value) in fields {
+        out.push(',');
+        write_escaped(key, &mut out);
+        out.push(':');
+        out.push_str(&value.to_json().render());
+    }
+    out.push('}');
+    out
+}
+
+/// A sink that appends one JSON object per line to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) `path` and return a sink writing to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self { writer: Mutex::new(BufWriter::new(File::create(path)?)) })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn event(&self, name: &str, timestamp_micros: u64, fields: &[(&str, Field)]) {
+        let line = render_event_json(name, timestamp_micros, fields);
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// A bounded in-memory sink keeping the most recent `capacity` rendered
+/// event lines — always-on capture with O(capacity) memory.
+#[derive(Debug)]
+pub struct RingSink {
+    lines: Mutex<VecDeque<String>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// A ring buffer holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self { lines: Mutex::new(VecDeque::new()), capacity: capacity.max(1) }
+    }
+
+    /// The buffered event lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("ring sink poisoned").iter().cloned().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn event(&self, name: &str, timestamp_micros: u64, fields: &[(&str, Field)]) {
+        let line = render_event_json(name, timestamp_micros, fields);
+        let mut lines = self.lines.lock().expect("ring sink poisoned");
+        if lines.len() == self.capacity {
+            lines.pop_front();
+        }
+        lines.push_back(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink slot is process-global; tests that install one are
+    // serialized behind this lock so they do not observe each other.
+    fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn event_renders_as_one_json_line() {
+        let line = render_event_json(
+            "explore.level",
+            42,
+            &[
+                ("depth", Field::U64(3)),
+                ("frontier", Field::U64(128)),
+                ("note", Field::Str("a\"b".to_string())),
+                ("done", Field::Bool(false)),
+            ],
+        );
+        assert!(!line.contains('\n'));
+        let v = crate::json::parse(&line).expect("event line parses");
+        assert_eq!(v.get("ts").and_then(Json::as_u64), Some(42));
+        assert_eq!(v.get("event").and_then(Json::as_str), Some("explore.level"));
+        assert_eq!(v.get("depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("note").and_then(Json::as_str), Some("a\"b"));
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let _g = test_guard();
+        let ring = Arc::new(RingSink::new(2));
+        install_trace_sink(ring.clone());
+        assert!(tracing_active());
+        emit("one", &[]);
+        emit("two", &[]);
+        emit("three", &[("k", Field::U64(9))]);
+        clear_trace_sink();
+        assert!(!tracing_active());
+        let lines = ring.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"two\""), "{lines:?}");
+        assert!(lines[1].contains("\"three\""), "{lines:?}");
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_noop() {
+        let _g = test_guard();
+        clear_trace_sink();
+        emit("ignored", &[("x", Field::U64(1))]);
+    }
+
+    #[test]
+    fn spans_emit_start_and_end_with_elapsed() {
+        let _g = test_guard();
+        let ring = Arc::new(RingSink::new(8));
+        install_trace_sink(ring.clone());
+        {
+            let _span = span("phase", &[("depth", Field::U64(1))]);
+            emit("inner", &[]);
+        }
+        clear_trace_sink();
+        let lines = ring.lines();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("phase.start"));
+        assert!(lines[1].contains("\"inner\""));
+        assert!(lines[2].contains("phase.end"));
+        assert!(lines[2].contains("elapsed_micros"));
+        let end = crate::json::parse(&lines[2]).unwrap();
+        assert_eq!(end.get("depth").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let _g = test_guard();
+        let path = std::env::temp_dir().join("randsync_obs_trace_test.jsonl");
+        let sink = Arc::new(JsonlSink::create(&path).expect("create sink"));
+        install_trace_sink(sink);
+        emit("a", &[("n", Field::U64(1))]);
+        emit("b", &[("f", Field::F64(0.5))]);
+        clear_trace_sink();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::parse(line).expect("line parses");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let a = now_micros();
+        let b = now_micros();
+        assert!(b >= a);
+    }
+}

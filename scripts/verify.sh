@@ -17,6 +17,9 @@
 #      any divergence (parallel vs sequential, or canonical verdicts vs
 #      raw verdicts), which fails this script
 #   7. randsync run smoke: one protocol per backing on real threads
+#   8. observability smoke: --metrics must yield a non-empty explore.*
+#      snapshot, and a --trace recording must replay bit-for-bit via
+#      `randsync replay` (nonzero exit on divergence fails this script)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -46,5 +49,16 @@ echo "== randsync run smoke (threaded runtime) =="
 cargo run --release --bin randsync -- run walk-counter 2 1
 cargo run --release --bin randsync -- run fetchinc2 2 7
 cargo run --release --bin randsync -- run cas 3 42
+
+echo "== observability smoke (metrics snapshot + trace round-trip) =="
+# Capture to a file: `grep -q` on a pipe would close it early and the
+# binary's later prints would die on SIGPIPE.
+cargo run --release --bin randsync -- valency walk-counter 0 --metrics \
+    > target/verify_metrics.txt 2>&1
+grep -q "explore\." target/verify_metrics.txt \
+    || { echo "FAIL: --metrics snapshot missing explore.* entries"; exit 1; }
+trace_file="target/verify_trace.jsonl"
+cargo run --release --bin randsync -- run walk-counter 2 1 --trace "$trace_file"
+cargo run --release --bin randsync -- replay "$trace_file"
 
 echo "verify.sh: all gates passed"

@@ -7,9 +7,11 @@
 //! bit-identical to sequential in both modes, that raw and canonical
 //! agree on every verdict (safety, termination reachability, infinite
 //! executions), and writes configuration counts, packed-arena sizes,
-//! throughput, and symmetry-reduction factors to `BENCH_explore.json`.
-//! No external dependencies: timing is `std::time::Instant` and the
-//! JSON is written by hand.
+//! throughput, and symmetry-reduction factors to `BENCH_explore.json`
+//! (schema 2: versioned, stamped with the git revision, and carrying a
+//! metrics-registry snapshot from a separate instrumented run — the
+//! timed runs stay uninstrumented). No external dependencies: timing
+//! is `std::time::Instant` and the JSON is written by hand.
 //!
 //! Usage:
 //!
@@ -202,6 +204,20 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The checkout's short `git` revision, or `"unknown"` when git (or
+/// the repository) is unavailable — the bench must not fail over
+/// provenance metadata.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -274,9 +290,24 @@ fn main() {
 
     let all_equivalent = rows.iter().all(|r| r.equivalent) && mc.3;
 
+    // Metrics snapshot for the JSON record: re-run the first workload
+    // with the registry enabled. The timed runs above deliberately ran
+    // uninstrumented — the disabled path is the one being benchmarked —
+    // so this extra run is what populates `explore.*`.
+    randsync::obs::global_metrics().clear();
+    randsync::obs::set_metrics_enabled(true);
+    let _ = Explorer::new(wide).canonical(true).threads(threads).explore(
+        &from_registry("optimistic", 3, 3),
+        &[0, 1, 0],
+    );
+    randsync::obs::set_metrics_enabled(false);
+    let metrics_json = randsync::obs::global_metrics().snapshot().to_json().render();
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"explore_perf\",\n");
+    json.push_str("  \"schema_version\": 2,\n");
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", json_escape(&git_revision())));
     json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     json.push_str(&format!("  \"threads_parallel\": {threads},\n"));
@@ -313,6 +344,7 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!("  \"metrics\": {metrics_json},\n"));
     json.push_str(&format!(
         "  \"monte_carlo\": {{\"trials\": {}, \"seq_secs\": {:.6}, \"par_secs\": {:.6}, \
          \"speedup\": {:.3}, \"identical\": {}}}\n",

@@ -8,6 +8,7 @@
 //! randsync check <protocol> [r]      exhaustively model-check a protocol
 //! randsync valency <protocol> [t]    valency analysis (FLP structure)
 //! randsync run <protocol> [n] [seed] execute on real threads via the runtime
+//! randsync replay <trace.jsonl>      re-execute a recorded run deterministically
 //! randsync walk <n> [seed]           threaded one-counter consensus demo
 //! ```
 //!
@@ -16,7 +17,15 @@
 //! all with their paper hooks. `attack` applies only to the flawed
 //! entries the adversaries target; `run` applies only to entries whose
 //! termination survives free thread scheduling.
+//!
+//! Observability flags: `valency` and `run` accept `--metrics` (enable
+//! the global metrics registry and print its snapshot — for `valency`
+//! this also streams a per-depth progress line to stderr as the BFS
+//! runs); `run` additionally accepts `--trace <file>` to record the
+//! execution's flight-recorder trace as JSONL, replayable bit-for-bit
+//! with `randsync replay <file>`.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use randsync::consensus::registry::{self, AttackFamily, ProtocolEntry};
@@ -27,9 +36,12 @@ use randsync::core::combine31::CombineLimits;
 use randsync::core::combine35::{ample_pool, attack_historyless, GeneralOutcome};
 use randsync::core::bounds;
 use randsync::core::hierarchy::render_table;
-use randsync::model::runtime::Runtime;
-use randsync::model::{Configuration, Explorer, ExploreLimits, Protocol};
+use randsync::model::runtime::{replay_execution, Runtime};
+use randsync::model::{
+    Configuration, Execution, Explorer, ExploreLimits, ProcessId, Protocol, Step,
+};
 use randsync::objects::bridge;
+use randsync::obs::{self, ExecutionTrace, Field, TraceSink};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +81,7 @@ fn main() -> ExitCode {
         "check" => run_check(&args[1..]),
         "valency" => run_valency(&args[1..]),
         "run" => run_threaded(&args[1..]),
+        "replay" => run_replay(&args[1..]),
         "walk" => {
             let n = parse(args.get(1), 4) as usize;
             let seed = parse(args.get(2), 42);
@@ -89,8 +102,10 @@ fn main() -> ExitCode {
                 "randsync — executable reproduction of Fich-Herlihy-Shavit (PODC 1993)\n\n\
                  usage:\n  randsync table [n]\n  randsync bounds <n>\n  randsync protocols\n  \
                  randsync attack <naive|optimistic|zigzag|swapchain|tasrace|...> [r]\n  \
-                 randsync check <protocol> [r]\n  randsync valency <protocol> [threads] [--canonical]\n  \
-                 randsync run <protocol> [n] [seed]\n  \
+                 randsync check <protocol> [r]\n  \
+                 randsync valency <protocol> [threads] [--canonical] [--metrics]\n  \
+                 randsync run <protocol> [n] [seed] [--metrics] [--trace <file>]\n  \
+                 randsync replay <trace.jsonl>\n  \
                  randsync walk <n> [seed]\n\n\
                  protocol names: see `randsync protocols`"
             );
@@ -109,6 +124,90 @@ fn lookup(which: &str) -> Result<&'static ProtocolEntry, ExitCode> {
         eprintln!("unknown protocol: {which} (see `randsync protocols`)");
         ExitCode::FAILURE
     })
+}
+
+/// Observability flags shared by `run` (and, minus `--trace`,
+/// `valency`): `--metrics` toggles the global registry, `--trace`
+/// consumes a file path for the flight recorder.
+struct ObsFlags {
+    metrics: bool,
+    trace: Option<String>,
+}
+
+/// Strip recognized observability flags out of `args`, returning the
+/// remaining positional arguments. Unknown `--flags` are rejected so a
+/// typo doesn't silently become a positional argument.
+fn split_obs_flags<'a>(
+    args: &'a [String],
+    allow: &[&str],
+) -> Result<(Vec<&'a String>, ObsFlags), ExitCode> {
+    let mut flags = ObsFlags { metrics: false, trace: None };
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--metrics" if allow.contains(&"--metrics") => flags.metrics = true,
+            "--trace" if allow.contains(&"--trace") => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--trace needs a file path");
+                    return Err(ExitCode::FAILURE);
+                };
+                flags.trace = Some(path.clone());
+            }
+            other if other.starts_with("--") && !allow.contains(&other) => {
+                eprintln!("unknown flag: {other}");
+                return Err(ExitCode::FAILURE);
+            }
+            _ => positional.push(arg),
+        }
+    }
+    Ok((positional, flags))
+}
+
+/// Print the global metrics snapshot, indented under a header.
+fn print_metrics_snapshot() {
+    let snapshot = obs::global_metrics().snapshot();
+    if snapshot.is_empty() {
+        println!("metrics   : (no instrumented code ran)");
+        return;
+    }
+    println!("metrics:");
+    for line in snapshot.to_text().lines() {
+        println!("  {line}");
+    }
+}
+
+/// A [`TraceSink`] that renders the explorer's per-level events as
+/// live progress lines on stderr, so long valency runs show the BFS
+/// advancing instead of sitting silent.
+#[derive(Debug)]
+struct StderrProgress;
+
+impl TraceSink for StderrProgress {
+    fn event(&self, name: &str, _timestamp_micros: u64, fields: &[(&str, Field)]) {
+        if name != "explore.level" {
+            return;
+        }
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| match v {
+                    Field::U64(u) => *u,
+                    Field::I64(i) => *i as u64,
+                    _ => 0,
+                })
+                .unwrap_or(0)
+        };
+        eprintln!(
+            "  depth {:>4}  frontier {:>9}  configs {:>9}  dedup {:>9}  arena {:>7} KiB",
+            get("depth"),
+            get("frontier"),
+            get("configs"),
+            get("dedup_hits"),
+            get("arena_bytes") / 1024,
+        );
+    }
 }
 
 fn run_attack(args: &[String]) -> ExitCode {
@@ -204,10 +303,14 @@ fn replay_trace<P: Protocol>(
 }
 
 fn run_valency(args: &[String]) -> ExitCode {
-    // `randsync valency <protocol> [threads] [--canonical]`
+    // `randsync valency <protocol> [threads] [--canonical] [--metrics]`
     let canonical = args.iter().any(|a| a == "--canonical" || a == "canonical");
+    let (rest, flags) = match split_obs_flags(args, &["--metrics", "--canonical"]) {
+        Ok(split) => split,
+        Err(code) => return code,
+    };
     let rest: Vec<&String> =
-        args.iter().filter(|a| *a != "--canonical" && *a != "canonical").collect();
+        rest.into_iter().filter(|a| *a != "--canonical" && *a != "canonical").collect();
     let which = rest.first().map(|s| s.as_str()).unwrap_or("cas");
     // Optional worker-thread count; 0 (the default) resolves to the
     // host's available parallelism. Results are identical either way.
@@ -219,7 +322,18 @@ fn run_valency(args: &[String]) -> ExitCode {
         Ok(e) => e,
         Err(code) => return code,
     };
-    valency_report(&explorer, &entry.build_default(), entry.default_inputs)
+    if flags.metrics {
+        // Live per-depth progress on stderr while the BFS runs, a
+        // registry snapshot after it finishes.
+        obs::set_metrics_enabled(true);
+        obs::install_trace_sink(std::sync::Arc::new(StderrProgress));
+    }
+    let code = valency_report(&explorer, &entry.build_default(), entry.default_inputs);
+    if flags.metrics {
+        obs::clear_trace_sink();
+        print_metrics_snapshot();
+    }
+    code
 }
 
 /// Run the valency analysis and print it, followed by the symmetry
@@ -286,11 +400,18 @@ fn run_check(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `randsync run <protocol> [n] [seed]`: instantiate a registry
-/// protocol's state machine on real bridged objects and execute it with
-/// one OS thread per process.
+/// `randsync run <protocol> [n] [seed] [--metrics] [--trace <file>]`:
+/// instantiate a registry protocol's state machine on real bridged
+/// objects and execute it with one OS thread per process. With
+/// `--trace` the run goes through the flight recorder and the
+/// linearized schedule is written as JSONL, replayable bit-for-bit
+/// with `randsync replay`.
 fn run_threaded(args: &[String]) -> ExitCode {
-    let which = args.first().map(String::as_str).unwrap_or("walk-counter");
+    let (positional, flags) = match split_obs_flags(args, &["--metrics", "--trace"]) {
+        Ok(split) => split,
+        Err(code) => return code,
+    };
+    let which = positional.first().map(|s| s.as_str()).unwrap_or("walk-counter");
     let entry = match lookup(which) {
         Ok(e) => e,
         Err(code) => return code,
@@ -302,8 +423,11 @@ fn run_threaded(args: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    let n = parse(args.get(1), entry.default_n as u64) as usize;
-    let seed = parse(args.get(2), 42);
+    let n = parse(positional.get(1).copied(), entry.default_n as u64) as usize;
+    let seed = parse(positional.get(2).copied(), 42);
+    if flags.metrics {
+        obs::set_metrics_enabled(true);
+    }
     let protocol = (entry.build)(n, entry.default_r);
     let n = protocol.num_processes(); // fixed-arity entries ignore the request
     let inputs: Vec<u8> = if n == entry.default_n {
@@ -318,21 +442,132 @@ fn run_threaded(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = Runtime::new(seed).run(&protocol, &inputs, &objects);
+    let runtime = Runtime::new(seed);
+    let (report, execution) = if flags.trace.is_some() {
+        let (report, execution) = runtime.run_traced(&protocol, &inputs, &objects);
+        (report, Some(execution))
+    } else {
+        (runtime.run(&protocol, &inputs, &objects), None)
+    };
     println!("{} — {} ({})", entry.name, entry.objects, entry.paper);
     println!("  processes : {n} (one OS thread each), seed {seed}");
     println!("  inputs    : {inputs:?}");
     println!("  decisions : {:?}", report.decisions);
     println!("  steps     : {:?}", report.steps);
+    println!(
+        "  coins     : {:?} ({} flips total)",
+        report.coin_flips,
+        report.total_coin_flips()
+    );
+    let ops = report
+        .total_ops_by_kind()
+        .into_iter()
+        .map(|(kind, count)| format!("{count} on {}", kind.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("  ops       : {}", if ops.is_empty() { "none".to_string() } else { ops });
     println!("  wall      : {:.3} ms", report.wall.as_secs_f64() * 1e3);
     let ok = report.all_decided() && report.consistent() && report.valid(&inputs);
     println!(
         "  verdict   : {}",
         if ok { "consistent and valid" } else { "VIOLATION (expected for flawed protocols)" }
     );
+    if let (Some(path), Some(execution)) = (&flags.trace, &execution) {
+        let trace = ExecutionTrace {
+            schema_version: randsync::obs::TRACE_SCHEMA_VERSION,
+            protocol: entry.name.to_string(),
+            n,
+            r: entry.default_r,
+            seed,
+            interpreter: "runtime".to_string(),
+            inputs: inputs.clone(),
+            steps: execution
+                .steps()
+                .iter()
+                .map(|s| (s.pid.index() as u32, s.coin))
+                .collect(),
+            decisions: report.decisions.clone(),
+        };
+        if let Err(e) = trace.write_to(Path::new(path)) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  trace     : {path} ({} steps) — `randsync replay {path}`", trace.steps.len());
+    }
+    if flags.metrics {
+        print_metrics_snapshot();
+    }
     if ok || !entry.expected_safe {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `randsync replay <trace.jsonl>`: re-execute a flight-recorder trace
+/// sequentially on fresh bridged objects and check the decisions
+/// against what the recorded run claimed. Exit code is nonzero on any
+/// divergence, so this doubles as a trace integrity check.
+fn run_replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: randsync replay <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let trace = match ExecutionTrace::read_from(Path::new(path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entry = match lookup(&trace.protocol) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let protocol = (entry.build)(trace.n, trace.r);
+    let objects = match bridge::instantiate_all(&protocol) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cannot bridge {} onto real objects: {e}", trace.protocol);
+            return ExitCode::FAILURE;
+        }
+    };
+    let refs: Vec<&dyn randsync::model::DynObject> =
+        objects.iter().map(AsRef::as_ref).collect();
+    let execution = Execution::from_steps(
+        trace
+            .steps
+            .iter()
+            .map(|&(pid, coin)| Step::with_coin(ProcessId(pid as usize), coin))
+            .collect(),
+    );
+    let decisions = match replay_execution(&protocol, &refs, &trace.inputs, &execution) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("replay diverged from the recorded run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{} — replayed {} steps from {path}", entry.name, trace.steps.len());
+    println!("  recorded by : {} interpreter, seed {}", trace.interpreter, trace.seed);
+    println!("  inputs      : {:?}", trace.inputs);
+    println!("  decisions   : {decisions:?}");
+    // Witness traces only claim the decisions of their designated
+    // deciders; runtime traces claim every process's outcome.
+    let matches = if trace.interpreter == "witness" {
+        trace
+            .decisions
+            .iter()
+            .enumerate()
+            .all(|(pid, claim)| claim.is_none() || decisions.get(pid) == Some(claim))
+    } else {
+        decisions == trace.decisions
+    };
+    if matches {
+        println!("  verdict     : decisions match the recorded run");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("  verdict     : DIVERGED — the trace recorded {:?}", trace.decisions);
         ExitCode::FAILURE
     }
 }

@@ -6,7 +6,7 @@
 //! historyless objects, the upper-bound protocols it is contrasted
 //! with, and the separation results of Section 4 — as a Rust workspace.
 //!
-//! This umbrella crate re-exports the four library crates:
+//! This umbrella crate re-exports the five library crates:
 //!
 //! * [`model`] — the asynchronous shared-memory computation model:
 //!   typed objects and the historyless classification, protocols with
@@ -19,7 +19,10 @@
 //!   and as model state machines (including deliberately flawed ones);
 //! * [`core`] — the paper's contribution made executable: block writes,
 //!   cloning, interruptible executions, the Lemma 3.1/3.5 combiners,
-//!   the closed-form bounds, and the Section 4 separation tables.
+//!   the closed-form bounds, and the Section 4 separation tables;
+//! * [`obs`] — the zero-dependency observability layer: the metrics
+//!   registry, the structured-trace sinks, and the execution flight
+//!   recorder that makes every threaded run replayable from a file.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -39,3 +42,4 @@ pub use randsync_consensus as consensus;
 pub use randsync_core as core;
 pub use randsync_model as model;
 pub use randsync_objects as objects;
+pub use randsync_obs as obs;

@@ -12,7 +12,10 @@
 //!   explorer's reachable-decision set for the initial configuration
 //!   (its valency);
 //! * every assertion message carries the seed that produced the run,
-//!   so a failure replays with `randsync run <protocol> <n> <seed>`.
+//!   and every threaded-runtime failure dumps the flight-recorder
+//!   trace of the offending execution to a temp file, so the *exact*
+//!   interleaving (not just the seed, which threads reshuffle) replays
+//!   with `randsync replay <dump>`.
 //!
 //! Flawed entries (the adversary's prey) are exempt from the safety
 //! assertions — they exist to be broken — but still must stay inside
@@ -20,11 +23,42 @@
 
 use randsync::consensus::registry::{self, ProtocolEntry};
 use randsync::model::explore::{Explorer, ExploreLimits, Valency};
-use randsync::model::runtime::Runtime;
+use randsync::model::runtime::{RunReport, Runtime};
 use randsync::model::sim::{monte_carlo, Simulator};
 use randsync::model::sched::RandomScheduler;
-use randsync::model::Decision;
+use randsync::model::{Decision, Execution};
 use randsync::objects::bridge;
+use randsync::obs::{ExecutionTrace, TRACE_SCHEMA_VERSION};
+
+/// Dump the flight-recorder trace of a failing threaded run to a temp
+/// file and return the replay hint for the panic message. The trace —
+/// not the seed — pins down the exact interleaving, which thread
+/// scheduling would otherwise never reproduce.
+fn dump_failure_trace(
+    entry: &ProtocolEntry,
+    inputs: &[u8],
+    seed: u64,
+    report: &RunReport,
+    execution: &Execution,
+) -> String {
+    let trace = ExecutionTrace {
+        schema_version: TRACE_SCHEMA_VERSION,
+        protocol: entry.name.to_string(),
+        n: entry.default_n,
+        r: entry.default_r,
+        seed,
+        interpreter: "runtime".to_string(),
+        inputs: inputs.to_vec(),
+        steps: execution.steps().iter().map(|s| (s.pid.index() as u32, s.coin)).collect(),
+        decisions: report.decisions.clone(),
+    };
+    let path = std::env::temp_dir()
+        .join(format!("randsync-differential-{}-seed{seed}.jsonl", entry.name));
+    match trace.write_to(&path) {
+        Ok(()) => format!("inspect with `randsync replay {}`", path.display()),
+        Err(e) => format!("(flight-trace dump to {} failed: {e})", path.display()),
+    }
+}
 
 /// Seeds exercised per entry per interpreter. Kept modest: the walk
 /// protocols take thousands of shared-memory steps per seed.
@@ -65,35 +99,45 @@ fn threaded_runtime_agrees_with_the_model() {
         for seed in SEEDS {
             let objects = bridge::instantiate_all(&protocol)
                 .unwrap_or_else(|e| panic!("{}: bridge failed: {e}", entry.name));
-            let report =
-                Runtime::new(seed).max_steps(THREAD_BUDGET).run(&protocol, inputs, &objects);
+            // Traced, so a failing interleaving can be dumped and
+            // replayed exactly — the seed alone cannot reproduce a
+            // free-threaded schedule.
+            let (report, execution) = Runtime::new(seed)
+                .max_steps(THREAD_BUDGET)
+                .run_traced(&protocol, inputs, &objects);
             if entry.expected_safe {
-                assert!(
-                    report.all_decided(),
-                    "{}: threaded run (seed {seed}) did not decide within budget",
-                    entry.name
-                );
-                assert!(
-                    report.consistent(),
-                    "{}: threaded run (seed {seed}) violated consistency: {:?}",
-                    entry.name,
-                    report.decisions
-                );
-                assert!(
-                    report.valid(inputs),
-                    "{}: threaded run (seed {seed}) violated validity: {:?}",
-                    entry.name,
-                    report.decisions
-                );
+                if !report.all_decided() {
+                    let hint = dump_failure_trace(entry, inputs, seed, &report, &execution);
+                    panic!(
+                        "{}: threaded run (seed {seed}) did not decide within budget; {hint}",
+                        entry.name
+                    );
+                }
+                if !report.consistent() {
+                    let hint = dump_failure_trace(entry, inputs, seed, &report, &execution);
+                    panic!(
+                        "{}: threaded run (seed {seed}) violated consistency: {:?}; {hint}",
+                        entry.name, report.decisions
+                    );
+                }
+                if !report.valid(inputs) {
+                    let hint = dump_failure_trace(entry, inputs, seed, &report, &execution);
+                    panic!(
+                        "{}: threaded run (seed {seed}) violated validity: {:?}; {hint}",
+                        entry.name, report.decisions
+                    );
+                }
             }
             if let Some(envelope) = &envelope {
                 for d in report.decided_values() {
-                    assert!(
-                        envelope.contains(&d),
-                        "{}: threaded run (seed {seed}) decided {d}, outside the \
-                         explorer's reachable set {envelope:?}",
-                        entry.name
-                    );
+                    if !envelope.contains(&d) {
+                        let hint = dump_failure_trace(entry, inputs, seed, &report, &execution);
+                        panic!(
+                            "{}: threaded run (seed {seed}) decided {d}, outside the \
+                             explorer's reachable set {envelope:?}; {hint}",
+                            entry.name
+                        );
+                    }
                 }
             }
         }
@@ -168,9 +212,13 @@ fn adversary_witnesses_replay_on_real_objects() {
 
     let boxed = bridge::instantiate_all(&protocol).expect("naive's registers bridge");
     let refs: Vec<&dyn DynObject> = boxed.iter().map(AsRef::as_ref).collect();
-    witness
-        .verify_on(&protocol, &refs)
-        .expect("witness replays on bridged atomics-backed objects");
+    if let Err(e) = witness.verify_on(&protocol, &refs) {
+        let hint = witness
+            .dump_flight_trace(entry.name, entry.default_n, entry.default_r, &std::env::temp_dir())
+            .map(|p| format!("inspect with `randsync replay {}`", p.display()))
+            .unwrap_or_else(|io| format!("(flight-trace dump failed: {io})"));
+        panic!("witness failed to replay on bridged atomics-backed objects: {e}; {hint}");
+    }
 }
 
 /// The two interpreters see the same protocol *shape*: same object

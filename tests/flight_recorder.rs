@@ -1,0 +1,107 @@
+//! Flight-recorder round-trip property: for every runnable registry
+//! entry, over a batch of seeds, a traced threaded run serialized to
+//! JSONL, parsed back, and replayed sequentially on **fresh** bridged
+//! objects reproduces the recorded decisions bit-for-bit and leaves
+//! every shared object in an identical final state.
+//!
+//! This is the end-to-end guarantee behind `randsync run --trace` /
+//! `randsync replay`: the recorded `(pid, coin)` schedule, not the
+//! seed, is the ground truth, so the replay works even though the
+//! threaded runtime's interleaving is nondeterministic run to run.
+
+use randsync::consensus::registry;
+use randsync::model::runtime::{replay_execution, DynObject, Runtime};
+use randsync::model::{Execution, Operation, ProcessId, Response, Step};
+use randsync::objects::bridge;
+use randsync::obs::{ExecutionTrace, TRACE_SCHEMA_VERSION};
+
+/// Seeds exercised per entry. Modest on purpose: the walk protocols
+/// take thousands of shared-memory steps per seed.
+const SEEDS: std::ops::Range<u64> = 0..6;
+
+/// Per-process step budget (the walk protocols terminate only with
+/// probability 1).
+const BUDGET: usize = 2_000_000;
+
+/// Observe every object's final value. `Read` is supported by all
+/// kinds and never mutates, so this is safe to run after a finished
+/// execution and comparable across runs.
+fn final_states(objects: &[Box<dyn DynObject>]) -> Vec<Response> {
+    objects
+        .iter()
+        .map(|o| o.apply(0, &Operation::Read).expect("every kind supports read"))
+        .collect()
+}
+
+#[test]
+fn traced_runs_round_trip_through_jsonl_and_replay() {
+    for entry in registry::registry().iter().filter(|e| e.runnable) {
+        let protocol = entry.build_default();
+        let inputs = entry.default_inputs;
+        for seed in SEEDS {
+            let objects = bridge::instantiate_all(&protocol)
+                .unwrap_or_else(|e| panic!("{}: bridge failed: {e}", entry.name));
+            let (report, execution) =
+                Runtime::new(seed).max_steps(BUDGET).run_traced(&protocol, inputs, &objects);
+
+            let trace = ExecutionTrace {
+                schema_version: TRACE_SCHEMA_VERSION,
+                protocol: entry.name.to_string(),
+                n: entry.default_n,
+                r: entry.default_r,
+                seed,
+                interpreter: "runtime".to_string(),
+                inputs: inputs.to_vec(),
+                steps: execution
+                    .steps()
+                    .iter()
+                    .map(|s| (s.pid.index() as u32, s.coin))
+                    .collect(),
+                decisions: report.decisions.clone(),
+            };
+
+            // Serialization round-trip: JSONL out, parse back, equal.
+            let text = trace.to_jsonl();
+            let parsed = ExecutionTrace::from_jsonl(&text).unwrap_or_else(|e| {
+                panic!("{} (seed {seed}): trace failed to parse back: {e}", entry.name)
+            });
+            assert_eq!(
+                parsed, trace,
+                "{} (seed {seed}): JSONL round-trip altered the trace",
+                entry.name
+            );
+
+            // Replay round-trip: rebuild everything from the parsed
+            // trace alone, as `randsync replay` does.
+            let rebuilt_entry = registry::find(&parsed.protocol)
+                .unwrap_or_else(|| panic!("trace names unknown protocol {}", parsed.protocol));
+            let rebuilt = (rebuilt_entry.build)(parsed.n, parsed.r);
+            let fresh = bridge::instantiate_all(&rebuilt)
+                .unwrap_or_else(|e| panic!("{}: bridge failed: {e}", entry.name));
+            let refs: Vec<&dyn DynObject> = fresh.iter().map(AsRef::as_ref).collect();
+            let schedule = Execution::from_steps(
+                parsed
+                    .steps
+                    .iter()
+                    .map(|&(pid, coin)| Step::with_coin(ProcessId(pid as usize), coin))
+                    .collect(),
+            );
+            let decisions = replay_execution(&rebuilt, &refs, &parsed.inputs, &schedule)
+                .unwrap_or_else(|e| {
+                    panic!("{} (seed {seed}): replay rejected the schedule: {e}", entry.name)
+                });
+
+            assert_eq!(
+                decisions, report.decisions,
+                "{} (seed {seed}): replayed decisions diverge from the live run",
+                entry.name
+            );
+            assert_eq!(
+                final_states(&fresh),
+                final_states(&objects),
+                "{} (seed {seed}): replay left objects in different final states",
+                entry.name
+            );
+        }
+    }
+}
