@@ -130,6 +130,18 @@ pub enum AttackFamily {
     NotApplicable,
 }
 
+impl AttackFamily {
+    /// Stable machine-readable name, used by the job server's
+    /// `protocols` and `verify_witness` results and by CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackFamily::RegisterIdentical => "register-identical",
+            AttackFamily::Historyless => "historyless",
+            AttackFamily::NotApplicable => "none",
+        }
+    }
+}
+
 /// One registered protocol: its name, construction, defaults, paper
 /// hook, and which harnesses apply to it.
 #[derive(Debug)]

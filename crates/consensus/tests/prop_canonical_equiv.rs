@@ -33,7 +33,7 @@ where
     P: Protocol + Sync,
     P::State: Send + Sync,
 {
-    Explorer::with_config(ExploreConfig { limits, threads, shards, canonical })
+    Explorer::with_config(ExploreConfig { limits, threads, shards, canonical, ..Default::default() })
         .explore(protocol, inputs)
 }
 

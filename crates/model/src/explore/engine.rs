@@ -184,6 +184,9 @@ pub(super) struct BfsGraph<S> {
     pub(super) raw_represented: usize,
     /// A successor was dropped because the arena reached `max_configs`.
     pub(super) config_capped: bool,
+    /// The search stopped at a level boundary because
+    /// [`ExploreConfig::deadline`] had passed.
+    pub(super) deadline_hit: bool,
     /// The depth budget cut off at least one node that still had active
     /// processes (i.e. exploration genuinely stopped early).
     pub(super) depth_capped_active: bool,
@@ -341,6 +344,7 @@ where
         canonical: canon.enabled(),
         raw_represented: 0,
         config_capped: false,
+        deadline_hit: false,
         depth_capped_active: false,
         depth_capped_any: false,
         hit: None,
@@ -378,6 +382,13 @@ where
             if frontier.iter().any(|&i| g.arena.has_active(i)) {
                 g.depth_capped_active = true;
             }
+            break;
+        }
+        // Cooperative cancellation, checked once per level: expansion
+        // stops cleanly at a level boundary, so everything interned so
+        // far is a valid (truncated) BFS prefix.
+        if config.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            g.deadline_hit = true;
             break;
         }
 

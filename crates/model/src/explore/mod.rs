@@ -119,6 +119,18 @@ pub struct ExploreConfig {
     /// sequences may differ (witnesses become quotient-level; see
     /// [`canonical`]).
     pub canonical: bool,
+    /// Cooperative wall-clock cancellation: stop expanding at the first
+    /// BFS **level boundary** at or after this instant, returning a
+    /// truncated-but-valid [`ExploreOutcome`] (every configuration
+    /// interned so far is retained; [`ExploreOutcome::truncated`] and
+    /// [`ExploreOutcome::deadline_hit`] are set).
+    ///
+    /// Unlike every other knob, a deadline makes results depend on
+    /// wall-clock speed, so it is an *operational* control — job
+    /// budgets, interactive cancellation — not an analysis one. A
+    /// search that finishes before the deadline is bit-identical to one
+    /// run without it.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl ExploreConfig {
@@ -150,6 +162,9 @@ pub struct ExploreOutcome {
     pub validity_violation: Option<Execution>,
     /// Number of distinct configurations visited.
     pub configs_visited: usize,
+    /// Whether the search was cut off by [`ExploreConfig::deadline`]
+    /// (implies [`truncated`](ExploreOutcome::truncated)).
+    pub deadline_hit: bool,
     /// Number of visited configurations in which every process has
     /// decided.
     pub terminal_configs: usize,
@@ -301,6 +316,15 @@ impl Explorer {
         self
     }
 
+    /// Set a cooperative cancellation deadline (see
+    /// [`ExploreConfig::deadline`]). The search stops at the first BFS
+    /// level boundary past the deadline and reports a truncated
+    /// outcome.
+    pub fn deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
     /// This explorer's full configuration.
     pub fn config(&self) -> &ExploreConfig {
         &self.config
@@ -358,7 +382,7 @@ impl Explorer {
             }
         }
 
-        let truncated = g.config_capped || g.depth_capped_active;
+        let truncated = g.config_capped || g.depth_capped_active || g.deadline_hit;
         let (can_always_reach_termination, infinite_execution_possible) = if truncated {
             (None, None)
         } else {
@@ -370,6 +394,7 @@ impl Explorer {
             consistency_violation,
             validity_violation,
             configs_visited: n,
+            deadline_hit: g.deadline_hit,
             terminal_configs,
             truncated,
             can_always_reach_termination,
@@ -406,7 +431,7 @@ impl Explorer {
         config.limits.max_depth = usize::MAX;
         let start = Configuration::initial(protocol, inputs);
         let g = engine::bfs(protocol, start, &config, true, None);
-        if g.config_capped {
+        if g.config_capped || g.deadline_hit {
             return None;
         }
 
@@ -497,7 +522,7 @@ impl Explorer {
     {
         let start = Configuration::initial(protocol, inputs);
         let g = engine::bfs(protocol, start, &self.config, false, Some(&bad));
-        let truncated = g.config_capped || g.depth_capped_any;
+        let truncated = g.config_capped || g.depth_capped_any || g.deadline_hit;
         (g.hit.map(|i| path_to(&g.parent, i)), truncated)
     }
 
@@ -1126,6 +1151,37 @@ mod tests {
         assert_eq!(raw.bivalent_cycle, canon.bivalent_cycle);
         assert_eq!(raw.stuck == 0, canon.stuck == 0);
         assert!(canon.configs <= raw.configs);
+    }
+
+    #[test]
+    fn deadline_cancellation_returns_truncated_but_valid_outcome() {
+        use std::time::{Duration, Instant};
+        let p = Naive { n: 3 };
+        // A deadline that has already passed: the start configuration
+        // is interned, then the first level boundary cancels cleanly.
+        let expired = Instant::now();
+        let out = Explorer::default().deadline(expired).explore(&p, &[0, 1, 0]);
+        assert!(out.deadline_hit);
+        assert!(out.truncated);
+        assert!(out.configs_visited >= 1, "the BFS prefix is retained");
+        assert_eq!(out.can_always_reach_termination, None);
+        assert_eq!(out.infinite_execution_possible, None);
+        assert_eq!(out.canonical_configs, out.configs_visited);
+        assert!(out.arena_bytes > 0, "the arena is still a valid (partial) store");
+        // Valency on a cancelled search refuses to classify — a
+        // truncated graph would make the classification unsound.
+        assert!(Explorer::default().deadline(expired).valency(&p, &[0, 1, 0]).is_none());
+        // find_violation reports the truncation.
+        let bad = |c: &Configuration<St>| c.is_inconsistent();
+        let (hit, truncated) =
+            Explorer::default().deadline(expired).find_violation(&p, &[0, 1, 0], bad);
+        assert!(hit.is_none() && truncated);
+        // A generous deadline is bit-identical to no deadline at all.
+        let far = Instant::now() + Duration::from_secs(3600);
+        let with = Explorer::default().deadline(far).explore(&p, &[0, 1, 0]);
+        let without = Explorer::default().explore(&p, &[0, 1, 0]);
+        assert_eq!(fingerprint(&with), fingerprint(&without));
+        assert!(!with.deadline_hit);
     }
 
     #[test]

@@ -92,6 +92,6 @@ pub use sched::{
     ContrarianScheduler, CrashScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
     ScriptScheduler, SoloScheduler,
 };
-pub use sim::{monte_carlo, RunOutcome, Simulator};
+pub use sim::{monte_carlo, monte_carlo_summary, McSummary, RunOutcome, Simulator};
 pub use trace::{render_execution, render_record};
 pub use value::Value;

@@ -219,6 +219,133 @@ where
     out.into_iter().map(|t| t.expect("every seed slot is filled")).collect()
 }
 
+/// Aggregate statistics over a batch of Monte Carlo trials, including
+/// the **per-decision-value histogram**: how many process-decisions
+/// landed on each value across the whole batch.
+///
+/// Produced by [`monte_carlo_summary`]; mergeable with
+/// [`McSummary::absorb`] so callers can run a seed range in slices
+/// (e.g. to check a cancellation deadline between slices) and still
+/// report one summary. All fields are deterministic functions of the
+/// protocol, the seed range, and the step budget — thread counts never
+/// change them.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct McSummary {
+    /// Number of trials run.
+    pub trials: u64,
+    /// Trials in which every process decided within the step budget.
+    pub decided_runs: u64,
+    /// Trials whose deciders all agreed on a single value.
+    pub consistent_runs: u64,
+    /// Total steps taken across all trials.
+    pub total_steps: u64,
+    /// Largest single-trial step count.
+    pub max_steps: u64,
+    /// The per-decision-value histogram: `(value, count)` pairs,
+    /// ascending by value, counting every *process* decision across
+    /// every trial (one process deciding `v` adds one to `v`'s bucket).
+    pub decision_counts: Vec<(Decision, u64)>,
+    /// Processes still undecided when their trial ended.
+    pub undecided_processes: u64,
+}
+
+impl McSummary {
+    /// Fold one run outcome into the summary.
+    pub fn record<S>(&mut self, outcome: &RunOutcome<S>)
+    where
+        S: Clone + Eq + Hash + fmt::Debug,
+    {
+        self.trials += 1;
+        self.total_steps += outcome.steps as u64;
+        self.max_steps = self.max_steps.max(outcome.steps as u64);
+        if outcome.all_decided {
+            self.decided_runs += 1;
+        }
+        let decisions = outcome.config.decisions();
+        let distinct = outcome.decided_values();
+        if outcome.all_decided && distinct.len() <= 1 {
+            self.consistent_runs += 1;
+        }
+        for (_, d) in decisions {
+            self.count_decision(d, 1);
+        }
+        self.undecided_processes += outcome.config.active_processes().len() as u64;
+    }
+
+    /// Merge another summary into this one (histograms add bucketwise).
+    pub fn absorb(&mut self, other: &McSummary) {
+        self.trials += other.trials;
+        self.decided_runs += other.decided_runs;
+        self.consistent_runs += other.consistent_runs;
+        self.total_steps += other.total_steps;
+        self.max_steps = self.max_steps.max(other.max_steps);
+        self.undecided_processes += other.undecided_processes;
+        for &(d, n) in &other.decision_counts {
+            self.count_decision(d, n);
+        }
+    }
+
+    /// Total process decisions recorded (the histogram's mass).
+    pub fn decisions_total(&self) -> u64 {
+        self.decision_counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Mean steps per trial (`0.0` when empty).
+    pub fn mean_steps(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.total_steps as f64 / self.trials as f64
+        }
+    }
+
+    fn count_decision(&mut self, d: Decision, n: u64) {
+        match self.decision_counts.binary_search_by_key(&d, |&(v, _)| v) {
+            Ok(i) => self.decision_counts[i].1 += n,
+            Err(i) => self.decision_counts.insert(i, (d, n)),
+        }
+    }
+}
+
+/// Run one simulator trial per seed in `seeds` — each under a
+/// seed-derived [`RandomScheduler`](crate::sched::RandomScheduler) and
+/// coin stream — and summarize them, fanning the range out across
+/// `threads` workers via [`monte_carlo`].
+///
+/// Trial `s` uses `Simulator::new(max_steps, h(s))` and a scheduler
+/// seeded from an independent mix of `s`, so the result — including the
+/// [`McSummary::decision_counts`] histogram — is a pure function of
+/// `(protocol, inputs, seeds, max_steps)`, identical at every thread
+/// count.
+pub fn monte_carlo_summary<P>(
+    protocol: &P,
+    inputs: &[Decision],
+    seeds: std::ops::Range<u64>,
+    threads: usize,
+    max_steps: usize,
+) -> McSummary
+where
+    P: Protocol + Sync,
+    P::State: Send,
+{
+    let per_seed = monte_carlo(seeds, threads, |seed| {
+        let mut sim = Simulator::new(max_steps, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let mut sched =
+            crate::sched::RandomScheduler::new(seed.wrapping_mul(0x85EB_CA6B).wrapping_add(3));
+        let mut one = McSummary::default();
+        match sim.run(protocol, inputs, &mut sched) {
+            Ok(out) => one.record(&out),
+            Err(_) => one.trials += 1,
+        }
+        one
+    });
+    let mut total = McSummary::default();
+    for s in &per_seed {
+        total.absorb(s);
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +505,51 @@ mod tests {
         let n = (MIN_SEEDS_PER_WORKER + 3) as u64;
         let seq: Vec<u64> = (0..n).map(|s| s + 7).collect();
         assert_eq!(monte_carlo(0..n, 64, |s| s + 7), seq);
+    }
+
+    #[test]
+    fn monte_carlo_summary_histogram_is_thread_invariant_and_adds_up() {
+        let p = CasConsensus { n: 4 };
+        let inputs = [0, 1, 1, 0];
+        let base = monte_carlo_summary(&p, &inputs, 0..60, 1, 1000);
+        assert_eq!(base.trials, 60);
+        assert_eq!(base.decided_runs, 60, "CAS consensus is wait-free");
+        assert_eq!(base.consistent_runs, 60);
+        assert_eq!(base.undecided_processes, 0);
+        // Every process decides once per trial, on some input value.
+        assert_eq!(base.decisions_total(), 4 * 60);
+        assert!(base.decision_counts.iter().all(|&(d, _)| inputs.contains(&d)));
+        assert!(base.decision_counts.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+        // The schedule picks winners, so over 60 random schedules both
+        // values should win at least once.
+        assert_eq!(base.decision_counts.len(), 2);
+        assert!(base.mean_steps() > 0.0);
+        for threads in [2, 4, 9] {
+            assert_eq!(base, monte_carlo_summary(&p, &inputs, 0..60, threads, 1000));
+        }
+    }
+
+    #[test]
+    fn mc_summary_absorb_matches_one_shot() {
+        let p = CasConsensus { n: 3 };
+        let inputs = [0, 1, 0];
+        let whole = monte_carlo_summary(&p, &inputs, 0..40, 2, 500);
+        let mut sliced = monte_carlo_summary(&p, &inputs, 0..13, 2, 500);
+        sliced.absorb(&monte_carlo_summary(&p, &inputs, 13..29, 3, 500));
+        sliced.absorb(&monte_carlo_summary(&p, &inputs, 29..40, 1, 500));
+        assert_eq!(whole, sliced, "seed-range slicing must be invisible");
+    }
+
+    #[test]
+    fn mc_summary_counts_undecided_processes() {
+        let p = CasConsensus { n: 2 };
+        // A one-step budget: at most one process completes its CAS and
+        // nobody reaches a decide step.
+        let s = monte_carlo_summary(&p, &[0, 1], 0..5, 1, 1);
+        assert_eq!(s.trials, 5);
+        assert_eq!(s.decided_runs, 0);
+        assert_eq!(s.undecided_processes, 10);
+        assert_eq!(s.max_steps, 1);
     }
 
     #[test]

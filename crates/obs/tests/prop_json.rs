@@ -1,0 +1,105 @@
+//! Property tests for the hand-rolled JSON codec: the parser must
+//! never panic, whatever bytes arrive (it reads untrusted wire frames
+//! in `randsync-svc`), and `parse ∘ render` must be the identity on
+//! every value the codec can represent.
+
+use proptest::prelude::*;
+use randsync_obs::{parse_json, Json};
+
+/// Characters deliberately chosen to stress the escape paths: quotes,
+/// backslashes, control characters, multi-byte BMP characters, and an
+/// astral-plane character (surrogate-pair territory in `\u` escapes).
+const PALETTE: &[char] =
+    &['a', 'Z', '0', '"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{1b}', 'é', 'Ω', '€', '😀'];
+
+fn string_from(mut w: u64) -> String {
+    let len = (w % 9) as usize;
+    let mut s = String::new();
+    for _ in 0..len {
+        w = w.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s.push(PALETTE[(w >> 33) as usize % PALETTE.len()]);
+    }
+    s
+}
+
+/// Deterministically decode a word stream into one JSON value, with
+/// nesting while the depth budget lasts. Exhausted streams fall back
+/// to word 0, so every stream terminates.
+fn build_json(words: &[u64], pos: &mut usize, depth: usize) -> Json {
+    fn next(words: &[u64], pos: &mut usize) -> u64 {
+        let w = words.get(*pos).copied().unwrap_or(0);
+        *pos += 1;
+        w
+    }
+    let w = next(words, pos);
+    match w % if depth == 0 { 5 } else { 7 } {
+        0 => Json::Null,
+        1 => Json::Bool(w & 8 != 0),
+        2 => {
+            let (hi, lo) = (next(words, pos), next(words, pos));
+            Json::Int((i128::from(hi as i64) << 64) | i128::from(lo))
+        }
+        3 => {
+            let f = f64::from_bits(next(words, pos));
+            // The codec renders non-finite floats as null (JSON has no
+            // NaN/Inf), so the identity property needs finite ones.
+            Json::Float(if f.is_finite() { f } else { (w as f64) / 256.0 })
+        }
+        4 => Json::Str(string_from(next(words, pos))),
+        5 => {
+            let n = (w / 7) as usize % 4;
+            Json::Arr((0..n).map(|_| build_json(words, pos, depth - 1)).collect())
+        }
+        _ => {
+            let n = (w / 7) as usize % 4;
+            Json::Obj(
+                (0..n)
+                    .map(|_| (string_from(next(words, pos)), build_json(words, pos, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Ok or Err both fine; reaching the assertion means no panic.
+        let _ = parse_json(&String::from_utf8_lossy(&bytes));
+        prop_assert!(true);
+    }
+
+    #[test]
+    fn parser_never_panics_on_corrupted_documents(
+        words in prop::collection::vec(any::<u64>(), 1..24),
+        flip_at in any::<usize>(),
+        flip_bits in any::<u8>(),
+    ) {
+        // Valid document, one mangled byte: exercises the deep parser
+        // paths (strings, numbers, nesting) that random bytes rarely
+        // reach past the first token.
+        let doc = build_json(&words, &mut 0, 3).render();
+        let mut bytes = doc.into_bytes();
+        let at = flip_at % bytes.len();
+        bytes[at] ^= flip_bits.max(1); // never a no-op flip
+        let _ = parse_json(&String::from_utf8_lossy(&bytes));
+        prop_assert!(true);
+    }
+
+    #[test]
+    fn parse_render_is_the_identity(words in prop::collection::vec(any::<u64>(), 1..32)) {
+        let value = build_json(&words, &mut 0, 3);
+        let rendered = value.render();
+        let reparsed = parse_json(&rendered);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&value), "rendered: {}", rendered);
+        // And rendering is stable across the round trip.
+        prop_assert_eq!(reparsed.unwrap().render(), rendered);
+    }
+}
+
+#[test]
+fn non_finite_floats_render_as_null() {
+    for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert_eq!(Json::Float(f).render(), "null");
+    }
+}

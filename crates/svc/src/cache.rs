@@ -1,0 +1,103 @@
+//! The results cache: canonical job key → rendered result.
+//!
+//! Deterministic jobs (valency, monte_carlo, verify_witness,
+//! protocols — see [`crate::job::Job::cacheable`]) are pure functions
+//! of their canonical parameters, so a repeated query is served from
+//! memory without touching the queue. The cache is bounded with FIFO
+//! eviction: a verification service's hot set is small and recency
+//! tracking is not worth a lock per hit beyond the map's own.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use randsync_obs::Json;
+
+/// Default capacity (entries) of a [`ResultsCache`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// A bounded map from cache key (see [`crate::job::Job::cache_key`]) to
+/// result, with `svc.cache.*` hit/miss counters.
+#[derive(Debug)]
+pub struct ResultsCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<String, Json>,
+    order: VecDeque<String>,
+}
+
+impl ResultsCache {
+    /// An empty cache holding at most `capacity` results (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultsCache { inner: Mutex::new(CacheInner::default()), capacity: capacity.max(1) }
+    }
+
+    /// Look `key` up, counting a `svc.cache.hits` / `svc.cache.misses`.
+    pub fn get(&self, key: &str) -> Option<Json> {
+        let found = self.inner.lock().expect("cache poisoned").map.get(key).cloned();
+        let m = randsync_obs::global_metrics();
+        if found.is_some() {
+            m.counter("svc.cache.hits").inc();
+        } else {
+            m.counter("svc.cache.misses").inc();
+        }
+        found
+    }
+
+    /// Insert a result, evicting the oldest entry when full.
+    pub fn put(&self, key: String, result: Json) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if let Some(slot) = inner.map.get_mut(&key) {
+            *slot = result;
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            let Some(oldest) = inner.order.pop_front() else { break };
+            inner.map.remove(&oldest);
+            randsync_obs::global_metrics().counter("svc.cache.evictions").inc();
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, result);
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let cache = ResultsCache::new(8);
+        assert!(cache.get("k").is_none());
+        cache.put("k".to_string(), Json::Int(7));
+        assert_eq!(cache.get("k"), Some(Json::Int(7)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let cache = ResultsCache::new(2);
+        cache.put("a".to_string(), Json::Int(1));
+        cache.put("b".to_string(), Json::Int(2));
+        cache.put("a".to_string(), Json::Int(10)); // overwrite, no growth
+        assert_eq!(cache.len(), 2);
+        cache.put("c".to_string(), Json::Int(3)); // evicts "a" (oldest insert)
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.get("b"), Some(Json::Int(2)));
+        assert_eq!(cache.get("c"), Some(Json::Int(3)));
+    }
+}

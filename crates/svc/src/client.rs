@@ -1,0 +1,196 @@
+//! A minimal blocking client for the job server, used by the CLI's
+//! `submit`/`shutdown` subcommands and the loopback integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use randsync_obs::Json;
+
+use crate::wire::Request;
+
+/// A completed request: the final `ok`/`error` frame plus any
+/// `progress` frames that preceded it.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Reply {
+    /// Whether the final frame's status was `ok`.
+    pub ok: bool,
+    /// `result` on success, the `error` object (`code`, `message`) on
+    /// failure.
+    pub body: Json,
+    /// The `progress` frames seen for this request, in order.
+    pub progress: Vec<Json>,
+}
+
+impl Reply {
+    /// The error code, when this reply is an error.
+    pub fn error_code(&self) -> Option<&str> {
+        if self.ok {
+            None
+        } else {
+            self.body.get("code").and_then(Json::as_str)
+        }
+    }
+}
+
+/// One connection to a job server. Requests are correlated by `id`, so
+/// several may be pipelined before reading replies.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: i128,
+}
+
+impl Client {
+    /// Connect to a server, with a generous read timeout so a wedged
+    /// server surfaces as an error rather than a hang.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        let writer = stream.try_clone()?;
+        Ok(Client { writer, reader: BufReader::new(stream), next_id: 0 })
+    }
+
+    /// Send one request frame without waiting for its reply; returns
+    /// the auto-assigned id to correlate the response with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, job: &str, params: &Json) -> std::io::Result<Json> {
+        self.next_id += 1;
+        let id = Json::Int(self.next_id);
+        self.send_with_id(&id, job, params)?;
+        Ok(id)
+    }
+
+    /// Send one request frame with a caller-chosen id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_with_id(&mut self, id: &Json, job: &str, params: &Json) -> std::io::Result<()> {
+        let line = Request::render(id, job, params);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read the next frame from the server, whatever request it
+    /// belongs to.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, closed connection, or an unparseable frame.
+    pub fn next_frame(&mut self) -> std::io::Result<Json> {
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return randsync_obs::parse_json(line.trim()).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unparseable frame from server: {e}"),
+                )
+            });
+        }
+    }
+
+    /// Read frames until the final `ok`/`error` frame for `id`,
+    /// invoking `on_progress` for each `progress` frame on the way.
+    /// Frames for other (pipelined) request ids are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::next_frame`] failures.
+    pub fn wait(
+        &mut self,
+        id: &Json,
+        mut on_progress: impl FnMut(&Json),
+    ) -> std::io::Result<Reply> {
+        let mut progress = Vec::new();
+        loop {
+            let frame = self.next_frame()?;
+            if frame.get("id") != Some(id) {
+                continue;
+            }
+            match frame.get("status").and_then(Json::as_str) {
+                Some("progress") => {
+                    on_progress(&frame);
+                    progress.push(frame);
+                }
+                Some("ok") => {
+                    let body = frame.get("result").cloned().unwrap_or(Json::Null);
+                    return Ok(Reply { ok: true, body, progress });
+                }
+                Some("error") => {
+                    let body = frame.get("error").cloned().unwrap_or(Json::Null);
+                    return Ok(Reply { ok: false, body, progress });
+                }
+                _ => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("frame without a known status: {}", frame.render()),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Send one request and block for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send`] / [`Client::wait`] failures.
+    pub fn request(&mut self, job: &str, params: &Json) -> std::io::Result<Reply> {
+        let id = self.send(job, params)?;
+        self.wait(&id, |_| {})
+    }
+
+    /// Fetch the server's metrics snapshot (the `metrics` control
+    /// frame).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or the server answered with an error frame.
+    pub fn metrics(&mut self) -> std::io::Result<Json> {
+        let reply = self.request("metrics", &Json::Null)?;
+        if !reply.ok {
+            return Err(std::io::Error::other(format!(
+                "metrics request failed: {}",
+                reply.body.render()
+            )));
+        }
+        Ok(reply.body.get("metrics").cloned().unwrap_or(Json::Null))
+    }
+
+    /// Ask the server to drain and exit (the `shutdown` control
+    /// frame); returns the number of jobs still queued at that moment.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or the server answered with an error frame.
+    pub fn shutdown(&mut self) -> std::io::Result<u64> {
+        let reply = self.request("shutdown", &Json::Null)?;
+        if !reply.ok {
+            return Err(std::io::Error::other(format!(
+                "shutdown request failed: {}",
+                reply.body.render()
+            )));
+        }
+        Ok(reply.body.get("draining").and_then(Json::as_u64).unwrap_or(0))
+    }
+}

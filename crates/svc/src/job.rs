@@ -1,0 +1,747 @@
+//! Typed jobs: parsing request parameters, canonicalizing them for the
+//! results cache, and executing them through the library crates.
+//!
+//! Every job dispatches through `consensus::registry`, so the server
+//! duplicates no protocol list: an entry added to the registry is
+//! immediately servable. Parameter parsing fills every default, which
+//! gives each job a *canonical* parameter object — two requests that
+//! differ only in spelling (omitted vs. explicit default) produce the
+//! same canonical form and therefore the same cache key.
+
+use std::time::{Duration, Instant};
+
+use randsync_consensus::registry::{self, AttackFamily, ProtocolEntry};
+use randsync_core::attack::{attack_identical, AttackOutcome};
+use randsync_core::combine31::CombineLimits;
+use randsync_core::combine35::{ample_pool, attack_historyless, GeneralOutcome};
+use randsync_core::witness::InconsistencyWitness;
+use randsync_model::runtime::{replay_execution, Runtime};
+use randsync_model::{
+    monte_carlo_summary, DynObject, Execution, ExploreConfig, ExploreLimits, Explorer, McSummary,
+    ProcessId, Protocol, Step,
+};
+use randsync_obs::{ExecutionTrace, Json};
+use randsync_objects::bridge;
+
+use crate::wire::{code, WIRE_SCHEMA_VERSION};
+
+/// Longest sleep a `sleep` diagnostics job may request.
+const MAX_SLEEP_MILLIS: u64 = 60_000;
+
+/// Seeds per slice between deadline checks in `monte_carlo` jobs.
+const MC_DEADLINE_SLICE: u64 = 256;
+
+/// A job failure: a wire error code plus a message.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JobError {
+    /// One of the [`code`] constants.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl JobError {
+    fn bad(message: impl Into<String>) -> JobError {
+        JobError { code: code::BAD_REQUEST, message: message.into() }
+    }
+
+    fn failed(message: impl Into<String>) -> JobError {
+        JobError { code: code::JOB_FAILED, message: message.into() }
+    }
+
+    fn deadline() -> JobError {
+        JobError {
+            code: code::DEADLINE_EXCEEDED,
+            message: "job exceeded its wall-clock budget".to_string(),
+        }
+    }
+}
+
+/// One parsed, validated job with every parameter defaulted.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Job {
+    /// Valency analysis (FLP structure) of a registry protocol.
+    Valency {
+        /// Registry protocol name.
+        protocol: String,
+        /// Explorer worker threads (0 = host parallelism).
+        threads: usize,
+        /// Explore the symmetry quotient.
+        canonical: bool,
+        /// Configuration budget.
+        max_configs: usize,
+        /// Depth budget.
+        max_depth: usize,
+    },
+    /// One threaded-runtime execution on real bridged objects.
+    Run {
+        /// Registry protocol name (must be `runnable`).
+        protocol: String,
+        /// Process count (fixed-arity entries ignore it).
+        n: usize,
+        /// Coin-stream master seed.
+        seed: u64,
+        /// Per-process step budget.
+        max_steps: usize,
+    },
+    /// A batch of seeded simulator trials with the decision histogram.
+    MonteCarlo {
+        /// Registry protocol name.
+        protocol: String,
+        /// Process count (fixed-arity entries ignore it).
+        n: usize,
+        /// Number of trials (seeds `seed..seed+trials`).
+        trials: u64,
+        /// First seed.
+        seed: u64,
+        /// Per-trial step budget.
+        max_steps: usize,
+        /// Worker threads (0 = host parallelism).
+        threads: usize,
+    },
+    /// Re-execute a flight-recorder trace and check its decisions.
+    Replay {
+        /// The trace file contents (JSONL, embedded in the request).
+        trace: String,
+    },
+    /// Run the applicable lower-bound adversary and verify its witness.
+    VerifyWitness {
+        /// Registry protocol name (must have an applicable adversary).
+        protocol: String,
+        /// Round/repetition parameter.
+        r: usize,
+    },
+    /// The protocol registry as structured data.
+    Protocols,
+    /// Diagnostics: hold a worker for `millis` (cooperatively
+    /// cancellable). Exists so operators and the integration tests can
+    /// exercise backpressure, budgets, and drain deterministically.
+    Sleep {
+        /// How long to hold the worker.
+        millis: u64,
+    },
+}
+
+fn get_usize(params: &Json, key: &str, default: usize) -> Result<usize, JobError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| JobError::bad(format!("parameter {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn get_u64(params: &Json, key: &str, default: u64) -> Result<u64, JobError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| JobError::bad(format!("parameter {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn get_bool(params: &Json, key: &str, default: bool) -> Result<bool, JobError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(JobError::bad(format!("parameter {key:?} must be a boolean"))),
+    }
+}
+
+fn get_protocol(params: &Json, default: &str) -> Result<&'static ProtocolEntry, JobError> {
+    let name = match params.get("protocol") {
+        None | Some(Json::Null) => default,
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => return Err(JobError::bad("parameter \"protocol\" must be a string")),
+    };
+    registry::find(name).ok_or_else(|| JobError {
+        code: code::UNKNOWN_PROTOCOL,
+        message: format!("unknown protocol: {name} (see the protocols job)"),
+    })
+}
+
+impl Job {
+    /// Parse and validate a request's job kind and parameters, filling
+    /// every default (the result is the canonical form).
+    ///
+    /// # Errors
+    ///
+    /// `unknown_job`, `unknown_protocol`, or `bad_request` — all cheap,
+    /// so malformed requests are rejected before touching the queue.
+    pub fn parse(kind: &str, params: &Json) -> Result<Job, JobError> {
+        match kind {
+            "valency" => {
+                let entry = get_protocol(params, "cas")?;
+                Ok(Job::Valency {
+                    protocol: entry.name.to_string(),
+                    threads: get_usize(params, "threads", 0)?,
+                    canonical: get_bool(params, "canonical", false)?,
+                    max_configs: get_usize(params, "max_configs", 3_000_000)?,
+                    max_depth: get_usize(params, "max_depth", 200_000)?,
+                })
+            }
+            "run" => {
+                let entry = get_protocol(params, "cas")?;
+                if !entry.runnable {
+                    return Err(JobError::bad(format!(
+                        "{} is model-only; use the valency or monte_carlo job",
+                        entry.name
+                    )));
+                }
+                Ok(Job::Run {
+                    protocol: entry.name.to_string(),
+                    n: get_usize(params, "n", entry.default_n)?,
+                    seed: get_u64(params, "seed", 42)?,
+                    max_steps: get_usize(params, "max_steps", 2_000_000)?,
+                })
+            }
+            "monte_carlo" => {
+                let entry = get_protocol(params, "cas")?;
+                Ok(Job::MonteCarlo {
+                    protocol: entry.name.to_string(),
+                    n: get_usize(params, "n", entry.default_n)?,
+                    trials: get_u64(params, "trials", 256)?,
+                    seed: get_u64(params, "seed", 0)?,
+                    max_steps: get_usize(params, "max_steps", 100_000)?,
+                    threads: get_usize(params, "threads", 0)?,
+                })
+            }
+            "replay" => match params.get("trace") {
+                Some(Json::Str(text)) => Ok(Job::Replay { trace: text.clone() }),
+                _ => Err(JobError::bad("replay needs a string \"trace\" parameter (JSONL)")),
+            },
+            "verify_witness" => {
+                let entry = get_protocol(params, "optimistic")?;
+                if entry.attack == AttackFamily::NotApplicable {
+                    return Err(JobError::bad(format!(
+                        "no adversary applies to {} (it is correct, or out of scope)",
+                        entry.name
+                    )));
+                }
+                Ok(Job::VerifyWitness {
+                    protocol: entry.name.to_string(),
+                    r: get_usize(params, "r", entry.default_r)?,
+                })
+            }
+            "protocols" => Ok(Job::Protocols),
+            "sleep" => {
+                let millis = get_u64(params, "millis", 0)?;
+                if millis > MAX_SLEEP_MILLIS {
+                    return Err(JobError::bad(format!("sleep capped at {MAX_SLEEP_MILLIS} ms")));
+                }
+                Ok(Job::Sleep { millis })
+            }
+            other => Err(JobError {
+                code: code::UNKNOWN_JOB,
+                message: format!(
+                    "unknown job {other:?} (valency, run, monte_carlo, replay, \
+                     verify_witness, protocols, sleep)"
+                ),
+            }),
+        }
+    }
+
+    /// The job kind's wire name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Job::Valency { .. } => "valency",
+            Job::Run { .. } => "run",
+            Job::MonteCarlo { .. } => "monte_carlo",
+            Job::Replay { .. } => "replay",
+            Job::VerifyWitness { .. } => "verify_witness",
+            Job::Protocols => "protocols",
+            Job::Sleep { .. } => "sleep",
+        }
+    }
+
+    /// Whether the result is a deterministic function of the canonical
+    /// parameters, and therefore cacheable. `run` is excluded (the OS
+    /// interleaving is part of the result), as are `replay` (arbitrary
+    /// payload size) and `sleep` (the point is the wait).
+    pub fn cacheable(&self) -> bool {
+        matches!(
+            self,
+            Job::Valency { .. } | Job::MonteCarlo { .. } | Job::VerifyWitness { .. } | Job::Protocols
+        )
+    }
+
+    /// The cache key: job kind + canonical parameters + wire schema
+    /// version, rendered as one JSON line.
+    pub fn cache_key(&self) -> String {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Int(i128::from(WIRE_SCHEMA_VERSION))),
+            ("job".to_string(), Json::Str(self.kind().to_string())),
+            ("params".to_string(), self.canonical_params()),
+        ])
+        .render()
+    }
+
+    /// The fully-defaulted parameter object (stable field order).
+    pub fn canonical_params(&self) -> Json {
+        let int = |v: usize| Json::Int(v as i128);
+        match self {
+            Job::Valency { protocol, threads, canonical, max_configs, max_depth } => {
+                Json::Obj(vec![
+                    ("protocol".to_string(), Json::Str(protocol.clone())),
+                    ("threads".to_string(), int(*threads)),
+                    ("canonical".to_string(), Json::Bool(*canonical)),
+                    ("max_configs".to_string(), int(*max_configs)),
+                    ("max_depth".to_string(), int(*max_depth)),
+                ])
+            }
+            Job::Run { protocol, n, seed, max_steps } => Json::Obj(vec![
+                ("protocol".to_string(), Json::Str(protocol.clone())),
+                ("n".to_string(), int(*n)),
+                ("seed".to_string(), Json::Int(i128::from(*seed))),
+                ("max_steps".to_string(), int(*max_steps)),
+            ]),
+            Job::MonteCarlo { protocol, n, trials, seed, max_steps, threads } => Json::Obj(vec![
+                ("protocol".to_string(), Json::Str(protocol.clone())),
+                ("n".to_string(), int(*n)),
+                ("trials".to_string(), Json::Int(i128::from(*trials))),
+                ("seed".to_string(), Json::Int(i128::from(*seed))),
+                ("max_steps".to_string(), int(*max_steps)),
+                ("threads".to_string(), int(*threads)),
+            ]),
+            Job::Replay { trace } => {
+                Json::Obj(vec![("trace".to_string(), Json::Str(trace.clone()))])
+            }
+            Job::VerifyWitness { protocol, r } => Json::Obj(vec![
+                ("protocol".to_string(), Json::Str(protocol.clone())),
+                ("r".to_string(), int(*r)),
+            ]),
+            Job::Protocols => Json::Obj(vec![]),
+            Job::Sleep { millis } => {
+                Json::Obj(vec![("millis".to_string(), Json::Int(i128::from(*millis)))])
+            }
+        }
+    }
+
+    /// Execute the job, cancelling cooperatively at `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// `deadline_exceeded` when the budget ran out first, otherwise
+    /// `job_failed` with the underlying failure.
+    pub fn execute(&self, deadline: Instant) -> Result<Json, JobError> {
+        match self {
+            Job::Valency { protocol, threads, canonical, max_configs, max_depth } => {
+                let entry = registry::find(protocol).expect("parse validated the name");
+                let explorer = Explorer::with_config(ExploreConfig {
+                    limits: ExploreLimits { max_configs: *max_configs, max_depth: *max_depth },
+                    threads: *threads,
+                    canonical: *canonical,
+                    deadline: Some(deadline),
+                    ..Default::default()
+                });
+                let analysis = explorer
+                    .valency(&entry.build_default(), entry.default_inputs)
+                    .ok_or_else(|| {
+                        if Instant::now() >= deadline {
+                            JobError::deadline()
+                        } else {
+                            JobError::failed(
+                                "state space exceeded the configuration budget; \
+                                 valencies would be unsound",
+                            )
+                        }
+                    })?;
+                Ok(Json::Obj(vec![
+                    ("protocol".to_string(), Json::Str(entry.name.to_string())),
+                    ("initial".to_string(), Json::Str(format!("{:?}", analysis.initial))),
+                    ("configs".to_string(), Json::Int(analysis.configs as i128)),
+                    ("zero_valent".to_string(), Json::Int(analysis.zero_valent as i128)),
+                    ("one_valent".to_string(), Json::Int(analysis.one_valent as i128)),
+                    ("bivalent".to_string(), Json::Int(analysis.bivalent as i128)),
+                    ("stuck".to_string(), Json::Int(analysis.stuck as i128)),
+                    (
+                        "critical_configs".to_string(),
+                        Json::Int(analysis.critical_configs as i128),
+                    ),
+                    ("bivalent_cycle".to_string(), Json::Bool(analysis.bivalent_cycle)),
+                ]))
+            }
+            Job::Run { protocol, n, seed, max_steps } => {
+                let entry = registry::find(protocol).expect("parse validated the name");
+                let protocol = (entry.build)(*n, entry.default_r);
+                let n = protocol.num_processes();
+                let inputs: Vec<u8> = if n == entry.default_n {
+                    entry.default_inputs.to_vec()
+                } else {
+                    registry::alternating_inputs(n)
+                };
+                let objects = bridge::instantiate_all(&protocol)
+                    .map_err(|e| JobError::failed(format!("cannot bridge objects: {e}")))?;
+                let report =
+                    Runtime::new(*seed).max_steps(*max_steps).run(&protocol, &inputs, &objects);
+                Ok(Json::Obj(vec![
+                    ("protocol".to_string(), Json::Str(entry.name.to_string())),
+                    ("n".to_string(), Json::Int(n as i128)),
+                    ("seed".to_string(), Json::Int(i128::from(*seed))),
+                    (
+                        "inputs".to_string(),
+                        Json::Arr(inputs.iter().map(|&i| Json::Int(i128::from(i))).collect()),
+                    ),
+                    (
+                        "decisions".to_string(),
+                        Json::Arr(
+                            report
+                                .decisions
+                                .iter()
+                                .map(|d| match d {
+                                    Some(v) => Json::Int(i128::from(*v)),
+                                    None => Json::Null,
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "steps".to_string(),
+                        Json::Arr(report.steps.iter().map(|&s| Json::Int(s as i128)).collect()),
+                    ),
+                    (
+                        "coin_flips".to_string(),
+                        Json::Int(i128::from(report.total_coin_flips())),
+                    ),
+                    ("all_decided".to_string(), Json::Bool(report.all_decided())),
+                    ("consistent".to_string(), Json::Bool(report.consistent())),
+                    ("valid".to_string(), Json::Bool(report.valid(&inputs))),
+                    (
+                        "wall_micros".to_string(),
+                        Json::Int(report.wall.as_micros().min(i128::MAX as u128) as i128),
+                    ),
+                ]))
+            }
+            Job::MonteCarlo { protocol, n, trials, seed, max_steps, threads } => {
+                let entry = registry::find(protocol).expect("parse validated the name");
+                let protocol = (entry.build)(*n, entry.default_r);
+                let n = protocol.num_processes();
+                let inputs: Vec<u8> = if n == entry.default_n {
+                    entry.default_inputs.to_vec()
+                } else {
+                    registry::alternating_inputs(n)
+                };
+                // Slice the seed range so the wall-clock budget is
+                // honored between slices; the merged summary is
+                // bit-identical to the unsliced run (McSummary::absorb).
+                let mut summary = McSummary::default();
+                let mut next = *seed;
+                let end = seed.saturating_add(*trials);
+                while next < end {
+                    if Instant::now() >= deadline {
+                        return Err(JobError::deadline());
+                    }
+                    let hi = next.saturating_add(MC_DEADLINE_SLICE).min(end);
+                    summary.absorb(&monte_carlo_summary(
+                        &protocol, &inputs, next..hi, *threads, *max_steps,
+                    ));
+                    next = hi;
+                }
+                Ok(mc_summary_json(entry.name, n, &summary))
+            }
+            Job::Replay { trace } => {
+                let trace = ExecutionTrace::from_jsonl(trace)
+                    .map_err(|e| JobError::bad(format!("bad trace payload: {e}")))?;
+                let entry = registry::find(&trace.protocol).ok_or_else(|| JobError {
+                    code: code::UNKNOWN_PROTOCOL,
+                    message: format!("trace names unknown protocol {:?}", trace.protocol),
+                })?;
+                let protocol = (entry.build)(trace.n, trace.r);
+                let objects = bridge::instantiate_all(&protocol)
+                    .map_err(|e| JobError::failed(format!("cannot bridge objects: {e}")))?;
+                let refs: Vec<&dyn DynObject> = objects.iter().map(AsRef::as_ref).collect();
+                let execution = Execution::from_steps(
+                    trace
+                        .steps
+                        .iter()
+                        .map(|&(pid, coin)| Step::with_coin(ProcessId(pid as usize), coin))
+                        .collect(),
+                );
+                let decisions = replay_execution(&protocol, &refs, &trace.inputs, &execution)
+                    .map_err(|e| JobError::failed(format!("replay diverged: {e}")))?;
+                // Witness traces claim only their designated deciders.
+                let matches = if trace.interpreter == "witness" {
+                    trace
+                        .decisions
+                        .iter()
+                        .enumerate()
+                        .all(|(pid, claim)| claim.is_none() || decisions.get(pid) == Some(claim))
+                } else {
+                    decisions == trace.decisions
+                };
+                Ok(Json::Obj(vec![
+                    ("protocol".to_string(), Json::Str(entry.name.to_string())),
+                    ("interpreter".to_string(), Json::Str(trace.interpreter.clone())),
+                    ("steps".to_string(), Json::Int(trace.steps.len() as i128)),
+                    (
+                        "decisions".to_string(),
+                        Json::Arr(
+                            decisions
+                                .iter()
+                                .map(|d| match d {
+                                    Some(v) => Json::Int(i128::from(*v)),
+                                    None => Json::Null,
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("matches_recording".to_string(), Json::Bool(matches)),
+                ]))
+            }
+            Job::VerifyWitness { protocol, r } => {
+                let entry = registry::find(protocol).expect("parse validated the name");
+                let built = (entry.build)(entry.default_n, *r);
+                verify_witness_result(entry, &built)
+            }
+            Job::Protocols => {
+                let entries = registry::registry()
+                    .iter()
+                    .map(|e| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(e.name.to_string())),
+                            ("objects".to_string(), Json::Str(e.objects.to_string())),
+                            ("paper".to_string(), Json::Str(e.paper.to_string())),
+                            ("default_n".to_string(), Json::Int(e.default_n as i128)),
+                            ("default_r".to_string(), Json::Int(e.default_r as i128)),
+                            ("takes_r".to_string(), Json::Bool(e.takes_r)),
+                            ("expected_safe".to_string(), Json::Bool(e.expected_safe)),
+                            ("runnable".to_string(), Json::Bool(e.runnable)),
+                            (
+                                "attack".to_string(),
+                                Json::Str(e.attack.label().to_string()),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Ok(Json::Obj(vec![("protocols".to_string(), Json::Arr(entries))]))
+            }
+            Job::Sleep { millis } => {
+                // Sleep in slices so the job budget cancels it too.
+                let target = Instant::now() + Duration::from_millis(*millis);
+                while Instant::now() < target {
+                    if Instant::now() >= deadline {
+                        return Err(JobError::deadline());
+                    }
+                    let left = target - Instant::now();
+                    std::thread::sleep(left.min(Duration::from_millis(25)));
+                }
+                Ok(Json::Obj(vec![(
+                    "slept_millis".to_string(),
+                    Json::Int(i128::from(*millis)),
+                )]))
+            }
+        }
+    }
+}
+
+/// Serialize an [`McSummary`] — including the per-decision-value
+/// histogram — as the `monte_carlo` job's result object.
+pub fn mc_summary_json(protocol: &str, n: usize, s: &McSummary) -> Json {
+    Json::Obj(vec![
+        ("protocol".to_string(), Json::Str(protocol.to_string())),
+        ("n".to_string(), Json::Int(n as i128)),
+        ("trials".to_string(), Json::Int(i128::from(s.trials))),
+        ("decided_runs".to_string(), Json::Int(i128::from(s.decided_runs))),
+        ("consistent_runs".to_string(), Json::Int(i128::from(s.consistent_runs))),
+        ("total_steps".to_string(), Json::Int(i128::from(s.total_steps))),
+        ("max_steps".to_string(), Json::Int(i128::from(s.max_steps))),
+        ("mean_steps".to_string(), Json::Float(s.mean_steps())),
+        (
+            "undecided_processes".to_string(),
+            Json::Int(i128::from(s.undecided_processes)),
+        ),
+        (
+            "decision_counts".to_string(),
+            Json::Arr(
+                s.decision_counts
+                    .iter()
+                    .map(|&(v, c)| {
+                        Json::Arr(vec![Json::Int(i128::from(v)), Json::Int(i128::from(c))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Run the applicable adversary against `built` and verify the witness
+/// through the runtime interpreter on fresh model objects.
+fn verify_witness_result<P>(entry: &ProtocolEntry, built: &P) -> Result<Json, JobError>
+where
+    P: Protocol,
+    P::State: Send + Sync,
+{
+    let family = entry.attack.label();
+    let base = |outcome: &str| {
+        vec![
+            ("protocol".to_string(), Json::Str(entry.name.to_string())),
+            ("family".to_string(), Json::Str(family.to_string())),
+            ("outcome".to_string(), Json::Str(outcome.to_string())),
+        ]
+    };
+    let witness_fields = |witness: &InconsistencyWitness| -> Result<Vec<(String, Json)>, JobError> {
+        witness
+            .verify(built)
+            .map_err(|e| JobError::failed(format!("witness failed verification: {e}")))?;
+        Ok(vec![
+            ("steps".to_string(), Json::Int(witness.execution.len() as i128)),
+            (
+                "processes_used".to_string(),
+                Json::Int(witness.processes_used as i128),
+            ),
+            ("verified".to_string(), Json::Bool(true)),
+        ])
+    };
+    match entry.attack {
+        AttackFamily::RegisterIdentical => {
+            match attack_identical(built, &CombineLimits::default()) {
+                Ok(AttackOutcome::Inconsistent { witness, .. }) => {
+                    let mut fields = base("inconsistent");
+                    fields.extend(witness_fields(&witness)?);
+                    Ok(Json::Obj(fields))
+                }
+                Ok(AttackOutcome::InvalidSolo { input, decided, .. }) => {
+                    let mut fields = base("invalid");
+                    fields.push(("input".to_string(), Json::Int(i128::from(input))));
+                    fields.push(("decided".to_string(), Json::Int(i128::from(decided))));
+                    Ok(Json::Obj(fields))
+                }
+                Err(e) => Err(JobError::failed(format!("attack failed: {e}"))),
+            }
+        }
+        AttackFamily::Historyless => {
+            match attack_historyless(built, ample_pool(1), &ExploreLimits::default()) {
+                Ok(GeneralOutcome::Inconsistent { witness, .. }) => {
+                    let mut fields = base("inconsistent");
+                    fields.extend(witness_fields(&witness)?);
+                    Ok(Json::Obj(fields))
+                }
+                Ok(GeneralOutcome::InvalidExecution { input, decided, .. }) => {
+                    let mut fields = base("invalid");
+                    fields.push(("input".to_string(), Json::Int(i128::from(input))));
+                    fields.push(("decided".to_string(), Json::Int(i128::from(decided))));
+                    Ok(Json::Obj(fields))
+                }
+                Err(e) => Err(JobError::failed(format!("attack failed: {e}"))),
+            }
+        }
+        AttackFamily::NotApplicable => unreachable!("parse rejected non-attackable protocols"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(3600)
+    }
+
+    #[test]
+    fn canonical_params_fill_defaults_identically() {
+        let explicit = randsync_obs::parse_json(
+            "{\"protocol\":\"cas\",\"threads\":0,\"canonical\":false,\
+             \"max_configs\":3000000,\"max_depth\":200000}",
+        )
+        .unwrap();
+        let a = Job::parse("valency", &Json::Null).unwrap();
+        let b = Job::parse("valency", &explicit).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert!(a.cacheable());
+    }
+
+    #[test]
+    fn unknown_jobs_and_protocols_have_distinct_codes() {
+        assert_eq!(Job::parse("frobnicate", &Json::Null).unwrap_err().code, code::UNKNOWN_JOB);
+        let params = Json::Obj(vec![(
+            "protocol".to_string(),
+            Json::Str("nonsense".to_string()),
+        )]);
+        assert_eq!(Job::parse("valency", &params).unwrap_err().code, code::UNKNOWN_PROTOCOL);
+    }
+
+    #[test]
+    fn model_only_protocols_are_rejected_for_run() {
+        let params = Json::Obj(vec![("protocol".to_string(), Json::Str("phase".to_string()))]);
+        let err = Job::parse("run", &params).unwrap_err();
+        assert_eq!(err.code, code::BAD_REQUEST);
+        assert!(err.message.contains("model-only"));
+    }
+
+    #[test]
+    fn valency_job_matches_direct_library_call() {
+        let job = Job::parse("valency", &Json::Null).unwrap();
+        let result = job.execute(far()).unwrap();
+        let entry = registry::find("cas").unwrap();
+        let direct = Explorer::new(ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 })
+            .valency(&entry.build_default(), entry.default_inputs)
+            .unwrap();
+        assert_eq!(result.get("configs").and_then(Json::as_usize), Some(direct.configs));
+        assert_eq!(
+            result.get("initial").and_then(Json::as_str),
+            Some(format!("{:?}", direct.initial).as_str())
+        );
+    }
+
+    #[test]
+    fn expired_deadline_cancels_exploration_and_sleep() {
+        let past = Instant::now();
+        let job = Job::parse("valency", &Json::Null).unwrap();
+        assert_eq!(job.execute(past).unwrap_err().code, code::DEADLINE_EXCEEDED);
+        let sleep = Job::Sleep { millis: 5_000 };
+        let started = Instant::now();
+        assert_eq!(sleep.execute(past).unwrap_err().code, code::DEADLINE_EXCEEDED);
+        assert!(started.elapsed() < Duration::from_secs(1), "cancelled promptly");
+    }
+
+    #[test]
+    fn monte_carlo_job_is_deterministic_and_carries_the_histogram() {
+        let params = randsync_obs::parse_json(
+            "{\"protocol\":\"cas\",\"trials\":40,\"seed\":5,\"max_steps\":1000}",
+        )
+        .unwrap();
+        let job = Job::parse("monte_carlo", &params).unwrap();
+        let a = job.execute(far()).unwrap();
+        let b = job.execute(far()).unwrap();
+        assert_eq!(a.render(), b.render(), "bit-identical re-execution");
+        assert_eq!(a.get("trials").and_then(Json::as_u64), Some(40));
+        let counts = a.get("decision_counts").and_then(Json::as_arr).unwrap();
+        let total: u64 = counts
+            .iter()
+            .map(|pair| pair.as_arr().unwrap()[1].as_u64().unwrap())
+            .sum();
+        assert_eq!(total, 3 * 40, "every cas process decides in every trial");
+    }
+
+    #[test]
+    fn verify_witness_job_confirms_the_flawed_targets() {
+        for name in ["naive", "tasrace"] {
+            let params =
+                Json::Obj(vec![("protocol".to_string(), Json::Str(name.to_string()))]);
+            let job = Job::parse("verify_witness", &params).unwrap();
+            let result = job.execute(far()).unwrap();
+            assert_eq!(result.get("outcome").and_then(Json::as_str), Some("inconsistent"));
+            assert_eq!(result.get("verified"), Some(&Json::Bool(true)), "{name}");
+        }
+        let params = Json::Obj(vec![("protocol".to_string(), Json::Str("cas".to_string()))]);
+        assert_eq!(
+            Job::parse("verify_witness", &params).unwrap_err().code,
+            code::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn protocols_job_mirrors_the_registry() {
+        let result = Job::Protocols.execute(far()).unwrap();
+        let list = result.get("protocols").and_then(Json::as_arr).unwrap();
+        assert_eq!(list.len(), registry::registry().len());
+        for (entry, row) in registry::registry().iter().zip(list) {
+            assert_eq!(row.get("name").and_then(Json::as_str), Some(entry.name));
+            assert_eq!(
+                row.get("attack").and_then(Json::as_str),
+                Some(entry.attack.label())
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `randsync-svc` — a zero-dependency verification job server.
+//!
+//! Exposes the randsync verifiers (valency classification, scheduled
+//! runs, Monte Carlo sweeps, trace replay, adversarial witness search)
+//! as a long-running TCP service speaking a framed JSONL protocol, so
+//! repeated queries amortise process start-up and share a results
+//! cache. Everything is built on `std`: `std::net` for transport,
+//! `std::sync::mpsc` for the bounded queue, `std::thread` for the
+//! worker pool, and the `randsync-obs` JSON codec for the wire format.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`wire`] — the frame grammar: requests, `ok`/`error`/`progress`
+//!   responses, and the stable error codes ([`wire::code`]);
+//! * [`job`] — parsing and executing the job kinds ([`Job`]), each a
+//!   thin shim over the library crates, with cooperative wall-clock
+//!   budgets;
+//! * [`cache`] — the bounded results cache for deterministic jobs
+//!   ([`ResultsCache`]);
+//! * [`server`] — the accept loop, queue, worker pool, progress
+//!   routing, and drain-then-exit shutdown ([`Server`]);
+//! * [`client`] — a small blocking client ([`Client`]) used by the
+//!   CLI and the loopback tests.
+//!
+//! ```no_run
+//! use randsync_svc::{Client, Server, ServerConfig};
+//! use randsync_obs::{parse_json, Json};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+//! let addr = server.local_addr()?;
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr)?;
+//! let params = parse_json("{\"protocol\": \"cas\"}").unwrap();
+//! let reply = client.request("valency", &params)?;
+//! assert_eq!(reply.body.get("initial").and_then(Json::as_str), Some("bivalent"));
+//! client.shutdown()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod job;
+pub mod server;
+pub mod wire;
+
+pub use cache::ResultsCache;
+pub use client::{Client, Reply};
+pub use job::{Job, JobError};
+pub use server::{Server, ServerConfig};
+pub use wire::{Request, WIRE_SCHEMA_VERSION};

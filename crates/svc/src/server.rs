@@ -1,0 +1,406 @@
+//! The job server: TCP accept loop, bounded queue, worker pool,
+//! progress routing, and graceful drain.
+//!
+//! Threading model — three kinds of threads, none shared:
+//!
+//! * the **accept loop** ([`Server::run`], the caller's thread) polls a
+//!   non-blocking listener so it can notice the shutdown flag;
+//! * one **connection thread** per client reads frames, answers control
+//!   frames (`metrics`, `shutdown`) inline, serves cache hits, and
+//!   enqueues everything else — [`std::sync::mpsc::sync_channel`] *is*
+//!   the bounded queue, and a failed `try_send` is the backpressure
+//!   signal (`overloaded`), so the server never buffers unboundedly;
+//! * `workers` **worker threads** share the receiving end behind a
+//!   mutex and execute jobs under a per-job wall-clock budget.
+//!
+//! Shutdown is drain-then-exit: the `shutdown` control frame drops the
+//! queue's sender, so workers finish everything already accepted (their
+//! `recv` then reports disconnection and they exit), the accept loop
+//! stops, and [`Server::run`] joins the workers before returning —
+//! every accepted job gets its response frame.
+//!
+//! Progress streaming rides on the `obs` trace pipeline: the explorer
+//! emits an `explore.level` event per BFS level *on the thread running
+//! the search*, so a process-global [`TraceSink`] keyed by
+//! [`ThreadId`] can route those events to whichever connection the
+//! running job belongs to, as `progress` frames.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+use randsync_obs::{Field, Json, TraceSink};
+
+use crate::cache::{ResultsCache, DEFAULT_CACHE_CAPACITY};
+use crate::job::Job;
+use crate::wire::{code, error_frame, ok_frame, progress_frame, Request, WIRE_SCHEMA_VERSION};
+
+/// Server sizing and budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (0 = host parallelism, min 1).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with `overloaded`.
+    pub queue: usize,
+    /// Per-job wall-clock budget, enforced cooperatively.
+    pub job_budget: Duration,
+    /// Results-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue: 64,
+            job_budget: Duration::from_secs(120),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers != 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// A write handle to one client connection, shared by the connection
+/// thread and whichever worker runs that client's jobs. Whole frames
+/// are written under the lock, so concurrent frames never interleave.
+#[derive(Clone, Debug)]
+struct ConnWriter(Arc<Mutex<TcpStream>>);
+
+impl ConnWriter {
+    /// Write one frame line; errors are swallowed (a vanished client
+    /// must not take a worker down).
+    fn send(&self, frame: &str) {
+        let mut stream = self.0.lock().expect("connection writer poisoned");
+        let _ = stream.write_all(frame.as_bytes());
+        let _ = stream.write_all(b"\n");
+        let _ = stream.flush();
+    }
+}
+
+/// One accepted job traveling from a connection thread to a worker.
+#[derive(Debug)]
+struct Ticket {
+    id: Json,
+    job: Job,
+    conn: ConnWriter,
+}
+
+/// Routes the explorer's per-level trace events, emitted on worker
+/// threads, to the connection whose job is running there — and is
+/// installed once per process, so any number of in-process servers
+/// share it (routes are keyed by worker [`ThreadId`], which never
+/// collides across servers).
+#[derive(Debug, Default)]
+struct ProgressRouter {
+    routes: Mutex<HashMap<ThreadId, (Json, ConnWriter)>>,
+}
+
+impl ProgressRouter {
+    fn global() -> &'static Arc<ProgressRouter> {
+        static ROUTER: OnceLock<Arc<ProgressRouter>> = OnceLock::new();
+        ROUTER.get_or_init(|| Arc::new(ProgressRouter::default()))
+    }
+
+    fn register(&self, id: Json, conn: ConnWriter) {
+        self.routes
+            .lock()
+            .expect("progress routes poisoned")
+            .insert(std::thread::current().id(), (id, conn));
+    }
+
+    fn deregister(&self) {
+        self.routes.lock().expect("progress routes poisoned").remove(&std::thread::current().id());
+    }
+}
+
+impl TraceSink for ProgressRouter {
+    fn event(&self, name: &str, _timestamp_micros: u64, fields: &[(&str, Field)]) {
+        if name != "explore.level" {
+            return;
+        }
+        let route = {
+            let routes = self.routes.lock().expect("progress routes poisoned");
+            routes.get(&std::thread::current().id()).cloned()
+        };
+        let Some((id, conn)) = route else { return };
+        let extra: Vec<(&str, Json)> = fields
+            .iter()
+            .map(|(k, v)| {
+                let j = match v {
+                    Field::U64(u) => Json::Int(i128::from(*u)),
+                    Field::I64(i) => Json::Int(i128::from(*i)),
+                    Field::F64(f) => Json::Float(*f),
+                    Field::Str(s) => Json::Str(s.clone()),
+                    Field::Bool(b) => Json::Bool(*b),
+                };
+                (*k, j)
+            })
+            .collect();
+        conn.send(&progress_frame(&id, "explore.level", &extra));
+    }
+}
+
+/// Shared server state: the queue's sending end (taken on shutdown),
+/// depth accounting, and the results cache.
+#[derive(Debug)]
+struct ServerState {
+    shutting_down: AtomicBool,
+    queue_tx: Mutex<Option<SyncSender<Ticket>>>,
+    queue_depth: AtomicUsize,
+    cache: ResultsCache,
+    job_budget: Duration,
+}
+
+impl ServerState {
+    fn set_depth_gauge(&self) {
+        randsync_obs::global_metrics()
+            .gauge("svc.queue.depth")
+            .set(self.queue_depth.load(Ordering::SeqCst) as i64);
+    }
+}
+
+/// A bound job server. [`Server::bind`] claims the address (so an
+/// ephemeral `:0` port is known before serving starts);
+/// [`Server::run`] serves until a `shutdown` control frame drains it.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    state: Arc<ServerState>,
+    queue_rx: Receiver<Ticket>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:7450"`, or port `0` for an
+    /// ephemeral port) with the given sizing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let (tx, rx) = std::sync::mpsc::sync_channel(config.queue.max(1));
+        let state = Arc::new(ServerState {
+            shutting_down: AtomicBool::new(false),
+            queue_tx: Mutex::new(Some(tx)),
+            queue_depth: AtomicUsize::new(0),
+            cache: ResultsCache::new(config.cache_capacity),
+            job_budget: config.job_budget,
+        });
+        Ok(Server { listener, config, state, queue_rx: rx })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until shut down: accept connections, dispatch jobs, then
+    /// drain the queue and join the workers. Enables the global metrics
+    /// registry and installs the process-wide progress router.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (transient accept errors are
+    /// tolerated).
+    pub fn run(self) -> std::io::Result<()> {
+        randsync_obs::set_metrics_enabled(true);
+        randsync_obs::install_trace_sink(ProgressRouter::global().clone());
+        self.listener.set_nonblocking(true)?;
+
+        let workers = self.config.effective_workers().max(1);
+        randsync_obs::global_metrics().gauge("svc.workers").set(workers as i64);
+        let rx = Arc::new(Mutex::new(self.queue_rx));
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            handles.push(std::thread::spawn(move || worker_loop(&state, &rx)));
+        }
+
+        while !self.state.shutting_down.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    randsync_obs::global_metrics().counter("svc.connections").inc();
+                    // Accepted sockets must block: connection threads
+                    // read frames, they do not poll.
+                    let _ = stream.set_nonblocking(false);
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || connection_loop(&state, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: the sender was dropped by the shutdown handler, so
+        // each worker exits once the queue is empty.
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Per-connection read loop: control frames are answered inline; job
+/// frames are validated, served from cache, or enqueued.
+fn connection_loop(state: &Arc<ServerState>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let conn = ConnWriter(Arc::new(Mutex::new(write_half)));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Request::parse(&line) {
+            Ok(req) => req,
+            Err(message) => {
+                conn.send(&error_frame(&Json::Null, code::BAD_REQUEST, &message));
+                continue;
+            }
+        };
+        match req.job.as_str() {
+            "metrics" => {
+                let snapshot = randsync_obs::global_metrics().snapshot();
+                conn.send(&ok_frame(
+                    &req.id,
+                    "metrics",
+                    Json::Obj(vec![
+                        (
+                            "schema_version".to_string(),
+                            Json::Int(i128::from(WIRE_SCHEMA_VERSION)),
+                        ),
+                        ("metrics".to_string(), snapshot.to_json()),
+                    ]),
+                ));
+            }
+            "shutdown" => {
+                state.shutting_down.store(true, Ordering::SeqCst);
+                // Dropping the sender is the drain signal: workers
+                // finish the queue, then their recv disconnects.
+                drop(state.queue_tx.lock().expect("queue sender poisoned").take());
+                let draining = state.queue_depth.load(Ordering::SeqCst);
+                conn.send(&ok_frame(
+                    &req.id,
+                    "shutdown",
+                    Json::Obj(vec![("draining".to_string(), Json::Int(draining as i128))]),
+                ));
+            }
+            _ => submit_job(state, req, &conn),
+        }
+    }
+}
+
+/// Validate, cache-check, and enqueue one job request.
+fn submit_job(state: &Arc<ServerState>, req: Request, conn: &ConnWriter) {
+    let m = randsync_obs::global_metrics();
+    m.counter("svc.jobs.submitted").inc();
+    let job = match Job::parse(&req.job, &req.params) {
+        Ok(job) => job,
+        Err(e) => {
+            m.counter("svc.jobs.error").inc();
+            conn.send(&error_frame(&req.id, e.code, &e.message));
+            return;
+        }
+    };
+    if job.cacheable() {
+        if let Some(result) = state.cache.get(&job.cache_key()) {
+            m.counter("svc.jobs.ok").inc();
+            conn.send(&ok_frame(&req.id, job.kind(), result));
+            return;
+        }
+    }
+    let tx = state.queue_tx.lock().expect("queue sender poisoned").clone();
+    let Some(tx) = tx else {
+        m.counter("svc.jobs.error").inc();
+        conn.send(&error_frame(&req.id, code::SHUTTING_DOWN, "server is draining"));
+        return;
+    };
+    match tx.try_send(Ticket { id: req.id.clone(), job, conn: conn.clone() }) {
+        Ok(()) => {
+            state.queue_depth.fetch_add(1, Ordering::SeqCst);
+            state.set_depth_gauge();
+            conn.send(&progress_frame(&req.id, "queued", &[]));
+        }
+        Err(TrySendError::Full(_)) => {
+            m.counter("svc.jobs.rejected").inc();
+            conn.send(&error_frame(
+                &req.id,
+                code::OVERLOADED,
+                "job queue is full; retry later",
+            ));
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            m.counter("svc.jobs.error").inc();
+            conn.send(&error_frame(&req.id, code::SHUTTING_DOWN, "server is draining"));
+        }
+    }
+}
+
+/// Worker: pull tickets until the queue disconnects (shutdown drain),
+/// executing each under the per-job budget with progress routing.
+fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Ticket>>>) {
+    loop {
+        // Hold the receiver lock only for the handoff; contention is
+        // one lock per job, not per byte of work.
+        let ticket = {
+            let rx = rx.lock().expect("queue receiver poisoned");
+            rx.recv()
+        };
+        let Ok(ticket) = ticket else { break };
+        state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        state.set_depth_gauge();
+        execute_ticket(state, ticket);
+    }
+}
+
+fn execute_ticket(state: &Arc<ServerState>, ticket: Ticket) {
+    let m = randsync_obs::global_metrics();
+    let kind = ticket.job.kind();
+    ticket.conn.send(&progress_frame(&ticket.id, "started", &[]));
+    let router = ProgressRouter::global();
+    router.register(ticket.id.clone(), ticket.conn.clone());
+    let started = Instant::now();
+    let span = randsync_obs::span("svc.job", &[("kind", Field::Str(kind.to_string()))]);
+    let outcome = ticket.job.execute(started + state.job_budget);
+    drop(span);
+    router.deregister();
+    m.histogram(&format!("svc.job.micros.{kind}")).observe(started.elapsed().as_micros() as u64);
+    match outcome {
+        Ok(result) => {
+            if ticket.job.cacheable() {
+                state.cache.put(ticket.job.cache_key(), result.clone());
+            }
+            m.counter("svc.jobs.ok").inc();
+            ticket.conn.send(&ok_frame(&ticket.id, kind, result));
+        }
+        Err(e) => {
+            m.counter("svc.jobs.error").inc();
+            if e.code == code::DEADLINE_EXCEEDED {
+                m.counter("svc.jobs.deadline").inc();
+            }
+            ticket.conn.send(&error_frame(&ticket.id, e.code, &e.message));
+        }
+    }
+}

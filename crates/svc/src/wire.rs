@@ -1,0 +1,161 @@
+//! The framed JSONL wire protocol (DESIGN.md §13).
+//!
+//! Every frame is one JSON object on one line, in both directions,
+//! encoded and decoded with [`randsync_obs::json`] — the same
+//! hand-rolled parser the flight recorder uses, so the server adds no
+//! second encoding. Requests carry an `id` the server echoes verbatim
+//! on every frame it emits for that request, which is what makes
+//! pipelining many requests over one connection safe.
+//!
+//! ```text
+//! request   {"id": <any>, "job": "<kind>", "params": {...}}
+//! ok        {"id": <any>, "status": "ok", "job": "<kind>", "result": {...}}
+//! error     {"id": <any>, "status": "error", "error": {"code": "...", "message": "..."}}
+//! progress  {"id": <any>, "status": "progress", "stage": "...", ...}
+//! ```
+
+use randsync_obs::Json;
+
+/// Wire schema version, reported by the `metrics` control frame and
+/// mixed into every cache key; bump on incompatible change.
+pub const WIRE_SCHEMA_VERSION: u32 = 1;
+
+/// Machine-readable error codes carried in `error.code`.
+pub mod code {
+    /// The frame was not a valid request object.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The `job` field named no known job kind.
+    pub const UNKNOWN_JOB: &str = "unknown_job";
+    /// The `protocol` parameter named no registry entry.
+    pub const UNKNOWN_PROTOCOL: &str = "unknown_protocol";
+    /// The bounded job queue was full; retry later.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The server is draining and accepts no new jobs.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The job exceeded its wall-clock budget and was cancelled.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// The job ran but failed (bridge error, replay divergence, ...).
+    pub const JOB_FAILED: &str = "job_failed";
+}
+
+/// One parsed request frame.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed verbatim on every response
+    /// and progress frame (`Null` when absent).
+    pub id: Json,
+    /// The job kind (or control frame name).
+    pub job: String,
+    /// The job parameters (`Null` when absent).
+    pub params: Json,
+}
+
+impl Request {
+    /// Parse one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the line is not JSON, not an
+    /// object, or lacks a string `job` field.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = randsync_obs::parse_json(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let Json::Obj(_) = v else {
+            return Err("request must be a JSON object".to_string());
+        };
+        let job = v
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request missing string \"job\" field".to_string())?
+            .to_string();
+        let id = v.get("id").cloned().unwrap_or(Json::Null);
+        let params = v.get("params").cloned().unwrap_or(Json::Null);
+        Ok(Request { id, job, params })
+    }
+
+    /// Render a request frame (the client side of [`Request::parse`]).
+    pub fn render(id: &Json, job: &str, params: &Json) -> String {
+        Json::Obj(vec![
+            ("id".to_string(), id.clone()),
+            ("job".to_string(), Json::Str(job.to_string())),
+            ("params".to_string(), params.clone()),
+        ])
+        .render()
+    }
+}
+
+/// Render an `ok` response frame.
+pub fn ok_frame(id: &Json, job: &str, result: Json) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), id.clone()),
+        ("status".to_string(), Json::Str("ok".to_string())),
+        ("job".to_string(), Json::Str(job.to_string())),
+        ("result".to_string(), result),
+    ])
+    .render()
+}
+
+/// Render an `error` response frame.
+pub fn error_frame(id: &Json, code: &str, message: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), id.clone()),
+        ("status".to_string(), Json::Str("error".to_string())),
+        (
+            "error".to_string(),
+            Json::Obj(vec![
+                ("code".to_string(), Json::Str(code.to_string())),
+                ("message".to_string(), Json::Str(message.to_string())),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// Render a `progress` frame: a stage name plus extra fields.
+pub fn progress_frame(id: &Json, stage: &str, extra: &[(&str, Json)]) -> String {
+    let mut fields = vec![
+        ("id".to_string(), id.clone()),
+        ("status".to_string(), Json::Str("progress".to_string())),
+        ("stage".to_string(), Json::Str(stage.to_string())),
+    ];
+    for (k, v) in extra {
+        fields.push(((*k).to_string(), v.clone()));
+    }
+    Json::Obj(fields).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_with_arbitrary_ids() {
+        for id in [Json::Int(7), Json::Str("abc".to_string()), Json::Null] {
+            let line = Request::render(&id, "valency", &Json::Obj(vec![]));
+            let req = Request::parse(&line).expect("parses");
+            assert_eq!(req.id, id);
+            assert_eq!(req.job, "valency");
+            assert_eq!(req.params, Json::Obj(vec![]));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        assert!(Request::parse("not json").unwrap_err().contains("invalid JSON"));
+        assert!(Request::parse("[1,2]").unwrap_err().contains("object"));
+        assert!(Request::parse("{\"id\":1}").unwrap_err().contains("job"));
+    }
+
+    #[test]
+    fn frames_are_single_line_and_echo_the_id() {
+        let id = Json::Str("x\ny".to_string());
+        for frame in [
+            ok_frame(&id, "run", Json::Null),
+            error_frame(&id, code::OVERLOADED, "queue full"),
+            progress_frame(&id, "started", &[("depth", Json::Int(3))]),
+        ] {
+            assert!(!frame.contains('\n'), "{frame}");
+            let v = randsync_obs::parse_json(&frame).expect("frame parses");
+            assert_eq!(v.get("id").and_then(Json::as_str), Some("x\ny"));
+        }
+    }
+}

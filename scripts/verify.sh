@@ -20,6 +20,9 @@
 #   8. observability smoke: --metrics must yield a non-empty explore.*
 #      snapshot, and a --trace recording must replay bit-for-bit via
 #      `randsync replay` (nonzero exit on divergence fails this script)
+#   9. job-server smoke: serve on an ephemeral loopback port, submit a
+#      valency job, a threaded run, and a metrics control frame, then
+#      drain with `randsync shutdown` (the server must exit cleanly)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -60,5 +63,27 @@ grep -q "explore\." target/verify_metrics.txt \
 trace_file="target/verify_trace.jsonl"
 cargo run --release --bin randsync -- run walk-counter 2 1 --trace "$trace_file"
 cargo run --release --bin randsync -- replay "$trace_file"
+
+echo "== job-server smoke (serve -> submit -> shutdown over loopback) =="
+svc_log="target/verify_svc.log"
+./target/release/randsync serve 127.0.0.1:0 --workers 2 --queue 8 \
+    > "$svc_log" 2>&1 &
+svc_pid=$!
+svc_addr=""
+for _ in $(seq 1 50); do
+    svc_addr=$(sed -n 's/^randsync-svc listening on //p' "$svc_log")
+    [ -n "$svc_addr" ] && break
+    sleep 0.1
+done
+[ -n "$svc_addr" ] || { echo "FAIL: job server never reported its address"; kill "$svc_pid" 2>/dev/null; exit 1; }
+./target/release/randsync submit "$svc_addr" valency protocol=cas
+./target/release/randsync submit "$svc_addr" run protocol=walk-counter seed=7
+./target/release/randsync submit "$svc_addr" metrics > target/verify_svc_metrics.txt
+grep -q "svc.jobs.ok" target/verify_svc_metrics.txt \
+    || { echo "FAIL: metrics frame missing svc.* entries"; kill "$svc_pid" 2>/dev/null; exit 1; }
+./target/release/randsync shutdown "$svc_addr"
+wait "$svc_pid" || { echo "FAIL: job server exited nonzero"; exit 1; }
+grep -q "drained and stopped" "$svc_log" \
+    || { echo "FAIL: job server did not drain cleanly"; exit 1; }
 
 echo "verify.sh: all gates passed"

@@ -9,7 +9,12 @@
 //! randsync valency <protocol> [t]    valency analysis (FLP structure)
 //! randsync run <protocol> [n] [seed] execute on real threads via the runtime
 //! randsync replay <trace.jsonl>      re-execute a recorded run deterministically
+//! randsync montecarlo <protocol> [trials] [seed] [n]   seeded trial sweep + histogram
 //! randsync walk <n> [seed]           threaded one-counter consensus demo
+//!
+//! randsync serve [addr] [--workers N] [--queue N]   start the verification job server
+//! randsync submit <addr> <job> [key=value ...]      run one job against a server
+//! randsync shutdown <addr>                          drain a server and stop it
 //! ```
 //!
 //! Protocol names come from the shared registry
@@ -17,6 +22,13 @@
 //! all with their paper hooks. `attack` applies only to the flawed
 //! entries the adversaries target; `run` applies only to entries whose
 //! termination survives free thread scheduling.
+//!
+//! The `serve`/`submit`/`shutdown` trio speaks the framed JSONL
+//! protocol of `randsync::svc` (DESIGN.md §13): `submit` values are
+//! parsed as integers/booleans when they look like one and strings
+//! otherwise, and `value=@path` embeds a file's contents (how a replay
+//! trace travels). `submit <addr> metrics` fetches the server's
+//! metrics snapshot.
 //!
 //! Observability flags: `valency` and `run` accept `--metrics` (enable
 //! the global metrics registry and print its snapshot — for `valency`
@@ -41,7 +53,8 @@ use randsync::model::{
     Configuration, Execution, Explorer, ExploreLimits, ProcessId, Protocol, Step,
 };
 use randsync::objects::bridge;
-use randsync::obs::{self, ExecutionTrace, Field, TraceSink};
+use randsync::obs::{self, ExecutionTrace, Field, Json, TraceSink};
+use randsync::svc::{job, Client, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -82,6 +95,10 @@ fn main() -> ExitCode {
         "valency" => run_valency(&args[1..]),
         "run" => run_threaded(&args[1..]),
         "replay" => run_replay(&args[1..]),
+        "montecarlo" => run_montecarlo(&args[1..]),
+        "serve" => run_serve(&args[1..]),
+        "submit" => run_submit(&args[1..]),
+        "shutdown" => run_shutdown(&args[1..]),
         "walk" => {
             let n = parse(args.get(1), 4) as usize;
             let seed = parse(args.get(2), 42);
@@ -106,8 +123,13 @@ fn main() -> ExitCode {
                  randsync valency <protocol> [threads] [--canonical] [--metrics]\n  \
                  randsync run <protocol> [n] [seed] [--metrics] [--trace <file>]\n  \
                  randsync replay <trace.jsonl>\n  \
-                 randsync walk <n> [seed]\n\n\
-                 protocol names: see `randsync protocols`"
+                 randsync montecarlo <protocol> [trials] [seed] [n]\n  \
+                 randsync walk <n> [seed]\n  \
+                 randsync serve [addr] [--workers N] [--queue N]\n  \
+                 randsync submit <addr> <job> [key=value ...]\n  \
+                 randsync shutdown <addr>\n\n\
+                 protocol names: see `randsync protocols`\n\
+                 job kinds: valency, run, monte_carlo, replay, verify_witness, protocols, metrics"
             );
             ExitCode::SUCCESS
         }
@@ -569,5 +591,253 @@ fn run_replay(args: &[String]) -> ExitCode {
     } else {
         eprintln!("  verdict     : DIVERGED — the trace recorded {:?}", trace.decisions);
         ExitCode::FAILURE
+    }
+}
+
+/// `randsync montecarlo <protocol> [trials] [seed] [n]`: a seeded batch
+/// of simulator trials, printed with the per-decision-value histogram.
+/// Runs through the same job code the server uses, so the numbers here
+/// are bit-identical to a `monte_carlo` job submitted over the wire.
+fn run_montecarlo(args: &[String]) -> ExitCode {
+    let which = args.first().map(String::as_str).unwrap_or("cas");
+    let entry = match lookup(which) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let params = Json::Obj(vec![
+        ("protocol".to_string(), Json::Str(entry.name.to_string())),
+        ("trials".to_string(), Json::Int(parse(args.get(1), 256) as i128)),
+        ("seed".to_string(), Json::Int(parse(args.get(2), 0) as i128)),
+        ("n".to_string(), Json::Int(parse(args.get(3), entry.default_n as u64) as i128)),
+    ]);
+    let job = match job::Job::parse("monte_carlo", &params) {
+        Ok(job) => job,
+        Err(e) => {
+            eprintln!("{}: {}", e.code, e.message);
+            return ExitCode::FAILURE;
+        }
+    };
+    match job.execute(std::time::Instant::now() + std::time::Duration::from_secs(3600)) {
+        Ok(result) => {
+            print_mc_summary(&result);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}: {}", e.code, e.message);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Print a `monte_carlo` result object (local or from a server),
+/// histogram included.
+fn print_mc_summary(result: &Json) {
+    let get = |key: &str| result.get(key).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "{} — {} trials, n = {}",
+        result.get("protocol").and_then(Json::as_str).unwrap_or("?"),
+        get("trials"),
+        get("n"),
+    );
+    println!("  decided runs    : {}", get("decided_runs"));
+    println!("  consistent runs : {}", get("consistent_runs"));
+    let mean = match result.get("mean_steps") {
+        Some(Json::Float(f)) => *f,
+        Some(Json::Int(i)) => *i as f64,
+        _ => 0.0,
+    };
+    println!("  steps           : mean {:.1}, max {}", mean, get("max_steps"));
+    if get("undecided_processes") > 0 {
+        println!("  undecided procs : {}", get("undecided_processes"));
+    }
+    let Some(counts) = result.get("decision_counts").and_then(Json::as_arr) else {
+        return;
+    };
+    let total: u64 = counts
+        .iter()
+        .filter_map(|pair| pair.as_arr()?.get(1)?.as_u64())
+        .sum();
+    println!("  decisions       :");
+    for pair in counts {
+        let Some(pair) = pair.as_arr() else { continue };
+        let (Some(value), Some(count)) =
+            (pair.first().and_then(Json::as_u64), pair.get(1).and_then(Json::as_u64))
+        else {
+            continue;
+        };
+        let share = if total == 0 { 0.0 } else { 100.0 * count as f64 / total as f64 };
+        println!("    value {value} : {count:>8} ({share:>5.1}%)");
+    }
+}
+
+/// `randsync serve [addr] [--workers N] [--queue N]`: run the job
+/// server until a `shutdown` control frame drains it. Binding port 0
+/// picks an ephemeral port; the actual address is printed either way.
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut addr: Option<&str> = None;
+    let mut config = ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workers" | "--queue" => {
+                let Some(n) = iter.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("{arg} needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if arg == "--workers" {
+                    config.workers = n;
+                } else {
+                    config.queue = n;
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+            other if addr.is_none() => addr = Some(other),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let addr = addr.unwrap_or("127.0.0.1:7450");
+    let server = match Server::bind(addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(actual) => println!("randsync-svc listening on {actual}"),
+        Err(e) => {
+            eprintln!("cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush(); // scripts poll for the line above
+    match server.run() {
+        Ok(()) => {
+            println!("randsync-svc drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse one `key=value` argument value: integers and booleans are
+/// typed, `@path` embeds a file's contents, anything else is a string.
+fn parse_submit_value(value: &str) -> Result<Json, ExitCode> {
+    if let Some(path) = value.strip_prefix('@') {
+        return match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Json::Str(text)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                Err(ExitCode::FAILURE)
+            }
+        };
+    }
+    Ok(match value {
+        "true" => Json::Bool(true),
+        "false" => Json::Bool(false),
+        "null" => Json::Null,
+        _ => value
+            .parse::<i128>()
+            .map(Json::Int)
+            .unwrap_or_else(|_| Json::Str(value.to_string())),
+    })
+}
+
+/// `randsync submit <addr> <job> [key=value ...]`: run one job against
+/// a server, streaming progress frames to stderr. Exit code mirrors
+/// the reply status.
+fn run_submit(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(kind)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: randsync submit <addr> <job> [key=value ...]");
+        return ExitCode::FAILURE;
+    };
+    let mut params = Vec::new();
+    for arg in &args[2..] {
+        let Some((key, value)) = arg.split_once('=') else {
+            eprintln!("parameters are key=value pairs, got: {arg}");
+            return ExitCode::FAILURE;
+        };
+        match parse_submit_value(value) {
+            Ok(v) => params.push((key.to_string(), v)),
+            Err(code) => return code,
+        }
+    }
+    let params = if params.is_empty() { Json::Null } else { Json::Obj(params) };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let id = match client.send(kind, &params) {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("cannot send request: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reply = client.wait(&id, |frame| {
+        let stage = frame.get("stage").and_then(Json::as_str).unwrap_or("?");
+        if stage == "explore.level" {
+            eprintln!(
+                "  depth {:>4}  frontier {:>9}  configs {:>9}",
+                frame.get("depth").and_then(Json::as_u64).unwrap_or(0),
+                frame.get("frontier").and_then(Json::as_u64).unwrap_or(0),
+                frame.get("configs").and_then(Json::as_u64).unwrap_or(0),
+            );
+        } else {
+            eprintln!("  {stage}");
+        }
+    });
+    match reply {
+        Ok(reply) if reply.ok => {
+            if kind == "monte_carlo" {
+                print_mc_summary(&reply.body);
+            } else {
+                println!("{}", reply.body.render());
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(reply) => {
+            eprintln!(
+                "{}: {}",
+                reply.error_code().unwrap_or("error"),
+                reply.body.get("message").and_then(Json::as_str).unwrap_or("(no message)")
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `randsync shutdown <addr>`: drain a running server and stop it.
+fn run_shutdown(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: randsync shutdown <addr>");
+        return ExitCode::FAILURE;
+    };
+    match Client::connect(addr).and_then(|mut c| c.shutdown()) {
+        Ok(draining) => {
+            println!("server draining ({draining} queued job(s)) and stopping");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shutdown failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! historyless objects, the upper-bound protocols it is contrasted
 //! with, and the separation results of Section 4 — as a Rust workspace.
 //!
-//! This umbrella crate re-exports the five library crates:
+//! This umbrella crate re-exports the six library crates:
 //!
 //! * [`model`] — the asynchronous shared-memory computation model:
 //!   typed objects and the historyless classification, protocols with
@@ -22,7 +22,11 @@
 //!   the closed-form bounds, and the Section 4 separation tables;
 //! * [`obs`] — the zero-dependency observability layer: the metrics
 //!   registry, the structured-trace sinks, and the execution flight
-//!   recorder that makes every threaded run replayable from a file.
+//!   recorder that makes every threaded run replayable from a file;
+//! * [`svc`] — the verification job server: a framed JSONL protocol
+//!   over TCP, a bounded queue feeding a worker pool, per-job
+//!   wall-clock budgets, and a results cache, so repeated verification
+//!   queries amortise process start-up (see `randsync serve`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -43,3 +47,4 @@ pub use randsync_core as core;
 pub use randsync_model as model;
 pub use randsync_objects as objects;
 pub use randsync_obs as obs;
+pub use randsync_svc as svc;
