@@ -5,7 +5,7 @@
 //! analysis ([`Explorer::valency`](super::Explorer::valency)), and
 //! safety-property search
 //! ([`Explorer::find_violation`](super::Explorer::find_violation)) — is
-//! a thin wrapper over [`bfs`]. The engine owns four responsibilities:
+//! a thin wrapper over [`bfs`]. The engine owns five responsibilities:
 //!
 //! 1. **Packing.** Each distinct configuration is stored exactly once,
 //!    as a fixed-stride run of `u32` words in an append-only
@@ -19,10 +19,17 @@
 //!    candidate successor is mapped to its permutation-class
 //!    representative (sorted process vector) before dedup, so the
 //!    search runs on the symmetry quotient (see [`super::canonical`]).
-//! 3. **Dedup.** Novelty checks go through [`SeenMaps`]: a precomputed
-//!    64-bit hash of the packed words selects a shard, the shard maps
-//!    the hash to candidate arena indices, and candidates are
-//!    collision-checked by word-slice equality against the arena.
+//! 3. **Dedup.** Novelty checks go through a [`Dedup`] backend. The
+//!    in-RAM tier is [`SeenMaps`]: a precomputed 64-bit hash of the
+//!    packed words selects a shard, the shard maps the hash to
+//!    candidate arena indices, and candidates are collision-checked by
+//!    word-slice equality against the arena. When
+//!    [`ExploreConfig::mem_budget_bytes`] is set, the out-of-core tier
+//!    ([`super::spill::ExternalDedup`]) replaces it: per level, the
+//!    candidate keys are sorted and merged against an on-disk seen-set
+//!    of sorted runs with sequential I/O only. Both tiers compare full
+//!    words, so their dedup decisions — and hence every result — are
+//!    identical.
 //! 4. **Deterministic parallelism.** Each BFS level is processed in two
 //!    phases. Phase 1 expands the frontier — in parallel chunks under
 //!    [`std::thread::scope`] when the frontier is large enough — with
@@ -35,17 +42,28 @@
 //!    the protocol-level `Ord` on states, not an interning artifact —
 //!    the arena order (and hence every witness, count, and flag derived
 //!    from it) is **identical to a sequential BFS regardless of thread
-//!    count**.
+//!    count**, in RAM and spill mode alike (the external merge assigns
+//!    indices by first occurrence in frontier order, exactly like the
+//!    in-RAM probe loop).
+//! 5. **Checkpointing.** When a search stops cleanly at a level
+//!    boundary (deadline or depth budget, never a mid-level config cap)
+//!    and [`ExploreConfig::checkpoint`] is set, the parent forest is
+//!    serialized so [`bfs_resume`] can rebuild the exact engine state
+//!    and continue — see [`super::checkpoint`] for the soundness
+//!    argument.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::config::Configuration;
 use crate::execution::Step;
-use crate::protocol::{Action, ObjectSpec, Protocol};
+use crate::protocol::{Action, Decision, ObjectSpec, Protocol};
 
 use super::canonical::{permutations_of_sorted, Canonicalizer};
-use super::pack::{hash_words, PackedArena};
+use super::checkpoint::{Checkpoint, CheckpointError};
+use super::pack::{hash_words, PackedArena, WordStore};
+use super::spill::{BudgetPlan, ExternalDedup, SpillDir, SpillStore};
 use super::ExploreConfig;
 
 /// A caller-supplied early-stop predicate over configurations.
@@ -55,7 +73,7 @@ pub(super) type StopFn<'a, S> = dyn Fn(&Configuration<S>) -> bool + Sync + 'a;
 /// per-level thread spawn costs more than the expansion work it buys.
 const PARALLEL_FRONTIER_MIN: usize = 64;
 
-/// The sharded hash → arena-index dedup structure.
+/// The sharded hash → arena-index dedup structure (the in-RAM tier).
 ///
 /// Keys are precomputed [`hash_words`] values of packed
 /// configurations; a key maps to every arena index whose words have
@@ -88,7 +106,7 @@ impl SeenMaps {
 
     /// The arena index of the configuration packed as `words`, if it
     /// has been interned.
-    pub(super) fn probe<S: Clone + Eq + std::hash::Hash>(
+    pub(super) fn probe<S: Clone + Eq + Hash>(
         &self,
         hash: u64,
         words: &[u32],
@@ -98,7 +116,7 @@ impl SeenMaps {
             .get(&hash)?
             .iter()
             .copied()
-            .find(|&j| arena.words_of(j) == words)
+            .find(|&j| arena.words_match(j, words))
     }
 
     /// Record that the configuration whose words hash to `hash` lives
@@ -123,6 +141,12 @@ impl SeenMaps {
     }
 }
 
+/// The dedup backend: resident sharded maps or the out-of-core tier.
+pub(super) enum Dedup {
+    Ram(SeenMaps),
+    Ext(ExternalDedup),
+}
+
 /// Pre-resolved global-registry handles for the engine's per-level
 /// metrics flush. Tallies are kept in plain locals during the merge and
 /// written here once per level barrier, so the per-candidate path never
@@ -135,6 +159,7 @@ struct EngineMetrics {
     interned: randsync_obs::Counter,
     frontier: randsync_obs::Histogram,
     arena_bytes: randsync_obs::Gauge,
+    spilled_bytes: randsync_obs::Gauge,
     max_depth: randsync_obs::Gauge,
     raw_represented: randsync_obs::Gauge,
     shard_entries: randsync_obs::Histogram,
@@ -153,6 +178,7 @@ impl EngineMetrics {
             interned: m.counter("explore.interned"),
             frontier: m.histogram("explore.frontier"),
             arena_bytes: m.gauge("explore.arena_bytes"),
+            spilled_bytes: m.gauge("explore.spilled_bytes"),
             max_depth: m.gauge("explore.max_depth"),
             raw_represented: m.gauge("explore.raw_represented"),
             shard_entries: m.histogram("explore.shard_entries"),
@@ -180,8 +206,12 @@ pub(super) struct BfsGraph<S> {
     pub(super) canonical: bool,
     /// Total raw configurations represented: the sum over interned
     /// nodes of their permutation-class sizes. Equals the node count in
-    /// raw mode.
+    /// raw mode. Saturates at `usize::MAX`; see
+    /// [`raw_overflow`](BfsGraph::raw_overflow).
     pub(super) raw_represented: usize,
+    /// The multinomial accumulation above saturated — the reported
+    /// `raw_configs` is a floor, not the true count.
+    pub(super) raw_overflow: bool,
     /// A successor was dropped because the arena reached `max_configs`.
     pub(super) config_capped: bool,
     /// The search stopped at a level boundary because
@@ -197,6 +227,37 @@ pub(super) struct BfsGraph<S> {
     /// The first node (in BFS order) satisfying the stop predicate, if
     /// one was given and matched.
     pub(super) hit: Option<u32>,
+    /// Whether the search ran on the spillable (out-of-core) tier.
+    pub(super) spill_mode: bool,
+    /// Total bytes written to spill files (arena segments + dedup runs).
+    pub(super) spilled_bytes: u64,
+    /// Sequential merge scans performed over on-disk dedup runs.
+    pub(super) dedup_merge_passes: u64,
+    /// Resident bytes of arena + dedup at the end of the search.
+    pub(super) resident_bytes: usize,
+    /// Path a checkpoint was written to, if one was requested and the
+    /// search stopped checkpointably.
+    pub(super) checkpoint_written: Option<std::path::PathBuf>,
+    /// Why a requested checkpoint could not be written, if it failed.
+    pub(super) checkpoint_error: Option<String>,
+}
+
+impl<S> BfsGraph<S> {
+    /// Accumulate one interned node's permutation-class size into the
+    /// raw-represented total with explicit overflow tracking (the
+    /// multinomials at n ≥ 4 scales can exceed `usize`).
+    fn add_class(&mut self, class: usize) {
+        if class == usize::MAX {
+            self.raw_overflow = true;
+        }
+        match self.raw_represented.checked_add(class) {
+            Some(v) => self.raw_represented = v,
+            None => {
+                self.raw_represented = usize::MAX;
+                self.raw_overflow = true;
+            }
+        }
+    }
 }
 
 /// A candidate successor produced during frontier expansion.
@@ -215,17 +276,21 @@ enum SuccRef<S> {
 /// clone-on-insert discipline — known configurations cost an encode, a
 /// hash, and a probe, never an allocation. A candidate that fails to
 /// pack contains a never-interned state, so it cannot be a duplicate of
-/// anything interned.
-fn classify<S: Clone + Eq + std::hash::Hash>(
+/// anything interned. In spill mode there are no probeable seen-maps
+/// (`seen` is `None`): every candidate is cloned and the level merge
+/// resolves it against the external seen-set.
+fn classify<S: Clone + Eq + Hash>(
     cand: &Configuration<S>,
-    seen: &SeenMaps,
+    seen: Option<&SeenMaps>,
     arena: &PackedArena<S>,
     words: &mut Vec<u32>,
 ) -> SuccRef<S> {
-    if arena.try_encode(cand, words) {
-        let hash = hash_words(words);
-        if let Some(j) = seen.probe(hash, words, arena) {
-            return SuccRef::Seen(j);
+    if let Some(seen) = seen {
+        if arena.try_encode(cand, words) {
+            let hash = hash_words(words);
+            if let Some(j) = seen.probe(hash, words, arena) {
+                return SuccRef::Seen(j);
+            }
         }
     }
     SuccRef::New(cand.clone())
@@ -241,7 +306,7 @@ fn expand_node<P>(
     specs: &[ObjectSpec],
     config: &Configuration<P::State>,
     canon: &Canonicalizer,
-    seen: &SeenMaps,
+    seen: Option<&SeenMaps>,
     arena: &PackedArena<P::State>,
 ) -> Vec<(Step, SuccRef<P::State>)>
 where
@@ -300,6 +365,34 @@ where
     out
 }
 
+/// Per-level merge tallies, flushed to metrics at the level barrier.
+struct LevelStats {
+    candidates: u64,
+    dedup: u64,
+    interned: u64,
+}
+
+/// Pick the storage tier from the configuration: resident arena +
+/// sharded maps, or spill store + external dedup under a budget.
+fn make_store<S: Clone + Eq + Hash>(
+    config: &ExploreConfig,
+    n_procs: usize,
+    n_values: usize,
+) -> (PackedArena<S>, Dedup) {
+    if config.mem_budget_bytes > 0 {
+        let stride = n_procs + n_values;
+        let plan = BudgetPlan::for_budget(config.mem_budget_bytes, stride);
+        let dir = SpillDir::create(config.spill_dir.clone());
+        let store = SpillStore::new(stride, &plan, Arc::clone(&dir));
+        (
+            PackedArena::with_store(n_procs, n_values, WordStore::Spill(store)),
+            Dedup::Ext(ExternalDedup::new(stride, &plan, dir)),
+        )
+    } else {
+        (PackedArena::new(n_procs, n_values), Dedup::Ram(SeenMaps::new(config.shard_count())))
+    }
+}
+
 /// Depth-synchronous breadth-first exploration from `start`.
 ///
 /// When `stop` is given, the search halts at the end of the level in
@@ -309,10 +402,10 @@ where
 /// canonical mode). When `record_edges` is set, the full successor
 /// multigraph is recorded in [`BfsGraph::succ`].
 ///
-/// The result is bit-identical for every `threads` setting: parallel
-/// workers only *propose* successors, and the sequential merge at each
-/// level barrier interns them — and assigns codec ids — in frontier
-/// order.
+/// The result is bit-identical for every `threads` setting — and for
+/// every storage tier: parallel workers only *propose* successors, and
+/// the sequential merge at each level barrier interns them — and
+/// assigns codec ids — in frontier order.
 pub(super) fn bfs<P>(
     protocol: &P,
     start: Configuration<P::State>,
@@ -327,27 +420,31 @@ where
     // `Protocol::objects` allocates a fresh Vec per call; hoist it out
     // of the hot loop once for the whole search.
     let specs = protocol.objects();
-    let threads = config.effective_threads();
-    let max_configs = config.limits.max_configs;
-    let max_depth = config.limits.max_depth;
-    let seen = SeenMaps::new(config.shard_count());
     let canon = Canonicalizer::for_protocol(protocol, config.canonical);
 
     let mut start = start;
     canon.canonicalize(&mut start);
 
+    let (arena, mut dedup) = make_store(config, start.procs.len(), start.values.len());
     let mut g = BfsGraph {
-        arena: PackedArena::new(start.procs.len(), start.values.len()),
+        arena,
         parent: Vec::new(),
         depth: Vec::new(),
         succ: Vec::new(),
         canonical: canon.enabled(),
         raw_represented: 0,
+        raw_overflow: false,
         config_capped: false,
         deadline_hit: false,
         depth_capped_active: false,
         depth_capped_any: false,
         hit: None,
+        spill_mode: matches!(dedup, Dedup::Ext(_)),
+        spilled_bytes: 0,
+        dedup_merge_passes: 0,
+        resident_bytes: 0,
+        checkpoint_written: None,
+        checkpoint_error: None,
     };
     // Reusable packed-word buffer for everything the merge interns.
     let mut words: Vec<u32> = Vec::new();
@@ -359,21 +456,228 @@ where
     if record_edges {
         g.succ.push(Vec::new());
     }
-    seen.insert(start_hash, 0);
-    g.raw_represented = g.raw_represented.saturating_add(if canon.enabled() {
-        permutations_of_sorted(&start.procs)
-    } else {
-        1
-    });
+    match &mut dedup {
+        Dedup::Ram(seen) => seen.insert(start_hash, 0),
+        Dedup::Ext(d) => d.insert_sorted(&[start_hash], &[0], &words),
+    }
+    g.add_class(if canon.enabled() { permutations_of_sorted(&start.procs) } else { 1 });
     if let Some(pred) = stop {
         if pred(&start) {
             g.hit = Some(0);
+            finalize(&mut g, &dedup, config, record_edges, 0);
             return g;
         }
     }
 
-    let mut frontier: Vec<u32> = vec![0];
-    let mut level_depth: usize = 0;
+    let final_depth =
+        run_levels(protocol, &specs, config, record_edges, stop, &canon, &mut g, &mut dedup, vec![0], 0);
+    finalize(&mut g, &dedup, config, record_edges, final_depth);
+    g
+}
+
+/// Rebuild a checkpointed search and continue it to completion (or the
+/// next budget) under `config`.
+///
+/// The checkpoint stores only the parent forest; the arena, codec,
+/// seen-set, and frontier are reconstructed by replaying one protocol
+/// step per node in the original BFS order, which reproduces every
+/// interned word and codec id exactly (see [`super::checkpoint`]). The
+/// resumed search may run on a different storage tier than the one
+/// that wrote the checkpoint.
+pub(super) fn bfs_resume<P>(
+    protocol: &P,
+    ckpt: &Checkpoint,
+    config: &ExploreConfig,
+) -> Result<BfsGraph<P::State>, CheckpointError>
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
+    let specs = protocol.objects();
+    let canon = Canonicalizer::for_protocol(protocol, ckpt.canonical);
+    if canon.enabled() != ckpt.canonical {
+        return Err(CheckpointError::Mismatch(
+            "checkpoint ran on the symmetry quotient but this protocol does not grant it".into(),
+        ));
+    }
+    let inputs: Vec<Decision> = ckpt.inputs.clone();
+    if inputs.len() != protocol.num_processes() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {} inputs, protocol has {} processes",
+            inputs.len(),
+            protocol.num_processes()
+        )));
+    }
+    let mut start = Configuration::initial(protocol, &inputs);
+    canon.canonicalize(&mut start);
+    let (n_procs, n_values) = (start.procs.len(), start.values.len());
+    if n_procs != ckpt.n_procs as usize || n_values != ckpt.n_values as usize {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint shape {}×{} does not match protocol shape {}×{}",
+            ckpt.n_procs, ckpt.n_values, n_procs, n_values
+        )));
+    }
+    let record_edges = ckpt.record_edges;
+    let stride = n_procs + n_values;
+
+    let (arena, mut dedup) = make_store(config, n_procs, n_values);
+    let mut g = BfsGraph {
+        arena,
+        parent: Vec::with_capacity(ckpt.nodes()),
+        depth: Vec::with_capacity(ckpt.nodes()),
+        succ: Vec::new(),
+        canonical: canon.enabled(),
+        raw_represented: 0,
+        raw_overflow: false,
+        config_capped: false,
+        deadline_hit: false,
+        depth_capped_active: false,
+        depth_capped_any: false,
+        hit: None,
+        spill_mode: matches!(dedup, Dedup::Ext(_)),
+        spilled_bytes: 0,
+        dedup_merge_passes: 0,
+        resident_bytes: 0,
+        checkpoint_written: None,
+        checkpoint_error: None,
+    };
+
+    // Replay: one decode + step + intern per node, in interning order.
+    // In spill mode, seen-set entries are accumulated into bounded
+    // sorted chunks so the rebuild respects the memory budget too.
+    let mut words: Vec<u32> = Vec::new();
+    let (mut pend_h, mut pend_i, mut pend_w): (Vec<u64>, Vec<u32>, Vec<u32>) =
+        (Vec::new(), Vec::new(), Vec::new());
+    let pend_cap = 64 * 1024; // entries per chunk before a sorted insert
+    for i in 0..ckpt.nodes() {
+        let cfg = if i == 0 {
+            start.clone()
+        } else {
+            let (p, step) = ckpt.parent[i].ok_or_else(|| {
+                CheckpointError::Corrupt(format!("node {i} lacks a parent"))
+            })?;
+            let mut c = g.arena.decode(p);
+            c.step(protocol, step.pid, step.coin).map_err(|e| {
+                CheckpointError::Mismatch(format!(
+                    "replaying step {step:?} at node {i} failed: {e:?} — \
+                     checkpoint does not match this protocol"
+                ))
+            })?;
+            canon.canonicalize(&mut c);
+            c
+        };
+        g.arena.encode_intern(&cfg, &mut words);
+        let hash = hash_words(&words);
+        let j = g.arena.push(&words);
+        debug_assert_eq!(j as usize, i);
+        g.parent.push(ckpt.parent[i]);
+        let d = match ckpt.parent[i] {
+            None => 0,
+            Some((p, _)) => g.depth[p as usize] + 1,
+        };
+        g.depth.push(d);
+        if record_edges {
+            g.succ.push(ckpt.succ[i].clone());
+        }
+        g.add_class(if canon.enabled() { permutations_of_sorted(&cfg.procs) } else { 1 });
+        match &mut dedup {
+            Dedup::Ram(seen) => seen.insert(hash, j),
+            Dedup::Ext(_) => {
+                pend_h.push(hash);
+                pend_i.push(j);
+                pend_w.extend_from_slice(&words);
+                if pend_h.len() >= pend_cap {
+                    if let Dedup::Ext(d) = &mut dedup {
+                        flush_sorted_chunk(d, &mut pend_h, &mut pend_i, &mut pend_w, stride);
+                    }
+                }
+            }
+        }
+    }
+    if let Dedup::Ext(d) = &mut dedup {
+        flush_sorted_chunk(d, &mut pend_h, &mut pend_i, &mut pend_w, stride);
+    }
+
+    // The frontier is exactly the nodes at the stop depth, in index
+    // (i.e. original interning) order.
+    let level_depth = ckpt.level_depth as usize;
+    let frontier: Vec<u32> = (0..ckpt.nodes() as u32)
+        .filter(|&i| g.depth[i as usize] as usize == level_depth)
+        .collect();
+
+    let final_depth = run_levels(
+        protocol,
+        &specs,
+        config,
+        record_edges,
+        None,
+        &canon,
+        &mut g,
+        &mut dedup,
+        frontier,
+        level_depth,
+    );
+    finalize(&mut g, &dedup, config, record_edges, final_depth);
+    Ok(g)
+}
+
+/// Sort an unsorted chunk of seen-set entries by `(hash, words)` and
+/// hand it to the external dedup as one sorted batch.
+fn flush_sorted_chunk(
+    dedup: &mut ExternalDedup,
+    h: &mut Vec<u64>,
+    idx: &mut Vec<u32>,
+    w: &mut Vec<u32>,
+    stride: usize,
+) {
+    if h.is_empty() {
+        return;
+    }
+    let mut order: Vec<u32> = (0..h.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let (a, b) = (a as usize, b as usize);
+        h[a].cmp(&h[b])
+            .then_with(|| w[a * stride..(a + 1) * stride].cmp(&w[b * stride..(b + 1) * stride]))
+    });
+    let mut sh = Vec::with_capacity(h.len());
+    let mut si = Vec::with_capacity(h.len());
+    let mut sw = Vec::with_capacity(w.len());
+    for &o in &order {
+        let o = o as usize;
+        sh.push(h[o]);
+        si.push(idx[o]);
+        sw.extend_from_slice(&w[o * stride..(o + 1) * stride]);
+    }
+    dedup.insert_sorted(&sh, &si, &sw);
+    h.clear();
+    idx.clear();
+    w.clear();
+}
+
+/// The level loop shared by [`bfs`] and [`bfs_resume`]: expand, merge,
+/// repeat until the frontier empties or a budget stops the search at a
+/// level boundary. Returns the depth of the frontier when the loop
+/// stopped (the resume point).
+#[allow(clippy::too_many_arguments)]
+fn run_levels<P>(
+    protocol: &P,
+    specs: &[ObjectSpec],
+    config: &ExploreConfig,
+    record_edges: bool,
+    stop: Option<&StopFn<'_, P::State>>,
+    canon: &Canonicalizer,
+    g: &mut BfsGraph<P::State>,
+    dedup: &mut Dedup,
+    mut frontier: Vec<u32>,
+    mut level_depth: usize,
+) -> usize
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
+    let threads = config.effective_threads();
+    let max_configs = config.limits.max_configs;
+    let max_depth = config.limits.max_depth;
     let metrics = EngineMetrics::resolve();
 
     while !frontier.is_empty() && g.hit.is_none() {
@@ -386,7 +690,8 @@ where
         }
         // Cooperative cancellation, checked once per level: expansion
         // stops cleanly at a level boundary, so everything interned so
-        // far is a valid (truncated) BFS prefix.
+        // far is a valid (truncated) BFS prefix — and, if a checkpoint
+        // was requested, a resumable one.
         if config.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
             g.deadline_hit = true;
             break;
@@ -398,12 +703,15 @@ where
         // are resolved by the merge below. Frontier nodes are decoded
         // from the packed arena on the fly — the engine never holds
         // more than one heap configuration per in-flight expansion.
+        let seen_view: Option<&SeenMaps> = match &*dedup {
+            Dedup::Ram(seen) => Some(seen),
+            Dedup::Ext(_) => None,
+        };
         let expansions: Vec<Vec<(Step, SuccRef<P::State>)>> =
             if threads > 1 && frontier.len() >= PARALLEL_FRONTIER_MIN {
                 let arena = &g.arena;
-                let seen_ref = &seen;
-                let specs_ref = specs.as_slice();
-                let canon_ref = &canon;
+                let specs_ref = specs;
+                let canon_ref = canon;
                 let workers = threads.min(frontier.len());
                 let chunk = frontier.len().div_ceil(workers);
                 std::thread::scope(|scope| {
@@ -418,7 +726,7 @@ where
                                             specs_ref,
                                             &arena.decode(i),
                                             canon_ref,
-                                            seen_ref,
+                                            seen_view,
                                             arena,
                                         )
                                     })
@@ -435,85 +743,56 @@ where
                 frontier
                     .iter()
                     .map(|&i| {
-                        expand_node(protocol, &specs, &g.arena.decode(i), &canon, &seen, &g.arena)
+                        expand_node(
+                            protocol,
+                            specs,
+                            &g.arena.decode(i),
+                            canon,
+                            seen_view,
+                            &g.arena,
+                        )
                     })
                     .collect()
             };
 
         // Phase 2: sequential merge at the level barrier, in frontier
         // order. This is the only place the arena, the codec, and the
-        // seen-maps grow, so interning order — and everything derived
-        // from it — matches the sequential BFS exactly.
-        let mut next_frontier: Vec<u32> = Vec::new();
-        // Plain-local level tallies; flushed to the registry once per
-        // level barrier (see EngineMetrics).
-        let mut level_candidates = 0u64;
-        let mut level_dedup = 0u64;
-        let mut level_interned = 0u64;
-        for (pos, candidates) in expansions.into_iter().enumerate() {
-            let parent_idx = frontier[pos];
-            for (step, cand) in candidates {
-                level_candidates += 1;
-                let interned = match cand {
-                    SuccRef::Seen(j) => {
-                        level_dedup += 1;
-                        Some(j)
-                    }
-                    SuccRef::New(cand_config) => {
-                        // Re-encode against the grown codec (interning
-                        // any genuinely new states) and re-probe:
-                        // another frontier node earlier in the merge may
-                        // have interned this configuration within the
-                        // same level.
-                        g.arena.encode_intern(&cand_config, &mut words);
-                        let hash = hash_words(&words);
-                        if let Some(j) = seen.probe(hash, &words, &g.arena) {
-                            level_dedup += 1;
-                            Some(j)
-                        } else if g.arena.len() >= max_configs {
-                            g.config_capped = true;
-                            None
-                        } else {
-                            let j = g.arena.push(&words);
-                            g.parent.push(Some((parent_idx, step)));
-                            g.depth.push(level_depth as u32 + 1);
-                            if record_edges {
-                                g.succ.push(Vec::new());
-                            }
-                            seen.insert(hash, j);
-                            g.raw_represented =
-                                g.raw_represented.saturating_add(if canon.enabled() {
-                                    permutations_of_sorted(&cand_config.procs)
-                                } else {
-                                    1
-                                });
-                            if g.hit.is_none() {
-                                if let Some(pred) = stop {
-                                    if pred(&cand_config) {
-                                        g.hit = Some(j);
-                                    }
-                                }
-                            }
-                            level_interned += 1;
-                            next_frontier.push(j);
-                            Some(j)
-                        }
-                    }
-                };
-                if record_edges {
-                    if let Some(j) = interned {
-                        g.succ[parent_idx as usize].push(j);
-                    }
-                }
-            }
-        }
+        // seen-set grow, so interning order — and everything derived
+        // from it — matches the sequential BFS exactly, on either tier.
+        let (next_frontier, stats) = match dedup {
+            Dedup::Ram(seen) => merge_level_ram(
+                g,
+                seen,
+                &frontier,
+                expansions,
+                level_depth,
+                max_configs,
+                canon,
+                stop,
+                record_edges,
+            ),
+            Dedup::Ext(ext) => merge_level_external(
+                g,
+                ext,
+                &frontier,
+                expansions,
+                level_depth,
+                max_configs,
+                canon,
+                stop,
+                record_edges,
+            ),
+        };
         if let Some(m) = &metrics {
             m.levels.inc();
-            m.candidates.add(level_candidates);
-            m.dedup_hits.add(level_dedup);
-            m.interned.add(level_interned);
+            m.candidates.add(stats.candidates);
+            m.dedup_hits.add(stats.dedup);
+            m.interned.add(stats.interned);
             m.frontier.observe(frontier.len() as u64);
             m.arena_bytes.record_max(g.arena.bytes() as i64);
+            let spilled = g.arena.spilled_bytes()
+                + if let Dedup::Ext(d) = &*dedup { d.spilled_bytes() } else { 0 };
+            m.spilled_bytes.record_max(spilled as i64);
             m.max_depth.record_max(level_depth as i64 + 1);
             m.raw_represented.record_max(g.raw_represented as i64);
         }
@@ -523,9 +802,9 @@ where
                 &[
                     ("depth", randsync_obs::Field::U64(level_depth as u64)),
                     ("frontier", randsync_obs::Field::U64(frontier.len() as u64)),
-                    ("candidates", randsync_obs::Field::U64(level_candidates)),
-                    ("dedup_hits", randsync_obs::Field::U64(level_dedup)),
-                    ("interned", randsync_obs::Field::U64(level_interned)),
+                    ("candidates", randsync_obs::Field::U64(stats.candidates)),
+                    ("dedup_hits", randsync_obs::Field::U64(stats.dedup)),
+                    ("interned", randsync_obs::Field::U64(stats.interned)),
                     ("configs", randsync_obs::Field::U64(g.arena.len() as u64)),
                     ("arena_bytes", randsync_obs::Field::U64(g.arena.bytes() as u64)),
                 ],
@@ -535,9 +814,307 @@ where
         level_depth += 1;
     }
     if let Some(m) = &metrics {
-        for size in seen.shard_sizes() {
-            m.shard_entries.observe(size as u64);
+        if let Dedup::Ram(seen) = &*dedup {
+            for size in seen.shard_sizes() {
+                m.shard_entries.observe(size as u64);
+            }
         }
     }
-    g
+    level_depth
+}
+
+/// In-RAM level merge: probe the sharded maps candidate by candidate,
+/// in frontier order.
+#[allow(clippy::too_many_arguments)]
+fn merge_level_ram<S: Clone + Eq + Hash>(
+    g: &mut BfsGraph<S>,
+    seen: &SeenMaps,
+    frontier: &[u32],
+    expansions: Vec<Vec<(Step, SuccRef<S>)>>,
+    level_depth: usize,
+    max_configs: usize,
+    canon: &Canonicalizer,
+    stop: Option<&StopFn<'_, S>>,
+    record_edges: bool,
+) -> (Vec<u32>, LevelStats) {
+    let mut next_frontier: Vec<u32> = Vec::new();
+    let mut stats = LevelStats { candidates: 0, dedup: 0, interned: 0 };
+    let mut words: Vec<u32> = Vec::new();
+    for (pos, candidates) in expansions.into_iter().enumerate() {
+        let parent_idx = frontier[pos];
+        for (step, cand) in candidates {
+            stats.candidates += 1;
+            let interned = match cand {
+                SuccRef::Seen(j) => {
+                    stats.dedup += 1;
+                    Some(j)
+                }
+                SuccRef::New(cand_config) => {
+                    // Re-encode against the grown codec (interning
+                    // any genuinely new states) and re-probe:
+                    // another frontier node earlier in the merge may
+                    // have interned this configuration within the
+                    // same level.
+                    g.arena.encode_intern(&cand_config, &mut words);
+                    let hash = hash_words(&words);
+                    if let Some(j) = seen.probe(hash, &words, &g.arena) {
+                        stats.dedup += 1;
+                        Some(j)
+                    } else if g.arena.len() >= max_configs {
+                        g.config_capped = true;
+                        None
+                    } else {
+                        let j = g.arena.push(&words);
+                        g.parent.push(Some((parent_idx, step)));
+                        g.depth.push(level_depth as u32 + 1);
+                        if record_edges {
+                            g.succ.push(Vec::new());
+                        }
+                        seen.insert(hash, j);
+                        g.add_class(if canon.enabled() {
+                            permutations_of_sorted(&cand_config.procs)
+                        } else {
+                            1
+                        });
+                        if g.hit.is_none() {
+                            if let Some(pred) = stop {
+                                if pred(&cand_config) {
+                                    g.hit = Some(j);
+                                }
+                            }
+                        }
+                        stats.interned += 1;
+                        next_frontier.push(j);
+                        Some(j)
+                    }
+                }
+            };
+            if record_edges {
+                if let Some(j) = interned {
+                    g.succ[parent_idx as usize].push(j);
+                }
+            }
+        }
+    }
+    (next_frontier, stats)
+}
+
+/// Resolution state of one distinct candidate key within a level.
+#[derive(Clone, Copy)]
+enum GroupState {
+    /// Interned in a previous level at this index.
+    Existing(u32),
+    /// Not yet resolved.
+    Unassigned,
+    /// Interned this level at this index (first occurrence wins).
+    Assigned(u32),
+    /// First occurrence hit the config cap; every occurrence drops.
+    Capped,
+}
+
+/// Out-of-core level merge: encode every candidate in frontier order
+/// (codec ids are assigned here, exactly as the in-RAM merge would),
+/// sort the level's distinct keys, resolve them against the external
+/// seen-set in one sequential merge pass, then assign arena indices by
+/// first occurrence in frontier order — reproducing the in-RAM merge's
+/// interning order bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn merge_level_external<S: Clone + Eq + Hash>(
+    g: &mut BfsGraph<S>,
+    dedup: &mut ExternalDedup,
+    frontier: &[u32],
+    expansions: Vec<Vec<(Step, SuccRef<S>)>>,
+    level_depth: usize,
+    max_configs: usize,
+    canon: &Canonicalizer,
+    stop: Option<&StopFn<'_, S>>,
+    record_edges: bool,
+) -> (Vec<u32>, LevelStats) {
+    let stride = g.arena.stride();
+    let n_procs = g.arena.n_procs();
+    let keep_cfg = stop.is_some();
+
+    // Pass A: encode every candidate in frontier order. This is where
+    // codec ids grow, in exactly the order the in-RAM merge grows them.
+    let mut lev_parent: Vec<u32> = Vec::new();
+    let mut lev_step: Vec<Step> = Vec::new();
+    let mut lev_hash: Vec<u64> = Vec::new();
+    let mut lev_words: Vec<u32> = Vec::new();
+    let mut lev_cfg: Vec<Configuration<S>> = Vec::new();
+    let mut words: Vec<u32> = Vec::new();
+    for (pos, candidates) in expansions.into_iter().enumerate() {
+        let parent_idx = frontier[pos];
+        for (step, cand) in candidates {
+            let cfg = match cand {
+                SuccRef::New(c) => c,
+                SuccRef::Seen(_) => unreachable!("spill mode never pre-classifies"),
+            };
+            g.arena.encode_intern(&cfg, &mut words);
+            lev_hash.push(hash_words(&words));
+            lev_words.extend_from_slice(&words);
+            lev_parent.push(parent_idx);
+            lev_step.push(step);
+            if keep_cfg {
+                lev_cfg.push(cfg);
+            }
+        }
+    }
+    let k = lev_hash.len();
+
+    // Pass B: group candidates by key. Two candidates are the same
+    // configuration iff their full words match (the hash only orders).
+    let row = |ord: usize| &lev_words[ord * stride..(ord + 1) * stride];
+    let mut order: Vec<u32> = (0..k as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let (a, b) = (a as usize, b as usize);
+        lev_hash[a].cmp(&lev_hash[b]).then_with(|| row(a).cmp(row(b)))
+    });
+    let mut group_of = vec![0u32; k];
+    let mut reps: Vec<u32> = Vec::new();
+    for (s, &ord) in order.iter().enumerate() {
+        let fresh = s == 0 || {
+            let prev = order[s - 1] as usize;
+            let cur = ord as usize;
+            lev_hash[prev] != lev_hash[cur] || row(prev) != row(cur)
+        };
+        if fresh {
+            reps.push(ord);
+        }
+        group_of[ord as usize] = (reps.len() - 1) as u32;
+    }
+
+    // Pass C: one sorted probe batch against the external seen-set —
+    // sequential merges over the RAM buffer and every on-disk run.
+    let mut probe_h: Vec<u64> = Vec::with_capacity(reps.len());
+    let mut probe_w: Vec<u32> = Vec::with_capacity(reps.len() * stride);
+    for &rep in &reps {
+        probe_h.push(lev_hash[rep as usize]);
+        probe_w.extend_from_slice(row(rep as usize));
+    }
+    let found = dedup.probe_sorted(&probe_h, &probe_w);
+
+    // Pass D: walk candidates in frontier order and intern first
+    // occurrences — identical index assignment to the in-RAM merge.
+    let mut gstate: Vec<GroupState> = found
+        .iter()
+        .map(|f| match f {
+            Some(j) => GroupState::Existing(*j),
+            None => GroupState::Unassigned,
+        })
+        .collect();
+    let mut next_frontier: Vec<u32> = Vec::new();
+    let mut stats = LevelStats { candidates: k as u64, dedup: 0, interned: 0 };
+    for ord in 0..k {
+        let gid = group_of[ord] as usize;
+        let resolved = match gstate[gid] {
+            GroupState::Existing(j) | GroupState::Assigned(j) => {
+                stats.dedup += 1;
+                Some(j)
+            }
+            GroupState::Capped => {
+                g.config_capped = true;
+                None
+            }
+            GroupState::Unassigned => {
+                if g.arena.len() >= max_configs {
+                    g.config_capped = true;
+                    gstate[gid] = GroupState::Capped;
+                    None
+                } else {
+                    let class = if canon.enabled() {
+                        permutations_of_sorted(&row(ord)[..n_procs])
+                    } else {
+                        1
+                    };
+                    let j = g.arena.push(row(ord));
+                    g.parent.push(Some((lev_parent[ord], lev_step[ord])));
+                    g.depth.push(level_depth as u32 + 1);
+                    if record_edges {
+                        g.succ.push(Vec::new());
+                    }
+                    g.add_class(class);
+                    if g.hit.is_none() {
+                        if let Some(pred) = stop {
+                            if pred(&lev_cfg[ord]) {
+                                g.hit = Some(j);
+                            }
+                        }
+                    }
+                    stats.interned += 1;
+                    next_frontier.push(j);
+                    gstate[gid] = GroupState::Assigned(j);
+                    Some(j)
+                }
+            }
+        };
+        if record_edges {
+            if let Some(j) = resolved {
+                g.succ[lev_parent[ord] as usize].push(j);
+            }
+        }
+    }
+
+    // Pass E: append the level's newly interned keys to the seen-set as
+    // one sorted batch (reps are already in sorted-key order).
+    let mut new_h: Vec<u64> = Vec::new();
+    let mut new_i: Vec<u32> = Vec::new();
+    let mut new_w: Vec<u32> = Vec::new();
+    for (gi, &rep) in reps.iter().enumerate() {
+        if let GroupState::Assigned(j) = gstate[gi] {
+            new_h.push(lev_hash[rep as usize]);
+            new_i.push(j);
+            new_w.extend_from_slice(row(rep as usize));
+        }
+    }
+    if !new_h.is_empty() {
+        dedup.insert_sorted(&new_h, &new_i, &new_w);
+    }
+    (next_frontier, stats)
+}
+
+/// End-of-search bookkeeping: fold the spill statistics into the graph
+/// and write the requested checkpoint if the search stopped resumably
+/// (a clean level boundary — deadline or depth budget — with no
+/// mid-level config-cap drops).
+fn finalize<S: Clone + Eq + Hash>(
+    g: &mut BfsGraph<S>,
+    dedup: &Dedup,
+    config: &ExploreConfig,
+    record_edges: bool,
+    level_depth: usize,
+) {
+    g.spilled_bytes = g.arena.spilled_bytes();
+    match dedup {
+        Dedup::Ram(_) => {
+            // Arena + per-entry map cost, mirroring `arena_bytes`.
+            g.resident_bytes = g.arena.bytes() + g.arena.len() * 24;
+        }
+        Dedup::Ext(d) => {
+            g.spilled_bytes += d.spilled_bytes();
+            g.dedup_merge_passes = d.merge_passes();
+            g.resident_bytes = g.arena.resident_word_bytes() + d.resident_bytes();
+        }
+    }
+    let Some(req) = &config.checkpoint else { return };
+    let resumable = (g.deadline_hit || g.depth_capped_any) && !g.config_capped;
+    if !resumable {
+        return;
+    }
+    let ck = Checkpoint {
+        protocol: req.protocol.clone(),
+        n: req.n,
+        r: req.r,
+        inputs: req.inputs.clone(),
+        canonical: g.canonical,
+        record_edges,
+        n_procs: g.arena.n_procs() as u32,
+        n_values: (g.arena.stride() - g.arena.n_procs()) as u32,
+        level_depth: level_depth as u64,
+        parent: g.parent.clone(),
+        succ: if record_edges { g.succ.clone() } else { Vec::new() },
+    };
+    match ck.save(&req.path) {
+        Ok(()) => g.checkpoint_written = Some(req.path.clone()),
+        Err(e) => g.checkpoint_error = Some(e.to_string()),
+    }
 }

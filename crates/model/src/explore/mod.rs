@@ -66,12 +66,16 @@
 //! more than `4 × threads` shards buys little.
 
 mod canonical;
+mod checkpoint;
 mod engine;
 mod pack;
+mod spill;
 
 pub use canonical::Canonicalizer;
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_SCHEMA_VERSION};
 
 use std::collections::{HashSet, VecDeque};
+use std::path::PathBuf;
 
 use crate::config::Configuration;
 use crate::execution::{Execution, Step};
@@ -99,7 +103,7 @@ impl Default for ExploreLimits {
 ///
 /// The execution shape never affects results (see the module-level
 /// determinism guarantee) — only wall-clock time and lock contention.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ExploreConfig {
     /// Budgets bounding the exploration.
     pub limits: ExploreLimits,
@@ -131,6 +135,70 @@ pub struct ExploreConfig {
     /// search that finishes before the deadline is bit-identical to one
     /// run without it.
     pub deadline: Option<std::time::Instant>,
+    /// Resident-memory budget, in bytes, for the arena and the dedup
+    /// structure. `0` (the default) keeps everything in RAM. A nonzero
+    /// budget switches the engine to the **out-of-core tier**: arena
+    /// rows live in file segments with a small pinned window, and
+    /// dedup runs against an on-disk sorted seen-set with sequential
+    /// I/O only (see the `spill` module). Results are bit-identical to
+    /// the in-RAM tier — the budget trades wall-clock time for bounded
+    /// steady-state resident memory (per-level working buffers are
+    /// additional; see `DESIGN.md` §14).
+    pub mem_budget_bytes: usize,
+    /// Directory for spill files; `None` (the default) uses
+    /// [`std::env::temp_dir`]. Each search creates (and removes on
+    /// completion) its own uniquely named subdirectory.
+    pub spill_dir: Option<PathBuf>,
+    /// Request a checkpoint when the search stops resumably — at a
+    /// deadline or depth-budget level boundary with no mid-level
+    /// config-cap drop. See [`Explorer::resume`] and the `checkpoint`
+    /// module for the format and soundness argument.
+    pub checkpoint: Option<CheckpointRequest>,
+}
+
+/// Where — and under what identity — to write a checkpoint if the
+/// search stops resumably.
+///
+/// The identity fields (`protocol`, `n`, `r`, `inputs`) are embedded in
+/// the checkpoint so a resuming party can reconstruct the protocol and
+/// start configuration; the engine itself only replays them back.
+#[derive(Clone, Debug)]
+pub struct CheckpointRequest {
+    /// File to write the checkpoint to (atomically, via a temp file).
+    pub path: PathBuf,
+    /// Registry name of the protocol (e.g. `"walk_tight"`).
+    pub protocol: String,
+    /// Process-count parameter the protocol was built with.
+    pub n: u32,
+    /// Round/size parameter the protocol was built with (0 if unused).
+    pub r: u64,
+    /// The input vector the search started from.
+    pub inputs: Vec<Decision>,
+}
+
+/// Why an exploration stopped before exhausting the space, in
+/// precedence order: a config-cap drop poisons completeness claims
+/// outright, a depth cap is a structural budget, a deadline is merely
+/// operational.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TruncationReason {
+    /// The arena reached [`ExploreLimits::max_configs`] and at least
+    /// one successor was dropped mid-level.
+    ConfigCap,
+    /// The depth budget cut off nodes that still had active processes.
+    DepthCap,
+    /// [`ExploreConfig::deadline`] passed at a level boundary.
+    Deadline,
+}
+
+impl std::fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TruncationReason::ConfigCap => "config-cap",
+            TruncationReason::DepthCap => "depth-cap",
+            TruncationReason::Deadline => "deadline",
+        })
+    }
 }
 
 impl ExploreConfig {
@@ -197,6 +265,33 @@ pub struct ExploreOutcome {
     /// Number of canonical representatives interned — equals
     /// [`configs_visited`](ExploreOutcome::configs_visited).
     pub canonical_configs: usize,
+    /// Why the search stopped early, if it did (`None` iff not
+    /// [`truncated`](ExploreOutcome::truncated)). When several budgets
+    /// bit at once, the most completeness-damaging one is reported:
+    /// config-cap over depth-cap over deadline.
+    pub truncation_reason: Option<TruncationReason>,
+    /// The [`raw_configs`](ExploreOutcome::raw_configs) accumulation
+    /// saturated `usize` — the reported value is a floor, not a count.
+    pub raw_configs_overflow: bool,
+    /// Whether the search ran on the out-of-core tier (a nonzero
+    /// [`ExploreConfig::mem_budget_bytes`]).
+    pub spill_mode: bool,
+    /// Total bytes written to spill files (arena segments plus dedup
+    /// runs); `0` on the in-RAM tier.
+    pub spilled_bytes: u64,
+    /// Sequential merge scans over on-disk dedup runs; `0` on the
+    /// in-RAM tier.
+    pub dedup_merge_passes: u64,
+    /// Estimated bytes actually resident at the end of the search —
+    /// under a memory budget this stays bounded while
+    /// [`arena_bytes`](ExploreOutcome::arena_bytes) keeps reporting the
+    /// total (resident + spilled) footprint.
+    pub resident_arena_bytes: usize,
+    /// Path the engine wrote a checkpoint to, if one was requested via
+    /// [`ExploreConfig::checkpoint`] and the search stopped resumably.
+    pub checkpoint: Option<PathBuf>,
+    /// Why a requested checkpoint was not written, if writing failed.
+    pub checkpoint_error: Option<String>,
     /// Number of **raw** configurations the visited set represents: in
     /// canonical mode, the sum of permutation-class sizes over visited
     /// representatives — the size of the full permutation closure of
@@ -277,7 +372,7 @@ pub struct ValencyAnalysis {
 }
 
 /// Exhaustive explorer with budgets.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Explorer {
     config: ExploreConfig,
 }
@@ -325,6 +420,28 @@ impl Explorer {
         self
     }
 
+    /// Bound steady-state resident memory (see
+    /// [`ExploreConfig::mem_budget_bytes`]); `0` keeps everything in
+    /// RAM. Results do not depend on this setting.
+    pub fn mem_budget(mut self, bytes: usize) -> Self {
+        self.config.mem_budget_bytes = bytes;
+        self
+    }
+
+    /// Set the parent directory for spill files (see
+    /// [`ExploreConfig::spill_dir`]).
+    pub fn spill_dir(mut self, dir: PathBuf) -> Self {
+        self.config.spill_dir = Some(dir);
+        self
+    }
+
+    /// Request a checkpoint at a resumable stop (see
+    /// [`ExploreConfig::checkpoint`] and [`Explorer::resume`]).
+    pub fn checkpoint_to(mut self, request: CheckpointRequest) -> Self {
+        self.config.checkpoint = Some(request);
+        self
+    }
+
     /// This explorer's full configuration.
     pub fn config(&self) -> &ExploreConfig {
         &self.config
@@ -354,57 +471,39 @@ impl Explorer {
         P::State: Send + Sync,
     {
         let g = engine::bfs(protocol, start, &self.config, true, None);
-        let n = g.arena.len();
+        outcome_from_graph(&g, inputs)
+    }
 
-        // Scan the arena in BFS order — directly over the packed words,
-        // no decoding: the first violating node found is the one a
-        // sequential BFS would have reported, and its parent chain is a
-        // shortest witness. (In canonical mode, a quotient-level one;
-        // violations are permutation-invariant, so existence agrees with
-        // the raw space.)
-        let mut consistency_violation = None;
-        let mut validity_violation = None;
-        let mut terminal = vec![false; n];
-        let mut terminal_configs = 0usize;
-        for i in 0..n {
-            let i = i as u32;
-            if consistency_violation.is_none() && g.arena.is_inconsistent(i) {
-                consistency_violation = Some(path_to(&g.parent, i));
-            }
-            if validity_violation.is_none()
-                && g.arena.decided_values(i).iter().any(|d| !inputs.contains(d))
-            {
-                validity_violation = Some(path_to(&g.parent, i));
-            }
-            if !g.arena.has_active(i) {
-                terminal[i as usize] = true;
-                terminal_configs += 1;
-            }
+    /// Continue a checkpointed exploration to completion (or to this
+    /// explorer's own budgets, which may re-checkpoint).
+    ///
+    /// The caller supplies the same protocol instance the checkpoint
+    /// identifies (the checkpoint's embedded `protocol`/`n`/`r` fields
+    /// say which; mismatches are detected during replay). The resumed
+    /// search inherits the checkpoint's symmetry mode and input vector
+    /// — this explorer's `canonical` setting is ignored — and runs on
+    /// whatever storage tier this explorer's `mem_budget_bytes`
+    /// selects. An uninterrupted run, a resumed run, and a
+    /// twice-resumed run of the same space produce identical outcomes
+    /// (see the `checkpoint` module for the argument).
+    pub fn resume<P>(
+        &self,
+        protocol: &P,
+        ckpt: &Checkpoint,
+    ) -> Result<ExploreOutcome, CheckpointError>
+    where
+        P: Protocol + Sync,
+        P::State: Send + Sync,
+    {
+        if !ckpt.record_edges {
+            return Err(CheckpointError::Mismatch(
+                "checkpoint was taken without successor edges; only full \
+                 explorations (which record edges) are resumable"
+                    .into(),
+            ));
         }
-
-        let truncated = g.config_capped || g.depth_capped_active || g.deadline_hit;
-        let (can_always_reach_termination, infinite_execution_possible) = if truncated {
-            (None, None)
-        } else {
-            (Some(all_can_terminate(&terminal, &g.succ)), Some(has_cycle(&g.succ)))
-        };
-
-        let arena_bytes = arena_bytes(&g.arena);
-        ExploreOutcome {
-            consistency_violation,
-            validity_violation,
-            configs_visited: n,
-            deadline_hit: g.deadline_hit,
-            terminal_configs,
-            truncated,
-            can_always_reach_termination,
-            infinite_execution_possible,
-            arena_bytes,
-            canonicalized: g.canonical,
-            canonical_configs: n,
-            raw_configs: g.raw_represented,
-            bytes_per_config: if n == 0 { 0.0 } else { arena_bytes as f64 / n as f64 },
-        }
+        let g = engine::bfs_resume(protocol, ckpt, &self.config)?;
+        Ok(outcome_from_graph(&g, &ckpt.inputs))
     }
 
     /// FLP-style **valency analysis**: classify every reachable
@@ -427,7 +526,7 @@ impl Explorer {
     {
         // Valency classifies the entire reachable space; the depth
         // budget does not apply (and never did).
-        let mut config = self.config;
+        let mut config = self.config.clone();
         config.limits.max_depth = usize::MAX;
         let start = Configuration::initial(protocol, inputs);
         let g = engine::bfs(protocol, start, &config, true, None);
@@ -639,6 +738,83 @@ where
                 })
                 .collect()
         }
+    }
+}
+
+/// Derive the public [`ExploreOutcome`] from a finished BFS graph.
+/// Shared by [`Explorer::explore_from`] and [`Explorer::resume`], so a
+/// resumed search reports through exactly the same lens as a fresh one.
+fn outcome_from_graph<S: Clone + Eq + std::hash::Hash>(
+    g: &engine::BfsGraph<S>,
+    inputs: &[Decision],
+) -> ExploreOutcome {
+    let n = g.arena.len();
+
+    // Scan the arena in BFS order — directly over the packed words,
+    // no decoding: the first violating node found is the one a
+    // sequential BFS would have reported, and its parent chain is a
+    // shortest witness. (In canonical mode, a quotient-level one;
+    // violations are permutation-invariant, so existence agrees with
+    // the raw space.)
+    let mut consistency_violation = None;
+    let mut validity_violation = None;
+    let mut terminal = vec![false; n];
+    let mut terminal_configs = 0usize;
+    for i in 0..n {
+        let i = i as u32;
+        if consistency_violation.is_none() && g.arena.is_inconsistent(i) {
+            consistency_violation = Some(path_to(&g.parent, i));
+        }
+        if validity_violation.is_none()
+            && g.arena.decided_values(i).iter().any(|d| !inputs.contains(d))
+        {
+            validity_violation = Some(path_to(&g.parent, i));
+        }
+        if !g.arena.has_active(i) {
+            terminal[i as usize] = true;
+            terminal_configs += 1;
+        }
+    }
+
+    let truncated = g.config_capped || g.depth_capped_active || g.deadline_hit;
+    let truncation_reason = if g.config_capped {
+        Some(TruncationReason::ConfigCap)
+    } else if g.depth_capped_active {
+        Some(TruncationReason::DepthCap)
+    } else if g.deadline_hit {
+        Some(TruncationReason::Deadline)
+    } else {
+        None
+    };
+    let (can_always_reach_termination, infinite_execution_possible) = if truncated {
+        (None, None)
+    } else {
+        (Some(all_can_terminate(&terminal, &g.succ)), Some(has_cycle(&g.succ)))
+    };
+
+    let arena_bytes = arena_bytes(&g.arena);
+    ExploreOutcome {
+        consistency_violation,
+        validity_violation,
+        configs_visited: n,
+        deadline_hit: g.deadline_hit,
+        terminal_configs,
+        truncated,
+        truncation_reason,
+        can_always_reach_termination,
+        infinite_execution_possible,
+        arena_bytes,
+        canonicalized: g.canonical,
+        canonical_configs: n,
+        raw_configs: g.raw_represented,
+        raw_configs_overflow: g.raw_overflow,
+        spill_mode: g.spill_mode,
+        spilled_bytes: g.spilled_bytes,
+        dedup_merge_passes: g.dedup_merge_passes,
+        resident_arena_bytes: g.resident_bytes,
+        checkpoint: g.checkpoint_written.clone(),
+        checkpoint_error: g.checkpoint_error.clone(),
+        bytes_per_config: if n == 0 { 0.0 } else { arena_bytes as f64 / n as f64 },
     }
 }
 
@@ -1231,6 +1407,122 @@ mod tests {
             assert!(v.get(field).is_some(), "missing {field}");
         }
         assert!(!out.truncated);
+    }
+
+    #[test]
+    fn spill_mode_matches_ram_mode_bit_for_bit() {
+        let p = Naive { n: 3 };
+        let ram = Explorer::default().explore(&p, &[0, 1, 0]);
+        // A budget far below the space's footprint forces real spilling.
+        let spill = Explorer::default().mem_budget(4096).explore(&p, &[0, 1, 0]);
+        assert!(spill.spill_mode && !ram.spill_mode);
+        assert!(spill.spilled_bytes > 0, "the budget must actually spill");
+        assert_eq!(fingerprint(&ram), fingerprint(&spill));
+        assert_eq!(ram.raw_configs, spill.raw_configs);
+        assert_eq!(ram.arena_bytes, spill.arena_bytes, "totals are backing-independent");
+        // Witnesses are not just equal in verdict but step-for-step.
+        assert_eq!(ram.consistency_violation, spill.consistency_violation);
+    }
+
+    #[test]
+    fn spill_mode_valency_matches_ram_mode() {
+        let p = Cas { n: 3 };
+        let ram = Explorer::default().valency(&p, &[1, 0, 1]).expect("not truncated");
+        let spill = Explorer::default()
+            .mem_budget(4096)
+            .valency(&p, &[1, 0, 1])
+            .expect("not truncated");
+        assert_eq!(format!("{ram:?}"), format!("{spill:?}"));
+    }
+
+    #[test]
+    fn depth_capped_run_checkpoints_and_resumes_to_the_full_outcome() {
+        let p = Naive { n: 3 };
+        let inputs = vec![0, 1, 0];
+        let path = std::env::temp_dir()
+            .join(format!("randsync-test-ckpt-{}-depthcap.ckpt", std::process::id()));
+        let req = CheckpointRequest {
+            path: path.clone(),
+            protocol: "naive-test".into(),
+            n: 3,
+            r: 0,
+            inputs: inputs.clone(),
+        };
+        let partial = Explorer::with_config(ExploreConfig {
+            limits: ExploreLimits { max_configs: 200_000, max_depth: 2 },
+            checkpoint: Some(req),
+            ..ExploreConfig::default()
+        })
+        .explore(&p, &inputs);
+        assert!(partial.truncated);
+        assert_eq!(partial.truncation_reason, Some(TruncationReason::DepthCap));
+        assert_eq!(partial.checkpoint.as_deref(), Some(path.as_path()));
+        assert_eq!(partial.checkpoint_error, None);
+
+        let ckpt = Checkpoint::load(&path).expect("checkpoint loads");
+        assert_eq!(ckpt.level_depth, 2);
+        let resumed = Explorer::default().resume(&p, &ckpt).expect("resume succeeds");
+        let full = Explorer::default().explore(&p, &inputs);
+        assert_eq!(fingerprint(&full), fingerprint(&resumed));
+        assert_eq!(full.consistency_violation, resumed.consistency_violation);
+        assert_eq!(full.raw_configs, resumed.raw_configs);
+        assert_eq!(resumed.truncation_reason, None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_on_the_spill_tier_matches_ram_resume() {
+        let p = Naive { n: 3 };
+        let inputs = vec![0, 1, 1];
+        let path = std::env::temp_dir()
+            .join(format!("randsync-test-ckpt-{}-tier.ckpt", std::process::id()));
+        let req = CheckpointRequest {
+            path: path.clone(),
+            protocol: "naive-test".into(),
+            n: 3,
+            r: 0,
+            inputs: inputs.clone(),
+        };
+        let partial = Explorer::with_config(ExploreConfig {
+            limits: ExploreLimits { max_configs: 200_000, max_depth: 3 },
+            checkpoint: Some(req),
+            ..ExploreConfig::default()
+        })
+        .explore(&p, &inputs);
+        assert!(partial.checkpoint.is_some());
+        let ckpt = Checkpoint::load(&path).expect("checkpoint loads");
+        // The resumed search may run on a different storage tier than
+        // the one that wrote the checkpoint.
+        let ram = Explorer::default().resume(&p, &ckpt).expect("ram resume");
+        let spill = Explorer::default().mem_budget(4096).resume(&p, &ckpt).expect("spill");
+        assert_eq!(fingerprint(&ram), fingerprint(&spill));
+        assert!(spill.spill_mode);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn config_capped_runs_refuse_to_checkpoint() {
+        let p = Naive { n: 3 };
+        let path = std::env::temp_dir()
+            .join(format!("randsync-test-ckpt-{}-capped.ckpt", std::process::id()));
+        let req = CheckpointRequest {
+            path: path.clone(),
+            protocol: "naive-test".into(),
+            n: 3,
+            r: 0,
+            inputs: vec![0, 1, 0],
+        };
+        let out = Explorer::with_config(ExploreConfig {
+            limits: ExploreLimits { max_configs: 10, max_depth: 10_000 },
+            checkpoint: Some(req),
+            ..ExploreConfig::default()
+        })
+        .explore(&p, &[0, 1, 0]);
+        assert_eq!(out.truncation_reason, Some(TruncationReason::ConfigCap));
+        // A config-capped level drops successors mid-level; the interned
+        // graph is not a clean BFS prefix, so no checkpoint is written.
+        assert_eq!(out.checkpoint, None);
+        assert!(!path.exists());
     }
 
     #[test]

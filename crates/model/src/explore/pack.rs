@@ -18,6 +18,15 @@
 //! is a word-slice compare, hashing is one pass over flat words, and a
 //! node costs `4·(procs + objects)` bytes instead of two allocations.
 //!
+//! The word buffer itself is a [`WordStore`]: either one resident
+//! `Vec<u32>` (the default) or a [`SpillStore`] of file-backed segments
+//! with a bounded resident window, selected by
+//! [`ExploreConfig::mem_budget_bytes`](super::ExploreConfig::mem_budget_bytes).
+//! Every row access goes through [`PackedArena::with_words`], so the
+//! two backings are indistinguishable to the engine — same words, same
+//! hashes, same ids. The codec tables always stay in RAM (they are
+//! bounded by distinct states, not configurations).
+//!
 //! Ids are assigned only by [`PackedArena::encode_intern`], which the
 //! engine calls solely from its sequential merge — so id assignment,
 //! and with it every word in the arena, is deterministic for every
@@ -31,6 +40,8 @@ use std::mem::size_of;
 use crate::config::{Configuration, ProcState};
 use crate::protocol::Decision;
 use crate::value::Value;
+
+use super::spill::SpillStore;
 
 /// Process-slot word for a crashed process.
 const WORD_CRASHED: u32 = 0;
@@ -49,10 +60,18 @@ pub(super) fn hash_words(words: &[u32]) -> u64 {
     h.finish()
 }
 
+/// The backing buffer for packed rows: resident or spillable.
+pub(super) enum WordStore {
+    /// Everything in one resident vector (the default tier).
+    Ram(Vec<u32>),
+    /// File-backed segments with a bounded resident window.
+    Spill(SpillStore),
+}
+
 /// Append-only arena of packed configurations plus the interning codec.
 pub(super) struct PackedArena<S> {
     /// Words of every interned configuration, concatenated.
-    words: Vec<u32>,
+    store: WordStore,
     /// Process slots per configuration.
     n_procs: usize,
     /// Words per configuration (`n_procs + n_values`).
@@ -68,11 +87,17 @@ pub(super) struct PackedArena<S> {
 }
 
 impl<S: Clone + Eq + Hash> PackedArena<S> {
-    /// An empty arena for configurations of `n_procs` processes and
-    /// `n_values` objects.
+    /// An empty resident arena for configurations of `n_procs`
+    /// processes and `n_values` objects.
     pub(super) fn new(n_procs: usize, n_values: usize) -> Self {
+        Self::with_store(n_procs, n_values, WordStore::Ram(Vec::new()))
+    }
+
+    /// An empty arena over an explicit word store (the engine passes a
+    /// [`SpillStore`] when a memory budget is set).
+    pub(super) fn with_store(n_procs: usize, n_values: usize, store: WordStore) -> Self {
         PackedArena {
-            words: Vec::new(),
+            store,
             n_procs,
             stride: n_procs + n_values,
             states: Vec::new(),
@@ -82,20 +107,46 @@ impl<S: Clone + Eq + Hash> PackedArena<S> {
         }
     }
 
+    /// Words per packed row.
+    pub(super) fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Process slots per row.
+    pub(super) fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
     /// Number of interned configurations.
     pub(super) fn len(&self) -> usize {
-        self.words.len().checked_div(self.stride).unwrap_or(0)
+        let words = match &self.store {
+            WordStore::Ram(v) => v.len(),
+            WordStore::Spill(s) => s.len_words(),
+        };
+        words.checked_div(self.stride).unwrap_or(0)
     }
 
-    /// The packed words of configuration `i`.
-    pub(super) fn words_of(&self, i: u32) -> &[u32] {
+    /// Run `f` over the packed words of configuration `i`. In spill
+    /// mode this may fault the row's segment into the resident window;
+    /// in RAM mode it is a plain slice.
+    pub(super) fn with_words<R>(&self, i: u32, f: impl FnOnce(&[u32]) -> R) -> R {
         let at = i as usize * self.stride;
-        &self.words[at..at + self.stride]
+        match &self.store {
+            WordStore::Ram(v) => f(&v[at..at + self.stride]),
+            WordStore::Spill(s) => s.with_words(at, self.stride, f),
+        }
     }
 
-    /// The process-slot words of configuration `i`.
-    pub(super) fn proc_words_of(&self, i: u32) -> &[u32] {
-        &self.words_of(i)[..self.n_procs]
+    /// Whether configuration `i` packs exactly to `words`.
+    pub(super) fn words_match(&self, i: u32, words: &[u32]) -> bool {
+        self.with_words(i, |w| w == words)
+    }
+
+    /// Copy the packed words of configuration `i` into `out`.
+    #[cfg(test)]
+    pub(super) fn read_words(&self, i: u32, out: &mut Vec<u32>) {
+        out.clear();
+        self.with_words(i, |w| out.extend_from_slice(w));
     }
 
     /// Encode `config` into `out` **without interning**: succeeds only
@@ -172,40 +223,45 @@ impl<S: Clone + Eq + Hash> PackedArena<S> {
         debug_assert_eq!(words.len(), self.stride);
         let i = self.len();
         debug_assert!(i < u32::MAX as usize);
-        self.words.extend_from_slice(words);
+        match &mut self.store {
+            WordStore::Ram(v) => v.extend_from_slice(words),
+            WordStore::Spill(s) => s.push_words(words),
+        }
         i as u32
     }
 
     /// Decode configuration `i` back into its heap form.
     pub(super) fn decode(&self, i: u32) -> Configuration<S> {
-        let words = self.words_of(i);
-        let procs = words[..self.n_procs]
-            .iter()
-            .map(|&w| match w {
-                WORD_CRASHED => ProcState::Crashed,
-                WORD_RETIRED => ProcState::Retired,
-                w if w < ACTIVE_BASE => ProcState::Decided((w - DECIDED_BASE) as Decision),
-                w => ProcState::Active(self.states[(w - ACTIVE_BASE) as usize].clone()),
-            })
-            .collect();
-        let values =
-            words[self.n_procs..].iter().map(|&w| self.values[w as usize]).collect();
-        Configuration { procs, values }
+        self.with_words(i, |words| {
+            let procs = words[..self.n_procs]
+                .iter()
+                .map(|&w| match w {
+                    WORD_CRASHED => ProcState::Crashed,
+                    WORD_RETIRED => ProcState::Retired,
+                    w if w < ACTIVE_BASE => ProcState::Decided((w - DECIDED_BASE) as Decision),
+                    w => ProcState::Active(self.states[(w - ACTIVE_BASE) as usize].clone()),
+                })
+                .collect();
+            let values =
+                words[self.n_procs..].iter().map(|&w| self.values[w as usize]).collect();
+            Configuration { procs, values }
+        })
     }
 
     /// Whether configuration `i` has at least one active process.
     pub(super) fn has_active(&self, i: u32) -> bool {
-        self.proc_words_of(i).iter().any(|&w| w >= ACTIVE_BASE)
+        self.with_words(i, |w| w[..self.n_procs].iter().any(|&w| w >= ACTIVE_BASE))
     }
 
     /// The distinct decided values of configuration `i`, sorted.
     pub(super) fn decided_values(&self, i: u32) -> Vec<Decision> {
-        let mut vs: Vec<Decision> = self
-            .proc_words_of(i)
-            .iter()
-            .filter(|&&w| (DECIDED_BASE..ACTIVE_BASE).contains(&w))
-            .map(|&w| (w - DECIDED_BASE) as Decision)
-            .collect();
+        let mut vs: Vec<Decision> = self.with_words(i, |w| {
+            w[..self.n_procs]
+                .iter()
+                .filter(|&&w| (DECIDED_BASE..ACTIVE_BASE).contains(&w))
+                .map(|&w| (w - DECIDED_BASE) as Decision)
+                .collect()
+        });
         vs.sort_unstable();
         vs.dedup();
         vs
@@ -217,14 +273,40 @@ impl<S: Clone + Eq + Hash> PackedArena<S> {
         self.decided_values(i).len() > 1
     }
 
-    /// Estimated resident bytes: the word buffer plus the codec tables
-    /// (each interned state/value sits in a dense vec and a hash-map
-    /// entry; `MAP_ENTRY_BYTES` approximates the map-side bucket cost).
+    /// Estimated **total** bytes of the arena's contents: every packed
+    /// word (resident or spilled to segment files) plus the codec
+    /// tables (each interned state/value sits in a dense vec and a
+    /// hash-map entry; `MAP_ENTRY_BYTES` approximates the map-side
+    /// bucket cost). In spill mode this keeps reporting the full
+    /// logical footprint, not the resident window — `arena_bytes` and
+    /// `bytes_per_config` stay comparable across tiers.
     pub(super) fn bytes(&self) -> usize {
         const MAP_ENTRY_BYTES: usize = 16;
-        self.words.len() * size_of::<u32>()
+        let words = match &self.store {
+            WordStore::Ram(v) => v.len(),
+            WordStore::Spill(s) => s.len_words(),
+        };
+        words * size_of::<u32>()
             + self.states.len() * (2 * size_of::<S>() + size_of::<u32>() + MAP_ENTRY_BYTES)
             + self.values.len() * (2 * size_of::<Value>() + size_of::<u32>() + MAP_ENTRY_BYTES)
+    }
+
+    /// Bytes actually resident in RAM right now: the full buffer in RAM
+    /// mode, or the tail plus the loaded window in spill mode (codec
+    /// excluded; it is shared and tiny).
+    pub(super) fn resident_word_bytes(&self) -> usize {
+        match &self.store {
+            WordStore::Ram(v) => v.len() * size_of::<u32>(),
+            WordStore::Spill(s) => s.resident_bytes(),
+        }
+    }
+
+    /// Bytes written to spill segment files (0 in RAM mode).
+    pub(super) fn spilled_bytes(&self) -> u64 {
+        match &self.store {
+            WordStore::Ram(_) => 0,
+            WordStore::Spill(s) => s.spilled_bytes(),
+        }
     }
 }
 
@@ -259,7 +341,10 @@ mod tests {
         let mut again = Vec::new();
         assert!(arena.try_encode(&c, &mut again));
         assert_eq!(again, words);
-        assert_eq!(arena.words_of(i), &words[..]);
+        assert!(arena.words_match(i, &words));
+        let mut copied = Vec::new();
+        arena.read_words(i, &mut copied);
+        assert_eq!(copied, words);
     }
 
     #[test]
@@ -318,5 +403,40 @@ mod tests {
         let one = arena.bytes();
         arena.push(&words.clone());
         assert_eq!(arena.bytes(), one + per_config);
+        assert_eq!(arena.spilled_bytes(), 0, "RAM arena never spills");
+        assert!(arena.resident_word_bytes() >= 2 * per_config);
+    }
+
+    #[test]
+    fn spill_backed_arena_is_word_identical_to_ram() {
+        use super::super::spill::{BudgetPlan, SpillDir, SpillStore};
+        let mut ram: PackedArena<u16> = PackedArena::new(5, 3);
+        let plan = BudgetPlan { segment_bytes: 64, window_segments: 2, dedup_ram_bytes: 64 };
+        let dir = SpillDir::create(None);
+        let store = SpillStore::new(8, &plan, dir);
+        let mut spill: PackedArena<u16> =
+            PackedArena::with_store(5, 3, WordStore::Spill(store));
+        let mut words = Vec::new();
+        // Enough rows to seal several segments.
+        for k in 0..100u16 {
+            let mut c = sample();
+            c.procs[4] = ProcState::Active(k);
+            ram.encode_intern(&c, &mut words);
+            let i = ram.push(&words);
+            spill.encode_intern(&c, &mut words);
+            let j = spill.push(&words);
+            assert_eq!(i, j);
+        }
+        assert!(spill.spilled_bytes() > 0, "tiny segments must spill");
+        assert_eq!(ram.bytes(), spill.bytes(), "totals are backing-independent");
+        for i in 0..100u32 {
+            assert_eq!(ram.decode(i), spill.decode(i));
+            let mut w = Vec::new();
+            ram.read_words(i, &mut w);
+            assert!(spill.words_match(i, &w));
+            assert_eq!(ram.has_active(i), spill.has_active(i));
+            assert_eq!(ram.decided_values(i), spill.decided_values(i));
+        }
+        assert!(spill.resident_word_bytes() < spill.bytes());
     }
 }

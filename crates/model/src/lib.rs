@@ -77,8 +77,9 @@ pub use config::{Configuration, ProcState};
 pub use error::ModelError;
 pub use execution::{Execution, Step, StepRecord};
 pub use explore::{
-    Canonicalizer, ExploreConfig, ExploreLimits, ExploreOutcome, Explorer, Valency,
-    ValencyAnalysis,
+    Canonicalizer, Checkpoint, CheckpointError, CheckpointRequest, ExploreConfig,
+    ExploreLimits, ExploreOutcome, Explorer, TruncationReason, Valency, ValencyAnalysis,
+    CHECKPOINT_SCHEMA_VERSION,
 };
 pub use history::{Event, History};
 pub use kind::ObjectKind;

@@ -17,12 +17,13 @@ use randsync_core::combine35::{ample_pool, attack_historyless, GeneralOutcome};
 use randsync_core::witness::InconsistencyWitness;
 use randsync_model::runtime::{replay_execution, Runtime};
 use randsync_model::{
-    monte_carlo_summary, DynObject, Execution, ExploreConfig, ExploreLimits, Explorer, McSummary,
-    ProcessId, Protocol, Step,
+    monte_carlo_summary, Checkpoint, CheckpointRequest, DynObject, Execution, ExploreConfig,
+    ExploreLimits, ExploreOutcome, Explorer, McSummary, ProcessId, Protocol, Step,
 };
 use randsync_obs::{ExecutionTrace, Json};
 use randsync_objects::bridge;
 
+use crate::cache::checkpoint_store;
 use crate::wire::{code, WIRE_SCHEMA_VERSION};
 
 /// Longest sleep a `sleep` diagnostics job may request.
@@ -72,6 +73,45 @@ pub enum Job {
         max_configs: usize,
         /// Depth budget.
         max_depth: usize,
+    },
+    /// Full exploration of a registry protocol, optionally out-of-core,
+    /// leaving a resumable checkpoint behind when a budget truncates it.
+    Explore {
+        /// Registry protocol name.
+        protocol: String,
+        /// Process count (fixed-arity entries ignore it).
+        n: usize,
+        /// Round/repetition parameter.
+        r: usize,
+        /// Explorer worker threads (0 = host parallelism).
+        threads: usize,
+        /// Explore the symmetry quotient.
+        canonical: bool,
+        /// Configuration budget.
+        max_configs: usize,
+        /// Depth budget.
+        max_depth: usize,
+        /// Resident-memory budget in bytes (0 = all in RAM).
+        mem_budget: usize,
+        /// Exploration wall-clock budget in ms (0 = the job budget);
+        /// hitting it yields a truncated outcome with a checkpoint, not
+        /// an error.
+        deadline_millis: u64,
+    },
+    /// Continue a checkpointed `explore` under fresh budgets.
+    Resume {
+        /// Checkpoint id issued by a prior truncated `explore`.
+        checkpoint: String,
+        /// Explorer worker threads (0 = host parallelism).
+        threads: usize,
+        /// Configuration budget.
+        max_configs: usize,
+        /// Depth budget.
+        max_depth: usize,
+        /// Resident-memory budget in bytes (0 = all in RAM).
+        mem_budget: usize,
+        /// Exploration wall-clock budget in ms (0 = the job budget).
+        deadline_millis: u64,
     },
     /// One threaded-runtime execution on real bridged objects.
     Run {
@@ -180,6 +220,39 @@ impl Job {
                     max_depth: get_usize(params, "max_depth", 200_000)?,
                 })
             }
+            "explore" => {
+                let entry = get_protocol(params, "cas")?;
+                Ok(Job::Explore {
+                    protocol: entry.name.to_string(),
+                    n: get_usize(params, "n", entry.default_n)?,
+                    r: get_usize(params, "r", entry.default_r)?,
+                    threads: get_usize(params, "threads", 0)?,
+                    canonical: get_bool(params, "canonical", false)?,
+                    max_configs: get_usize(params, "max_configs", 3_000_000)?,
+                    max_depth: get_usize(params, "max_depth", 200_000)?,
+                    mem_budget: get_usize(params, "mem_budget", 0)?,
+                    deadline_millis: get_u64(params, "deadline_millis", 0)?,
+                })
+            }
+            "resume" => {
+                let checkpoint = match params.get("checkpoint") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => {
+                        return Err(JobError::bad(
+                            "resume needs a string \"checkpoint\" parameter \
+                             (the id a truncated explore job returned)",
+                        ))
+                    }
+                };
+                Ok(Job::Resume {
+                    checkpoint,
+                    threads: get_usize(params, "threads", 0)?,
+                    max_configs: get_usize(params, "max_configs", 3_000_000)?,
+                    max_depth: get_usize(params, "max_depth", 200_000)?,
+                    mem_budget: get_usize(params, "mem_budget", 0)?,
+                    deadline_millis: get_u64(params, "deadline_millis", 0)?,
+                })
+            }
             "run" => {
                 let entry = get_protocol(params, "cas")?;
                 if !entry.runnable {
@@ -234,8 +307,8 @@ impl Job {
             other => Err(JobError {
                 code: code::UNKNOWN_JOB,
                 message: format!(
-                    "unknown job {other:?} (valency, run, monte_carlo, replay, \
-                     verify_witness, protocols, sleep)"
+                    "unknown job {other:?} (valency, explore, resume, run, monte_carlo, \
+                     replay, verify_witness, protocols, sleep)"
                 ),
             }),
         }
@@ -245,6 +318,8 @@ impl Job {
     pub fn kind(&self) -> &'static str {
         match self {
             Job::Valency { .. } => "valency",
+            Job::Explore { .. } => "explore",
+            Job::Resume { .. } => "resume",
             Job::Run { .. } => "run",
             Job::MonteCarlo { .. } => "monte_carlo",
             Job::Replay { .. } => "replay",
@@ -257,7 +332,10 @@ impl Job {
     /// Whether the result is a deterministic function of the canonical
     /// parameters, and therefore cacheable. `run` is excluded (the OS
     /// interleaving is part of the result), as are `replay` (arbitrary
-    /// payload size) and `sleep` (the point is the wait).
+    /// payload size), `sleep` (the point is the wait), and
+    /// `explore`/`resume` (a wall-clock budget — and hence host speed —
+    /// decides whether they truncate, and each run mints a fresh
+    /// checkpoint id).
     pub fn cacheable(&self) -> bool {
         matches!(
             self,
@@ -287,6 +365,37 @@ impl Job {
                     ("canonical".to_string(), Json::Bool(*canonical)),
                     ("max_configs".to_string(), int(*max_configs)),
                     ("max_depth".to_string(), int(*max_depth)),
+                ])
+            }
+            Job::Explore {
+                protocol,
+                n,
+                r,
+                threads,
+                canonical,
+                max_configs,
+                max_depth,
+                mem_budget,
+                deadline_millis,
+            } => Json::Obj(vec![
+                ("protocol".to_string(), Json::Str(protocol.clone())),
+                ("n".to_string(), int(*n)),
+                ("r".to_string(), int(*r)),
+                ("threads".to_string(), int(*threads)),
+                ("canonical".to_string(), Json::Bool(*canonical)),
+                ("max_configs".to_string(), int(*max_configs)),
+                ("max_depth".to_string(), int(*max_depth)),
+                ("mem_budget".to_string(), int(*mem_budget)),
+                ("deadline_millis".to_string(), Json::Int(i128::from(*deadline_millis))),
+            ]),
+            Job::Resume { checkpoint, threads, max_configs, max_depth, mem_budget, deadline_millis } => {
+                Json::Obj(vec![
+                    ("checkpoint".to_string(), Json::Str(checkpoint.clone())),
+                    ("threads".to_string(), int(*threads)),
+                    ("max_configs".to_string(), int(*max_configs)),
+                    ("max_depth".to_string(), int(*max_depth)),
+                    ("mem_budget".to_string(), int(*mem_budget)),
+                    ("deadline_millis".to_string(), Json::Int(i128::from(*deadline_millis))),
                 ])
             }
             Job::Run { protocol, n, seed, max_steps } => Json::Obj(vec![
@@ -360,6 +469,83 @@ impl Job {
                     ),
                     ("bivalent_cycle".to_string(), Json::Bool(analysis.bivalent_cycle)),
                 ]))
+            }
+            Job::Explore {
+                protocol,
+                n,
+                r,
+                threads,
+                canonical,
+                max_configs,
+                max_depth,
+                mem_budget,
+                deadline_millis,
+            } => {
+                let entry = registry::find(protocol).expect("parse validated the name");
+                let built = (entry.build)(*n, *r);
+                let n_eff = built.num_processes();
+                let inputs: Vec<u8> = if n_eff == entry.default_n {
+                    entry.default_inputs.to_vec()
+                } else {
+                    registry::alternating_inputs(n_eff)
+                };
+                let (id, path) = checkpoint_store().reserve();
+                let explorer = Explorer::with_config(ExploreConfig {
+                    limits: ExploreLimits { max_configs: *max_configs, max_depth: *max_depth },
+                    threads: *threads,
+                    canonical: *canonical,
+                    deadline: Some(explore_deadline(deadline, *deadline_millis)),
+                    mem_budget_bytes: *mem_budget,
+                    checkpoint: Some(CheckpointRequest {
+                        path: path.clone(),
+                        protocol: entry.name.to_string(),
+                        n: *n as u32,
+                        r: *r as u64,
+                        inputs: inputs.clone(),
+                    }),
+                    ..Default::default()
+                });
+                let outcome = explorer.explore(&built, &inputs);
+                Ok(explore_outcome_json(entry.name, &outcome, commit_checkpoint(&outcome, id, path)))
+            }
+            Job::Resume { checkpoint, threads, max_configs, max_depth, mem_budget, deadline_millis } => {
+                let path = checkpoint_store().get(checkpoint).ok_or_else(|| {
+                    JobError::bad(format!(
+                        "unknown checkpoint {checkpoint:?} (ids come from truncated explore jobs \
+                         on this server)"
+                    ))
+                })?;
+                let ckpt = Checkpoint::load(&path)
+                    .map_err(|e| JobError::failed(format!("cannot load checkpoint: {e}")))?;
+                let entry = registry::find(&ckpt.protocol).ok_or_else(|| JobError {
+                    code: code::UNKNOWN_PROTOCOL,
+                    message: format!("checkpoint names unknown protocol {:?}", ckpt.protocol),
+                })?;
+                let built = (entry.build)(ckpt.n as usize, ckpt.r as usize);
+                let (id, repath) = checkpoint_store().reserve();
+                let explorer = Explorer::with_config(ExploreConfig {
+                    limits: ExploreLimits { max_configs: *max_configs, max_depth: *max_depth },
+                    threads: *threads,
+                    deadline: Some(explore_deadline(deadline, *deadline_millis)),
+                    mem_budget_bytes: *mem_budget,
+                    checkpoint: Some(CheckpointRequest {
+                        path: repath.clone(),
+                        protocol: entry.name.to_string(),
+                        n: ckpt.n,
+                        r: ckpt.r,
+                        inputs: ckpt.inputs.clone(),
+                    }),
+                    ..Default::default()
+                });
+                let outcome = explorer
+                    .resume(&built, &ckpt)
+                    .map_err(|e| JobError::failed(format!("resume failed: {e}")))?;
+                let mut json =
+                    explore_outcome_json(entry.name, &outcome, commit_checkpoint(&outcome, id, repath));
+                if let Json::Obj(fields) = &mut json {
+                    fields.push(("resumed_from".to_string(), Json::Str(checkpoint.clone())));
+                }
+                Ok(json)
             }
             Job::Run { protocol, n, seed, max_steps } => {
                 let entry = registry::find(protocol).expect("parse validated the name");
@@ -532,6 +718,75 @@ impl Job {
             }
         }
     }
+}
+
+/// The exploration deadline: the job budget, tightened by an explicit
+/// per-exploration budget when one was requested. Hitting it is a
+/// *truncated outcome with a checkpoint*, never a job error — the whole
+/// point of the explore/resume pair.
+fn explore_deadline(job_deadline: Instant, millis: u64) -> Instant {
+    if millis == 0 {
+        job_deadline
+    } else {
+        job_deadline.min(Instant::now() + Duration::from_millis(millis))
+    }
+}
+
+/// Publish the reserved checkpoint id if the engine wrote the file;
+/// return the id to report (or `None` for a completed search).
+fn commit_checkpoint(outcome: &ExploreOutcome, id: String, path: std::path::PathBuf) -> Option<String> {
+    if outcome.checkpoint.is_some() {
+        checkpoint_store().commit(id.clone(), path);
+        Some(id)
+    } else {
+        None
+    }
+}
+
+/// Serialize an [`ExploreOutcome`] as the `explore`/`resume` job result.
+fn explore_outcome_json(protocol: &str, o: &ExploreOutcome, checkpoint: Option<String>) -> Json {
+    let opt_bool = |v: Option<bool>| match v {
+        Some(b) => Json::Bool(b),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        ("protocol".to_string(), Json::Str(protocol.to_string())),
+        ("configs".to_string(), Json::Int(o.configs_visited as i128)),
+        ("raw_configs".to_string(), Json::Int(o.raw_configs as i128)),
+        ("raw_configs_overflow".to_string(), Json::Bool(o.raw_configs_overflow)),
+        ("safe".to_string(), Json::Bool(o.is_safe())),
+        ("terminal_configs".to_string(), Json::Int(o.terminal_configs as i128)),
+        ("truncated".to_string(), Json::Bool(o.truncated)),
+        (
+            "truncation_reason".to_string(),
+            match o.truncation_reason {
+                Some(r) => Json::Str(r.to_string()),
+                None => Json::Null,
+            },
+        ),
+        ("can_always_reach_termination".to_string(), opt_bool(o.can_always_reach_termination)),
+        ("infinite_execution_possible".to_string(), opt_bool(o.infinite_execution_possible)),
+        ("canonical".to_string(), Json::Bool(o.canonicalized)),
+        ("arena_bytes".to_string(), Json::Int(o.arena_bytes as i128)),
+        ("spill_mode".to_string(), Json::Bool(o.spill_mode)),
+        ("spilled_bytes".to_string(), Json::Int(i128::from(o.spilled_bytes))),
+        ("dedup_merge_passes".to_string(), Json::Int(i128::from(o.dedup_merge_passes))),
+        ("resident_arena_bytes".to_string(), Json::Int(o.resident_arena_bytes as i128)),
+        (
+            "checkpoint".to_string(),
+            match checkpoint {
+                Some(id) => Json::Str(id),
+                None => Json::Null,
+            },
+        ),
+        (
+            "checkpoint_error".to_string(),
+            match &o.checkpoint_error {
+                Some(e) => Json::Str(e.clone()),
+                None => Json::Null,
+            },
+        ),
+    ])
 }
 
 /// Serialize an [`McSummary`] — including the per-decision-value

@@ -44,7 +44,7 @@ pub mod job;
 pub mod server;
 pub mod wire;
 
-pub use cache::ResultsCache;
+pub use cache::{checkpoint_store, CheckpointStore, ResultsCache};
 pub use client::{Client, Reply};
 pub use job::{Job, JobError};
 pub use server::{Server, ServerConfig};

@@ -41,7 +41,7 @@ use crate::job::Job;
 use crate::wire::{code, error_frame, ok_frame, progress_frame, Request, WIRE_SCHEMA_VERSION};
 
 /// Server sizing and budgets.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads (0 = host parallelism, min 1).
     pub workers: usize,
@@ -51,6 +51,10 @@ pub struct ServerConfig {
     pub job_budget: Duration,
     /// Results-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Directory for `explore` checkpoints (`None` = a pid-unique temp
+    /// subdirectory). Process-global and fixed at first use, so only
+    /// the first server bound in a process can set it.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +64,7 @@ impl Default for ServerConfig {
             queue: 64,
             job_budget: Duration::from_secs(120),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            checkpoint_dir: None,
         }
     }
 }
@@ -192,6 +197,9 @@ impl Server {
     ///
     /// Propagates the bind failure.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
+        if let Some(dir) = &config.checkpoint_dir {
+            crate::cache::set_checkpoint_dir(dir.clone());
+        }
         let listener = TcpListener::bind(addr)?;
         let (tx, rx) = std::sync::mpsc::sync_channel(config.queue.max(1));
         let state = Arc::new(ServerState {

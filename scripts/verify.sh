@@ -23,6 +23,12 @@
 #   9. job-server smoke: serve on an ephemeral loopback port, submit a
 #      valency job, a threaded run, and a metrics control frame, then
 #      drain with `randsync shutdown` (the server must exit cleanly)
+#  10. out-of-core + resume smoke: spill/resume property suite; a
+#      deadline-cut `valency --checkpoint` resumed via `randsync
+#      resume --mem-budget` must print the same verdict as an
+#      uninterrupted `randsync check`; and a truncated `explore` job's
+#      checkpoint id must resume over the wire to the un-truncated
+#      configuration count
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -85,5 +91,53 @@ grep -q "svc.jobs.ok" target/verify_svc_metrics.txt \
 wait "$svc_pid" || { echo "FAIL: job server exited nonzero"; exit 1; }
 grep -q "drained and stopped" "$svc_log" \
     || { echo "FAIL: job server did not drain cleanly"; exit 1; }
+
+echo "== out-of-core + resume smoke (spill tier, checkpoint round-trip) =="
+cargo test -q --release -p randsync-consensus --test prop_spill_resume
+ckpt_file="target/verify_resume.ckpt"
+rm -f "$ckpt_file"
+# An already-expired deadline cuts the search at the first level
+# boundary and must leave a checkpoint behind (exit is nonzero by
+# design: a truncated valency run fails).
+./target/release/randsync valency walk-counter 0 \
+    --deadline-ms 0 --checkpoint "$ckpt_file" \
+    > target/verify_resume_cut.txt 2>&1 \
+    && { echo "FAIL: deadline-cut valency run must exit nonzero"; exit 1; }
+[ -f "$ckpt_file" ] || { echo "FAIL: deadline-cut run wrote no checkpoint"; exit 1; }
+# Resuming on the spill tier must print the verdict an uninterrupted
+# `randsync check` prints, byte for byte.
+./target/release/randsync resume "$ckpt_file" --mem-budget 65536 \
+    > target/verify_resume_out.txt 2> /dev/null
+./target/release/randsync check walk-counter > target/verify_check_out.txt
+diff target/verify_resume_out.txt target/verify_check_out.txt \
+    || { echo "FAIL: resumed verdict diverged from randsync check"; exit 1; }
+
+echo "== job-server resume smoke (explore -> checkpoint id -> resume) =="
+svc_log="target/verify_svc_resume.log"
+./target/release/randsync serve 127.0.0.1:0 --workers 2 --queue 8 \
+    --checkpoint-dir target/verify_svc_ckpt > "$svc_log" 2>&1 &
+svc_pid=$!
+svc_addr=""
+for _ in $(seq 1 50); do
+    svc_addr=$(sed -n 's/^randsync-svc listening on //p' "$svc_log")
+    [ -n "$svc_addr" ] && break
+    sleep 0.1
+done
+[ -n "$svc_addr" ] || { echo "FAIL: job server never reported its address"; kill "$svc_pid" 2>/dev/null; exit 1; }
+full_configs=$(./target/release/randsync submit "$svc_addr" explore protocol=naive \
+    | sed -n 's/.*"configs":\([0-9]*\).*/\1/p')
+[ -n "$full_configs" ] || { echo "FAIL: explore job reported no config count"; kill "$svc_pid" 2>/dev/null; exit 1; }
+./target/release/randsync submit "$svc_addr" explore protocol=naive max_depth=2 mem_budget=4096 \
+    > target/verify_svc_cut.txt
+grep -q '"truncation_reason":"depth-cap"' target/verify_svc_cut.txt \
+    || { echo "FAIL: capped explore job did not report depth-cap"; kill "$svc_pid" 2>/dev/null; exit 1; }
+ckpt_id=$(sed -n 's/.*"checkpoint":"\(ckpt-[0-9]*\)".*/\1/p' target/verify_svc_cut.txt)
+[ -n "$ckpt_id" ] || { echo "FAIL: capped explore job returned no checkpoint id"; kill "$svc_pid" 2>/dev/null; exit 1; }
+./target/release/randsync submit "$svc_addr" resume checkpoint="$ckpt_id" \
+    > target/verify_svc_resumed.txt
+grep -q "\"configs\":$full_configs," target/verify_svc_resumed.txt \
+    || { echo "FAIL: resumed job did not reach the uninterrupted count ($full_configs)"; kill "$svc_pid" 2>/dev/null; exit 1; }
+./target/release/randsync shutdown "$svc_addr"
+wait "$svc_pid" || { echo "FAIL: job server exited nonzero"; exit 1; }
 
 echo "verify.sh: all gates passed"

@@ -8,10 +8,22 @@
 //! agree on every verdict (safety, termination reachability, infinite
 //! executions), and writes configuration counts, packed-arena sizes,
 //! throughput, and symmetry-reduction factors to `BENCH_explore.json`
-//! (schema 2: versioned, stamped with the git revision, and carrying a
+//! (schema 3: versioned, stamped with the git revision, and carrying a
 //! metrics-registry snapshot from a separate instrumented run — the
 //! timed runs stay uninstrumented). No external dependencies: timing
 //! is `std::time::Instant` and the JSON is written by hand.
+//!
+//! Schema 3 adds the **out-of-core tier** (DESIGN.md §14): each spill
+//! workload runs the same raw search twice — unlimited RAM vs a
+//! resident-memory budget a fraction of the in-RAM arena — asserts the
+//! outcomes bit-identical, and records spilled bytes, dedup merge
+//! passes, and the engine's resident-byte accounting. The flagship row
+//! completes the full `walk_tight(n=4)` raw space (518,260
+//! configurations, a ~22 MiB arena) under a 4 MiB budget; the
+//! `phase_model(n=4,rounds=4)` row runs a config-capped 2M-node search
+//! with ~7x less resident memory. Every workload also reports *why* it
+//! truncated, if it did (`config-cap` / `depth-cap` / `deadline`), and
+//! the process-wide peak RSS (`VmHWM`) lands in the JSON.
 //!
 //! Usage:
 //!
@@ -54,6 +66,12 @@ struct Row {
     /// Whether the raw run hit a budget (the canonical run never did in
     /// any shipped workload).
     raw_truncated: bool,
+    /// Why the raw run truncated, if it did (rendered
+    /// [`TruncationReason`]).
+    raw_truncation_reason: Option<String>,
+    /// Whether the canonical run's multinomial raw-count accumulation
+    /// saturated `usize` (never expected in shipped workloads).
+    raw_configs_overflow: bool,
     /// Raw configurations the canonical set represents (multinomial
     /// closure; exact for uniform inputs, an upper bound otherwise).
     /// Unlike `raw_configs` this is budget-independent.
@@ -148,6 +166,8 @@ where
         raw_configs: raw_seq.configs_visited,
         raw_arena_bytes: raw_seq.arena_bytes,
         raw_truncated: raw_seq.truncated,
+        raw_truncation_reason: raw_seq.truncation_reason.map(|r| r.to_string()),
+        raw_configs_overflow: seq.raw_configs_overflow,
         represented_raw_configs: seq.raw_configs,
         reduction: seq.reduction_factor(),
         bytes_per_config: seq.bytes_per_config,
@@ -172,6 +192,93 @@ where
         if row.equivalent { "OK" } else { "MISMATCH" },
     );
     row
+}
+
+/// One out-of-core workload: the same raw search in RAM and under a
+/// resident-memory budget, asserted bit-identical.
+struct SpillRow {
+    name: String,
+    budget_bytes: usize,
+    configs: usize,
+    truncated: bool,
+    truncation_reason: Option<String>,
+    /// Total (resident + spilled) arena footprint — identical between
+    /// the two runs by construction.
+    arena_bytes: usize,
+    /// The engine's accounting of bytes resident at the end of the
+    /// budgeted run (arena window + dedup RAM buffer).
+    resident_arena_bytes: usize,
+    spilled_bytes: u64,
+    dedup_merge_passes: u64,
+    ram_secs: f64,
+    spill_secs: f64,
+    identical: bool,
+}
+
+/// Run `protocol` raw twice — unlimited RAM, then under
+/// `budget_bytes` of resident memory — and check the outcomes are
+/// bit-identical (the out-of-core tier's core guarantee).
+fn measure_spill<P>(
+    name: &str,
+    protocol: &P,
+    inputs: &[u8],
+    budget_bytes: usize,
+    limits: ExploreLimits,
+) -> SpillRow
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
+    let t0 = Instant::now();
+    let ram = Explorer::new(limits).threads(1).explore(protocol, inputs);
+    let ram_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let spill =
+        Explorer::new(limits).threads(1).mem_budget(budget_bytes).explore(protocol, inputs);
+    let spill_secs = t0.elapsed().as_secs_f64();
+
+    let identical = same_mode_equivalent(&ram, &spill) && ram.arena_bytes == spill.arena_bytes;
+    let row = SpillRow {
+        name: name.to_string(),
+        budget_bytes,
+        configs: spill.configs_visited,
+        truncated: spill.truncated,
+        truncation_reason: spill.truncation_reason.map(|r| r.to_string()),
+        arena_bytes: spill.arena_bytes,
+        resident_arena_bytes: spill.resident_arena_bytes,
+        spilled_bytes: spill.spilled_bytes,
+        dedup_merge_passes: spill.dedup_merge_passes,
+        ram_secs,
+        spill_secs,
+        identical,
+    };
+    println!(
+        "{name:<28} spill {:>8} cfg{} under {:>6.1} MiB budget: {:>6.1} MiB arena, {:>6.1} MiB resident, {:>7.1} MiB spilled, {:>3} merge passes  ram {:>7.3}s  spill {:>7.3}s  {}",
+        row.configs,
+        if row.truncated { "*" } else { " " },
+        row.budget_bytes as f64 / (1024.0 * 1024.0),
+        row.arena_bytes as f64 / (1024.0 * 1024.0),
+        row.resident_arena_bytes as f64 / (1024.0 * 1024.0),
+        row.spilled_bytes as f64 / (1024.0 * 1024.0),
+        row.dedup_merge_passes,
+        row.ram_secs,
+        row.spill_secs,
+        if row.identical { "OK" } else { "MISMATCH" },
+    );
+    row
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux. The kernel's high-water
+/// mark is monotone over the process lifetime, so the recorded value is
+/// the peak across *every* run in this invocation — dominated by the
+/// unlimited-RAM baselines, which is the point of recording it next to
+/// the engine's per-run resident accounting.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: u64 =
+        status.lines().find(|l| l.starts_with("VmHWM:"))?.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// Seed-batched Monte Carlo: the same trials sequentially and fanned
@@ -240,12 +347,20 @@ fn main() {
 
     let wide = ExploreLimits { max_configs: 2_000_000, max_depth: 1_000_000 };
     let mut rows = Vec::new();
+    let mut spill_rows = Vec::new();
     if smoke {
         rows.push(measure(
             "optimistic(n=3,r=3)",
             &from_registry("optimistic", 3, 3),
             &[0, 1, 0],
             threads,
+            wide,
+        ));
+        spill_rows.push(measure_spill(
+            "optimistic(n=3,r=3)",
+            &from_registry("optimistic", 3, 3),
+            &[0, 1, 0],
+            64 * 1024,
             wide,
         ));
     } else {
@@ -285,10 +400,36 @@ fn main() {
             threads,
             ExploreLimits::default(),
         ));
+        // The out-of-core flagship: the full raw walk_tight(n=4) space
+        // — which the in-RAM row above could only truncate at the
+        // default budget, and whose complete arena is ~22 MiB — run to
+        // exhaustion under a 4 MiB resident budget and checked
+        // bit-identical against an unlimited-RAM run at the same wide
+        // limits.
+        spill_rows.push(measure_spill(
+            "walk_tight(n=4,uniform)",
+            &from_registry("walk-counter", 4, 1),
+            &[0, 0, 0, 0],
+            4 * 1024 * 1024,
+            wide,
+        ));
+        // The scale row: phase_model pushed to n=4/rounds=4 (mixed
+        // inputs) blows past the 2M-config wide cap either way; the
+        // point is that the budgeted run reaches the same capped
+        // frontier, bit-identically, with ~7x less resident memory
+        // (~34 MiB vs a ~240 MiB in-RAM arena).
+        spill_rows.push(measure_spill(
+            "phase_model(n=4,rounds=4)",
+            &from_registry("phase", 4, 4),
+            &[0, 1, 0, 1],
+            64 * 1024 * 1024,
+            wide,
+        ));
     }
     let mc = measure_monte_carlo(if smoke { 20 } else { 200 }, threads);
 
-    let all_equivalent = rows.iter().all(|r| r.equivalent) && mc.3;
+    let all_equivalent =
+        rows.iter().all(|r| r.equivalent) && spill_rows.iter().all(|r| r.identical) && mc.3;
 
     // Metrics snapshot for the JSON record: re-run the first workload
     // with the registry enabled. The timed runs above deliberately ran
@@ -306,7 +447,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"explore_perf\",\n");
-    json.push_str("  \"schema_version\": 2,\n");
+    json.push_str("  \"schema_version\": 3,\n");
     json.push_str(&format!("  \"git_rev\": \"{}\",\n", json_escape(&git_revision())));
     json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
@@ -317,6 +458,7 @@ fn main() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"configs\": {}, \"peak_arena_bytes\": {}, \
              \"raw_configs\": {}, \"raw_arena_bytes\": {}, \"raw_truncated\": {}, \
+             \"raw_truncation_reason\": {}, \"raw_configs_overflow\": {}, \
              \"represented_raw_configs\": {}, \
              \"reduction\": {:.3}, \"bytes_per_config\": {:.2}, \
              \"seq_secs\": {:.6}, \"par_secs\": {:.6}, \"raw_seq_secs\": {:.6}, \
@@ -329,6 +471,11 @@ fn main() {
             r.raw_configs,
             r.raw_arena_bytes,
             r.raw_truncated,
+            r.raw_truncation_reason
+                .as_deref()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .unwrap_or_else(|| "null".to_string()),
+            r.raw_configs_overflow,
             r.represented_raw_configs,
             r.reduction,
             r.bytes_per_config,
@@ -344,6 +491,37 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"spill_workloads\": [\n");
+    for (i, r) in spill_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mem_budget_bytes\": {}, \"configs\": {}, \
+             \"truncated\": {}, \"truncation_reason\": {}, \
+             \"arena_bytes\": {}, \"resident_arena_bytes\": {}, \
+             \"spilled_bytes\": {}, \"dedup_merge_passes\": {}, \
+             \"ram_secs\": {:.6}, \"spill_secs\": {:.6}, \"identical\": {}}}{}\n",
+            json_escape(&r.name),
+            r.budget_bytes,
+            r.configs,
+            r.truncated,
+            r.truncation_reason
+                .as_deref()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .unwrap_or_else(|| "null".to_string()),
+            r.arena_bytes,
+            r.resident_arena_bytes,
+            r.spilled_bytes,
+            r.dedup_merge_passes,
+            r.ram_secs,
+            r.spill_secs,
+            r.identical,
+            if i + 1 < spill_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"peak_rss_bytes\": {},\n",
+        peak_rss_bytes().map(|b| b.to_string()).unwrap_or_else(|| "null".to_string())
+    ));
     json.push_str(&format!("  \"metrics\": {metrics_json},\n"));
     json.push_str(&format!(
         "  \"monte_carlo\": {{\"trials\": {}, \"seq_secs\": {:.6}, \"par_secs\": {:.6}, \

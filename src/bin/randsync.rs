@@ -7,6 +7,7 @@
 //! randsync attack <protocol> [r]     run the lower-bound adversary
 //! randsync check <protocol> [r]      exhaustively model-check a protocol
 //! randsync valency <protocol> [t]    valency analysis (FLP structure)
+//! randsync resume <file.ckpt>        continue a checkpointed exploration
 //! randsync run <protocol> [n] [seed] execute on real threads via the runtime
 //! randsync replay <trace.jsonl>      re-execute a recorded run deterministically
 //! randsync montecarlo <protocol> [trials] [seed] [n]   seeded trial sweep + histogram
@@ -30,6 +31,17 @@
 //! trace travels). `submit <addr> metrics` fetches the server's
 //! metrics snapshot.
 //!
+//! Out-of-core and resumable exploration (DESIGN.md §14): `valency`
+//! accepts `--mem-budget <bytes>` (run the search on the spillable
+//! out-of-core tier under a resident-memory budget — results are
+//! bit-identical to the in-RAM tier), `--deadline-ms <ms>` (stop at the
+//! first BFS level boundary past the deadline), and
+//! `--checkpoint <file>` (write a resumable checkpoint if the search
+//! stops at a deadline or depth budget). `randsync resume <file.ckpt>`
+//! continues such a search to the full verdict, printing the same
+//! summary as `randsync check`. `serve --checkpoint-dir <dir>` points
+//! the server's `explore`/`resume` job checkpoints at a directory.
+//!
 //! Observability flags: `valency` and `run` accept `--metrics` (enable
 //! the global metrics registry and print its snapshot — for `valency`
 //! this also streams a per-depth progress line to stderr as the BFS
@@ -50,7 +62,8 @@ use randsync::core::bounds;
 use randsync::core::hierarchy::render_table;
 use randsync::model::runtime::{replay_execution, Runtime};
 use randsync::model::{
-    Configuration, Execution, Explorer, ExploreLimits, ProcessId, Protocol, Step,
+    Checkpoint, CheckpointRequest, Configuration, Execution, ExploreConfig, ExploreLimits,
+    ExploreOutcome, Explorer, ProcessId, Protocol, Step,
 };
 use randsync::objects::bridge;
 use randsync::obs::{self, ExecutionTrace, Field, Json, TraceSink};
@@ -93,6 +106,7 @@ fn main() -> ExitCode {
         "attack" => run_attack(&args[1..]),
         "check" => run_check(&args[1..]),
         "valency" => run_valency(&args[1..]),
+        "resume" => run_resume(&args[1..]),
         "run" => run_threaded(&args[1..]),
         "replay" => run_replay(&args[1..]),
         "montecarlo" => run_montecarlo(&args[1..]),
@@ -120,16 +134,19 @@ fn main() -> ExitCode {
                  usage:\n  randsync table [n]\n  randsync bounds <n>\n  randsync protocols\n  \
                  randsync attack <naive|optimistic|zigzag|swapchain|tasrace|...> [r]\n  \
                  randsync check <protocol> [r]\n  \
-                 randsync valency <protocol> [threads] [--canonical] [--metrics]\n  \
+                 randsync valency <protocol> [threads] [--canonical] [--metrics]\n          \
+                 [--mem-budget <bytes>] [--deadline-ms <ms>] [--checkpoint <file>]\n  \
+                 randsync resume <file.ckpt> [--mem-budget <bytes>]\n  \
                  randsync run <protocol> [n] [seed] [--metrics] [--trace <file>]\n  \
                  randsync replay <trace.jsonl>\n  \
                  randsync montecarlo <protocol> [trials] [seed] [n]\n  \
                  randsync walk <n> [seed]\n  \
-                 randsync serve [addr] [--workers N] [--queue N]\n  \
+                 randsync serve [addr] [--workers N] [--queue N] [--checkpoint-dir <dir>]\n  \
                  randsync submit <addr> <job> [key=value ...]\n  \
                  randsync shutdown <addr>\n\n\
                  protocol names: see `randsync protocols`\n\
-                 job kinds: valency, run, monte_carlo, replay, verify_witness, protocols, metrics"
+                 job kinds: valency, explore, resume, run, monte_carlo, replay, \
+                 verify_witness, protocols, metrics"
             );
             ExitCode::SUCCESS
         }
@@ -325,47 +342,140 @@ fn replay_trace<P: Protocol>(
 }
 
 fn run_valency(args: &[String]) -> ExitCode {
-    // `randsync valency <protocol> [threads] [--canonical] [--metrics]`
-    let canonical = args.iter().any(|a| a == "--canonical" || a == "canonical");
-    let (rest, flags) = match split_obs_flags(args, &["--metrics", "--canonical"]) {
-        Ok(split) => split,
-        Err(code) => return code,
-    };
-    let rest: Vec<&String> =
-        rest.into_iter().filter(|a| *a != "--canonical" && *a != "canonical").collect();
-    let which = rest.first().map(|s| s.as_str()).unwrap_or("cas");
+    // `randsync valency <protocol> [threads] [--canonical] [--metrics]
+    //  [--mem-budget <bytes>] [--deadline-ms <ms>] [--checkpoint <file>]`
+    let mut canonical = false;
+    let mut metrics = false;
+    let mut mem_budget = 0usize;
+    let mut deadline_ms: Option<u64> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--canonical" | "canonical" => canonical = true,
+            "--metrics" => metrics = true,
+            "--mem-budget" | "--deadline-ms" => {
+                let Some(v) = iter.next().and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("{arg} needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                if arg == "--mem-budget" {
+                    mem_budget = v as usize;
+                } else {
+                    deadline_ms = Some(v);
+                }
+            }
+            "--checkpoint" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--checkpoint needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                checkpoint_path = Some(path.clone());
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let which = positional.first().map(|s| s.as_str()).unwrap_or("cas");
     // Optional worker-thread count; 0 (the default) resolves to the
     // host's available parallelism. Results are identical either way.
-    let threads = parse(rest.get(1).copied(), 0) as usize;
-    let explorer = Explorer::new(ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 })
-        .threads(threads)
-        .canonical(canonical);
+    let threads = parse(positional.get(1).copied(), 0) as usize;
     let entry = match lookup(which) {
         Ok(e) => e,
         Err(code) => return code,
     };
-    if flags.metrics {
+    let mut config = ExploreConfig {
+        limits: ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 },
+        threads,
+        canonical,
+        mem_budget_bytes: mem_budget,
+        ..ExploreConfig::default()
+    };
+    if let Some(ms) = deadline_ms {
+        config.deadline =
+            Some(std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    }
+    if let Some(path) = &checkpoint_path {
+        config.checkpoint = Some(CheckpointRequest {
+            path: path.into(),
+            protocol: entry.name.to_string(),
+            n: entry.default_n as u32,
+            r: entry.default_r as u64,
+            inputs: entry.default_inputs.to_vec(),
+        });
+    }
+    let explorer = Explorer::with_config(config);
+    if metrics {
         // Live per-depth progress on stderr while the BFS runs, a
         // registry snapshot after it finishes.
         obs::set_metrics_enabled(true);
         obs::install_trace_sink(std::sync::Arc::new(StderrProgress));
     }
     let code = valency_report(&explorer, &entry.build_default(), entry.default_inputs);
-    if flags.metrics {
+    if metrics {
         obs::clear_trace_sink();
         print_metrics_snapshot();
     }
     code
 }
 
-/// Run the valency analysis and print it, followed by the symmetry
-/// reduction achieved (from a same-budget exploration, which also
-/// reports the packed-arena footprint).
+/// Print the storage/truncation/checkpoint lines shared by the
+/// `valency` and `resume` exploration summaries.
+fn print_explore_footprint(out: &ExploreOutcome) {
+    if out.canonicalized {
+        println!(
+            "symmetry reduction  : {} canonical configs represent {}{} raw ({:.2}x)",
+            out.canonical_configs,
+            out.raw_configs,
+            if out.raw_configs_overflow { "+" } else { "" },
+            out.reduction_factor()
+        );
+    } else {
+        println!("symmetry reduction  : off (raw exploration)");
+    }
+    println!(
+        "arena               : {} bytes ({:.1} B/config)",
+        out.arena_bytes, out.bytes_per_config
+    );
+    if out.spill_mode {
+        println!(
+            "out-of-core         : {} bytes resident, {} bytes spilled, {} merge passes",
+            out.resident_arena_bytes, out.spilled_bytes, out.dedup_merge_passes
+        );
+    }
+    if let Some(path) = &out.checkpoint {
+        println!("checkpoint          : {}", path.display());
+    }
+    if let Some(e) = &out.checkpoint_error {
+        eprintln!("checkpoint failed   : {e}");
+    }
+}
+
+/// Explore (honouring any memory budget / deadline / checkpoint request
+/// in the explorer's config), then — if the space was exhausted — run
+/// the valency analysis and print it, followed by the symmetry
+/// reduction achieved and the arena footprint. A truncated exploration
+/// prints why it stopped (and where the checkpoint went) and fails.
 fn valency_report<P>(explorer: &Explorer, protocol: &P, inputs: &[u8]) -> ExitCode
 where
     P: Protocol + Sync,
     P::State: Send + Sync,
 {
+    let out = explorer.explore(protocol, inputs);
+    if out.truncated {
+        let reason = out
+            .truncation_reason
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "budget".to_string());
+        println!("configurations      : {} (truncated: {reason})", out.configs_visited);
+        print_explore_footprint(&out);
+        eprintln!("exploration truncated ({reason}); valencies would be unsound");
+        return ExitCode::FAILURE;
+    }
     let Some(a) = explorer.valency(protocol, inputs) else {
         eprintln!("state space exceeded the budget; valencies would be unsound");
         return ExitCode::FAILURE;
@@ -378,21 +488,72 @@ where
     println!("  stuck             : {}", a.stuck);
     println!("critical configs    : {}", a.critical_configs);
     println!("bivalent cycle      : {}", a.bivalent_cycle);
-    let out = explorer.explore(protocol, inputs);
-    if out.canonicalized {
-        println!(
-            "symmetry reduction  : {} canonical configs represent {} raw ({:.2}x)",
-            out.canonical_configs,
-            out.raw_configs,
-            out.reduction_factor()
-        );
-    } else {
-        println!("symmetry reduction  : off (raw exploration)");
+    print_explore_footprint(&out);
+    ExitCode::SUCCESS
+}
+
+/// `randsync resume <file.ckpt> [--mem-budget <bytes>]`: load a
+/// checkpoint written by `valency --checkpoint` (or the job server) and
+/// continue the search to its full verdict. Stdout matches `randsync
+/// check` line-for-line so the two can be diffed; the resume banner
+/// goes to stderr.
+fn run_resume(args: &[String]) -> ExitCode {
+    let mut mem_budget = 0usize;
+    let mut path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--mem-budget" => {
+                let Some(v) = iter.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--mem-budget needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                mem_budget = v;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+            _ if path.is_none() => path = Some(arg.clone()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
-    println!(
-        "arena               : {} bytes ({:.1} B/config)",
-        out.arena_bytes, out.bytes_per_config
+    let Some(path) = path else {
+        eprintln!("usage: randsync resume <file.ckpt> [--mem-budget <bytes>]");
+        return ExitCode::FAILURE;
+    };
+    let ckpt = match Checkpoint::load(Path::new(&path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot load checkpoint {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entry = match lookup(&ckpt.protocol) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    eprintln!(
+        "resuming {} (n={}, r={}) from depth {}, {} configs",
+        ckpt.protocol,
+        ckpt.n,
+        ckpt.r,
+        ckpt.level_depth,
+        ckpt.nodes()
     );
+    let explorer = Explorer::new(ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 })
+        .mem_budget(mem_budget);
+    let out = match explorer.resume(&(entry.build)(ckpt.n as usize, ckpt.r as usize), &ckpt) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("resume failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_check_summary(&out);
     ExitCode::SUCCESS
 }
 
@@ -406,6 +567,14 @@ fn run_check(args: &[String]) -> ExitCode {
     let limits = ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 };
     let explorer = Explorer::new(limits);
     let out = explorer.explore(&(entry.build)(entry.default_n, r), entry.default_inputs);
+    print_check_summary(&out);
+    ExitCode::SUCCESS
+}
+
+/// The two-line model-checking verdict shared by `check` and `resume`
+/// (identical output lets `verify.sh` diff a resumed search against an
+/// uninterrupted one).
+fn print_check_summary(out: &ExploreOutcome) {
     println!(
         "configs: {}{}",
         out.configs_visited,
@@ -419,7 +588,6 @@ fn run_check(args: &[String]) -> ExitCode {
         (Some(w), _) => println!("BROKEN — consistency violation in {} steps", w.len()),
         (None, Some(w)) => println!("BROKEN — validity violation in {} steps", w.len()),
     }
-    ExitCode::SUCCESS
 }
 
 /// `randsync run <protocol> [n] [seed] [--metrics] [--trace <file>]`:
@@ -670,15 +838,23 @@ fn print_mc_summary(result: &Json) {
     }
 }
 
-/// `randsync serve [addr] [--workers N] [--queue N]`: run the job
-/// server until a `shutdown` control frame drains it. Binding port 0
-/// picks an ephemeral port; the actual address is printed either way.
+/// `randsync serve [addr] [--workers N] [--queue N] [--checkpoint-dir <dir>]`:
+/// run the job server until a `shutdown` control frame drains it.
+/// Binding port 0 picks an ephemeral port; the actual address is
+/// printed either way.
 fn run_serve(args: &[String]) -> ExitCode {
     let mut addr: Option<&str> = None;
     let mut config = ServerConfig::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--checkpoint-dir" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--checkpoint-dir needs a path");
+                    return ExitCode::FAILURE;
+                };
+                config.checkpoint_dir = Some(std::path::PathBuf::from(dir));
+            }
             "--workers" | "--queue" => {
                 let Some(n) = iter.next().and_then(|s| s.parse::<usize>().ok()) else {
                     eprintln!("{arg} needs a positive integer");

@@ -213,6 +213,63 @@ fn counter(snapshot: &Json, name: &str) -> u64 {
 }
 
 #[test]
+fn truncated_explore_job_resumes_to_the_uninterrupted_outcome() {
+    let (addr, server) = start_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // The uninterrupted baseline, over the wire.
+    let full = client
+        .request("explore", &obj(&[("protocol", Json::Str("naive".to_string()))]))
+        .expect("request");
+    assert!(full.ok, "{}", full.body.render());
+    assert_eq!(full.body.get("truncated"), Some(&Json::Bool(false)));
+    assert_eq!(full.body.get("checkpoint"), Some(&Json::Null));
+
+    // A depth-capped run truncates deterministically (no wall clock
+    // involved), runs on the out-of-core tier, and must hand back a
+    // committed checkpoint id.
+    let cut = client
+        .request(
+            "explore",
+            &obj(&[
+                ("protocol", Json::Str("naive".to_string())),
+                ("max_depth", Json::Int(2)),
+                ("mem_budget", Json::Int(4096)),
+            ]),
+        )
+        .expect("request");
+    assert!(cut.ok, "{}", cut.body.render());
+    assert_eq!(cut.body.get("truncated"), Some(&Json::Bool(true)));
+    assert_eq!(cut.body.get("truncation_reason").and_then(Json::as_str), Some("depth-cap"));
+    assert_eq!(cut.body.get("spill_mode"), Some(&Json::Bool(true)));
+    let ckpt =
+        cut.body.get("checkpoint").and_then(Json::as_str).expect("checkpoint id").to_string();
+    assert!(ckpt.starts_with("ckpt-"), "opaque store id, got {ckpt}");
+
+    // Resuming that id must reach the uninterrupted outcome, bit for
+    // bit on every deterministic field.
+    let resumed = client
+        .request("resume", &obj(&[("checkpoint", Json::Str(ckpt.clone()))]))
+        .expect("request");
+    assert!(resumed.ok, "{}", resumed.body.render());
+    for key in
+        ["configs", "raw_configs", "safe", "terminal_configs", "truncated", "arena_bytes"]
+    {
+        assert_eq!(resumed.body.get(key), full.body.get(key), "{key} diverged after resume");
+    }
+    assert_eq!(resumed.body.get("resumed_from").and_then(Json::as_str), Some(ckpt.as_str()));
+
+    // Unknown checkpoint ids are a client error, not a crash.
+    let bad = client
+        .request("resume", &obj(&[("checkpoint", Json::Str("ckpt-999999".to_string()))]))
+        .expect("request");
+    assert!(!bad.ok, "unknown checkpoint must be rejected");
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server drains");
+}
+
+#[test]
 fn repeated_valency_requests_hit_the_results_cache() {
     let (addr, server) = start_server(ServerConfig::default());
     let mut client = Client::connect(addr).expect("connect");
