@@ -17,6 +17,7 @@
 
 pub mod cas_model;
 pub mod historyless;
+pub mod local_coin;
 pub mod mutex;
 pub mod naive;
 pub mod phase_model;
@@ -25,6 +26,7 @@ pub mod walk_model;
 
 pub use cas_model::CasModel;
 pub use historyless::{MixedZigzag, SwapChain, TasRace};
+pub use local_coin::LocalCoinModel;
 pub use mutex::{FlagOnlyMutex, PetersonMutex, TournamentMutex};
 pub use naive::{NaiveWriteRead, Optimistic, Zigzag};
 pub use phase_model::PhaseModel;

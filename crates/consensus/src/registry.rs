@@ -22,14 +22,15 @@ use randsync_model::{
 };
 
 use crate::model_protocols::{
-    CasModel, FetchIncTwoModel, MixedZigzag, NaiveWriteRead, Optimistic, PhaseModel, SwapChain,
-    SwapTwoModel, TasRace, TasTwoModel, WalkBacking, WalkModel, Zigzag,
+    CasModel, FetchIncTwoModel, LocalCoinModel, MixedZigzag, NaiveWriteRead, Optimistic,
+    PhaseModel, SwapChain, SwapTwoModel, TasRace, TasTwoModel, WalkBacking, WalkModel, Zigzag,
 };
 use crate::model_protocols::historyless::{ChainState, MixedState, RaceState};
 use crate::model_protocols::naive::{NaiveState, OptState};
 use crate::model_protocols::phase_model::PhaseState;
 use crate::model_protocols::two_proc::{FetchIncState, SwapState, TasState};
 use crate::model_protocols::cas_model::CasState;
+use crate::model_protocols::local_coin::LocalCoinState;
 use crate::model_protocols::walk_model::WalkState;
 
 macro_rules! any_protocol {
@@ -114,6 +115,7 @@ any_protocol! {
     TasRace: TasRace, RaceState;
     Mixed: MixedZigzag, MixedState;
     Phase: PhaseModel, PhaseState;
+    LocalCoin: LocalCoinModel, LocalCoinState;
 }
 
 /// Which lower-bound adversary (if any) applies to a protocol.
@@ -390,6 +392,19 @@ const ENTRIES: &[ProtocolEntry] = &[
         runnable: true,
         attack: AttackFamily::Historyless,
         build: |n, _| AnyProtocol::Mixed(MixedZigzag::new(n.max(1))),
+    },
+    ProtocolEntry {
+        name: "localcoin",
+        objects: "n private bounded counters + 1 compare&swap",
+        paper: "private mixing before Herlihy's CAS (Section 4 flavor)",
+        default_n: 2,
+        default_r: 4,
+        default_inputs: &[0, 1],
+        takes_r: true,
+        expected_safe: true,
+        runnable: true,
+        attack: AttackFamily::NotApplicable,
+        build: |n, r| AnyProtocol::LocalCoin(LocalCoinModel::new(n.max(1), r.max(1) as u32)),
     },
     ProtocolEntry {
         name: "phase",

@@ -274,6 +274,30 @@ pub fn attack_for_witness<P: Protocol>(
     }
 }
 
+/// [`attack_for_witness`] followed by schedule shrinking: run the
+/// Lemma 3.2 adversary and hand back the **minimized** witness (steps
+/// deleted and independent neighbors commuted until a fixpoint,
+/// re-verified) together with what the shrink removed. The constructed
+/// witness carries clone scaffolding — block writes covering every
+/// register, spliced solo runs — that the minimal counterexample
+/// usually does not need, so this is the form worth archiving as a
+/// flight trace.
+///
+/// # Errors
+///
+/// See [`attack_identical`].
+///
+/// # Panics
+///
+/// Panics if the protocol turned out to violate validity instead.
+pub fn attack_minimized<P: Protocol>(
+    protocol: &P,
+    limits: &CombineLimits,
+) -> Result<(InconsistencyWitness, crate::witness::MinimizeStats), AttackError> {
+    let (witness, _) = attack_for_witness(protocol, limits)?;
+    Ok(witness.minimize_report(protocol))
+}
+
 /// A reference to keep `block_write_steps` exercised from this module's
 /// tests (the combiner builds its block writes inline).
 #[allow(dead_code)]

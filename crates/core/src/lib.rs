@@ -58,10 +58,10 @@ pub mod poised;
 pub mod weave;
 pub mod witness;
 
-pub use attack::{attack_identical, AttackError, AttackOutcome};
+pub use attack::{attack_identical, attack_minimized, AttackError, AttackOutcome};
 pub use combine35::{ample_pool, attack_historyless, GeneralError, GeneralOutcome, GeneralStats};
 pub use bounds::*;
 pub use hierarchy::{separation_table, PrimitiveProfile, SpaceBound};
 pub use interruptible::{ExcessCapacity, InterruptibleExecution, Piece};
 pub use weave::Weaver;
-pub use witness::InconsistencyWitness;
+pub use witness::{InconsistencyWitness, MinimizeStats};

@@ -173,37 +173,68 @@ impl InconsistencyWitness {
 
     /// Greedily minimize the witness: repeatedly drop steps whose
     /// removal leaves an execution that still replays and still decides
-    /// two different values (delta-debugging style, one pass from the
-    /// end). The result is 1-minimal with respect to single-step
-    /// removal; the deciders are recomputed.
+    /// two different values (delta-debugging style, passes from the
+    /// end), then try **commuting** adjacent steps of different
+    /// processes whose pending operations are independent under the
+    /// paper's algebra ([`ObjectKind::independent`]) — a commutation is
+    /// kept only when it unlocks at least one further deletion. The
+    /// loop runs to a joint fixpoint: the result is 1-minimal with
+    /// respect to single-step removal *modulo* single adjacent
+    /// transpositions, and the deciders are recomputed.
     ///
     /// Minimization never weakens a witness — the returned value has
     /// been re-verified.
+    ///
+    /// [`ObjectKind::independent`]: randsync_model::ObjectKind::independent
     pub fn minimize<P>(&self, protocol: &P) -> InconsistencyWitness
     where
         P: Protocol,
     {
+        self.minimize_report(protocol).0
+    }
+
+    /// [`InconsistencyWitness::minimize`], also reporting how many
+    /// steps were deleted and how many independent adjacent pairs were
+    /// commuted on the way to the fixpoint.
+    pub fn minimize_report<P>(&self, protocol: &P) -> (InconsistencyWitness, MinimizeStats)
+    where
+        P: Protocol,
+    {
         let start = self.initial_configuration(protocol);
+        let specs = protocol.objects();
         let mut steps = self.execution.steps().to_vec();
-        let survives = |steps: &[randsync_model::Step]| {
-            Execution::from_steps(steps.to_vec())
-                .replay(protocol, &start)
-                .map(|(end, _)| end.is_inconsistent())
-                .unwrap_or(false)
+        let mut stats = MinimizeStats {
+            deleted: delete_pass(protocol, &start, &mut steps),
+            commuted: 0,
         };
-        let mut changed = true;
-        while changed {
-            changed = false;
-            let mut i = steps.len();
-            while i > 0 {
-                i -= 1;
+        // Commute phase: a schedule can be stuck for deletion (every
+        // single removal breaks the replay) yet shrinkable after
+        // swapping two independent neighbors. Each successful swap
+        // restarts the scan, so the phases interleave to a fixpoint.
+        'swaps: loop {
+            for i in 0..steps.len().saturating_sub(1) {
+                if steps[i].pid == steps[i + 1].pid
+                    || !independent_at(protocol, &start, &specs, &steps, i)
+                {
+                    continue;
+                }
                 let mut candidate = steps.clone();
-                candidate.remove(i);
-                if survives(&candidate) {
+                candidate.swap(i, i + 1);
+                // Independence guarantees the swap preserves the final
+                // configuration; replaying anyway keeps the ground
+                // truth in charge.
+                if !survives(protocol, &start, &candidate) {
+                    continue;
+                }
+                let deleted = delete_pass(protocol, &start, &mut candidate);
+                if deleted > 0 {
+                    stats.deleted += deleted;
+                    stats.commuted += 1;
                     steps = candidate;
-                    changed = true;
+                    continue 'swaps;
                 }
             }
+            break;
         }
         let execution = Execution::from_steps(steps);
         let (end, _) =
@@ -222,7 +253,86 @@ impl InconsistencyWitness {
             processes_used: pids.len(),
         };
         minimized.verify(protocol).expect("minimized witness verifies");
-        minimized
+        (minimized, stats)
+    }
+}
+
+/// What [`InconsistencyWitness::minimize_report`] did to the schedule.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct MinimizeStats {
+    /// Steps removed across all deletion passes.
+    pub deleted: usize,
+    /// Independent adjacent transpositions kept (each unlocked at
+    /// least one deletion).
+    pub commuted: usize,
+}
+
+/// Whether `steps` replays from `start` and still ends inconsistent.
+fn survives<P: Protocol>(
+    protocol: &P,
+    start: &Configuration<P::State>,
+    steps: &[randsync_model::Step],
+) -> bool {
+    Execution::from_steps(steps.to_vec())
+        .replay(protocol, start)
+        .map(|(end, _)| end.is_inconsistent())
+        .unwrap_or(false)
+}
+
+/// Delete single steps (scanning from the end, repeating until stable)
+/// as long as the residue still [`survives`]. Returns how many were
+/// removed.
+fn delete_pass<P: Protocol>(
+    protocol: &P,
+    start: &Configuration<P::State>,
+    steps: &mut Vec<randsync_model::Step>,
+) -> usize {
+    let mut deleted = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = steps.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = steps.clone();
+            candidate.remove(i);
+            if survives(protocol, start, &candidate) {
+                *steps = candidate;
+                deleted += 1;
+                changed = true;
+            }
+        }
+    }
+    deleted
+}
+
+/// Whether `steps[i]` and `steps[i + 1]` are pending *independent*
+/// operations at the configuration reached by the prefix — i.e. their
+/// transposition is a Mazurkiewicz equivalence. A process's next action
+/// depends only on its own state, so the neighbor's action can be read
+/// off the same prefix configuration.
+fn independent_at<P: Protocol>(
+    protocol: &P,
+    start: &Configuration<P::State>,
+    specs: &[randsync_model::ObjectSpec],
+    steps: &[randsync_model::Step],
+    i: usize,
+) -> bool {
+    let prefix = Execution::from_steps(steps[..i].to_vec());
+    let Ok((config, _)) = prefix.replay(protocol, start) else {
+        return false;
+    };
+    let enabled = |pid: ProcessId| {
+        config.next_action(protocol, pid).map(|a| match a {
+            randsync_model::Action::Decide(d) => randsync_model::EnabledStep::Decide(d),
+            randsync_model::Action::Invoke { object, op } => {
+                randsync_model::EnabledStep::Invoke(object, op)
+            }
+        })
+    };
+    match (enabled(steps[i].pid), enabled(steps[i + 1].pid)) {
+        (Some(a), Some(b)) => a.independent(&b, specs),
+        _ => false,
     }
 }
 
@@ -349,6 +459,36 @@ mod tests {
             m.processes_used <= w.processes_used,
             "minimization should never need more processes"
         );
+    }
+
+    #[test]
+    fn minimize_report_accounts_for_every_removed_step() {
+        use randsync_consensus::model_protocols::Optimistic;
+        let p = Optimistic::new(2, 3);
+        let (w, _) = crate::attack::attack_for_witness(
+            &p,
+            &crate::combine31::CombineLimits::default(),
+        )
+        .unwrap();
+        let (m, stats) = w.minimize_report(&p);
+        m.verify(&p).unwrap();
+        // Every deletion removes exactly one step and commutations
+        // remove none, so the ledger must balance.
+        assert_eq!(stats.deleted, w.execution.len() - m.execution.len());
+        assert!(
+            stats.commuted <= stats.deleted,
+            "a kept commutation must have unlocked a deletion: {stats:?}"
+        );
+        // The convenience wrapper is the same computation.
+        let (m2, s2) = crate::attack::attack_minimized(
+            &p,
+            &crate::combine31::CombineLimits::default(),
+        )
+        .unwrap();
+        m2.verify(&p).unwrap();
+        // The adversary and the shrinker are both deterministic.
+        assert_eq!(m2.execution.len(), m.execution.len());
+        assert_eq!(s2, stats);
     }
 
     #[test]

@@ -117,3 +117,51 @@ mod witness_tampering {
         }
     }
 }
+
+mod witness_shrinking {
+    use proptest::prelude::*;
+    use randsync_consensus::model_protocols::{Optimistic, Zigzag};
+    use randsync_core::attack::attack_minimized;
+    use randsync_core::combine31::CombineLimits;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        /// Shrinking never breaks a witness: after deleting steps and
+        /// commuting independent neighbors, the minimized schedule
+        /// still fails consensus (verify succeeds in proving the
+        /// double decision), every removed step is accounted for, the
+        /// shrink is idempotent, and the minimized flight trace is
+        /// bit-identical across replays.
+        #[test]
+        fn minimized_witnesses_still_verify(
+            r in 1usize..4,
+            zig in any::<bool>(),
+        ) {
+            macro_rules! check {
+                ($p:expr) => {{
+                    let p = $p;
+                    let (min, stats) =
+                        attack_minimized(&p, &CombineLimits::default()).unwrap();
+                    // The shrunk schedule is still a real counterexample.
+                    prop_assert!(min.verify(&p).is_ok(), "minimized witness broke");
+                    // Idempotence: a second shrink finds nothing to do.
+                    let (again, s2) = min.minimize_report(&p);
+                    prop_assert_eq!(s2.deleted, 0, "first shrink left dead steps");
+                    prop_assert_eq!(again.execution.len(), min.execution.len());
+                    // Replays are bit-identical: the flight trace is a
+                    // pure function of the witness.
+                    let t1 = min.flight_trace("shrunk", 2, r);
+                    let t2 = min.flight_trace("shrunk", 2, r);
+                    prop_assert_eq!(t1, t2, "flight trace not deterministic");
+                    stats
+                }};
+            }
+            if zig {
+                check!(Zigzag::new(2, r));
+            } else {
+                check!(Optimistic::new(2, r));
+            }
+        }
+    }
+}

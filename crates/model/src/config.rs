@@ -11,6 +11,7 @@ use core::hash::Hash;
 
 use crate::error::ModelError;
 use crate::execution::StepRecord;
+use crate::op::Operation;
 use crate::process::{ObjectId, ProcessId};
 use crate::protocol::{Action, Decision, ObjectSpec, Protocol};
 use crate::value::Value;
@@ -196,6 +197,30 @@ impl<S: Clone + Eq + Hash + core::fmt::Debug> Configuration<S> {
             .collect()
     }
 
+    /// The **enabled-step analysis** of this configuration: for every
+    /// active process, what it will do when next allocated a step —
+    /// decide, or invoke a specific operation on a specific object.
+    /// This extends the poised-process view (which only records
+    /// *nontrivial* operations) with the trivial operations and the
+    /// pending decisions, which is what the explorer's partial-order
+    /// reduction needs to judge independence between enabled steps.
+    pub fn enabled_steps<P>(&self, protocol: &P) -> Vec<(ProcessId, EnabledStep)>
+    where
+        P: Protocol<State = S>,
+    {
+        (0..self.procs.len())
+            .map(ProcessId)
+            .filter_map(|pid| {
+                let action = self.next_action(protocol, pid)?;
+                let step = match action {
+                    Action::Decide(d) => EnabledStep::Decide(d),
+                    Action::Invoke { object, op } => EnabledStep::Invoke(object, op),
+                };
+                Some((pid, step))
+            })
+            .collect()
+    }
+
     /// Perform one step of process `pid`, drawing any required coin from
     /// `coin_fn` (called with the coin-domain size; must return a value
     /// below it).
@@ -284,6 +309,50 @@ impl<S: Clone + Eq + Hash + core::fmt::Debug> Configuration<S> {
     pub fn spawn(&mut self, state: S) -> ProcessId {
         self.procs.push(ProcState::Active(state));
         ProcessId(self.procs.len() - 1)
+    }
+}
+
+/// What one active process will do when next allocated a step, as
+/// reported by [`Configuration::enabled_steps`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EnabledStep {
+    /// The process will decide this value (a purely local transition —
+    /// no shared object is touched).
+    Decide(Decision),
+    /// The process will invoke `op` on `object`.
+    Invoke(ObjectId, Operation),
+}
+
+impl EnabledStep {
+    /// Whether two enabled steps (of *different* processes) are
+    /// independent: executing them in either order reaches the same
+    /// configuration. Decide steps touch no shared state, so they are
+    /// independent of everything; invocations on different objects have
+    /// disjoint footprints; invocations on the same object defer to the
+    /// kind's operation algebra
+    /// ([`ObjectKind::independent`](crate::kind::ObjectKind::independent)).
+    ///
+    /// `specs` must be the owning protocol's object table. Steps of the
+    /// *same* process are never independent (program order); this
+    /// relation does not check process identity.
+    pub fn independent(&self, other: &EnabledStep, specs: &[ObjectSpec]) -> bool {
+        match (self, other) {
+            (EnabledStep::Decide(_), _) | (_, EnabledStep::Decide(_)) => true,
+            (EnabledStep::Invoke(o1, f), EnabledStep::Invoke(o2, g)) => {
+                o1 != o2
+                    || specs
+                        .get(o1.0)
+                        .is_some_and(|spec| spec.kind.independent(f, g))
+            }
+        }
+    }
+
+    /// The object this step touches, if any.
+    pub fn object(&self) -> Option<ObjectId> {
+        match self {
+            EnabledStep::Decide(_) => None,
+            EnabledStep::Invoke(object, _) => Some(*object),
+        }
     }
 }
 
@@ -515,6 +584,54 @@ mod tests {
             c.next_action(&p, ProcessId(1)),
             Some(crate::protocol::Action::Decide(_))
         ));
+    }
+
+    #[test]
+    fn enabled_steps_report_the_full_enabled_set() {
+        let p = WriteReadDecide;
+        let mut c = Configuration::initial(&p, &[0, 1]);
+        let steps = c.enabled_steps(&p);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(
+            steps[0],
+            (ProcessId(0), EnabledStep::Invoke(ObjectId(0), Operation::Write(Value::Int(0))))
+        );
+        // Two writes of different values to the same register conflict.
+        let specs = p.objects();
+        assert!(!steps[0].1.independent(&steps[1].1, &specs));
+        // Advance P0 to its read: a read and a write to the same
+        // register still conflict (the read observes the order) ...
+        c.step(&p, ProcessId(0), 0).unwrap();
+        let steps = c.enabled_steps(&p);
+        assert_eq!(steps[0], (ProcessId(0), EnabledStep::Invoke(ObjectId(0), Operation::Read)));
+        assert!(!steps[0].1.independent(&steps[1].1, &specs));
+        // ... but a pending decision is independent of anything.
+        c.step(&p, ProcessId(0), 0).unwrap();
+        let steps = c.enabled_steps(&p);
+        assert!(matches!(steps[0].1, EnabledStep::Decide(0)));
+        assert!(steps[0].1.independent(&steps[1].1, &specs));
+        assert!(steps[1].1.independent(&steps[0].1, &specs));
+        assert_eq!(steps[0].1.object(), None);
+        assert_eq!(steps[1].1.object(), Some(ObjectId(0)));
+        // Decided processes drop out of the enabled set.
+        c.step(&p, ProcessId(0), 0).unwrap();
+        assert_eq!(c.enabled_steps(&p).len(), 1);
+    }
+
+    #[test]
+    fn enabled_steps_on_different_objects_are_independent() {
+        let specs = vec![
+            ObjectSpec::new(ObjectKind::Register, "a"),
+            ObjectSpec::new(ObjectKind::Register, "b"),
+        ];
+        let w0 = EnabledStep::Invoke(ObjectId(0), Operation::Write(Value::Int(0)));
+        let w1 = EnabledStep::Invoke(ObjectId(1), Operation::Write(Value::Int(1)));
+        let w0b = EnabledStep::Invoke(ObjectId(0), Operation::Write(Value::Int(9)));
+        assert!(w0.independent(&w1, &specs), "different objects: disjoint footprints");
+        assert!(!w0.independent(&w0b, &specs), "same register, different values");
+        // An out-of-range object id is conservatively dependent.
+        let bogus = EnabledStep::Invoke(ObjectId(7), Operation::Read);
+        assert!(!bogus.independent(&bogus.clone(), &specs));
     }
 
     #[test]

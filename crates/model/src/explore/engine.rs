@@ -63,6 +63,7 @@ use crate::protocol::{Action, Decision, ObjectSpec, Protocol};
 use super::canonical::{permutations_of_sorted, Canonicalizer};
 use super::checkpoint::{Checkpoint, CheckpointError};
 use super::pack::{hash_words, PackedArena, WordStore};
+use super::por::{Ample, PorContext};
 use super::spill::{BudgetPlan, ExternalDedup, SpillDir, SpillStore};
 use super::ExploreConfig;
 
@@ -240,6 +241,15 @@ pub(super) struct BfsGraph<S> {
     pub(super) checkpoint_written: Option<std::path::PathBuf>,
     /// Why a requested checkpoint could not be written, if it failed.
     pub(super) checkpoint_error: Option<String>,
+    /// Whether the search ran with partial-order reduction.
+    pub(super) por_enabled: bool,
+    /// Enabled process moves skipped by ample-set reduction (each a
+    /// whole process's turn at a node, however many coin outcomes it
+    /// would have fanned into).
+    pub(super) por_pruned: usize,
+    /// Reduced nodes re-expanded in full by the cycle proviso (an edge
+    /// back to the same or an earlier BFS level).
+    pub(super) por_fallbacks: usize,
 }
 
 impl<S> BfsGraph<S> {
@@ -296,11 +306,29 @@ fn classify<S: Clone + Eq + Hash>(
     SuccRef::New(cand.clone())
 }
 
+/// One frontier node's expansion: its classified candidate successors
+/// plus what the ample-set reduction did to it.
+struct NodeExpansion<S> {
+    cands: Vec<(Step, SuccRef<S>)>,
+    /// Only one process's steps were expanded (an ample singleton).
+    reduced: bool,
+    /// Enabled process moves the reduction skipped at this node.
+    pruned: u32,
+}
+
 /// All one-step successors of `config`, classified against the current
 /// arena. Successors are enumerated in `(pid, coin)` order — the same
 /// order as [`super::successors`] — by mutating a single scratch clone
 /// in place and undoing each step, so a full configuration clone happens
 /// only for candidates that are not already interned.
+///
+/// With a [`PorContext`], the node may be reduced to a singleton ample
+/// set: only that process's steps are expanded (and the skipped moves
+/// counted). The ample choice is a pure function of `config`, so
+/// parallel workers and sequential re-expansion agree. If the ample
+/// process turns out to contribute no successors (a degenerate apply
+/// failure), the node falls back to full expansion — a reduced node
+/// must never look terminal when it is not.
 fn expand_node<P>(
     protocol: &P,
     specs: &[ObjectSpec],
@@ -308,11 +336,18 @@ fn expand_node<P>(
     canon: &Canonicalizer,
     seen: Option<&SeenMaps>,
     arena: &PackedArena<P::State>,
-) -> Vec<(Step, SuccRef<P::State>)>
+    por: Option<&PorContext<P::State>>,
+) -> NodeExpansion<P::State>
 where
     P: Protocol,
 {
+    let restrict: Option<crate::process::ProcessId> =
+        por.and_then(|ctx| match ctx.ample(protocol, config) {
+            Ample::Singleton(p) => Some(p),
+            Ample::Full => None,
+        });
     let mut out = Vec::new();
+    let mut pruned = 0u32;
     let mut scratch = config.clone();
     // Reusable buffers: the canonical copy of each candidate and its
     // packed words.
@@ -331,6 +366,10 @@ where
         out.push((step, classify(cand, seen, arena, &mut words)));
     };
     for pid in config.active_processes() {
+        if restrict.is_some_and(|p| p != pid) {
+            pruned += 1;
+            continue;
+        }
         // `state` borrows from `config`, never from `scratch`, so the
         // in-place mutations below cannot invalidate it.
         let Some(state) = config.procs[pid.0].state() else { continue };
@@ -362,7 +401,12 @@ where
             }
         }
     }
-    out
+    if restrict.is_some() && out.is_empty() && pruned > 0 {
+        // The ample process contributed nothing; expand in full.
+        return expand_node(protocol, specs, config, canon, seen, arena, None);
+    }
+    let reduced = restrict.is_some() && pruned > 0;
+    NodeExpansion { cands: out, reduced, pruned: if reduced { pruned } else { 0 } }
 }
 
 /// Per-level merge tallies, flushed to metrics at the level barrier.
@@ -374,12 +418,16 @@ struct LevelStats {
 
 /// Pick the storage tier from the configuration: resident arena +
 /// sharded maps, or spill store + external dedup under a budget.
+///
+/// Partial-order reduction forces the in-RAM tier: the cycle proviso
+/// re-expands nodes during the merge, which needs the probeable
+/// seen-maps the external tier does not keep.
 fn make_store<S: Clone + Eq + Hash>(
     config: &ExploreConfig,
     n_procs: usize,
     n_values: usize,
 ) -> (PackedArena<S>, Dedup) {
-    if config.mem_budget_bytes > 0 {
+    if config.mem_budget_bytes > 0 && !config.por {
         let stride = n_procs + n_values;
         let plan = BudgetPlan::for_budget(config.mem_budget_bytes, stride);
         let dir = SpillDir::create(config.spill_dir.clone());
@@ -425,6 +473,10 @@ where
     let mut start = start;
     canon.canonicalize(&mut start);
 
+    // The reduction context is built once per search; `ample` is then a
+    // pure function of each configuration.
+    let por = config.por.then(|| PorContext::build(protocol, &start));
+
     let (arena, mut dedup) = make_store(config, start.procs.len(), start.values.len());
     let mut g = BfsGraph {
         arena,
@@ -445,6 +497,9 @@ where
         resident_bytes: 0,
         checkpoint_written: None,
         checkpoint_error: None,
+        por_enabled: false,
+        por_pruned: 0,
+        por_fallbacks: 0,
     };
     // Reusable packed-word buffer for everything the merge interns.
     let mut words: Vec<u32> = Vec::new();
@@ -461,6 +516,7 @@ where
         Dedup::Ext(d) => d.insert_sorted(&[start_hash], &[0], &words),
     }
     g.add_class(if canon.enabled() { permutations_of_sorted(&start.procs) } else { 1 });
+    g.por_enabled = por.is_some();
     if let Some(pred) = stop {
         if pred(&start) {
             g.hit = Some(0);
@@ -469,8 +525,19 @@ where
         }
     }
 
-    let final_depth =
-        run_levels(protocol, &specs, config, record_edges, stop, &canon, &mut g, &mut dedup, vec![0], 0);
+    let final_depth = run_levels(
+        protocol,
+        &specs,
+        config,
+        record_edges,
+        stop,
+        &canon,
+        por.as_ref(),
+        &mut g,
+        &mut dedup,
+        vec![0],
+        0,
+    );
     finalize(&mut g, &dedup, config, record_edges, final_depth);
     g
 }
@@ -540,6 +607,9 @@ where
         resident_bytes: 0,
         checkpoint_written: None,
         checkpoint_error: None,
+        por_enabled: false,
+        por_pruned: 0,
+        por_fallbacks: 0,
     };
 
     // Replay: one decode + step + intern per node, in interning order.
@@ -605,6 +675,9 @@ where
         .filter(|&i| g.depth[i as usize] as usize == level_depth)
         .collect();
 
+    // A resumed search always continues unreduced: the checkpointed
+    // prefix records no ample decisions, and correctness of the cycle
+    // proviso depends on the whole graph being built under one regime.
     let final_depth = run_levels(
         protocol,
         &specs,
@@ -612,6 +685,7 @@ where
         record_edges,
         None,
         &canon,
+        None,
         &mut g,
         &mut dedup,
         frontier,
@@ -666,6 +740,7 @@ fn run_levels<P>(
     record_edges: bool,
     stop: Option<&StopFn<'_, P::State>>,
     canon: &Canonicalizer,
+    por: Option<&PorContext<P::State>>,
     g: &mut BfsGraph<P::State>,
     dedup: &mut Dedup,
     mut frontier: Vec<u32>,
@@ -707,7 +782,7 @@ where
             Dedup::Ram(seen) => Some(seen),
             Dedup::Ext(_) => None,
         };
-        let expansions: Vec<Vec<(Step, SuccRef<P::State>)>> =
+        let expansions: Vec<NodeExpansion<P::State>> =
             if threads > 1 && frontier.len() >= PARALLEL_FRONTIER_MIN {
                 let arena = &g.arena;
                 let specs_ref = specs;
@@ -728,6 +803,7 @@ where
                                             canon_ref,
                                             seen_view,
                                             arena,
+                                            por,
                                         )
                                     })
                                     .collect::<Vec<_>>()
@@ -750,6 +826,7 @@ where
                             canon,
                             seen_view,
                             &g.arena,
+                            por,
                         )
                     })
                     .collect()
@@ -761,6 +838,8 @@ where
         // from it — matches the sequential BFS exactly, on either tier.
         let (next_frontier, stats) = match dedup {
             Dedup::Ram(seen) => merge_level_ram(
+                protocol,
+                specs,
                 g,
                 seen,
                 &frontier,
@@ -823,76 +902,170 @@ where
     level_depth
 }
 
-/// In-RAM level merge: probe the sharded maps candidate by candidate,
-/// in frontier order.
+/// Resolve one candidate successor against the arena and seen-maps:
+/// dedup or intern, record parent/depth/class, evaluate the stop
+/// predicate, and extend the next frontier. Returns the arena index the
+/// candidate resolved to (`None` if dropped at the config cap).
 #[allow(clippy::too_many_arguments)]
-fn merge_level_ram<S: Clone + Eq + Hash>(
+fn merge_candidate<S: Clone + Eq + Hash>(
     g: &mut BfsGraph<S>,
     seen: &SeenMaps,
-    frontier: &[u32],
-    expansions: Vec<Vec<(Step, SuccRef<S>)>>,
+    words: &mut Vec<u32>,
+    parent_idx: u32,
+    step: Step,
+    cand: SuccRef<S>,
     level_depth: usize,
     max_configs: usize,
     canon: &Canonicalizer,
     stop: Option<&StopFn<'_, S>>,
     record_edges: bool,
-) -> (Vec<u32>, LevelStats) {
+    next_frontier: &mut Vec<u32>,
+    stats: &mut LevelStats,
+) -> Option<u32> {
+    stats.candidates += 1;
+    match cand {
+        SuccRef::Seen(j) => {
+            stats.dedup += 1;
+            Some(j)
+        }
+        SuccRef::New(cand_config) => {
+            // Re-encode against the grown codec (interning any
+            // genuinely new states) and re-probe: another frontier
+            // node earlier in the merge may have interned this
+            // configuration within the same level.
+            g.arena.encode_intern(&cand_config, words);
+            let hash = hash_words(words);
+            if let Some(j) = seen.probe(hash, words, &g.arena) {
+                stats.dedup += 1;
+                Some(j)
+            } else if g.arena.len() >= max_configs {
+                g.config_capped = true;
+                None
+            } else {
+                let j = g.arena.push(words);
+                g.parent.push(Some((parent_idx, step)));
+                g.depth.push(level_depth as u32 + 1);
+                if record_edges {
+                    g.succ.push(Vec::new());
+                }
+                seen.insert(hash, j);
+                g.add_class(if canon.enabled() {
+                    permutations_of_sorted(&cand_config.procs)
+                } else {
+                    1
+                });
+                if g.hit.is_none() {
+                    if let Some(pred) = stop {
+                        if pred(&cand_config) {
+                            g.hit = Some(j);
+                        }
+                    }
+                }
+                stats.interned += 1;
+                next_frontier.push(j);
+                Some(j)
+            }
+        }
+    }
+}
+
+/// In-RAM level merge: probe the sharded maps candidate by candidate,
+/// in frontier order.
+///
+/// This is also where the reduction's **cycle proviso** lives: when a
+/// reduced node resolves an edge to a node at the same or an earlier
+/// BFS depth — the kind of edge every cycle must contain — the node is
+/// re-expanded in full (against the current maps, so already-interned
+/// ample successors simply dedup) and its edges are rebuilt from the
+/// full expansion. The check runs in the sequential merge, so the
+/// decision is identical at every thread count.
+#[allow(clippy::too_many_arguments)]
+fn merge_level_ram<P>(
+    protocol: &P,
+    specs: &[ObjectSpec],
+    g: &mut BfsGraph<P::State>,
+    seen: &SeenMaps,
+    frontier: &[u32],
+    expansions: Vec<NodeExpansion<P::State>>,
+    level_depth: usize,
+    max_configs: usize,
+    canon: &Canonicalizer,
+    stop: Option<&StopFn<'_, P::State>>,
+    record_edges: bool,
+) -> (Vec<u32>, LevelStats)
+where
+    P: Protocol,
+{
     let mut next_frontier: Vec<u32> = Vec::new();
     let mut stats = LevelStats { candidates: 0, dedup: 0, interned: 0 };
     let mut words: Vec<u32> = Vec::new();
-    for (pos, candidates) in expansions.into_iter().enumerate() {
+    for (pos, expansion) in expansions.into_iter().enumerate() {
         let parent_idx = frontier[pos];
-        for (step, cand) in candidates {
-            stats.candidates += 1;
-            let interned = match cand {
-                SuccRef::Seen(j) => {
-                    stats.dedup += 1;
-                    Some(j)
-                }
-                SuccRef::New(cand_config) => {
-                    // Re-encode against the grown codec (interning
-                    // any genuinely new states) and re-probe:
-                    // another frontier node earlier in the merge may
-                    // have interned this configuration within the
-                    // same level.
-                    g.arena.encode_intern(&cand_config, &mut words);
-                    let hash = hash_words(&words);
-                    if let Some(j) = seen.probe(hash, &words, &g.arena) {
-                        stats.dedup += 1;
-                        Some(j)
-                    } else if g.arena.len() >= max_configs {
-                        g.config_capped = true;
-                        None
-                    } else {
-                        let j = g.arena.push(&words);
-                        g.parent.push(Some((parent_idx, step)));
-                        g.depth.push(level_depth as u32 + 1);
-                        if record_edges {
-                            g.succ.push(Vec::new());
-                        }
-                        seen.insert(hash, j);
-                        g.add_class(if canon.enabled() {
-                            permutations_of_sorted(&cand_config.procs)
-                        } else {
-                            1
-                        });
-                        if g.hit.is_none() {
-                            if let Some(pred) = stop {
-                                if pred(&cand_config) {
-                                    g.hit = Some(j);
-                                }
-                            }
-                        }
-                        stats.interned += 1;
-                        next_frontier.push(j);
-                        Some(j)
-                    }
-                }
-            };
-            if record_edges {
-                if let Some(j) = interned {
+        let mut back_edge = false;
+        for (step, cand) in expansion.cands {
+            let interned = merge_candidate(
+                g,
+                seen,
+                &mut words,
+                parent_idx,
+                step,
+                cand,
+                level_depth,
+                max_configs,
+                canon,
+                stop,
+                record_edges,
+                &mut next_frontier,
+                &mut stats,
+            );
+            if let Some(j) = interned {
+                if record_edges {
                     g.succ[parent_idx as usize].push(j);
                 }
+                back_edge |= g.depth[j as usize] as usize <= level_depth;
+            }
+        }
+        if expansion.reduced {
+            if back_edge {
+                // Cycle proviso: re-expand in full so every cycle in
+                // the reduced graph contains a fully expanded node.
+                g.por_fallbacks += 1;
+                let full = expand_node(
+                    protocol,
+                    specs,
+                    &g.arena.decode(parent_idx),
+                    canon,
+                    Some(seen),
+                    &g.arena,
+                    None,
+                );
+                if record_edges {
+                    g.succ[parent_idx as usize].clear();
+                }
+                for (step, cand) in full.cands {
+                    let interned = merge_candidate(
+                        g,
+                        seen,
+                        &mut words,
+                        parent_idx,
+                        step,
+                        cand,
+                        level_depth,
+                        max_configs,
+                        canon,
+                        stop,
+                        record_edges,
+                        &mut next_frontier,
+                        &mut stats,
+                    );
+                    if record_edges {
+                        if let Some(j) = interned {
+                            g.succ[parent_idx as usize].push(j);
+                        }
+                    }
+                }
+            } else {
+                g.por_pruned += expansion.pruned as usize;
             }
         }
     }
@@ -923,7 +1096,7 @@ fn merge_level_external<S: Clone + Eq + Hash>(
     g: &mut BfsGraph<S>,
     dedup: &mut ExternalDedup,
     frontier: &[u32],
-    expansions: Vec<Vec<(Step, SuccRef<S>)>>,
+    expansions: Vec<NodeExpansion<S>>,
     level_depth: usize,
     max_configs: usize,
     canon: &Canonicalizer,
@@ -942,9 +1115,12 @@ fn merge_level_external<S: Clone + Eq + Hash>(
     let mut lev_words: Vec<u32> = Vec::new();
     let mut lev_cfg: Vec<Configuration<S>> = Vec::new();
     let mut words: Vec<u32> = Vec::new();
-    for (pos, candidates) in expansions.into_iter().enumerate() {
+    for (pos, expansion) in expansions.into_iter().enumerate() {
         let parent_idx = frontier[pos];
-        for (step, cand) in candidates {
+        // POR forces the in-RAM tier (see `make_store`), so external
+        // merges never see reduced expansions.
+        debug_assert!(!expansion.reduced);
+        for (step, cand) in expansion.cands {
             let cfg = match cand {
                 SuccRef::New(c) => c,
                 SuccRef::Seen(_) => unreachable!("spill mode never pre-classifies"),

@@ -69,6 +69,7 @@ mod canonical;
 mod checkpoint;
 mod engine;
 mod pack;
+mod por;
 mod spill;
 
 pub use canonical::Canonicalizer;
@@ -154,6 +155,44 @@ pub struct ExploreConfig {
     /// config-cap drop. See [`Explorer::resume`] and the `checkpoint`
     /// module for the format and soundness argument.
     pub checkpoint: Option<CheckpointRequest>,
+    /// Explore with **partial-order reduction**: at configurations
+    /// where one process's next step is independent — in the paper's
+    /// algebra, lifted to [`ObjectKind::independent`](crate::kind::ObjectKind::independent)
+    /// — of everything every other process can still do, expand only
+    /// that process (a singleton *ample set*). Pruned interleavings are
+    /// Mazurkiewicz-equivalent to retained ones, so all consensus
+    /// verdicts, the valency envelope, and the termination/cycle facts
+    /// are unchanged; visit counts shrink (see the `por` module and
+    /// `DESIGN.md` §15 for the soundness argument, including the cycle
+    /// proviso). Composes with [`canonical`](ExploreConfig::canonical)
+    /// — the reductions multiply. Forces the in-RAM tier: a nonzero
+    /// [`mem_budget_bytes`](ExploreConfig::mem_budget_bytes) is ignored
+    /// while `por` is set, and resumed checkpoints always continue
+    /// unreduced.
+    pub por: bool,
+    /// Frontier discipline for [`Explorer::find_violation`]:
+    /// exhaustive breadth-first (the default; shortest witnesses,
+    /// complete up to the budgets) or best-first guided search (a
+    /// binary-heap frontier scored by the valency-split heuristic —
+    /// reaches violations deep beyond what exhaustive search can
+    /// afford, but makes no completeness or shortest-witness claim).
+    /// Full explorations and valency analysis always run
+    /// breadth-first regardless of this setting.
+    pub search: SearchMode,
+}
+
+/// Which frontier discipline [`Explorer::find_violation`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SearchMode {
+    /// Depth-synchronous exhaustive BFS (shortest witness, complete up
+    /// to budgets).
+    #[default]
+    Bfs,
+    /// Best-first guided search: a binary-heap frontier ordered by
+    /// [`straddle_score`], preferring configurations whose pending
+    /// decisions straddle both values. Finds deep violations within a
+    /// budget exhaustive search exhausts; incomplete by design.
+    BestFirst,
 }
 
 /// Where — and under what identity — to write a checkpoint if the
@@ -305,6 +344,17 @@ pub struct ExploreOutcome {
     /// Average arena bytes per visited configuration
     /// (`arena_bytes / configs_visited`).
     pub bytes_per_config: f64,
+    /// Whether this exploration ran with partial-order reduction
+    /// ([`ExploreConfig::por`]).
+    pub por_enabled: bool,
+    /// Enabled process moves skipped by ample-set reduction — each a
+    /// whole process's turn at some node, however many coin outcomes
+    /// it would have fanned into. `0` when reduction was off (or never
+    /// fired).
+    pub por_pruned: usize,
+    /// Reduced nodes the cycle proviso re-expanded in full (an edge
+    /// back to the same or an earlier BFS level was discovered).
+    pub por_fallbacks: usize,
 }
 
 impl ExploreOutcome {
@@ -439,6 +489,21 @@ impl Explorer {
     /// [`ExploreConfig::checkpoint`] and [`Explorer::resume`]).
     pub fn checkpoint_to(mut self, request: CheckpointRequest) -> Self {
         self.config.checkpoint = Some(request);
+        self
+    }
+
+    /// Explore with partial-order reduction (see
+    /// [`ExploreConfig::por`]). Verdicts and the valency envelope are
+    /// unchanged; visit counts shrink.
+    pub fn por(mut self, por: bool) -> Self {
+        self.config.por = por;
+        self
+    }
+
+    /// Pick the violation-search frontier discipline (see
+    /// [`ExploreConfig::search`]).
+    pub fn search(mut self, search: SearchMode) -> Self {
+        self.config.search = search;
         self
     }
 
@@ -620,9 +685,91 @@ impl Explorer {
         F: Fn(&Configuration<P::State>) -> bool + Sync,
     {
         let start = Configuration::initial(protocol, inputs);
+        if self.config.search == SearchMode::BestFirst {
+            return self.best_first_violation(protocol, start, &bad);
+        }
         let g = engine::bfs(protocol, start, &self.config, false, Some(&bad));
         let truncated = g.config_capped || g.depth_capped_any || g.deadline_hit;
         (g.hit.map(|i| path_to(&g.parent, i)), truncated)
+    }
+
+    /// Best-first guided violation search: a binary-heap frontier
+    /// ordered by [`straddle_score`] (ties broken by insertion order,
+    /// so the search is deterministic), deduplicated against a visited
+    /// set, bounded by [`ExploreLimits`]. Where exhaustive BFS spends
+    /// its whole budget enumerating shallow interleavings, the
+    /// heuristic walks promising configurations — many processes
+    /// decided or poised to decide, pending decisions straddling both
+    /// values — toward a violation first. The returned witness is
+    /// replayable but not necessarily shortest; `truncated` reports
+    /// whether the budget stopped an unfinished hunt.
+    fn best_first_violation<P, F>(
+        &self,
+        protocol: &P,
+        start: Configuration<P::State>,
+        bad: &F,
+    ) -> (Option<Execution>, bool)
+    where
+        P: Protocol,
+        F: Fn(&Configuration<P::State>) -> bool,
+    {
+        use std::collections::BinaryHeap;
+
+        let canon = Canonicalizer::for_protocol(protocol, self.config.canonical);
+        let mut start = start;
+        canon.canonicalize(&mut start);
+        if bad(&start) {
+            return (Some(Execution::new()), false);
+        }
+
+        // Node store: configurations plus the parent forest. The hunt
+        // is budget-bounded, so plain clones are affordable here — the
+        // packed-arena machinery stays with the exhaustive engine.
+        let mut configs: Vec<Configuration<P::State>> = vec![start.clone()];
+        let mut parent: Vec<Option<(u32, Step)>> = vec![None];
+        let mut depth: Vec<u32> = vec![0];
+        let mut seen: HashSet<Configuration<P::State>> = HashSet::from([start]);
+        // Max-heap on (score, Reverse(insertion seq)): highest score
+        // first, FIFO among equals.
+        let mut heap: BinaryHeap<(i64, std::cmp::Reverse<u32>, u32)> = BinaryHeap::new();
+        heap.push((straddle_score(protocol, &configs[0]), std::cmp::Reverse(0), 0));
+
+        let mut expanded = 0usize;
+        let mut truncated = false;
+        while let Some((_, _, idx)) = heap.pop() {
+            if expanded >= self.config.limits.max_configs {
+                truncated = true;
+                break;
+            }
+            expanded += 1;
+            let config = configs[idx as usize].clone();
+            let d = depth[idx as usize];
+            if d as usize >= self.config.limits.max_depth {
+                truncated = true;
+                continue;
+            }
+            for pid in config.active_processes() {
+                for (step, mut next) in successors(protocol, &config, pid) {
+                    canon.canonicalize(&mut next);
+                    if !seen.insert(next.clone()) {
+                        continue;
+                    }
+                    let j = configs.len() as u32;
+                    configs.push(next);
+                    parent.push(Some((idx, step)));
+                    depth.push(d + 1);
+                    if bad(&configs[j as usize]) {
+                        return (Some(path_to(&parent, j)), false);
+                    }
+                    heap.push((
+                        straddle_score(protocol, &configs[j as usize]),
+                        std::cmp::Reverse(j),
+                        j,
+                    ));
+                }
+            }
+        }
+        (None, truncated || !heap.is_empty())
     }
 
     /// Search for a finite **solo execution** of `pid` from `config`
@@ -695,6 +842,40 @@ impl Explorer {
         }
         None
     }
+}
+
+/// The valency-split heuristic driving [`SearchMode::BestFirst`]:
+/// prefer configurations whose settled and imminent decisions straddle
+/// both values (a consistency violation is then one or two decide
+/// steps away), then configurations with more processes decided or
+/// poised to decide (closer to any decision at all).
+///
+/// The score is a pure function of the configuration, so guided search
+/// stays deterministic.
+pub fn straddle_score<P>(protocol: &P, config: &Configuration<P::State>) -> i64
+where
+    P: Protocol,
+{
+    let mut have = [false; 2];
+    let mut decided = 0i64;
+    let mut poised = 0i64;
+    for p in &config.procs {
+        match p {
+            crate::config::ProcState::Decided(d) => {
+                decided += 1;
+                have[(*d).min(1) as usize] = true;
+            }
+            crate::config::ProcState::Active(s) => {
+                if let Action::Decide(d) = protocol.action(s) {
+                    poised += 1;
+                    have[d.min(1) as usize] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    let straddle = if have[0] && have[1] { 10_000 } else { 0 };
+    straddle + decided * 100 + poised * 25
 }
 
 /// All one-step successors of `config` by process `pid`: one per coin
@@ -815,6 +996,9 @@ fn outcome_from_graph<S: Clone + Eq + std::hash::Hash>(
         checkpoint: g.checkpoint_written.clone(),
         checkpoint_error: g.checkpoint_error.clone(),
         bytes_per_config: if n == 0 { 0.0 } else { arena_bytes as f64 / n as f64 },
+        por_enabled: g.por_enabled,
+        por_pruned: g.por_pruned,
+        por_fallbacks: g.por_fallbacks,
     }
 }
 
@@ -1539,5 +1723,215 @@ mod tests {
             );
             assert_eq!(base.raw_configs, out.raw_configs);
         }
+    }
+
+    /// Two processes mixing *private* bounded counters before deciding
+    /// their own input — the POR showcase: every interleaving of the
+    /// mixing phase is Mazurkiewicz-equivalent to the serialized one.
+    #[derive(Debug)]
+    struct PrivateMix {
+        n: usize,
+        r: u32,
+    }
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    enum Pm {
+        Mix { pid: usize, left: u32, pref: Decision },
+        Done(Decision),
+    }
+
+    impl Protocol for PrivateMix {
+        type State = Pm;
+
+        fn objects(&self) -> Vec<ObjectSpec> {
+            (0..self.n)
+                .map(|i| {
+                    ObjectSpec::new(ObjectKind::BoundedCounter { lo: 0, hi: 4 }, format!("c{i}"))
+                })
+                .collect()
+        }
+
+        fn num_processes(&self) -> usize {
+            self.n
+        }
+
+        fn initial_state(&self, pid: ProcessId, input: Decision) -> Pm {
+            Pm::Mix { pid: pid.0, left: self.r, pref: input }
+        }
+
+        fn action(&self, s: &Pm) -> Action {
+            match s {
+                Pm::Mix { pid, .. } => {
+                    Action::Invoke { object: ObjectId(*pid), op: Operation::Inc }
+                }
+                Pm::Done(d) => Action::Decide(*d),
+            }
+        }
+
+        fn transition(&self, s: &Pm, _resp: &Response, _coin: u32) -> Pm {
+            match s {
+                Pm::Mix { pid, left, pref } if *left > 1 => {
+                    Pm::Mix { pid: *pid, left: left - 1, pref: *pref }
+                }
+                Pm::Mix { pref, .. } => Pm::Done(*pref),
+                Pm::Done(d) => Pm::Done(*d),
+            }
+        }
+    }
+
+    #[test]
+    fn por_preserves_verdicts_and_reduces_private_mixing() {
+        let p = PrivateMix { n: 2, r: 4 };
+        let raw = Explorer::default().explore(&p, &[0, 1]);
+        let por = Explorer::default().por(true).explore(&p, &[0, 1]);
+        assert!(!raw.truncated && !por.truncated);
+        assert!(por.por_enabled && !raw.por_enabled);
+        // Verdicts and liveness facts are preserved exactly.
+        assert_eq!(raw.is_safe(), por.is_safe());
+        assert_eq!(
+            raw.consistency_violation.is_some(),
+            por.consistency_violation.is_some(),
+            "both must find the (input-disagreeing) inconsistency"
+        );
+        assert_eq!(raw.validity_violation.is_some(), por.validity_violation.is_some());
+        assert_eq!(raw.can_always_reach_termination, por.can_always_reach_termination);
+        assert_eq!(raw.infinite_execution_possible, por.infinite_execution_possible);
+        // The private phase genuinely collapses: the raw space is the
+        // full interleaving lattice, the reduced one a single chain
+        // plus the decision tail.
+        assert!(por.por_pruned > 0, "independent moves must be pruned");
+        assert!(
+            por.configs_visited < raw.configs_visited,
+            "POR visited {} vs raw {}",
+            por.configs_visited,
+            raw.configs_visited
+        );
+        assert_eq!(por.por_fallbacks, 0, "acyclic private mixing needs no proviso");
+    }
+
+    #[test]
+    fn por_agrees_with_raw_on_shared_object_protocols() {
+        // Naive races on one shared register: the footprint rule finds
+        // conflicts everywhere, so reduction comes only from decide
+        // priority — but verdicts must still match bit for bit.
+        let p = Naive { n: 3 };
+        let raw = Explorer::default().explore(&p, &[0, 1, 1]);
+        let por = Explorer::default().por(true).explore(&p, &[0, 1, 1]);
+        assert!(!raw.truncated && !por.truncated);
+        assert_eq!(raw.is_safe(), por.is_safe());
+        assert_eq!(
+            raw.consistency_violation.is_some(),
+            por.consistency_violation.is_some()
+        );
+        assert_eq!(raw.can_always_reach_termination, por.can_always_reach_termination);
+        assert_eq!(raw.infinite_execution_possible, por.infinite_execution_possible);
+        assert!(por.configs_visited <= raw.configs_visited);
+    }
+
+    #[test]
+    fn por_valency_agrees_with_raw() {
+        let p = Naive { n: 2 };
+        let raw = Explorer::default().valency(&p, &[0, 1]).expect("not truncated");
+        let por = Explorer::default().por(true).valency(&p, &[0, 1]).expect("not truncated");
+        assert_eq!(raw.initial, por.initial);
+        assert_eq!(raw.bivalent_cycle, por.bivalent_cycle);
+        assert_eq!(raw.stuck == 0, por.stuck == 0);
+        assert!(por.configs <= raw.configs);
+
+        let p = Cas { n: 2 };
+        let raw = Explorer::default().valency(&p, &[0, 1]).expect("not truncated");
+        let por = Explorer::default().por(true).valency(&p, &[0, 1]).expect("not truncated");
+        assert_eq!(raw.initial, por.initial);
+        assert_eq!(raw.bivalent_cycle, por.bivalent_cycle);
+    }
+
+    #[test]
+    fn por_composes_with_canonical_quotient() {
+        let p = Naive { n: 3 };
+        let raw = Explorer::default().explore(&p, &[0, 1, 1]);
+        let both = Explorer::default().canonical(true).por(true).explore(&p, &[0, 1, 1]);
+        assert!(both.canonicalized && both.por_enabled);
+        assert_eq!(raw.is_safe(), both.is_safe());
+        assert_eq!(raw.can_always_reach_termination, both.can_always_reach_termination);
+        assert_eq!(raw.infinite_execution_possible, both.infinite_execution_possible);
+        assert!(both.configs_visited <= raw.configs_visited);
+    }
+
+    #[test]
+    fn por_is_identical_across_thread_counts() {
+        let p = PrivateMix { n: 3, r: 2 };
+        let base = Explorer::default().por(true).threads(1).explore(&p, &[0, 1, 0]);
+        for threads in [2, 4] {
+            let out = Explorer::default().por(true).threads(threads).explore(&p, &[0, 1, 0]);
+            assert_eq!(
+                fingerprint(&base),
+                fingerprint(&out),
+                "por threads={threads} diverged from sequential"
+            );
+            assert_eq!(base.por_pruned, out.por_pruned);
+            assert_eq!(base.por_fallbacks, out.por_fallbacks);
+        }
+    }
+
+    #[test]
+    fn best_first_finds_violation_and_path_replays() {
+        let p = Naive { n: 2 };
+        let bad = |c: &Configuration<St>| c.is_inconsistent();
+        let (w, truncated) = Explorer::default()
+            .search(SearchMode::BestFirst)
+            .find_violation(&p, &[0, 1], bad);
+        assert!(!truncated);
+        let exec = w.expect("naive consensus is inconsistent");
+        // The returned schedule is a real counterexample: replaying it
+        // from the initial configuration lands on an inconsistent one.
+        let start = Configuration::initial(&p, &[0, 1]);
+        let (end, _) = exec.replay(&p, &start).expect("path replays");
+        assert!(end.is_inconsistent());
+        // BFS agrees on existence (the witnesses may differ in shape).
+        let (bfs, _) = Explorer::default().find_violation(&p, &[0, 1], bad);
+        assert!(bfs.is_some());
+    }
+
+    #[test]
+    fn best_first_respects_budgets_and_reports_truncation() {
+        let p = Naive { n: 3 };
+        let bad = |c: &Configuration<St>| c.is_inconsistent();
+        let tiny = Explorer::new(ExploreLimits { max_configs: 2, max_depth: 10_000 });
+        let (w, truncated) =
+            tiny.search(SearchMode::BestFirst).find_violation(&p, &[0, 0, 0], bad);
+        // Unanimous inputs: no quick inconsistency, and the budget is
+        // far too small to prove anything — the search must say so.
+        assert!(w.is_none());
+        assert!(truncated);
+    }
+
+    #[test]
+    fn best_first_on_safe_protocol_exhausts_and_finds_nothing() {
+        let p = Cas { n: 2 };
+        let bad = |c: &Configuration<CasSt>| c.is_inconsistent();
+        let (w, truncated) = Explorer::default()
+            .search(SearchMode::BestFirst)
+            .find_violation(&p, &[0, 1], bad);
+        assert!(w.is_none(), "CAS consensus is consistent");
+        assert!(!truncated, "the space is small enough to exhaust");
+    }
+
+    #[test]
+    fn straddle_score_prefers_decision_straddles() {
+        let p = Naive { n: 2 };
+        let start = Configuration::initial(&p, &[0, 1]);
+        let s0 = straddle_score(&p, &start);
+        // Hand-decide one process each way: a straddle dominates.
+        let mut straddle = start.clone();
+        straddle.procs[0] = crate::config::ProcState::Decided(0);
+        straddle.procs[1] = crate::config::ProcState::Decided(1);
+        let s2 = straddle_score(&p, &straddle);
+        assert!(s2 >= 10_000 + 200, "decided straddle scores the bonus");
+        assert!(s2 > s0);
+        let mut one_side = start.clone();
+        one_side.procs[0] = crate::config::ProcState::Decided(1);
+        one_side.procs[1] = crate::config::ProcState::Decided(1);
+        let s1 = straddle_score(&p, &one_side);
+        assert!(s2 > s1, "straddle beats unanimous progress");
     }
 }

@@ -222,6 +222,36 @@ impl ObjectKind {
         })
     }
 
+    /// Whether `f` and `g` are **independent** for this kind: applying
+    /// them in either order yields the same value *and* the same
+    /// response for each operation — neither observes whether the other
+    /// ran first. Decided over the sampled value space.
+    ///
+    /// This is strictly stronger than [`commutes`](Self::commutes):
+    /// two fetch&adds commute (the sums agree) but are *not*
+    /// independent, because each returns the previous value and
+    /// therefore observes the order. Independence is the relation the
+    /// explorer's partial-order reduction needs — swapping two adjacent
+    /// independent steps of *different* processes closes the diamond
+    /// exactly (same object value, same responses, hence the same
+    /// process transitions), so the two interleavings reach the same
+    /// configuration, not merely value-equivalent ones.
+    pub fn independent(&self, f: &Operation, g: &Operation) -> bool {
+        if !self.supports(f) || !self.supports(g) {
+            return false;
+        }
+        self.sample_values().iter().all(|x| {
+            let (Ok((fx, rf)), Ok((gx, rg))) = (self.apply(x, f), self.apply(x, g)) else {
+                return false;
+            };
+            let (Ok((fgx, rg2)), Ok((gfx, rf2))) = (self.apply(&fx, g), self.apply(&gx, f))
+            else {
+                return false;
+            };
+            fgx == gfx && rf == rf2 && rg == rg2
+        })
+    }
+
     /// Whether this object type is **historyless**: all its nontrivial
     /// operations overwrite one another, so the value depends only on the
     /// last nontrivial operation applied.
@@ -507,6 +537,86 @@ mod tests {
         assert!(k.commutes(&a, &b));
         assert!(!k.overwrites(&a, &b));
         assert!(!k.overwrites(&b, &a));
+    }
+
+    #[test]
+    fn reads_are_independent_everywhere() {
+        // Two reads never disturb each other, whatever the kind.
+        for k in ObjectKind::all() {
+            assert!(k.independent(&Operation::Read, &Operation::Read), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn reads_depend_on_value_changers() {
+        // A read *observes*: any operation that can change the value is
+        // dependent with it, even though they commute value-wise.
+        let k = ObjectKind::Register;
+        let w = Operation::Write(Value::Int(1));
+        assert!(k.commutes(&Operation::Read, &w));
+        assert!(!k.independent(&Operation::Read, &w));
+        assert!(!ObjectKind::Counter.independent(&Operation::Read, &Operation::Inc));
+    }
+
+    #[test]
+    fn fetch_adds_commute_but_are_not_independent() {
+        // The sums agree in either order, but each fetch&add returns
+        // the previous value and therefore observes the order.
+        let k = ObjectKind::FetchAdd;
+        let a = Operation::FetchAdd(2);
+        let b = Operation::FetchAdd(3);
+        assert!(k.commutes(&a, &b));
+        assert!(!k.independent(&a, &b));
+        assert!(!k.independent(&a, &a));
+    }
+
+    #[test]
+    fn blind_commuting_ops_are_independent() {
+        // Inc/Dec respond with Ack: commuting *and* order-blind.
+        for k in [ObjectKind::Counter, ObjectKind::BoundedCounter { lo: -2, hi: 2 }] {
+            assert!(k.independent(&Operation::Inc, &Operation::Inc), "{}", k.name());
+            assert!(k.independent(&Operation::Inc, &Operation::Dec), "{}", k.name());
+            assert!(k.independent(&Operation::Reset, &Operation::Reset), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn writes_and_swaps_are_dependent() {
+        let k = ObjectKind::SwapRegister;
+        let w1 = Operation::Write(Value::Int(1));
+        let w2 = Operation::Write(Value::Int(2));
+        let s = Operation::Swap(Value::Int(3));
+        // Distinct writes overwrite: the surviving value names the order.
+        assert!(!k.independent(&w1, &w2));
+        // A swap observes the previous value on top of overwriting.
+        assert!(!k.independent(&s, &w1));
+        assert!(!k.independent(&s, &s));
+        // Identical writes are the degenerate exception: either order
+        // leaves the same value and both respond Ack.
+        assert!(k.independent(&w1, &w1));
+    }
+
+    #[test]
+    fn cas_and_tas_interfere() {
+        let cas = Operation::CompareSwap { expected: Value::Bottom, new: Value::Int(1) };
+        assert!(!ObjectKind::CompareSwap.independent(&cas, &cas));
+        assert!(!ObjectKind::CompareSwap.independent(&Operation::Read, &cas));
+        assert!(!ObjectKind::TestAndSet.independent(&Operation::TestAndSet, &Operation::TestAndSet));
+    }
+
+    #[test]
+    fn independence_is_symmetric_and_implies_commutation() {
+        for k in ObjectKind::all() {
+            let ops = k.sample_ops();
+            for f in &ops {
+                for g in &ops {
+                    assert_eq!(k.independent(f, g), k.independent(g, f), "{}", k.name());
+                    if k.independent(f, g) {
+                        assert!(k.commutes(f, g), "{}: {f:?} vs {g:?}", k.name());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -73,13 +73,13 @@ pub mod sim;
 pub mod trace;
 pub mod value;
 
-pub use config::{Configuration, ProcState};
+pub use config::{Configuration, EnabledStep, ProcState};
 pub use error::ModelError;
 pub use execution::{Execution, Step, StepRecord};
 pub use explore::{
-    Canonicalizer, Checkpoint, CheckpointError, CheckpointRequest, ExploreConfig,
-    ExploreLimits, ExploreOutcome, Explorer, TruncationReason, Valency, ValencyAnalysis,
-    CHECKPOINT_SCHEMA_VERSION,
+    straddle_score, Canonicalizer, Checkpoint, CheckpointError, CheckpointRequest,
+    ExploreConfig, ExploreLimits, ExploreOutcome, Explorer, SearchMode, TruncationReason,
+    Valency, ValencyAnalysis, CHECKPOINT_SCHEMA_VERSION,
 };
 pub use history::{Event, History};
 pub use kind::ObjectKind;

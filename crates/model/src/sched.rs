@@ -133,6 +133,17 @@ impl ScriptScheduler {
     pub fn from_execution(e: &Execution) -> Self {
         Self::new(e.steps().iter().map(|s| s.pid).collect())
     }
+
+    /// A script from flight-recorder trace steps — the `(pid, coin)`
+    /// pairs of `randsync_obs::ExecutionTrace::steps`. Coins are
+    /// dropped (a scheduler only orders processes; replaying the
+    /// recorded coins is [`Execution`] replay's job), so this drives
+    /// the *simulator* down an archived schedule while coins stay
+    /// random — useful for probing the neighborhood of a shrunk
+    /// witness.
+    pub fn from_trace_steps(steps: &[(u32, u32)]) -> Self {
+        Self::new(steps.iter().map(|&(pid, _)| ProcessId(pid as usize)).collect())
+    }
 }
 
 impl Scheduler for ScriptScheduler {
@@ -330,6 +341,16 @@ mod tests {
     fn contrarian_stops_when_no_one_is_active() {
         let mut s = ContrarianScheduler::new(0, 7);
         assert_eq!(s.next(&view(&[], &[], 0)), None);
+    }
+
+    #[test]
+    fn script_from_trace_steps_plays_the_recorded_order() {
+        let mut s = ScriptScheduler::from_trace_steps(&[(1, 7), (0, 0), (1, 3)]);
+        let active = [ProcessId(0), ProcessId(1)];
+        assert_eq!(s.next(&view(&active, &[], 0)), Some(ProcessId(1)));
+        assert_eq!(s.next(&view(&active, &[], 1)), Some(ProcessId(0)));
+        assert_eq!(s.next(&view(&active, &[], 2)), Some(ProcessId(1)));
+        assert_eq!(s.next(&view(&active, &[], 3)), None, "script exhausted");
     }
 
     #[test]

@@ -4,7 +4,12 @@
 //! Deterministic jobs (valency, monte_carlo, verify_witness,
 //! protocols — see [`crate::job::Job::cacheable`]) are pure functions
 //! of their canonical parameters, so a repeated query is served from
-//! memory without touching the queue. The cache is bounded with FIFO
+//! memory without touching the queue. *Every* result-shaping knob must
+//! appear in those canonical parameters — including the exploration
+//! strategy flags `por` (partial-order reduction) and `search`
+//! (frontier discipline), which change visited counts even though they
+//! preserve verdicts — so a reduced or guided run can never answer a
+//! raw query from cache, or vice versa. The cache is bounded with FIFO
 //! eviction: a verification service's hot set is small and recency
 //! tracking is not worth a lock per hit beyond the map's own.
 

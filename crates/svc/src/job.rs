@@ -18,7 +18,7 @@ use randsync_core::witness::InconsistencyWitness;
 use randsync_model::runtime::{replay_execution, Runtime};
 use randsync_model::{
     monte_carlo_summary, Checkpoint, CheckpointRequest, DynObject, Execution, ExploreConfig,
-    ExploreLimits, ExploreOutcome, Explorer, McSummary, ProcessId, Protocol, Step,
+    ExploreLimits, ExploreOutcome, Explorer, McSummary, ProcessId, Protocol, SearchMode, Step,
 };
 use randsync_obs::{ExecutionTrace, Json};
 use randsync_objects::bridge;
@@ -69,6 +69,11 @@ pub enum Job {
         threads: usize,
         /// Explore the symmetry quotient.
         canonical: bool,
+        /// Prune Mazurkiewicz-equivalent interleavings (partial-order
+        /// reduction). Changes the visited counts, never the verdicts —
+        /// but it is part of the cache key, so a reduced run can never
+        /// answer for a raw one.
+        por: bool,
         /// Configuration budget.
         max_configs: usize,
         /// Depth budget.
@@ -87,6 +92,13 @@ pub enum Job {
         threads: usize,
         /// Explore the symmetry quotient.
         canonical: bool,
+        /// Prune Mazurkiewicz-equivalent interleavings (partial-order
+        /// reduction). Part of the cache key.
+        por: bool,
+        /// Frontier discipline: "bfs" or "best-first". Guides violation
+        /// search only (full sweeps are breadth-first regardless), but
+        /// is still keyed so result caches stay mode-exact.
+        search: String,
         /// Configuration budget.
         max_configs: usize,
         /// Depth budget.
@@ -188,6 +200,28 @@ fn get_bool(params: &Json, key: &str, default: bool) -> Result<bool, JobError> {
     }
 }
 
+/// The frontier-discipline parameter: `"bfs"` (default) or
+/// `"best-first"`, validated here so the canonical form is one of
+/// exactly two strings.
+fn get_search(params: &Json) -> Result<String, JobError> {
+    match params.get("search") {
+        None | Some(Json::Null) => Ok("bfs".to_string()),
+        Some(Json::Str(s)) if s == "bfs" || s == "best-first" => Ok(s.clone()),
+        Some(_) => {
+            Err(JobError::bad("parameter \"search\" must be \"bfs\" or \"best-first\""))
+        }
+    }
+}
+
+/// The canonical search string as an [`ExploreConfig`] mode.
+fn search_mode(search: &str) -> SearchMode {
+    if search == "best-first" {
+        SearchMode::BestFirst
+    } else {
+        SearchMode::Bfs
+    }
+}
+
 fn get_protocol(params: &Json, default: &str) -> Result<&'static ProtocolEntry, JobError> {
     let name = match params.get("protocol") {
         None | Some(Json::Null) => default,
@@ -216,6 +250,7 @@ impl Job {
                     protocol: entry.name.to_string(),
                     threads: get_usize(params, "threads", 0)?,
                     canonical: get_bool(params, "canonical", false)?,
+                    por: get_bool(params, "por", false)?,
                     max_configs: get_usize(params, "max_configs", 3_000_000)?,
                     max_depth: get_usize(params, "max_depth", 200_000)?,
                 })
@@ -228,6 +263,8 @@ impl Job {
                     r: get_usize(params, "r", entry.default_r)?,
                     threads: get_usize(params, "threads", 0)?,
                     canonical: get_bool(params, "canonical", false)?,
+                    por: get_bool(params, "por", false)?,
+                    search: get_search(params)?,
                     max_configs: get_usize(params, "max_configs", 3_000_000)?,
                     max_depth: get_usize(params, "max_depth", 200_000)?,
                     mem_budget: get_usize(params, "mem_budget", 0)?,
@@ -358,11 +395,12 @@ impl Job {
     pub fn canonical_params(&self) -> Json {
         let int = |v: usize| Json::Int(v as i128);
         match self {
-            Job::Valency { protocol, threads, canonical, max_configs, max_depth } => {
+            Job::Valency { protocol, threads, canonical, por, max_configs, max_depth } => {
                 Json::Obj(vec![
                     ("protocol".to_string(), Json::Str(protocol.clone())),
                     ("threads".to_string(), int(*threads)),
                     ("canonical".to_string(), Json::Bool(*canonical)),
+                    ("por".to_string(), Json::Bool(*por)),
                     ("max_configs".to_string(), int(*max_configs)),
                     ("max_depth".to_string(), int(*max_depth)),
                 ])
@@ -373,6 +411,8 @@ impl Job {
                 r,
                 threads,
                 canonical,
+                por,
+                search,
                 max_configs,
                 max_depth,
                 mem_budget,
@@ -383,6 +423,8 @@ impl Job {
                 ("r".to_string(), int(*r)),
                 ("threads".to_string(), int(*threads)),
                 ("canonical".to_string(), Json::Bool(*canonical)),
+                ("por".to_string(), Json::Bool(*por)),
+                ("search".to_string(), Json::Str(search.clone())),
                 ("max_configs".to_string(), int(*max_configs)),
                 ("max_depth".to_string(), int(*max_depth)),
                 ("mem_budget".to_string(), int(*mem_budget)),
@@ -434,12 +476,13 @@ impl Job {
     /// `job_failed` with the underlying failure.
     pub fn execute(&self, deadline: Instant) -> Result<Json, JobError> {
         match self {
-            Job::Valency { protocol, threads, canonical, max_configs, max_depth } => {
+            Job::Valency { protocol, threads, canonical, por, max_configs, max_depth } => {
                 let entry = registry::find(protocol).expect("parse validated the name");
                 let explorer = Explorer::with_config(ExploreConfig {
                     limits: ExploreLimits { max_configs: *max_configs, max_depth: *max_depth },
                     threads: *threads,
                     canonical: *canonical,
+                    por: *por,
                     deadline: Some(deadline),
                     ..Default::default()
                 });
@@ -476,6 +519,8 @@ impl Job {
                 r,
                 threads,
                 canonical,
+                por,
+                search,
                 max_configs,
                 max_depth,
                 mem_budget,
@@ -494,6 +539,8 @@ impl Job {
                     limits: ExploreLimits { max_configs: *max_configs, max_depth: *max_depth },
                     threads: *threads,
                     canonical: *canonical,
+                    por: *por,
+                    search: search_mode(search),
                     deadline: Some(explore_deadline(deadline, *deadline_millis)),
                     mem_budget_bytes: *mem_budget,
                     checkpoint: Some(CheckpointRequest {
@@ -767,6 +814,9 @@ fn explore_outcome_json(protocol: &str, o: &ExploreOutcome, checkpoint: Option<S
         ("can_always_reach_termination".to_string(), opt_bool(o.can_always_reach_termination)),
         ("infinite_execution_possible".to_string(), opt_bool(o.infinite_execution_possible)),
         ("canonical".to_string(), Json::Bool(o.canonicalized)),
+        ("por".to_string(), Json::Bool(o.por_enabled)),
+        ("por_pruned".to_string(), Json::Int(o.por_pruned as i128)),
+        ("por_fallbacks".to_string(), Json::Int(o.por_fallbacks as i128)),
         ("arena_bytes".to_string(), Json::Int(o.arena_bytes as i128)),
         ("spill_mode".to_string(), Json::Bool(o.spill_mode)),
         ("spilled_bytes".to_string(), Json::Int(i128::from(o.spilled_bytes))),
@@ -896,7 +946,7 @@ mod tests {
     fn canonical_params_fill_defaults_identically() {
         let explicit = randsync_obs::parse_json(
             "{\"protocol\":\"cas\",\"threads\":0,\"canonical\":false,\
-             \"max_configs\":3000000,\"max_depth\":200000}",
+             \"por\":false,\"max_configs\":3000000,\"max_depth\":200000}",
         )
         .unwrap();
         let a = Job::parse("valency", &Json::Null).unwrap();
@@ -904,6 +954,49 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.cache_key(), b.cache_key());
         assert!(a.cacheable());
+    }
+
+    #[test]
+    fn strategy_flags_split_the_cache_key() {
+        // A POR run changes the visited counts (never the verdicts),
+        // so it must never be served from a raw run's cache slot.
+        let raw = Job::parse("valency", &Json::Null).unwrap();
+        let por_params = Json::Obj(vec![("por".to_string(), Json::Bool(true))]);
+        let por = Job::parse("valency", &por_params).unwrap();
+        assert_ne!(raw.cache_key(), por.cache_key());
+
+        let raw = Job::parse("explore", &Json::Null).unwrap();
+        let por = Job::parse("explore", &por_params).unwrap();
+        assert_ne!(raw.cache_key(), por.cache_key());
+        let guided_params =
+            Json::Obj(vec![("search".to_string(), Json::Str("best-first".to_string()))]);
+        let guided = Job::parse("explore", &guided_params).unwrap();
+        assert_ne!(raw.cache_key(), guided.cache_key());
+        assert_ne!(por.cache_key(), guided.cache_key());
+    }
+
+    #[test]
+    fn search_parameter_is_validated() {
+        let bad = Json::Obj(vec![("search".to_string(), Json::Str("dfs".to_string()))]);
+        let err = Job::parse("explore", &bad).unwrap_err();
+        assert_eq!(err.code, code::BAD_REQUEST);
+        assert!(err.message.contains("best-first"));
+    }
+
+    #[test]
+    fn por_valency_job_agrees_with_raw() {
+        let raw = Job::parse("valency", &Json::Null).unwrap().execute(far()).unwrap();
+        let por_params = Json::Obj(vec![("por".to_string(), Json::Bool(true))]);
+        let por = Job::parse("valency", &por_params).unwrap().execute(far()).unwrap();
+        assert_eq!(
+            raw.get("initial").and_then(Json::as_str),
+            por.get("initial").and_then(Json::as_str)
+        );
+        assert_eq!(raw.get("bivalent_cycle"), por.get("bivalent_cycle"));
+        assert!(
+            por.get("configs").and_then(Json::as_usize)
+                <= raw.get("configs").and_then(Json::as_usize)
+        );
     }
 
     #[test]

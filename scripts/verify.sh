@@ -29,6 +29,13 @@
 #      uninterrupted `randsync check`; and a truncated `explore` job's
 #      checkpoint id must resume over the wire to the un-truncated
 #      configuration count
+#  11. partial-order reduction + guided search: the POR-vs-raw
+#      equivalence property suite; a `valency --por` smoke asserting
+#      the reduced run visits no more configurations than raw (and
+#      strictly fewer on the localcoin showcase) with an identical
+#      verdict line; and a `valency --best-first` smoke whose
+#      minimized witness trace must shrink idempotently and replay
+#      bit-for-bit via `randsync replay`
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -139,5 +146,52 @@ grep -q "\"configs\":$full_configs," target/verify_svc_resumed.txt \
     || { echo "FAIL: resumed job did not reach the uninterrupted count ($full_configs)"; kill "$svc_pid" 2>/dev/null; exit 1; }
 ./target/release/randsync shutdown "$svc_addr"
 wait "$svc_pid" || { echo "FAIL: job server exited nonzero"; exit 1; }
+
+echo "== POR equivalence properties + witness shrinking =="
+cargo test -q --release -p randsync-consensus --test prop_por_equiv
+cargo test -q --release -p randsync-core --test prop_bounds
+
+echo "== valency --por smoke (reduction >= 1x, verdicts identical) =="
+./target/release/randsync valency localcoin > target/verify_por_raw.txt
+./target/release/randsync valency localcoin --por > target/verify_por_red.txt
+raw_cfg=$(sed -n 's/^configurations      : //p' target/verify_por_raw.txt)
+por_cfg=$(sed -n 's/^configurations      : //p' target/verify_por_red.txt)
+[ -n "$raw_cfg" ] && [ -n "$por_cfg" ] \
+    || { echo "FAIL: valency runs printed no configuration count"; exit 1; }
+[ "$por_cfg" -le "$raw_cfg" ] \
+    || { echo "FAIL: POR visited more configurations ($por_cfg) than raw ($raw_cfg)"; exit 1; }
+[ "$por_cfg" -lt "$raw_cfg" ] \
+    || { echo "FAIL: POR pruned nothing on the localcoin showcase"; exit 1; }
+grep -q "partial-order red.  : on" target/verify_por_red.txt \
+    || { echo "FAIL: --por run did not report the reduction"; exit 1; }
+# Everything but the counted sizes must be identical: valency verdict,
+# per-class emptiness facts, cycle/critical lines.
+raw_verdict=$(sed -n 's/^initial valency     : //p' target/verify_por_raw.txt)
+por_verdict=$(sed -n 's/^initial valency     : //p' target/verify_por_red.txt)
+[ "$raw_verdict" = "$por_verdict" ] && [ -n "$raw_verdict" ] \
+    || { echo "FAIL: --por changed the valency verdict ($raw_verdict vs $por_verdict)"; exit 1; }
+raw_cycle=$(sed -n 's/^bivalent cycle      : //p' target/verify_por_raw.txt)
+por_cycle=$(sed -n 's/^bivalent cycle      : //p' target/verify_por_red.txt)
+[ "$raw_cycle" = "$por_cycle" ] && [ -n "$raw_cycle" ] \
+    || { echo "FAIL: --por changed the bivalent-cycle fact ($raw_cycle vs $por_cycle)"; exit 1; }
+
+echo "== valency --best-first smoke (witness, shrink, replay round-trip) =="
+bf_dir=target/verify_bestfirst
+rm -rf "$bf_dir" && mkdir -p "$bf_dir"
+(cd "$bf_dir" && ../../target/release/randsync valency naive --best-first) \
+    > target/verify_bestfirst.txt 2>&1 \
+    || { echo "FAIL: best-first did not produce a verified witness"; exit 1; }
+grep -q "guided search       : inconsistency reached" target/verify_bestfirst.txt \
+    || { echo "FAIL: best-first found no inconsistency on naive"; exit 1; }
+grep -q "minimized           : " target/verify_bestfirst.txt \
+    || { echo "FAIL: best-first witness was not minimized"; exit 1; }
+bf_trace=$(ls "$bf_dir"/randsync-witness-*.jsonl 2>/dev/null | head -n 1)
+[ -n "$bf_trace" ] || { echo "FAIL: best-first dumped no flight trace"; exit 1; }
+./target/release/randsync replay "$bf_trace" \
+    || { echo "FAIL: best-first flight trace did not replay"; exit 1; }
+./target/release/randsync shrink "$bf_trace" --out "$bf_dir/min.jsonl" \
+    || { echo "FAIL: shrink rejected the best-first trace"; exit 1; }
+./target/release/randsync replay "$bf_dir/min.jsonl" \
+    || { echo "FAIL: minimized trace did not replay"; exit 1; }
 
 echo "verify.sh: all gates passed"

@@ -25,6 +25,22 @@
 //! truncated, if it did (`config-cap` / `depth-cap` / `deadline`), and
 //! the process-wide peak RSS (`VmHWM`) lands in the JSON.
 //!
+//! Schema 4 adds **partial-order reduction** (DESIGN.md §15): every
+//! workload is additionally explored with `ExploreConfig::por`, the
+//! per-row `por_configs` / `por_reduction` / `por_pruned` /
+//! `por_fallbacks` fields land in the JSON, and the harness exits
+//! nonzero if the reduced run's verdicts diverge from raw. The
+//! `localcoin` rows are the showcase: private coin mixing before a
+//! shared CAS, where the ample-set rule collapses the mixing
+//! interleaving lattice to chains (reduction well above the 1.5× the
+//! acceptance gate asks for). Schema 4 also records a **guided
+//! search** row: a workload sized so exhaustive raw BFS blows the
+//! *default* explorer budget, where the best-first valency-split
+//! frontier still digs out an inconsistency witness — which is then
+//! shrunk (deletion + commutation) and re-verified, with the raw
+//! (`witness_depth`) and minimized (`minimized_depth`) schedule
+//! lengths recorded.
+//!
 //! Usage:
 //!
 //! ```text
@@ -42,8 +58,9 @@
 use std::time::Instant;
 
 use randsync::consensus::registry::{self, AnyProtocol};
+use randsync::core::witness::InconsistencyWitness;
 use randsync::model::{monte_carlo, ExploreLimits, ExploreOutcome, Explorer, Protocol};
-use randsync::model::{RandomScheduler, Simulator};
+use randsync::model::{Configuration, Execution, RandomScheduler, SearchMode, Simulator};
 
 /// Build a workload protocol from the shared registry (the single
 /// source of protocol constructors — no local protocol list).
@@ -81,6 +98,20 @@ struct Row {
     reduction: f64,
     /// Canonical-mode arena bytes per configuration.
     bytes_per_config: f64,
+    /// Partial-order-reduced visited configurations (raw mode + POR,
+    /// sequential).
+    por_configs: usize,
+    /// Raw configurations per POR-visited configuration. Only
+    /// meaningful when the raw run completed; 1.0 when both truncated
+    /// at the same cap.
+    por_reduction: f64,
+    /// Enabled moves the ample-set rule pruned.
+    por_pruned: usize,
+    /// Reduced nodes re-expanded in full by the cycle proviso.
+    por_fallbacks: usize,
+    /// Whether the POR run hit a budget.
+    por_truncated: bool,
+    por_secs: f64,
     seq_secs: f64,
     par_secs: f64,
     raw_seq_secs: f64,
@@ -132,6 +163,23 @@ fn cross_mode_equivalent(raw: &ExploreOutcome, canon: &ExploreOutcome) -> bool {
         && raw.infinite_execution_possible == canon.infinite_execution_possible
 }
 
+/// The verdicts that must match between raw and POR exploration.
+/// Unlike the symmetry quotient, POR makes no completion promise when
+/// raw truncates (a protocol with nothing to prune truncates at the
+/// same cap), so a truncated raw run is simply incomparable.
+fn por_cross_equivalent(raw: &ExploreOutcome, por: &ExploreOutcome) -> bool {
+    if raw.truncated {
+        return true;
+    }
+    !por.truncated
+        && raw.is_safe() == por.is_safe()
+        && raw.consistency_violation.is_some() == por.consistency_violation.is_some()
+        && raw.validity_violation.is_some() == por.validity_violation.is_some()
+        && raw.can_always_reach_termination == por.can_always_reach_termination
+        && raw.infinite_execution_possible == por.infinite_execution_possible
+        && (raw.terminal_configs == 0) == (por.terminal_configs == 0)
+}
+
 fn measure<P>(
     name: &str,
     protocol: &P,
@@ -155,9 +203,14 @@ where
     let par = Explorer::new(limits).canonical(true).threads(threads).explore(protocol, inputs);
     let par_secs = t0.elapsed().as_secs_f64();
 
+    let t0 = Instant::now();
+    let por = Explorer::new(limits).por(true).threads(1).explore(protocol, inputs);
+    let por_secs = t0.elapsed().as_secs_f64();
+
     let equivalent = same_mode_equivalent(&seq, &par)
         && same_mode_equivalent(&raw_seq, &raw_par)
-        && cross_mode_equivalent(&raw_seq, &seq);
+        && cross_mode_equivalent(&raw_seq, &seq)
+        && por_cross_equivalent(&raw_seq, &por);
 
     let row = Row {
         name: name.to_string(),
@@ -171,13 +224,19 @@ where
         represented_raw_configs: seq.raw_configs,
         reduction: seq.reduction_factor(),
         bytes_per_config: seq.bytes_per_config,
+        por_configs: por.configs_visited,
+        por_reduction: raw_seq.configs_visited as f64 / por.configs_visited.max(1) as f64,
+        por_pruned: por.por_pruned,
+        por_fallbacks: por.por_fallbacks,
+        por_truncated: por.truncated,
+        por_secs,
         seq_secs,
         par_secs,
         raw_seq_secs,
         equivalent,
     };
     println!(
-        "{name:<28} canon {:>8} cfg {:>6.1} MiB ({:>5.1} B/cfg)  raw {:>8} cfg{} {:>6.1} MiB  reduce x{:.2}  seq {:>7.3}s ({:>8.0}/s)  par[{threads}] {:>7.3}s  x{:.2}  {}",
+        "{name:<28} canon {:>8} cfg {:>6.1} MiB ({:>5.1} B/cfg)  raw {:>8} cfg{} {:>6.1} MiB  reduce x{:.2}  por {:>8} cfg{} x{:.2} ({} pruned)  seq {:>7.3}s ({:>8.0}/s)  par[{threads}] {:>7.3}s  x{:.2}  {}",
         row.configs,
         row.arena_bytes as f64 / (1024.0 * 1024.0),
         row.bytes_per_config,
@@ -185,6 +244,10 @@ where
         if row.raw_truncated { "*" } else { " " },
         row.raw_arena_bytes as f64 / (1024.0 * 1024.0),
         row.reduction,
+        row.por_configs,
+        if row.por_truncated { "*" } else { " " },
+        row.por_reduction,
+        row.por_pruned,
         row.seq_secs,
         row.seq_rate(),
         row.par_secs,
@@ -192,6 +255,123 @@ where
         if row.equivalent { "OK" } else { "MISMATCH" },
     );
     row
+}
+
+/// The guided-adversary row: a workload where exhaustive raw BFS at the
+/// explorer's *default* budgets truncates, but the best-first frontier
+/// finds an inconsistency witness — then shrunk and re-verified.
+struct GuidedRow {
+    name: String,
+    /// The default configuration budget both searches ran under.
+    budget: usize,
+    /// Whether exhaustive BFS found the violation within the budget.
+    bfs_found: bool,
+    /// Whether the exhaustive search truncated (the row's reason to
+    /// exist: `true` in shipped full-mode workloads).
+    bfs_truncated: bool,
+    /// Steps in the schedule the guided search returned.
+    witness_depth: usize,
+    /// Steps after deletion + commutation shrinking.
+    minimized_depth: usize,
+    /// Steps the shrinker deleted / pairs it commuted.
+    shrunk_deleted: usize,
+    shrunk_commuted: usize,
+    bfs_secs: f64,
+    guided_secs: f64,
+    /// Witness found, replayed to an inconsistency, and still verified
+    /// after shrinking.
+    ok: bool,
+}
+
+/// Run the guided search against `protocol` and shrink what it finds.
+fn measure_guided<P>(name: &str, protocol: &P, inputs: &[u8]) -> GuidedRow
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
+    let limits = ExploreLimits::default();
+    let t0 = Instant::now();
+    let (bfs_hit, bfs_truncated) =
+        Explorer::new(limits).find_violation(protocol, inputs, |c| c.is_inconsistent());
+    let bfs_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let (found, _truncated) = Explorer::new(limits)
+        .search(SearchMode::BestFirst)
+        .find_violation(protocol, inputs, |c| c.is_inconsistent());
+    let guided_secs = t0.elapsed().as_secs_f64();
+
+    let (witness_depth, minimized_depth, deleted, commuted, ok) = match found {
+        Some(execution) => {
+            let depth = execution.len();
+            match guided_witness(protocol, inputs, execution) {
+                Some(w) => {
+                    let (min, stats) = w.minimize_report(protocol);
+                    let verified = min.verify(protocol).is_ok();
+                    (depth, min.execution.len(), stats.deleted, stats.commuted, verified)
+                }
+                None => (depth, 0, 0, 0, false),
+            }
+        }
+        None => (0, 0, 0, 0, false),
+    };
+    let row = GuidedRow {
+        name: name.to_string(),
+        budget: limits.max_configs,
+        bfs_found: bfs_hit.is_some(),
+        bfs_truncated,
+        witness_depth,
+        minimized_depth,
+        shrunk_deleted: deleted,
+        shrunk_commuted: commuted,
+        bfs_secs,
+        guided_secs,
+        ok,
+    };
+    println!(
+        "{name:<28} guided: bfs {} within {} cfg budget in {:>7.3}s — best-first witness {:>3} steps in {:>7.3}s, shrunk to {:>3} ({} deleted, {} commuted)  {}",
+        if row.bfs_found {
+            "found it"
+        } else if row.bfs_truncated {
+            "blew the budget"
+        } else {
+            "exhausted the space"
+        },
+        row.budget,
+        row.bfs_secs,
+        row.witness_depth,
+        row.guided_secs,
+        row.minimized_depth,
+        row.shrunk_deleted,
+        row.shrunk_commuted,
+        if row.ok { "OK" } else { "MISMATCH" },
+    );
+    row
+}
+
+/// Package a violating execution as a verifiable
+/// [`InconsistencyWitness`] (replay it, locate a 0-decider and a
+/// 1-decider, count participants).
+fn guided_witness<P: Protocol>(
+    protocol: &P,
+    inputs: &[u8],
+    execution: Execution,
+) -> Option<InconsistencyWitness> {
+    let start = Configuration::initial_with_pool(protocol, inputs, inputs.len());
+    let (end, _) = execution.replay(protocol, &start).ok()?;
+    let decisions = end.decisions();
+    let zero = decisions.iter().find(|(_, d)| *d == 0).map(|(p, _)| *p)?;
+    let one = decisions.iter().find(|(_, d)| *d == 1).map(|(p, _)| *p)?;
+    let mut pids: Vec<_> = execution.steps().iter().map(|s| s.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    Some(InconsistencyWitness {
+        inputs: inputs.to_vec(),
+        execution,
+        decides_zero: zero,
+        decides_one: one,
+        processes_used: pids.len(),
+    })
 }
 
 /// One out-of-core workload: the same raw search in RAM and under a
@@ -348,11 +528,19 @@ fn main() {
     let wide = ExploreLimits { max_configs: 2_000_000, max_depth: 1_000_000 };
     let mut rows = Vec::new();
     let mut spill_rows = Vec::new();
+    let mut guided_rows = Vec::new();
     if smoke {
         rows.push(measure(
             "optimistic(n=3,r=3)",
             &from_registry("optimistic", 3, 3),
             &[0, 1, 0],
+            threads,
+            wide,
+        ));
+        rows.push(measure(
+            "localcoin(n=2,r=4)",
+            &from_registry("localcoin", 2, 4),
+            &[0, 1],
             threads,
             wide,
         ));
@@ -362,6 +550,11 @@ fn main() {
             &[0, 1, 0],
             64 * 1024,
             wide,
+        ));
+        guided_rows.push(measure_guided(
+            "naive(n=2)",
+            &from_registry("naive", 2, 1),
+            &[0, 1],
         ));
     } else {
         rows.push(measure(
@@ -382,6 +575,25 @@ fn main() {
             "phase_model(n=3,rounds=3)",
             &from_registry("phase", 3, 3),
             &[0, 1, 0],
+            threads,
+            wide,
+        ));
+        // The POR showcase rows: every mixing increment commutes with
+        // every other process's, so the ample-set rule collapses the
+        // interleaving lattice of the private phase to chains. These
+        // two are the workloads behind the ">1.5x on at least two
+        // workloads" acceptance gate.
+        rows.push(measure(
+            "localcoin(n=2,r=4)",
+            &from_registry("localcoin", 2, 4),
+            &[0, 1],
+            threads,
+            wide,
+        ));
+        rows.push(measure(
+            "localcoin(n=3,r=2)",
+            &from_registry("localcoin", 3, 2),
+            &[0, 1, 1],
             threads,
             wide,
         ));
@@ -425,11 +637,23 @@ fn main() {
             64 * 1024 * 1024,
             wide,
         ));
+        // The guided-search flagship: a broken register protocol sized
+        // so exhaustive BFS blows the default configuration budget
+        // hunting for the (deep) shortest witness, while the
+        // straddle-scored frontier digs one out, which is then shrunk
+        // and re-verified.
+        guided_rows.push(measure_guided(
+            "optimistic(n=5,r=4)",
+            &from_registry("optimistic", 5, 4),
+            &[0, 1, 0, 1, 0],
+        ));
     }
     let mc = measure_monte_carlo(if smoke { 20 } else { 200 }, threads);
 
-    let all_equivalent =
-        rows.iter().all(|r| r.equivalent) && spill_rows.iter().all(|r| r.identical) && mc.3;
+    let all_equivalent = rows.iter().all(|r| r.equivalent)
+        && spill_rows.iter().all(|r| r.identical)
+        && guided_rows.iter().all(|r| r.ok)
+        && mc.3;
 
     // Metrics snapshot for the JSON record: re-run the first workload
     // with the registry enabled. The timed runs above deliberately ran
@@ -447,7 +671,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"explore_perf\",\n");
-    json.push_str("  \"schema_version\": 3,\n");
+    json.push_str("  \"schema_version\": 4,\n");
     json.push_str(&format!("  \"git_rev\": \"{}\",\n", json_escape(&git_revision())));
     json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
@@ -461,6 +685,9 @@ fn main() {
              \"raw_truncation_reason\": {}, \"raw_configs_overflow\": {}, \
              \"represented_raw_configs\": {}, \
              \"reduction\": {:.3}, \"bytes_per_config\": {:.2}, \
+             \"por_configs\": {}, \"por_reduction\": {:.3}, \
+             \"por_pruned\": {}, \"por_fallbacks\": {}, \
+             \"por_truncated\": {}, \"por_secs\": {:.6}, \
              \"seq_secs\": {:.6}, \"par_secs\": {:.6}, \"raw_seq_secs\": {:.6}, \
              \"seq_configs_per_sec\": {:.1}, \"par_configs_per_sec\": {:.1}, \
              \"raw_configs_per_sec\": {:.1}, \
@@ -479,6 +706,12 @@ fn main() {
             r.represented_raw_configs,
             r.reduction,
             r.bytes_per_config,
+            r.por_configs,
+            r.por_reduction,
+            r.por_pruned,
+            r.por_fallbacks,
+            r.por_truncated,
+            r.por_secs,
             r.seq_secs,
             r.par_secs,
             r.raw_seq_secs,
@@ -515,6 +748,28 @@ fn main() {
             r.spill_secs,
             r.identical,
             if i + 1 < spill_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"guided_workloads\": [\n");
+    for (i, r) in guided_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"budget\": {}, \"bfs_found\": {}, \
+             \"bfs_truncated\": {}, \"witness_depth\": {}, \"minimized_depth\": {}, \
+             \"shrunk_deleted\": {}, \"shrunk_commuted\": {}, \
+             \"bfs_secs\": {:.6}, \"guided_secs\": {:.6}, \"ok\": {}}}{}\n",
+            json_escape(&r.name),
+            r.budget,
+            r.bfs_found,
+            r.bfs_truncated,
+            r.witness_depth,
+            r.minimized_depth,
+            r.shrunk_deleted,
+            r.shrunk_commuted,
+            r.bfs_secs,
+            r.guided_secs,
+            r.ok,
+            if i + 1 < guided_rows.len() { "," } else { "" },
         ));
     }
     json.push_str("  ],\n");

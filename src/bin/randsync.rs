@@ -7,6 +7,7 @@
 //! randsync attack <protocol> [r]     run the lower-bound adversary
 //! randsync check <protocol> [r]      exhaustively model-check a protocol
 //! randsync valency <protocol> [t]    valency analysis (FLP structure)
+//! randsync shrink <trace.jsonl>      minimize a witness trace (delete + commute)
 //! randsync resume <file.ckpt>        continue a checkpointed exploration
 //! randsync run <protocol> [n] [seed] execute on real threads via the runtime
 //! randsync replay <trace.jsonl>      re-execute a recorded run deterministically
@@ -42,6 +43,17 @@
 //! summary as `randsync check`. `serve --checkpoint-dir <dir>` points
 //! the server's `explore`/`resume` job checkpoints at a directory.
 //!
+//! Search modes (DESIGN.md §15): `valency --por` prunes
+//! Mazurkiewicz-equivalent interleavings (partial-order reduction;
+//! verdicts and valencies are preserved, the visited counts shrink, and
+//! a reduction report line shows what was pruned), and
+//! `valency --best-first` switches to the guided adversary search — a
+//! valency-split-scored frontier that hunts for an inconsistency
+//! witness instead of sweeping the space; a found witness is minimized
+//! (steps deleted, independent neighbors commuted) and dumped as a
+//! replayable flight trace. `randsync shrink <trace.jsonl>` applies the
+//! same minimization to any recorded witness trace.
+//!
 //! Observability flags: `valency` and `run` accept `--metrics` (enable
 //! the global metrics registry and print its snapshot — for `valency`
 //! this also streams a per-depth progress line to stderr as the BFS
@@ -61,9 +73,10 @@ use randsync::core::combine35::{ample_pool, attack_historyless, GeneralOutcome};
 use randsync::core::bounds;
 use randsync::core::hierarchy::render_table;
 use randsync::model::runtime::{replay_execution, Runtime};
+use randsync::core::witness::InconsistencyWitness;
 use randsync::model::{
     Checkpoint, CheckpointRequest, Configuration, Execution, ExploreConfig, ExploreLimits,
-    ExploreOutcome, Explorer, ProcessId, Protocol, Step,
+    ExploreOutcome, Explorer, ProcessId, Protocol, SearchMode, Step,
 };
 use randsync::objects::bridge;
 use randsync::obs::{self, ExecutionTrace, Field, Json, TraceSink};
@@ -106,6 +119,7 @@ fn main() -> ExitCode {
         "attack" => run_attack(&args[1..]),
         "check" => run_check(&args[1..]),
         "valency" => run_valency(&args[1..]),
+        "shrink" => run_shrink(&args[1..]),
         "resume" => run_resume(&args[1..]),
         "run" => run_threaded(&args[1..]),
         "replay" => run_replay(&args[1..]),
@@ -134,8 +148,9 @@ fn main() -> ExitCode {
                  usage:\n  randsync table [n]\n  randsync bounds <n>\n  randsync protocols\n  \
                  randsync attack <naive|optimistic|zigzag|swapchain|tasrace|...> [r]\n  \
                  randsync check <protocol> [r]\n  \
-                 randsync valency <protocol> [threads] [--canonical] [--metrics]\n          \
-                 [--mem-budget <bytes>] [--deadline-ms <ms>] [--checkpoint <file>]\n  \
+                 randsync valency <protocol> [threads] [--canonical] [--por] [--best-first]\n          \
+                 [--metrics] [--mem-budget <bytes>] [--deadline-ms <ms>] [--checkpoint <file>]\n  \
+                 randsync shrink <trace.jsonl> [--out <file>]\n  \
                  randsync resume <file.ckpt> [--mem-budget <bytes>]\n  \
                  randsync run <protocol> [n] [seed] [--metrics] [--trace <file>]\n  \
                  randsync replay <trace.jsonl>\n  \
@@ -342,9 +357,12 @@ fn replay_trace<P: Protocol>(
 }
 
 fn run_valency(args: &[String]) -> ExitCode {
-    // `randsync valency <protocol> [threads] [--canonical] [--metrics]
-    //  [--mem-budget <bytes>] [--deadline-ms <ms>] [--checkpoint <file>]`
+    // `randsync valency <protocol> [threads] [--canonical] [--por]
+    //  [--best-first] [--metrics] [--mem-budget <bytes>]
+    //  [--deadline-ms <ms>] [--checkpoint <file>]`
     let mut canonical = false;
+    let mut por = false;
+    let mut best_first = false;
     let mut metrics = false;
     let mut mem_budget = 0usize;
     let mut deadline_ms: Option<u64> = None;
@@ -354,6 +372,8 @@ fn run_valency(args: &[String]) -> ExitCode {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--canonical" | "canonical" => canonical = true,
+            "--por" => por = true,
+            "--best-first" => best_first = true,
             "--metrics" => metrics = true,
             "--mem-budget" | "--deadline-ms" => {
                 let Some(v) = iter.next().and_then(|s| s.parse::<u64>().ok()) else {
@@ -392,6 +412,8 @@ fn run_valency(args: &[String]) -> ExitCode {
         limits: ExploreLimits { max_configs: 3_000_000, max_depth: 200_000 },
         threads,
         canonical,
+        por,
+        search: if best_first { SearchMode::BestFirst } else { SearchMode::Bfs },
         mem_budget_bytes: mem_budget,
         ..ExploreConfig::default()
     };
@@ -415,7 +437,11 @@ fn run_valency(args: &[String]) -> ExitCode {
         obs::set_metrics_enabled(true);
         obs::install_trace_sink(std::sync::Arc::new(StderrProgress));
     }
-    let code = valency_report(&explorer, &entry.build_default(), entry.default_inputs);
+    let code = if best_first {
+        best_first_report(&explorer, entry)
+    } else {
+        valency_report(&explorer, &entry.build_default(), entry.default_inputs)
+    };
     if metrics {
         obs::clear_trace_sink();
         print_metrics_snapshot();
@@ -436,6 +462,12 @@ fn print_explore_footprint(out: &ExploreOutcome) {
         );
     } else {
         println!("symmetry reduction  : off (raw exploration)");
+    }
+    if out.por_enabled {
+        println!(
+            "partial-order red.  : on — {} enabled moves pruned, {} cycle-proviso fallbacks",
+            out.por_pruned, out.por_fallbacks
+        );
     }
     println!(
         "arena               : {} bytes ({:.1} B/config)",
@@ -489,6 +521,168 @@ where
     println!("critical configs    : {}", a.critical_configs);
     println!("bivalent cycle      : {}", a.bivalent_cycle);
     print_explore_footprint(&out);
+    ExitCode::SUCCESS
+}
+
+/// Package an inconsistency-reaching execution as a verified witness:
+/// replay it in the configuration algebra, read off one 0-decider and
+/// one 1-decider, and count the participants. `None` if the execution
+/// does not in fact end inconsistent.
+fn witness_from_execution<P: Protocol>(
+    protocol: &P,
+    inputs: &[u8],
+    execution: Execution,
+) -> Option<InconsistencyWitness> {
+    let start = Configuration::initial_with_pool(protocol, inputs, inputs.len());
+    let (end, _) = execution.replay(protocol, &start).ok()?;
+    let decisions = end.decisions();
+    let zero = decisions.iter().find(|(_, d)| *d == 0).map(|(p, _)| *p)?;
+    let one = decisions.iter().find(|(_, d)| *d == 1).map(|(p, _)| *p)?;
+    let mut pids: Vec<_> = execution.steps().iter().map(|s| s.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    Some(InconsistencyWitness {
+        inputs: inputs.to_vec(),
+        execution,
+        decides_zero: zero,
+        decides_one: one,
+        processes_used: pids.len(),
+    })
+}
+
+/// The guided adversary search behind `valency --best-first`: hunt for
+/// an inconsistency with the valency-split-scored frontier instead of
+/// sweeping the space. A found witness is minimized (deletion +
+/// commutation) and dumped as a replayable flight trace in the current
+/// directory.
+fn best_first_report(explorer: &Explorer, entry: &ProtocolEntry) -> ExitCode {
+    let protocol = entry.build_default();
+    let (found, truncated) =
+        explorer.find_violation(&protocol, entry.default_inputs, |c| c.is_inconsistent());
+    let Some(execution) = found else {
+        if truncated {
+            eprintln!(
+                "guided search       : no inconsistency within the budget (inconclusive)"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("guided search       : space exhausted, no inconsistency (protocol consistent)");
+        return ExitCode::SUCCESS;
+    };
+    println!("guided search       : inconsistency reached in {} steps", execution.len());
+    let Some(witness) = witness_from_execution(&protocol, entry.default_inputs, execution)
+    else {
+        eprintln!("internal error: violating execution did not replay to an inconsistency");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = witness.verify(&protocol) {
+        eprintln!("internal error: witness failed verification: {e}");
+        return ExitCode::FAILURE;
+    }
+    let (minimal, stats) = witness.minimize_report(&protocol);
+    println!(
+        "minimized           : {} steps, {} processes ({} deleted, {} commuted)",
+        minimal.execution.len(),
+        minimal.processes_used,
+        stats.deleted,
+        stats.commuted
+    );
+    match minimal.dump_flight_trace(
+        entry.name,
+        entry.default_n,
+        entry.default_r,
+        Path::new("."),
+    ) {
+        Ok(path) => {
+            println!(
+                "flight trace        : {} — `randsync replay {}`",
+                path.display(),
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write flight trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `randsync shrink <trace.jsonl> [--out <file>]`: minimize a recorded
+/// witness trace — delete steps and commute independent neighbors while
+/// the replay still decides both values — and write the shrunk trace
+/// back out (default: `<input>.min.jsonl`), replayable with
+/// `randsync replay`.
+fn run_shrink(args: &[String]) -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = Some(p.clone());
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+            _ if path.is_none() => path = Some(arg.clone()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: randsync shrink <trace.jsonl> [--out <file>]");
+        return ExitCode::FAILURE;
+    };
+    let trace = match ExecutionTrace::read_from(Path::new(&path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entry = match lookup(&trace.protocol) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let protocol = (entry.build)(trace.n, trace.r);
+    let execution = Execution::from_steps(
+        trace
+            .steps
+            .iter()
+            .map(|&(pid, coin)| Step::with_coin(ProcessId(pid as usize), coin))
+            .collect(),
+    );
+    let Some(witness) = witness_from_execution(&protocol, &trace.inputs, execution) else {
+        eprintln!(
+            "{path} does not witness an inconsistency (the replay never decides both values); \
+             nothing to shrink"
+        );
+        return ExitCode::FAILURE;
+    };
+    let (minimal, stats) = witness.minimize_report(&protocol);
+    println!(
+        "{} — {} steps shrunk to {} ({} deleted, {} commuted)",
+        entry.name,
+        trace.steps.len(),
+        minimal.execution.len(),
+        stats.deleted,
+        stats.commuted
+    );
+    let out = out_path.unwrap_or_else(|| format!("{path}.min.jsonl"));
+    let min_trace = minimal.flight_trace(entry.name, trace.n, trace.r);
+    if let Err(e) = min_trace.write_to(Path::new(&out)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("minimized trace     : {out} — `randsync replay {out}`");
     ExitCode::SUCCESS
 }
 
