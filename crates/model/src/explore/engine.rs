@@ -65,6 +65,7 @@ use super::checkpoint::{Checkpoint, CheckpointError};
 use super::pack::{hash_words, PackedArena, WordStore};
 use super::por::{Ample, PorContext};
 use super::spill::{BudgetPlan, ExternalDedup, SpillDir, SpillStore};
+use super::transport::{FrontierTransport, SharedFrontier, TransportError};
 use super::ExploreConfig;
 
 /// A caller-supplied early-stop predicate over configurations.
@@ -142,10 +143,15 @@ impl SeenMaps {
     }
 }
 
-/// The dedup backend: resident sharded maps or the out-of-core tier.
+/// The dedup backend: resident sharded maps, the out-of-core tier, or
+/// a pluggable [`FrontierTransport`] (typically a remote, sharded
+/// seen-set — see [`super::transport`]). The shared tier reuses the
+/// external tier's batch merge, so its interning order — and therefore
+/// every result — is identical to both local tiers.
 pub(super) enum Dedup {
     Ram(SeenMaps),
     Ext(ExternalDedup),
+    Shared(SharedFrontier),
 }
 
 /// Pre-resolved global-registry handles for the engine's per-level
@@ -241,6 +247,9 @@ pub(super) struct BfsGraph<S> {
     pub(super) checkpoint_written: Option<std::path::PathBuf>,
     /// Why a requested checkpoint could not be written, if it failed.
     pub(super) checkpoint_error: Option<String>,
+    /// The frontier transport failed mid-search; the graph is a valid
+    /// BFS prefix but the search could not continue.
+    pub(super) transport_error: Option<String>,
     /// Whether the search ran with partial-order reduction.
     pub(super) por_enabled: bool,
     /// Enabled process moves skipped by ample-set reduction (each a
@@ -427,6 +436,16 @@ fn make_store<S: Clone + Eq + Hash>(
     n_procs: usize,
     n_values: usize,
 ) -> (PackedArena<S>, Dedup) {
+    if let Some(transport) = &config.transport {
+        if !config.por {
+            // The shared (distributed) tier: the arena stays local —
+            // the coordinator owns interning order — while the
+            // seen-set lives behind the transport. Takes precedence
+            // over a memory budget; POR still forces the in-RAM tier
+            // (the cycle proviso needs probeable seen-maps).
+            return (PackedArena::new(n_procs, n_values), Dedup::Shared(transport.clone()));
+        }
+    }
     if config.mem_budget_bytes > 0 && !config.por {
         let stride = n_procs + n_values;
         let plan = BudgetPlan::for_budget(config.mem_budget_bytes, stride);
@@ -497,6 +516,7 @@ where
         resident_bytes: 0,
         checkpoint_written: None,
         checkpoint_error: None,
+        transport_error: None,
         por_enabled: false,
         por_pruned: 0,
         por_fallbacks: 0,
@@ -514,6 +534,19 @@ where
     match &mut dedup {
         Dedup::Ram(seen) => seen.insert(start_hash, 0),
         Dedup::Ext(d) => d.insert_sorted(&[start_hash], &[0], &words),
+        Dedup::Shared(t) => {
+            let mut t = t.lock();
+            let opened = t
+                .open(g.arena.stride())
+                .and_then(|()| t.insert_sorted(&[start_hash], &[0], &words));
+            if let Err(e) = opened {
+                drop(t);
+                g.transport_error = Some(e.to_string());
+                finalize(&mut g, &dedup, config, record_edges, 0);
+                close_transport(&mut dedup);
+                return g;
+            }
+        }
     }
     g.add_class(if canon.enabled() { permutations_of_sorted(&start.procs) } else { 1 });
     g.por_enabled = por.is_some();
@@ -521,6 +554,7 @@ where
         if pred(&start) {
             g.hit = Some(0);
             finalize(&mut g, &dedup, config, record_edges, 0);
+            close_transport(&mut dedup);
             return g;
         }
     }
@@ -539,7 +573,16 @@ where
         0,
     );
     finalize(&mut g, &dedup, config, record_edges, final_depth);
+    close_transport(&mut dedup);
     g
+}
+
+/// Best-effort end-of-search release of a shared frontier session
+/// (close failures are unreportable — the search already finished).
+fn close_transport(dedup: &mut Dedup) {
+    if let Dedup::Shared(t) = dedup {
+        let _ = t.lock().close();
+    }
 }
 
 /// Rebuild a checkpointed search and continue it to completion (or the
@@ -607,10 +650,16 @@ where
         resident_bytes: 0,
         checkpoint_written: None,
         checkpoint_error: None,
+        transport_error: None,
         por_enabled: false,
         por_pruned: 0,
         por_fallbacks: 0,
     };
+    if let Dedup::Shared(t) = &mut dedup {
+        t.lock().open(stride).map_err(|e| {
+            CheckpointError::Mismatch(format!("frontier transport failed to open: {e}"))
+        })?;
+    }
 
     // Replay: one decode + step + intern per node, in interning order.
     // In spill mode, seen-set entries are accumulated into bounded
@@ -652,21 +701,17 @@ where
         g.add_class(if canon.enabled() { permutations_of_sorted(&cfg.procs) } else { 1 });
         match &mut dedup {
             Dedup::Ram(seen) => seen.insert(hash, j),
-            Dedup::Ext(_) => {
+            Dedup::Ext(_) | Dedup::Shared(_) => {
                 pend_h.push(hash);
                 pend_i.push(j);
                 pend_w.extend_from_slice(&words);
                 if pend_h.len() >= pend_cap {
-                    if let Dedup::Ext(d) = &mut dedup {
-                        flush_sorted_chunk(d, &mut pend_h, &mut pend_i, &mut pend_w, stride);
-                    }
+                    flush_pending(&mut dedup, &mut pend_h, &mut pend_i, &mut pend_w, stride)?;
                 }
             }
         }
     }
-    if let Dedup::Ext(d) = &mut dedup {
-        flush_sorted_chunk(d, &mut pend_h, &mut pend_i, &mut pend_w, stride);
-    }
+    flush_pending(&mut dedup, &mut pend_h, &mut pend_i, &mut pend_w, stride)?;
 
     // The frontier is exactly the nodes at the stop depth, in index
     // (i.e. original interning) order.
@@ -692,20 +737,40 @@ where
         level_depth,
     );
     finalize(&mut g, &dedup, config, record_edges, final_depth);
+    close_transport(&mut dedup);
     Ok(g)
 }
 
-/// Sort an unsorted chunk of seen-set entries by `(hash, words)` and
-/// hand it to the external dedup as one sorted batch.
-fn flush_sorted_chunk(
-    dedup: &mut ExternalDedup,
+/// Flush pending rebuild entries to a batch-oriented dedup tier; maps
+/// a transport failure to the checkpoint error the resume reports.
+fn flush_pending(
+    dedup: &mut Dedup,
     h: &mut Vec<u64>,
     idx: &mut Vec<u32>,
     w: &mut Vec<u32>,
     stride: usize,
-) {
+) -> Result<(), CheckpointError> {
+    let result = match dedup {
+        Dedup::Ram(_) => return Ok(()),
+        Dedup::Ext(d) => flush_sorted_chunk(d, h, idx, w, stride),
+        Dedup::Shared(t) => flush_sorted_chunk(&mut *t.lock(), h, idx, w, stride),
+    };
+    result.map_err(|e| {
+        CheckpointError::Mismatch(format!("frontier transport failed during rebuild: {e}"))
+    })
+}
+
+/// Sort an unsorted chunk of seen-set entries by `(hash, words)` and
+/// hand it to a batch-oriented dedup tier as one sorted batch.
+fn flush_sorted_chunk(
+    dedup: &mut dyn FrontierTransport,
+    h: &mut Vec<u64>,
+    idx: &mut Vec<u32>,
+    w: &mut Vec<u32>,
+    stride: usize,
+) -> Result<(), TransportError> {
     if h.is_empty() {
-        return;
+        return Ok(());
     }
     let mut order: Vec<u32> = (0..h.len() as u32).collect();
     order.sort_unstable_by(|&a, &b| {
@@ -722,10 +787,11 @@ fn flush_sorted_chunk(
         si.push(idx[o]);
         sw.extend_from_slice(&w[o * stride..(o + 1) * stride]);
     }
-    dedup.insert_sorted(&sh, &si, &sw);
+    dedup.insert_sorted(&sh, &si, &sw)?;
     h.clear();
     idx.clear();
     w.clear();
+    Ok(())
 }
 
 /// The level loop shared by [`bfs`] and [`bfs_resume`]: expand, merge,
@@ -780,7 +846,7 @@ where
         // more than one heap configuration per in-flight expansion.
         let seen_view: Option<&SeenMaps> = match &*dedup {
             Dedup::Ram(seen) => Some(seen),
-            Dedup::Ext(_) => None,
+            Dedup::Ext(_) | Dedup::Shared(_) => None,
         };
         let expansions: Vec<NodeExpansion<P::State>> =
             if threads > 1 && frontier.len() >= PARALLEL_FRONTIER_MIN {
@@ -836,8 +902,8 @@ where
         // order. This is the only place the arena, the codec, and the
         // seen-set grow, so interning order — and everything derived
         // from it — matches the sequential BFS exactly, on either tier.
-        let (next_frontier, stats) = match dedup {
-            Dedup::Ram(seen) => merge_level_ram(
+        let merged = match dedup {
+            Dedup::Ram(seen) => Ok(merge_level_ram(
                 protocol,
                 specs,
                 g,
@@ -849,7 +915,7 @@ where
                 canon,
                 stop,
                 record_edges,
-            ),
+            )),
             Dedup::Ext(ext) => merge_level_external(
                 g,
                 ext,
@@ -861,6 +927,26 @@ where
                 stop,
                 record_edges,
             ),
+            Dedup::Shared(t) => merge_level_external(
+                g,
+                &mut *t.lock(),
+                &frontier,
+                expansions,
+                level_depth,
+                max_configs,
+                canon,
+                stop,
+                record_edges,
+            ),
+        };
+        let (next_frontier, stats) = match merged {
+            Ok(level) => level,
+            Err(e) => {
+                // The transport died; everything interned so far is a
+                // valid BFS prefix, so stop here and report truncation.
+                g.transport_error = Some(e.to_string());
+                break;
+            }
         };
         if let Some(m) = &metrics {
             m.levels.inc();
@@ -1085,16 +1171,17 @@ enum GroupState {
     Capped,
 }
 
-/// Out-of-core level merge: encode every candidate in frontier order
-/// (codec ids are assigned here, exactly as the in-RAM merge would),
-/// sort the level's distinct keys, resolve them against the external
-/// seen-set in one sequential merge pass, then assign arena indices by
-/// first occurrence in frontier order — reproducing the in-RAM merge's
-/// interning order bit for bit.
+/// Batch-oriented level merge, shared by the out-of-core tier and
+/// every [`FrontierTransport`] (the distributed seen-set): encode
+/// every candidate in frontier order (codec ids are assigned here,
+/// exactly as the in-RAM merge would), sort the level's distinct keys,
+/// resolve them against the seen-set in one sorted probe batch, then
+/// assign arena indices by first occurrence in frontier order —
+/// reproducing the in-RAM merge's interning order bit for bit.
 #[allow(clippy::too_many_arguments)]
 fn merge_level_external<S: Clone + Eq + Hash>(
     g: &mut BfsGraph<S>,
-    dedup: &mut ExternalDedup,
+    dedup: &mut dyn FrontierTransport,
     frontier: &[u32],
     expansions: Vec<NodeExpansion<S>>,
     level_depth: usize,
@@ -1102,7 +1189,7 @@ fn merge_level_external<S: Clone + Eq + Hash>(
     canon: &Canonicalizer,
     stop: Option<&StopFn<'_, S>>,
     record_edges: bool,
-) -> (Vec<u32>, LevelStats) {
+) -> Result<(Vec<u32>, LevelStats), TransportError> {
     let stride = g.arena.stride();
     let n_procs = g.arena.n_procs();
     let keep_cfg = stop.is_some();
@@ -1123,7 +1210,7 @@ fn merge_level_external<S: Clone + Eq + Hash>(
         for (step, cand) in expansion.cands {
             let cfg = match cand {
                 SuccRef::New(c) => c,
-                SuccRef::Seen(_) => unreachable!("spill mode never pre-classifies"),
+                SuccRef::Seen(_) => unreachable!("batch tiers never pre-classify"),
             };
             g.arena.encode_intern(&cfg, &mut words);
             lev_hash.push(hash_words(&words));
@@ -1167,7 +1254,7 @@ fn merge_level_external<S: Clone + Eq + Hash>(
         probe_h.push(lev_hash[rep as usize]);
         probe_w.extend_from_slice(row(rep as usize));
     }
-    let found = dedup.probe_sorted(&probe_h, &probe_w);
+    let found = dedup.probe_sorted(&probe_h, &probe_w)?;
 
     // Pass D: walk candidates in frontier order and intern first
     // occurrences — identical index assignment to the in-RAM merge.
@@ -1243,9 +1330,9 @@ fn merge_level_external<S: Clone + Eq + Hash>(
         }
     }
     if !new_h.is_empty() {
-        dedup.insert_sorted(&new_h, &new_i, &new_w);
+        dedup.insert_sorted(&new_h, &new_i, &new_w)?;
     }
-    (next_frontier, stats)
+    Ok((next_frontier, stats))
 }
 
 /// End-of-search bookkeeping: fold the spill statistics into the graph
@@ -1270,9 +1357,18 @@ fn finalize<S: Clone + Eq + Hash>(
             g.dedup_merge_passes = d.merge_passes();
             g.resident_bytes = g.arena.resident_word_bytes() + d.resident_bytes();
         }
+        Dedup::Shared(_) => {
+            // The seen-set lives behind the transport (typically on
+            // other nodes); locally only the arena is resident.
+            g.resident_bytes = g.arena.bytes();
+        }
     }
     let Some(req) = &config.checkpoint else { return };
-    let resumable = (g.deadline_hit || g.depth_capped_any) && !g.config_capped;
+    // A transport failure can cut a level mid-merge, so a graph that
+    // carries one is not a checkpointable level-boundary prefix.
+    let resumable = (g.deadline_hit || g.depth_capped_any)
+        && !g.config_capped
+        && g.transport_error.is_none();
     if !resumable {
         return;
     }

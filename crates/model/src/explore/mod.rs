@@ -71,9 +71,11 @@ mod engine;
 mod pack;
 mod por;
 mod spill;
+mod transport;
 
 pub use canonical::Canonicalizer;
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_SCHEMA_VERSION};
+pub use transport::{FrontierTransport, LocalFrontier, SharedFrontier, TransportError};
 
 use std::collections::{HashSet, VecDeque};
 use std::path::PathBuf;
@@ -170,6 +172,17 @@ pub struct ExploreConfig {
     /// while `por` is set, and resumed checkpoints always continue
     /// unreduced.
     pub por: bool,
+    /// Run the seen-set behind a pluggable [`FrontierTransport`] —
+    /// the **distributed tier**. The arena (and therefore interning
+    /// order, witnesses, and every verdict) stays local; only the
+    /// dedup probe/insert batches cross the seam, so results are
+    /// bit-identical to the local tiers. Takes precedence over
+    /// [`mem_budget_bytes`](ExploreConfig::mem_budget_bytes); ignored
+    /// while [`por`](ExploreConfig::por) is set (the cycle proviso
+    /// needs the probeable in-RAM maps). A transport failure stops the
+    /// search at the level boundary with
+    /// [`TruncationReason::Transport`].
+    pub transport: Option<SharedFrontier>,
     /// Frontier discipline for [`Explorer::find_violation`]:
     /// exhaustive breadth-first (the default; shortest witnesses,
     /// complete up to the budgets) or best-first guided search (a
@@ -228,6 +241,9 @@ pub enum TruncationReason {
     DepthCap,
     /// [`ExploreConfig::deadline`] passed at a level boundary.
     Deadline,
+    /// The [`ExploreConfig::transport`] failed mid-search; see
+    /// [`ExploreOutcome::transport_error`] for the diagnostic.
+    Transport,
 }
 
 impl std::fmt::Display for TruncationReason {
@@ -236,6 +252,7 @@ impl std::fmt::Display for TruncationReason {
             TruncationReason::ConfigCap => "config-cap",
             TruncationReason::DepthCap => "depth-cap",
             TruncationReason::Deadline => "deadline",
+            TruncationReason::Transport => "transport",
         })
     }
 }
@@ -331,6 +348,10 @@ pub struct ExploreOutcome {
     pub checkpoint: Option<PathBuf>,
     /// Why a requested checkpoint was not written, if writing failed.
     pub checkpoint_error: Option<String>,
+    /// Diagnostic from a failed [`ExploreConfig::transport`], if the
+    /// distributed seen-set died mid-search (implies
+    /// [`truncated`](ExploreOutcome::truncated)).
+    pub transport_error: Option<String>,
     /// Number of **raw** configurations the visited set represents: in
     /// canonical mode, the sum of permutation-class sizes over visited
     /// representatives — the size of the full permutation closure of
@@ -500,6 +521,14 @@ impl Explorer {
         self
     }
 
+    /// Run the seen-set behind a pluggable frontier transport — the
+    /// distributed tier (see [`ExploreConfig::transport`]). Results do
+    /// not depend on this setting.
+    pub fn frontier_transport(mut self, transport: SharedFrontier) -> Self {
+        self.config.transport = Some(transport);
+        self
+    }
+
     /// Pick the violation-search frontier discipline (see
     /// [`ExploreConfig::search`]).
     pub fn search(mut self, search: SearchMode) -> Self {
@@ -595,7 +624,7 @@ impl Explorer {
         config.limits.max_depth = usize::MAX;
         let start = Configuration::initial(protocol, inputs);
         let g = engine::bfs(protocol, start, &config, true, None);
-        if g.config_capped || g.deadline_hit {
+        if g.config_capped || g.deadline_hit || g.transport_error.is_some() {
             return None;
         }
 
@@ -957,9 +986,12 @@ fn outcome_from_graph<S: Clone + Eq + std::hash::Hash>(
         }
     }
 
-    let truncated = g.config_capped || g.depth_capped_active || g.deadline_hit;
+    let truncated =
+        g.config_capped || g.depth_capped_active || g.deadline_hit || g.transport_error.is_some();
     let truncation_reason = if g.config_capped {
         Some(TruncationReason::ConfigCap)
+    } else if g.transport_error.is_some() {
+        Some(TruncationReason::Transport)
     } else if g.depth_capped_active {
         Some(TruncationReason::DepthCap)
     } else if g.deadline_hit {
@@ -995,6 +1027,7 @@ fn outcome_from_graph<S: Clone + Eq + std::hash::Hash>(
         resident_arena_bytes: g.resident_bytes,
         checkpoint: g.checkpoint_written.clone(),
         checkpoint_error: g.checkpoint_error.clone(),
+        transport_error: g.transport_error.clone(),
         bytes_per_config: if n == 0 { 0.0 } else { arena_bytes as f64 / n as f64 },
         por_enabled: g.por_enabled,
         por_pruned: g.por_pruned,
@@ -1617,6 +1650,110 @@ mod tests {
             .valency(&p, &[1, 0, 1])
             .expect("not truncated");
         assert_eq!(format!("{ram:?}"), format!("{spill:?}"));
+    }
+
+    #[test]
+    fn transport_tier_matches_ram_mode_bit_for_bit() {
+        let p = Naive { n: 3 };
+        let ram = Explorer::default().explore(&p, &[0, 1, 0]);
+        let via = Explorer::default()
+            .frontier_transport(SharedFrontier::new(LocalFrontier::new()))
+            .explore(&p, &[0, 1, 0]);
+        assert_eq!(via.transport_error, None);
+        assert_eq!(fingerprint(&ram), fingerprint(&via));
+        assert_eq!(ram.raw_configs, via.raw_configs);
+        assert_eq!(ram.arena_bytes, via.arena_bytes, "totals are backing-independent");
+        // Witnesses are not just equal in verdict but step-for-step.
+        assert_eq!(ram.consistency_violation, via.consistency_violation);
+    }
+
+    #[test]
+    fn transport_tier_valency_matches_ram_mode() {
+        let p = Cas { n: 3 };
+        let ram = Explorer::default().valency(&p, &[1, 0, 1]).expect("not truncated");
+        let via = Explorer::default()
+            .frontier_transport(SharedFrontier::new(LocalFrontier::new()))
+            .valency(&p, &[1, 0, 1])
+            .expect("not truncated");
+        assert_eq!(format!("{ram:?}"), format!("{via:?}"));
+    }
+
+    #[test]
+    fn transport_tier_is_identical_across_thread_counts() {
+        // Expansion parallelism and the frontier seam compose: the
+        // merge stays sequential, so the transport sees one canonical
+        // batch order regardless of how many threads expanded.
+        let p = Naive { n: 3 };
+        let base = Explorer::default().threads(1).explore(&p, &[0, 1, 0]);
+        for threads in [2, 4] {
+            let out = Explorer::default()
+                .threads(threads)
+                .frontier_transport(SharedFrontier::new(LocalFrontier::new()))
+                .explore(&p, &[0, 1, 0]);
+            assert_eq!(
+                fingerprint(&base),
+                fingerprint(&out),
+                "transport tier with threads={threads} diverged"
+            );
+        }
+    }
+
+    /// A transport that serves a few probe batches and then fails, to
+    /// exercise the engine's level-boundary error path.
+    #[derive(Debug)]
+    struct FlakyTransport {
+        inner: LocalFrontier,
+        probes_left: usize,
+    }
+
+    impl FrontierTransport for FlakyTransport {
+        fn open(&mut self, stride: usize) -> Result<(), TransportError> {
+            self.inner.open(stride)
+        }
+
+        fn probe_sorted(
+            &mut self,
+            hashes: &[u64],
+            words: &[u32],
+        ) -> Result<Vec<Option<u32>>, TransportError> {
+            if self.probes_left == 0 {
+                return Err(TransportError::new("shard went away"));
+            }
+            self.probes_left -= 1;
+            self.inner.probe_sorted(hashes, words)
+        }
+
+        fn insert_sorted(
+            &mut self,
+            hashes: &[u64],
+            indices: &[u32],
+            words: &[u32],
+        ) -> Result<(), TransportError> {
+            self.inner.insert_sorted(hashes, indices, words)
+        }
+
+        fn close(&mut self) -> Result<(), TransportError> {
+            self.inner.close()
+        }
+    }
+
+    #[test]
+    fn failing_transport_truncates_at_the_level_boundary() {
+        let p = Naive { n: 3 };
+        let flaky = FlakyTransport { inner: LocalFrontier::new(), probes_left: 2 };
+        let out = Explorer::default()
+            .frontier_transport(SharedFrontier::new(flaky))
+            .explore(&p, &[0, 1, 0]);
+        assert!(out.truncated);
+        assert_eq!(out.truncation_reason, Some(TruncationReason::Transport));
+        let msg = out.transport_error.expect("diagnostic is carried");
+        assert!(msg.contains("shard went away"), "got: {msg}");
+        // A truncated envelope is not a valency verdict.
+        let flaky = FlakyTransport { inner: LocalFrontier::new(), probes_left: 2 };
+        let val = Explorer::default()
+            .frontier_transport(SharedFrontier::new(flaky))
+            .valency(&p, &[0, 1, 0]);
+        assert!(val.is_none());
     }
 
     #[test]

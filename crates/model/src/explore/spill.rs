@@ -39,6 +39,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use super::transport::{FrontierTransport, TransportError};
+
 /// Lower bound on the spill segment size (bytes of packed words).
 /// Small enough that even toy budgets genuinely spill (tests rely on
 /// this); real budgets land in the hundreds-of-KiB range via the
@@ -485,6 +487,40 @@ impl ExternalDedup {
             let _ = fs::remove_file(&r.path);
         }
         self.runs.push(DedupRun { path, entries: total });
+    }
+}
+
+/// The spill tier speaks the frontier-exchange seam natively: its two
+/// batch operations *are* the trait, and it never fails (I/O trouble
+/// panics with a diagnostic, as everywhere else in this module — a
+/// half-written spill file has no sound recovery). `open`/`close` are
+/// no-ops: the store's lifetime is the search's.
+impl FrontierTransport for ExternalDedup {
+    fn open(&mut self, stride: usize) -> Result<(), TransportError> {
+        debug_assert_eq!(stride, self.stride);
+        Ok(())
+    }
+
+    fn probe_sorted(
+        &mut self,
+        hashes: &[u64],
+        words: &[u32],
+    ) -> Result<Vec<Option<u32>>, TransportError> {
+        Ok(ExternalDedup::probe_sorted(self, hashes, words))
+    }
+
+    fn insert_sorted(
+        &mut self,
+        hashes: &[u64],
+        indices: &[u32],
+        words: &[u32],
+    ) -> Result<(), TransportError> {
+        ExternalDedup::insert_sorted(self, hashes, indices, words);
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), TransportError> {
+        Ok(())
     }
 }
 

@@ -78,8 +78,9 @@ pub use error::ModelError;
 pub use execution::{Execution, Step, StepRecord};
 pub use explore::{
     straddle_score, Canonicalizer, Checkpoint, CheckpointError, CheckpointRequest,
-    ExploreConfig, ExploreLimits, ExploreOutcome, Explorer, SearchMode, TruncationReason,
-    Valency, ValencyAnalysis, CHECKPOINT_SCHEMA_VERSION,
+    ExploreConfig, ExploreLimits, ExploreOutcome, Explorer, FrontierTransport, LocalFrontier,
+    SearchMode, SharedFrontier, TransportError, TruncationReason, Valency, ValencyAnalysis,
+    CHECKPOINT_SCHEMA_VERSION,
 };
 pub use history::{Event, History};
 pub use kind::ObjectKind;

@@ -43,17 +43,50 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a server, with a generous read timeout so a wedged
-    /// server surfaces as an error rather than a hang.
+    /// The default idle deadline: generous, so a wedged server
+    /// surfaces as an error rather than a hang, while long jobs that
+    /// stream progress frames stay alive indefinitely.
+    pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(600);
+
+    /// Connect to a server with the default idle deadline
+    /// ([`Client::DEFAULT_IDLE_TIMEOUT`]).
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, Some(Client::DEFAULT_IDLE_TIMEOUT))
+    }
+
+    /// Connect with an explicit idle deadline: the longest silence
+    /// tolerated between frames (`None` = wait forever). It is an
+    /// *idle* deadline, not a total one — every frame the server sends
+    /// (including `queued`/`started`/`explore.level` progress) resets
+    /// it, so a slow job survives as long as it keeps reporting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        idle: Option<Duration>,
+    ) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        stream.set_read_timeout(idle)?;
+        // Frames are small and latency-bound (frontier probe/insert
+        // round trips especially); never trade latency for batching.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client { writer, reader: BufReader::new(stream), next_id: 0 })
+    }
+
+    /// Change the idle deadline of an established connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_idle_timeout(&mut self, idle: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(idle)
     }
 
     /// Send one request frame without waiting for its reply; returns

@@ -18,7 +18,8 @@ use randsync_core::witness::InconsistencyWitness;
 use randsync_model::runtime::{replay_execution, Runtime};
 use randsync_model::{
     monte_carlo_summary, Checkpoint, CheckpointRequest, DynObject, Execution, ExploreConfig,
-    ExploreLimits, ExploreOutcome, Explorer, McSummary, ProcessId, Protocol, SearchMode, Step,
+    ExploreLimits, ExploreOutcome, Explorer, McSummary, ProcessId, Protocol, SearchMode,
+    SharedFrontier, Step,
 };
 use randsync_obs::{ExecutionTrace, Json};
 use randsync_objects::bridge;
@@ -31,6 +32,29 @@ const MAX_SLEEP_MILLIS: u64 = 60_000;
 
 /// Seeds per slice between deadline checks in `monte_carlo` jobs.
 const MC_DEADLINE_SLICE: u64 = 256;
+
+/// Server-side execution context handed to [`Job::execute_ctx`]:
+/// facilities that come from the serving process, not the request.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ExecContext {
+    /// Frontier shard addresses for distributed exploration
+    /// ([`crate::dist::DistributedFrontier`]); empty keeps all dedup
+    /// in-process. Results are bit-identical either way, so this is
+    /// deliberately *not* part of any cache key.
+    pub frontier_workers: Vec<String>,
+}
+
+impl ExecContext {
+    /// The frontier transport this context prescribes, if any.
+    fn frontier_transport(&self) -> Result<Option<SharedFrontier>, JobError> {
+        if self.frontier_workers.is_empty() {
+            return Ok(None);
+        }
+        let frontier = crate::dist::DistributedFrontier::connect(&self.frontier_workers)
+            .map_err(|e| JobError::failed(format!("cannot reach frontier workers: {e}")))?;
+        Ok(Some(SharedFrontier::new(frontier)))
+    }
+}
 
 /// A job failure: a wire error code plus a message.
 #[derive(Clone, PartialEq, Debug)]
@@ -468,13 +492,27 @@ impl Job {
         }
     }
 
-    /// Execute the job, cancelling cooperatively at `deadline`.
+    /// Execute the job with default context (all dedup in-process),
+    /// cancelling cooperatively at `deadline`.
     ///
     /// # Errors
     ///
     /// `deadline_exceeded` when the budget ran out first, otherwise
     /// `job_failed` with the underlying failure.
     pub fn execute(&self, deadline: Instant) -> Result<Json, JobError> {
+        self.execute_ctx(deadline, &ExecContext::default())
+    }
+
+    /// Execute the job under a server's [`ExecContext`], cancelling
+    /// cooperatively at `deadline`. With frontier workers configured,
+    /// `valency`/`explore`/`resume` dedup against the remote shards;
+    /// every result stays bit-identical to the in-process run.
+    ///
+    /// # Errors
+    ///
+    /// `deadline_exceeded` when the budget ran out first, otherwise
+    /// `job_failed` with the underlying failure.
+    pub fn execute_ctx(&self, deadline: Instant, ctx: &ExecContext) -> Result<Json, JobError> {
         match self {
             Job::Valency { protocol, threads, canonical, por, max_configs, max_depth } => {
                 let entry = registry::find(protocol).expect("parse validated the name");
@@ -484,6 +522,7 @@ impl Job {
                     canonical: *canonical,
                     por: *por,
                     deadline: Some(deadline),
+                    transport: ctx.frontier_transport()?,
                     ..Default::default()
                 });
                 let analysis = explorer
@@ -543,6 +582,7 @@ impl Job {
                     search: search_mode(search),
                     deadline: Some(explore_deadline(deadline, *deadline_millis)),
                     mem_budget_bytes: *mem_budget,
+                    transport: ctx.frontier_transport()?,
                     checkpoint: Some(CheckpointRequest {
                         path: path.clone(),
                         protocol: entry.name.to_string(),
@@ -575,6 +615,7 @@ impl Job {
                     threads: *threads,
                     deadline: Some(explore_deadline(deadline, *deadline_millis)),
                     mem_budget_bytes: *mem_budget,
+                    transport: ctx.frontier_transport()?,
                     checkpoint: Some(CheckpointRequest {
                         path: repath.clone(),
                         protocol: entry.name.to_string(),
@@ -790,13 +831,16 @@ fn commit_checkpoint(outcome: &ExploreOutcome, id: String, path: std::path::Path
     }
 }
 
-/// Serialize an [`ExploreOutcome`] as the `explore`/`resume` job result.
+/// Serialize an [`ExploreOutcome`] as the `explore`/`resume` job
+/// result. The `transport_error` field appears only when a
+/// distributed frontier actually failed: a successful distributed run
+/// must render byte-identically to the single-node run.
 fn explore_outcome_json(protocol: &str, o: &ExploreOutcome, checkpoint: Option<String>) -> Json {
     let opt_bool = |v: Option<bool>| match v {
         Some(b) => Json::Bool(b),
         None => Json::Null,
     };
-    Json::Obj(vec![
+    let mut fields = vec![
         ("protocol".to_string(), Json::Str(protocol.to_string())),
         ("configs".to_string(), Json::Int(o.configs_visited as i128)),
         ("raw_configs".to_string(), Json::Int(o.raw_configs as i128)),
@@ -836,7 +880,11 @@ fn explore_outcome_json(protocol: &str, o: &ExploreOutcome, checkpoint: Option<S
                 None => Json::Null,
             },
         ),
-    ])
+    ];
+    if let Some(e) = &o.transport_error {
+        fields.push(("transport_error".to_string(), Json::Str(e.clone())));
+    }
+    Json::Obj(fields)
 }
 
 /// Serialize an [`McSummary`] — including the per-decision-value

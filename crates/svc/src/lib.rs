@@ -17,8 +17,15 @@
 //!   budgets;
 //! * [`cache`] — the bounded results cache for deterministic jobs
 //!   ([`ResultsCache`]);
-//! * [`server`] — the accept loop, queue, worker pool, progress
-//!   routing, and drain-then-exit shutdown ([`Server`]);
+//! * `poll` (crate-private) — std-only readiness polling (`poll(2)`
+//!   on Linux, a bounded sleep-scan elsewhere) for the event loop;
+//! * [`server`] — the readiness event loop multiplexing every
+//!   connection, the queue, worker pool, progress routing, and
+//!   drain-then-exit shutdown ([`Server`]);
+//! * [`dist`] — frontier sharding: servers host fingerprint-range
+//!   shard sessions, and [`DistributedFrontier`] lets one
+//!   coordinator's explore jobs dedup against N of them with
+//!   bit-identical results;
 //! * [`client`] — a small blocking client ([`Client`]) used by the
 //!   CLI and the loopback tests.
 //!
@@ -40,12 +47,15 @@
 
 pub mod cache;
 pub mod client;
+pub mod dist;
 pub mod job;
+pub(crate) mod poll;
 pub mod server;
 pub mod wire;
 
 pub use cache::{checkpoint_store, CheckpointStore, ResultsCache};
 pub use client::{Client, Reply};
-pub use job::{Job, JobError};
+pub use dist::DistributedFrontier;
+pub use job::{ExecContext, Job, JobError};
 pub use server::{Server, ServerConfig};
 pub use wire::{Request, WIRE_SCHEMA_VERSION};

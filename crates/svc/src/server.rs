@@ -1,35 +1,56 @@
-//! The job server: TCP accept loop, bounded queue, worker pool,
-//! progress routing, and graceful drain.
+//! The job server: a readiness event loop multiplexing every
+//! connection, a bounded queue, a worker pool, progress routing, and
+//! graceful drain.
 //!
-//! Threading model — three kinds of threads, none shared:
+//! Threading model — the big change from the original
+//! thread-per-connection design is that connections no longer own
+//! threads:
 //!
-//! * the **accept loop** ([`Server::run`], the caller's thread) polls a
-//!   non-blocking listener so it can notice the shutdown flag;
-//! * one **connection thread** per client reads frames, answers control
-//!   frames (`metrics`, `shutdown`) inline, serves cache hits, and
-//!   enqueues everything else — [`std::sync::mpsc::sync_channel`] *is*
-//!   the bounded queue, and a failed `try_send` is the backpressure
-//!   signal (`overloaded`), so the server never buffers unboundedly;
+//! * the **event loop** ([`Server::run`], the caller's thread) drives
+//!   the nonblocking listener *and every accepted connection* through
+//!   one `poll` wait per iteration. Each connection is a small state
+//!   machine (`Conn`): a [`FrameBuffer`] reassembling
+//!   partial frames on the read side, and an explicit write buffer
+//!   drained as the socket accepts bytes. Thousands of idle or slow
+//!   connections cost table entries, not stacks. Control frames
+//!   (`metrics`, `shutdown`), cache hits, request validation, and the
+//!   `frontier_*` shard session frames are all answered inline on the
+//!   loop; only real jobs travel to the pool —
+//!   [`std::sync::mpsc::sync_channel`] *is* the bounded queue, and a
+//!   failed `try_send` is the backpressure signal (`overloaded`);
 //! * `workers` **worker threads** share the receiving end behind a
-//!   mutex and execute jobs under a per-job wall-clock budget.
+//!   mutex and execute jobs under a per-job wall-clock budget. Workers
+//!   never touch sockets: they hand finished frames to the loop's
+//!   outbox (`FrameSender`) keyed by connection id, and wake it
+//!   through a loopback datagram socket (std has no pipe; a connected
+//!   `UdpSocket` pair is the zero-dependency self-wake).
+//!
+//! Frame ordering is a loop-iteration argument: the `queued` progress
+//! frame is appended to the connection's write buffer inline while its
+//! request is being read, and a worker's `started` frame can only
+//! arrive through the outbox, which is drained at the *top* of a later
+//! iteration — so `queued` always precedes `started` on the wire.
 //!
 //! Shutdown is drain-then-exit: the `shutdown` control frame drops the
-//! queue's sender, so workers finish everything already accepted (their
-//! `recv` then reports disconnection and they exit), the accept loop
-//! stops, and [`Server::run`] joins the workers before returning —
-//! every accepted job gets its response frame.
+//! queue's sender, so workers finish everything already accepted and
+//! exit. The loop keeps serving reads (new jobs are refused with
+//! `shutting_down`) until every worker has exited — checked *before*
+//! draining the outbox, so every frame a worker sent is already routed
+//! when the check reads true — and every write buffer has flushed;
+//! then [`Server::run`] joins the workers and returns. Every accepted
+//! job gets its response frame.
 //!
 //! Progress streaming rides on the `obs` trace pipeline: the explorer
-//! emits an `explore.level` event per BFS level *on the thread running
-//! the search*, so a process-global [`TraceSink`] keyed by
-//! [`ThreadId`] can route those events to whichever connection the
-//! running job belongs to, as `progress` frames.
+//! emits an `explore.level` event per BFS level *on the worker thread
+//! running the search*, so a process-global [`TraceSink`] keyed by
+//! [`ThreadId`] routes those events into the outbox as `progress`
+//! frames for whichever connection the running job belongs to.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
@@ -37,8 +58,20 @@ use std::time::{Duration, Instant};
 use randsync_obs::{Field, Json, TraceSink};
 
 use crate::cache::{ResultsCache, DEFAULT_CACHE_CAPACITY};
-use crate::job::Job;
-use crate::wire::{code, error_frame, ok_frame, progress_frame, Request, WIRE_SCHEMA_VERSION};
+use crate::dist::FrontierSessions;
+use crate::job::{ExecContext, Job};
+use crate::poll::{self, PollEntry, SysFd};
+use crate::wire::{
+    code, error_frame, ok_frame, progress_frame, FrameBuffer, Request, WIRE_SCHEMA_VERSION,
+};
+
+/// How long the drain phase keeps trying to flush response bytes to
+/// clients that have stopped reading before giving up and exiting.
+const DRAIN_FLUSH_GRACE: Duration = Duration::from_secs(5);
+
+/// Write-buffer compaction threshold: consumed prefixes shorter than
+/// this are kept (a cursor bump is cheaper than a memmove).
+const WBUF_COMPACT_BYTES: usize = 64 * 1024;
 
 /// Server sizing and budgets.
 #[derive(Clone, Debug)]
@@ -55,6 +88,14 @@ pub struct ServerConfig {
     /// subdirectory). Process-global and fixed at first use, so only
     /// the first server bound in a process can set it.
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Maximum simultaneously open connections; one more is accepted
+    /// only to be told `overloaded` and closed.
+    pub max_conns: usize,
+    /// Addresses of frontier shard servers. When non-empty, `valency`,
+    /// `explore`, and `resume` jobs run their dedup against these
+    /// shards ([`crate::dist::DistributedFrontier`]) instead of
+    /// in-process — results stay bit-identical by construction.
+    pub frontier_workers: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +106,8 @@ impl Default for ServerConfig {
             job_budget: Duration::from_secs(120),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             checkpoint_dir: None,
+            max_conns: 1024,
+            frontier_workers: Vec::new(),
         }
     }
 }
@@ -79,29 +122,33 @@ impl ServerConfig {
     }
 }
 
-/// A write handle to one client connection, shared by the connection
-/// thread and whichever worker runs that client's jobs. Whole frames
-/// are written under the lock, so concurrent frames never interleave.
+/// The worker-to-event-loop outbox: frames keyed by connection id,
+/// plus the datagram self-wake that gets the loop out of its poll.
 #[derive(Clone, Debug)]
-struct ConnWriter(Arc<Mutex<TcpStream>>);
+pub(crate) struct FrameSender {
+    tx: Sender<(u64, String)>,
+    waker: Arc<UdpSocket>,
+}
 
-impl ConnWriter {
-    /// Write one frame line; errors are swallowed (a vanished client
-    /// must not take a worker down).
-    fn send(&self, frame: &str) {
-        let mut stream = self.0.lock().expect("connection writer poisoned");
-        let _ = stream.write_all(frame.as_bytes());
-        let _ = stream.write_all(b"\n");
-        let _ = stream.flush();
+impl FrameSender {
+    /// Queue one frame for `conn` and wake the loop. Errors are
+    /// swallowed: a vanished loop or connection must not take a worker
+    /// down (matching the old per-connection writer's semantics).
+    pub(crate) fn send(&self, conn: u64, frame: String) {
+        if self.tx.send((conn, frame)).is_ok() {
+            let _ = self.waker.send(&[1]);
+        }
     }
 }
 
-/// One accepted job traveling from a connection thread to a worker.
+/// One accepted job traveling from the event loop to a worker. `conn`
+/// names the connection in the loop's table; by the time the response
+/// comes back the connection may be gone, and the frame is dropped.
 #[derive(Debug)]
 struct Ticket {
     id: Json,
     job: Job,
-    conn: ConnWriter,
+    conn: u64,
 }
 
 /// Routes the explorer's per-level trace events, emitted on worker
@@ -111,7 +158,7 @@ struct Ticket {
 /// collides across servers).
 #[derive(Debug, Default)]
 struct ProgressRouter {
-    routes: Mutex<HashMap<ThreadId, (Json, ConnWriter)>>,
+    routes: Mutex<HashMap<ThreadId, (Json, u64, FrameSender)>>,
 }
 
 impl ProgressRouter {
@@ -120,11 +167,11 @@ impl ProgressRouter {
         ROUTER.get_or_init(|| Arc::new(ProgressRouter::default()))
     }
 
-    fn register(&self, id: Json, conn: ConnWriter) {
+    fn register(&self, id: Json, conn: u64, frames: FrameSender) {
         self.routes
             .lock()
             .expect("progress routes poisoned")
-            .insert(std::thread::current().id(), (id, conn));
+            .insert(std::thread::current().id(), (id, conn, frames));
     }
 
     fn deregister(&self) {
@@ -141,7 +188,7 @@ impl TraceSink for ProgressRouter {
             let routes = self.routes.lock().expect("progress routes poisoned");
             routes.get(&std::thread::current().id()).cloned()
         };
-        let Some((id, conn)) = route else { return };
+        let Some((id, conn, frames)) = route else { return };
         let extra: Vec<(&str, Json)> = fields
             .iter()
             .map(|(k, v)| {
@@ -155,19 +202,22 @@ impl TraceSink for ProgressRouter {
                 (*k, j)
             })
             .collect();
-        conn.send(&progress_frame(&id, "explore.level", &extra));
+        frames.send(conn, progress_frame(&id, "explore.level", &extra));
     }
 }
 
 /// Shared server state: the queue's sending end (taken on shutdown),
-/// depth accounting, and the results cache.
+/// depth accounting, the results cache, and the frontier shard
+/// sessions this server is hosting for remote coordinators.
 #[derive(Debug)]
-struct ServerState {
+pub(crate) struct ServerState {
     shutting_down: AtomicBool,
     queue_tx: Mutex<Option<SyncSender<Ticket>>>,
     queue_depth: AtomicUsize,
     cache: ResultsCache,
     job_budget: Duration,
+    frontier_workers: Vec<String>,
+    pub(crate) frontier: FrontierSessions,
 }
 
 impl ServerState {
@@ -176,6 +226,87 @@ impl ServerState {
             .gauge("svc.queue.depth")
             .set(self.queue_depth.load(Ordering::SeqCst) as i64);
     }
+}
+
+/// One connection's state machine in the event loop: the partial-frame
+/// read buffer, the pending write bytes, and lifecycle flags. The
+/// `readable`/`writable` bits carry the last poll's verdict into the
+/// next iteration's processing steps.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    rbuf: FrameBuffer,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    closing: bool,
+    readable: bool,
+    writable: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: FrameBuffer::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            closing: false,
+            // Optimistic: the first iteration reads/flushes once and
+            // the poll verdict takes over from there.
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Queue one frame line for writing.
+    fn push_frame(&mut self, frame: &str) {
+        self.wbuf.extend_from_slice(frame.as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    /// Write as much of the pending buffer as the socket accepts.
+    ///
+    /// # Errors
+    ///
+    /// A hard socket error; the connection should be dropped.
+    fn try_flush(&mut self) -> std::io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "connection write returned zero",
+                    ))
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > WBUF_COMPACT_BYTES {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+
+    fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+}
+
+#[cfg(unix)]
+fn fd_of<T: std::os::fd::AsRawFd>(s: &T) -> SysFd {
+    s.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn fd_of<T>(_: &T) -> SysFd {
+    0
 }
 
 /// A bound job server. [`Server::bind`] claims the address (so an
@@ -187,6 +318,9 @@ pub struct Server {
     config: ServerConfig,
     state: Arc<ServerState>,
     queue_rx: Receiver<Ticket>,
+    frames: FrameSender,
+    frame_rx: Receiver<(u64, String)>,
+    waker_rx: UdpSocket,
 }
 
 impl Server {
@@ -195,21 +329,38 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure (TCP listener or the loopback
+    /// self-wake socket pair).
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
         if let Some(dir) = &config.checkpoint_dir {
             crate::cache::set_checkpoint_dir(dir.clone());
         }
         let listener = TcpListener::bind(addr)?;
         let (tx, rx) = std::sync::mpsc::sync_channel(config.queue.max(1));
+        let (frame_tx, frame_rx) = std::sync::mpsc::channel();
+        let waker_rx = UdpSocket::bind("127.0.0.1:0")?;
+        waker_rx.set_nonblocking(true)?;
+        let waker_tx = UdpSocket::bind("127.0.0.1:0")?;
+        waker_tx.connect(waker_rx.local_addr()?)?;
+        waker_tx.set_nonblocking(true)?;
         let state = Arc::new(ServerState {
             shutting_down: AtomicBool::new(false),
             queue_tx: Mutex::new(Some(tx)),
             queue_depth: AtomicUsize::new(0),
             cache: ResultsCache::new(config.cache_capacity),
             job_budget: config.job_budget,
+            frontier_workers: config.frontier_workers.clone(),
+            frontier: FrontierSessions::default(),
         });
-        Ok(Server { listener, config, state, queue_rx: rx })
+        Ok(Server {
+            listener,
+            config,
+            state,
+            queue_rx: rx,
+            frames: FrameSender { tx: frame_tx, waker: Arc::new(waker_tx) },
+            frame_rx,
+            waker_rx,
+        })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -221,48 +372,197 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serve until shut down: accept connections, dispatch jobs, then
+    /// Serve until shut down: run the event loop, dispatch jobs, then
     /// drain the queue and join the workers. Enables the global metrics
     /// registry and installs the process-wide progress router.
     ///
     /// # Errors
     ///
-    /// Propagates fatal listener errors (transient accept errors are
-    /// tolerated).
+    /// Propagates fatal listener or poll errors (transient accept and
+    /// per-connection errors are tolerated).
     pub fn run(self) -> std::io::Result<()> {
         randsync_obs::set_metrics_enabled(true);
         randsync_obs::install_trace_sink(ProgressRouter::global().clone());
         self.listener.set_nonblocking(true)?;
 
         let workers = self.config.effective_workers().max(1);
-        randsync_obs::global_metrics().gauge("svc.workers").set(workers as i64);
+        let m = randsync_obs::global_metrics();
+        m.gauge("svc.workers").set(workers as i64);
         let rx = Arc::new(Mutex::new(self.queue_rx));
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let rx = Arc::clone(&rx);
             let state = Arc::clone(&self.state);
-            handles.push(std::thread::spawn(move || worker_loop(&state, &rx)));
+            let frames = self.frames.clone();
+            handles.push(std::thread::spawn(move || worker_loop(&state, &rx, &frames)));
         }
 
-        while !self.state.shutting_down.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    randsync_obs::global_metrics().counter("svc.connections").inc();
-                    // Accepted sockets must block: connection threads
-                    // read frames, they do not poll.
-                    let _ = stream.set_nonblocking(false);
-                    let state = Arc::clone(&self.state);
-                    std::thread::spawn(move || connection_loop(&state, stream));
+        let max_conns = self.config.max_conns.max(1);
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_conn: u64 = 0;
+        let mut drain_flush_since: Option<Instant> = None;
+
+        loop {
+            let draining = self.state.shutting_down.load(Ordering::SeqCst);
+            // Worker liveness is sampled BEFORE the outbox drain: a
+            // worker's frames are sent before its thread returns, so
+            // when this reads true, everything the workers will ever
+            // send is already in the outbox and this iteration's drain
+            // routes it. (The reverse order could exit with a response
+            // frame still in flight.)
+            let workers_done = draining && handles.iter().all(|h| h.is_finished());
+
+            // Swallow wake datagrams first, outbox second: a wake sent
+            // between the two drains just costs one spurious
+            // iteration, whereas the reverse order could eat the wake
+            // for a frame this iteration never saw.
+            let mut wake = [0u8; 16];
+            while self.waker_rx.recv(&mut wake).is_ok() {}
+            while let Ok((cid, frame)) = self.frame_rx.try_recv() {
+                if let Some(conn) = conns.get_mut(&cid) {
+                    conn.push_frame(&frame);
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
+            }
+
+            // Accept — folded into the readiness loop; over the cap,
+            // the socket is accepted just long enough to be told so.
+            if !draining {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            m.counter("svc.connections").inc();
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            // Replies are latency-bound (frontier shard
+                            // round trips especially); never Nagle them.
+                            let _ = stream.set_nodelay(true);
+                            next_conn += 1;
+                            let mut conn = Conn::new(stream);
+                            if conns.len() >= max_conns {
+                                m.counter("svc.conns.rejected").inc();
+                                conn.push_frame(&error_frame(
+                                    &Json::Null,
+                                    code::OVERLOADED,
+                                    "connection limit reached; retry later",
+                                ));
+                                conn.closing = true;
+                            } else {
+                                m.counter("svc.conns.accepted").inc();
+                            }
+                            conns.insert(next_conn, conn);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e),
+                    }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+            }
+
+            // Reads: pull everything each readable socket has, then
+            // handle the completed frames. Responses produced inline
+            // (control frames, cache hits, rejections, `queued`) are
+            // appended straight to the connection's write buffer.
+            let ids: Vec<u64> = conns.keys().copied().collect();
+            for cid in ids {
+                let Some(conn) = conns.get_mut(&cid) else { continue };
+                if conn.closing || !conn.readable {
+                    continue;
+                }
+                conn.readable = false;
+                let mut lines = Vec::new();
+                let mut buf = [0u8; 16384];
+                loop {
+                    match conn.stream.read(&mut buf) {
+                        Ok(0) => {
+                            // Peer EOF: no more requests; pending
+                            // responses still flush below.
+                            conn.closing = true;
+                            break;
+                        }
+                        Ok(n) => match conn.rbuf.push_bytes(&buf[..n]) {
+                            Ok(frames) => lines.extend(frames),
+                            Err(overflow) => {
+                                conn.push_frame(&error_frame(
+                                    &Json::Null,
+                                    code::BAD_REQUEST,
+                                    &overflow.to_string(),
+                                ));
+                                conn.closing = true;
+                                break;
+                            }
+                        },
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            conn.closing = true;
+                            break;
+                        }
+                    }
+                }
+                let mut out = Vec::new();
+                for line in &lines {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    handle_line(&self.state, cid, line, &mut out);
+                }
+                for frame in &out {
+                    conn.push_frame(frame);
+                }
+            }
+
+            // Writes: flush whatever each socket accepts; drop dead
+            // connections and completed `closing` ones.
+            conns.retain(|_, conn| {
+                conn.writable = false;
+                if !conn.flushed() && conn.try_flush().is_err() {
+                    return false;
+                }
+                !(conn.closing && conn.flushed())
+            });
+            m.gauge("svc.conns.open").set(conns.len() as i64);
+
+            if draining && workers_done {
+                let flushed = conns.values().all(Conn::flushed);
+                let since = *drain_flush_since.get_or_insert_with(Instant::now);
+                if flushed || since.elapsed() > DRAIN_FLUSH_GRACE {
+                    break;
+                }
+            }
+
+            // One poll across the listener, the waker, and every
+            // connection. During the drain the timeout shortens so
+            // worker exits are noticed promptly.
+            let mut entries = Vec::with_capacity(conns.len() + 2);
+            entries.push(PollEntry::new(fd_of(&self.waker_rx), true, false));
+            if !draining {
+                entries.push(PollEntry::new(fd_of(&self.listener), true, false));
+            }
+            let base = entries.len();
+            let cids: Vec<u64> = conns.keys().copied().collect();
+            for &cid in &cids {
+                let conn = &conns[&cid];
+                entries.push(PollEntry::new(
+                    fd_of(&conn.stream),
+                    !conn.closing,
+                    !conn.flushed(),
+                ));
+            }
+            let timeout = if draining {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(500)
+            };
+            poll::wait(&mut entries, timeout)?;
+            for (i, &cid) in cids.iter().enumerate() {
+                if let Some(conn) = conns.get_mut(&cid) {
+                    conn.readable = entries[base + i].readable;
+                    conn.writable = entries[base + i].writable;
+                }
             }
         }
-        // Drain: the sender was dropped by the shutdown handler, so
-        // each worker exits once the queue is empty.
+
         for handle in handles {
             let _ = handle.join();
         }
@@ -270,105 +570,98 @@ impl Server {
     }
 }
 
-/// Per-connection read loop: control frames are answered inline; job
-/// frames are validated, served from cache, or enqueued.
-fn connection_loop(state: &Arc<ServerState>, stream: TcpStream) {
-    let Ok(write_half) = stream.try_clone() else { return };
-    let conn = ConnWriter(Arc::new(Mutex::new(write_half)));
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+/// Dispatch one request line: control frames, frontier shard frames,
+/// and rejections are answered inline (frames pushed to `out`); jobs
+/// go to the queue.
+fn handle_line(state: &Arc<ServerState>, conn_id: u64, line: &str, out: &mut Vec<String>) {
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(message) => {
+            out.push(error_frame(&Json::Null, code::BAD_REQUEST, &message));
+            return;
         }
-        let req = match Request::parse(&line) {
-            Ok(req) => req,
-            Err(message) => {
-                conn.send(&error_frame(&Json::Null, code::BAD_REQUEST, &message));
-                continue;
-            }
-        };
-        match req.job.as_str() {
-            "metrics" => {
-                let snapshot = randsync_obs::global_metrics().snapshot();
-                conn.send(&ok_frame(
-                    &req.id,
-                    "metrics",
-                    Json::Obj(vec![
-                        (
-                            "schema_version".to_string(),
-                            Json::Int(i128::from(WIRE_SCHEMA_VERSION)),
-                        ),
-                        ("metrics".to_string(), snapshot.to_json()),
-                    ]),
-                ));
-            }
-            "shutdown" => {
-                state.shutting_down.store(true, Ordering::SeqCst);
-                // Dropping the sender is the drain signal: workers
-                // finish the queue, then their recv disconnects.
-                drop(state.queue_tx.lock().expect("queue sender poisoned").take());
-                let draining = state.queue_depth.load(Ordering::SeqCst);
-                conn.send(&ok_frame(
-                    &req.id,
-                    "shutdown",
-                    Json::Obj(vec![("draining".to_string(), Json::Int(draining as i128))]),
-                ));
-            }
-            _ => submit_job(state, req, &conn),
+    };
+    match req.job.as_str() {
+        "metrics" => {
+            let snapshot = randsync_obs::global_metrics().snapshot();
+            out.push(ok_frame(
+                &req.id,
+                "metrics",
+                Json::Obj(vec![
+                    (
+                        "schema_version".to_string(),
+                        Json::Int(i128::from(WIRE_SCHEMA_VERSION)),
+                    ),
+                    ("metrics".to_string(), snapshot.to_json()),
+                ]),
+            ));
         }
+        "shutdown" => {
+            state.shutting_down.store(true, Ordering::SeqCst);
+            // Dropping the sender is the drain signal: workers finish
+            // the queue, then their recv disconnects.
+            drop(state.queue_tx.lock().expect("queue sender poisoned").take());
+            let draining = state.queue_depth.load(Ordering::SeqCst);
+            out.push(ok_frame(
+                &req.id,
+                "shutdown",
+                Json::Obj(vec![("draining".to_string(), Json::Int(draining as i128))]),
+            ));
+        }
+        // Frontier shard frames are answered on the event loop, never
+        // queued: a coordinator blocks its level merge on these, and
+        // routing them through the worker pool could deadlock a
+        // cluster whose pools are all busy coordinating.
+        name if name.starts_with("frontier_") => out.push(state.frontier.handle(&req)),
+        _ => submit_job(state, conn_id, req, out),
     }
 }
 
 /// Validate, cache-check, and enqueue one job request.
-fn submit_job(state: &Arc<ServerState>, req: Request, conn: &ConnWriter) {
+fn submit_job(state: &Arc<ServerState>, conn_id: u64, req: Request, out: &mut Vec<String>) {
     let m = randsync_obs::global_metrics();
     m.counter("svc.jobs.submitted").inc();
     let job = match Job::parse(&req.job, &req.params) {
         Ok(job) => job,
         Err(e) => {
             m.counter("svc.jobs.error").inc();
-            conn.send(&error_frame(&req.id, e.code, &e.message));
+            out.push(error_frame(&req.id, e.code, &e.message));
             return;
         }
     };
     if job.cacheable() {
         if let Some(result) = state.cache.get(&job.cache_key()) {
             m.counter("svc.jobs.ok").inc();
-            conn.send(&ok_frame(&req.id, job.kind(), result));
+            out.push(ok_frame(&req.id, job.kind(), result));
             return;
         }
     }
     let tx = state.queue_tx.lock().expect("queue sender poisoned").clone();
     let Some(tx) = tx else {
         m.counter("svc.jobs.error").inc();
-        conn.send(&error_frame(&req.id, code::SHUTTING_DOWN, "server is draining"));
+        out.push(error_frame(&req.id, code::SHUTTING_DOWN, "server is draining"));
         return;
     };
-    match tx.try_send(Ticket { id: req.id.clone(), job, conn: conn.clone() }) {
+    match tx.try_send(Ticket { id: req.id.clone(), job, conn: conn_id }) {
         Ok(()) => {
             state.queue_depth.fetch_add(1, Ordering::SeqCst);
             state.set_depth_gauge();
-            conn.send(&progress_frame(&req.id, "queued", &[]));
+            out.push(progress_frame(&req.id, "queued", &[]));
         }
         Err(TrySendError::Full(_)) => {
             m.counter("svc.jobs.rejected").inc();
-            conn.send(&error_frame(
-                &req.id,
-                code::OVERLOADED,
-                "job queue is full; retry later",
-            ));
+            out.push(error_frame(&req.id, code::OVERLOADED, "job queue is full; retry later"));
         }
         Err(TrySendError::Disconnected(_)) => {
             m.counter("svc.jobs.error").inc();
-            conn.send(&error_frame(&req.id, code::SHUTTING_DOWN, "server is draining"));
+            out.push(error_frame(&req.id, code::SHUTTING_DOWN, "server is draining"));
         }
     }
 }
 
 /// Worker: pull tickets until the queue disconnects (shutdown drain),
 /// executing each under the per-job budget with progress routing.
-fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Ticket>>>) {
+fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Ticket>>>, frames: &FrameSender) {
     loop {
         // Hold the receiver lock only for the handoff; contention is
         // one lock per job, not per byte of work.
@@ -379,19 +672,20 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Ticket>>>) {
         let Ok(ticket) = ticket else { break };
         state.queue_depth.fetch_sub(1, Ordering::SeqCst);
         state.set_depth_gauge();
-        execute_ticket(state, ticket);
+        execute_ticket(state, ticket, frames);
     }
 }
 
-fn execute_ticket(state: &Arc<ServerState>, ticket: Ticket) {
+fn execute_ticket(state: &Arc<ServerState>, ticket: Ticket, frames: &FrameSender) {
     let m = randsync_obs::global_metrics();
     let kind = ticket.job.kind();
-    ticket.conn.send(&progress_frame(&ticket.id, "started", &[]));
+    frames.send(ticket.conn, progress_frame(&ticket.id, "started", &[]));
     let router = ProgressRouter::global();
-    router.register(ticket.id.clone(), ticket.conn.clone());
+    router.register(ticket.id.clone(), ticket.conn, frames.clone());
     let started = Instant::now();
     let span = randsync_obs::span("svc.job", &[("kind", Field::Str(kind.to_string()))]);
-    let outcome = ticket.job.execute(started + state.job_budget);
+    let ctx = ExecContext { frontier_workers: state.frontier_workers.clone() };
+    let outcome = ticket.job.execute_ctx(started + state.job_budget, &ctx);
     drop(span);
     router.deregister();
     m.histogram(&format!("svc.job.micros.{kind}")).observe(started.elapsed().as_micros() as u64);
@@ -401,14 +695,14 @@ fn execute_ticket(state: &Arc<ServerState>, ticket: Ticket) {
                 state.cache.put(ticket.job.cache_key(), result.clone());
             }
             m.counter("svc.jobs.ok").inc();
-            ticket.conn.send(&ok_frame(&ticket.id, kind, result));
+            frames.send(ticket.conn, ok_frame(&ticket.id, kind, result));
         }
         Err(e) => {
             m.counter("svc.jobs.error").inc();
             if e.code == code::DEADLINE_EXCEEDED {
                 m.counter("svc.jobs.deadline").inc();
             }
-            ticket.conn.send(&error_frame(&ticket.id, e.code, &e.message));
+            frames.send(ticket.conn, error_frame(&ticket.id, e.code, &e.message));
         }
     }
 }

@@ -110,6 +110,84 @@ pub fn error_frame(id: &Json, code: &str, message: &str) -> String {
     .render()
 }
 
+/// Upper bound on one frame's size on the wire. A peer that streams an
+/// unterminated line past this is protocol-broken (or hostile); the
+/// reader reports [`FrameOverflow`] instead of buffering unboundedly.
+/// Generous because `replay`/`verify_witness` params carry whole flight
+/// traces inline.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// A peer exceeded [`MAX_FRAME_BYTES`] on a single frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameOverflow {
+    /// Bytes accumulated for the unterminated frame when the cap hit.
+    pub buffered: usize,
+}
+
+impl std::fmt::Display for FrameOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame exceeds {MAX_FRAME_BYTES} bytes ({} buffered)", self.buffered)
+    }
+}
+
+impl std::error::Error for FrameOverflow {}
+
+/// Incremental newline-delimited frame accumulator for nonblocking
+/// reads: feed whatever bytes the socket produced, get back every
+/// frame completed so far, keep the partial tail buffered for the next
+/// readiness event. This is the partial-frame half of the event-loop
+/// server — a frame split across any number of TCP segments is
+/// reassembled here, and a frame that never terminates is bounded by
+/// [`MAX_FRAME_BYTES`].
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Bytes buffered for the (not yet complete) current frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append raw bytes and split off every completed frame, in order.
+    /// Frames are decoded lossily (the JSON layer rejects garbage with
+    /// a `bad_request`, which is richer than a UTF-8 error here).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameOverflow`] once the unterminated tail (or a single frame
+    /// within `data`) exceeds [`MAX_FRAME_BYTES`]; the connection
+    /// should be dropped — the buffer is left cleared.
+    pub fn push_bytes(&mut self, data: &[u8]) -> Result<Vec<String>, FrameOverflow> {
+        self.buf.extend_from_slice(data);
+        let mut frames = Vec::new();
+        let mut start = 0usize;
+        while let Some(nl) = self.buf[start..].iter().position(|&b| b == b'\n') {
+            let line = &self.buf[start..start + nl];
+            if line.len() > MAX_FRAME_BYTES {
+                let buffered = line.len();
+                self.buf.clear();
+                return Err(FrameOverflow { buffered });
+            }
+            frames.push(String::from_utf8_lossy(line).into_owned());
+            start += nl + 1;
+        }
+        self.buf.drain(..start);
+        if self.buf.len() > MAX_FRAME_BYTES {
+            let buffered = self.buf.len();
+            self.buf.clear();
+            return Err(FrameOverflow { buffered });
+        }
+        Ok(frames)
+    }
+}
+
 /// Render a `progress` frame: a stage name plus extra fields.
 pub fn progress_frame(id: &Json, stage: &str, extra: &[(&str, Json)]) -> String {
     let mut fields = vec![
@@ -143,6 +221,36 @@ mod tests {
         assert!(Request::parse("not json").unwrap_err().contains("invalid JSON"));
         assert!(Request::parse("[1,2]").unwrap_err().contains("object"));
         assert!(Request::parse("{\"id\":1}").unwrap_err().contains("job"));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut fb = FrameBuffer::new();
+        assert_eq!(fb.push_bytes(b"{\"id\":1,").unwrap(), Vec::<String>::new());
+        assert_eq!(fb.pending_bytes(), 8);
+        let frames = fb.push_bytes(b"\"job\":\"metrics\"}\nnext").unwrap();
+        assert_eq!(frames, vec!["{\"id\":1,\"job\":\"metrics\"}".to_string()]);
+        assert_eq!(fb.pending_bytes(), 4);
+        assert_eq!(fb.push_bytes(b"\n\n").unwrap(), vec!["next".to_string(), String::new()]);
+        assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_yields_many_frames_from_one_read() {
+        let mut fb = FrameBuffer::new();
+        let frames = fb.push_bytes(b"a\nb\nc\n").unwrap();
+        assert_eq!(frames, vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn frame_buffer_caps_unterminated_frames() {
+        let mut fb = FrameBuffer::new();
+        let chunk = vec![b'x'; MAX_FRAME_BYTES / 2 + 1];
+        assert!(fb.push_bytes(&chunk).is_ok());
+        let err = fb.push_bytes(&chunk).expect_err("cap must trip");
+        assert!(err.buffered > MAX_FRAME_BYTES);
+        // The buffer resets so the connection teardown path is clean.
+        assert_eq!(fb.pending_bytes(), 0);
     }
 
     #[test]

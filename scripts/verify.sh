@@ -36,6 +36,12 @@
 #      verdict line; and a `valency --best-first` smoke whose
 #      minimized witness trace must shrink idempotently and replay
 #      bit-for-bit via `randsync replay`
+#  12. distributed frontier smoke: two `randsync worker` shard
+#      processes plus a coordinator `serve --workers-addrs` on
+#      ephemeral loopback ports; a valency job submitted through the
+#      ensemble must answer byte-identically to a single-node server,
+#      every process must drain cleanly, and `dist_perf --smoke` must
+#      report identical-to-single-node results for 1..3 workers
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -193,5 +199,59 @@ bf_trace=$(ls "$bf_dir"/randsync-witness-*.jsonl 2>/dev/null | head -n 1)
     || { echo "FAIL: shrink rejected the best-first trace"; exit 1; }
 ./target/release/randsync replay "$bf_dir/min.jsonl" \
     || { echo "FAIL: minimized trace did not replay"; exit 1; }
+
+echo "== distributed frontier smoke (coordinator + 2 workers over loopback) =="
+# Two shard processes, a coordinator pointed at them, and a plain
+# single-node server as the baseline the ensemble must agree with.
+w1_log=target/verify_dist_w1.log
+w2_log=target/verify_dist_w2.log
+coord_log=target/verify_dist_coord.log
+single_log=target/verify_dist_single.log
+./target/release/randsync worker 127.0.0.1:0 > "$w1_log" 2>&1 &
+w1_pid=$!
+./target/release/randsync worker 127.0.0.1:0 > "$w2_log" 2>&1 &
+w2_pid=$!
+w1_addr=""; w2_addr=""
+for _ in $(seq 1 50); do
+    w1_addr=$(sed -n 's/^randsync-svc listening on //p' "$w1_log")
+    w2_addr=$(sed -n 's/^randsync-svc listening on //p' "$w2_log")
+    [ -n "$w1_addr" ] && [ -n "$w2_addr" ] && break
+    sleep 0.1
+done
+[ -n "$w1_addr" ] && [ -n "$w2_addr" ] \
+    || { echo "FAIL: frontier workers never reported their addresses"; kill "$w1_pid" "$w2_pid" 2>/dev/null; exit 1; }
+./target/release/randsync serve 127.0.0.1:0 --workers 2 --queue 8 \
+    --workers-addrs "$w1_addr,$w2_addr" > "$coord_log" 2>&1 &
+coord_pid=$!
+./target/release/randsync serve 127.0.0.1:0 --workers 2 --queue 8 \
+    > "$single_log" 2>&1 &
+single_pid=$!
+coord_addr=""; single_addr=""
+for _ in $(seq 1 50); do
+    coord_addr=$(sed -n 's/^randsync-svc listening on //p' "$coord_log")
+    single_addr=$(sed -n 's/^randsync-svc listening on //p' "$single_log")
+    [ -n "$coord_addr" ] && [ -n "$single_addr" ] && break
+    sleep 0.1
+done
+[ -n "$coord_addr" ] && [ -n "$single_addr" ] \
+    || { echo "FAIL: coordinator/baseline never reported an address"; kill "$w1_pid" "$w2_pid" "$coord_pid" "$single_pid" 2>/dev/null; exit 1; }
+./target/release/randsync submit "$coord_addr" valency protocol=cas \
+    > target/verify_dist_sharded.txt
+./target/release/randsync submit "$single_addr" valency protocol=cas \
+    > target/verify_dist_baseline.txt
+diff target/verify_dist_sharded.txt target/verify_dist_baseline.txt \
+    || { echo "FAIL: sharded valency diverged from the single-node answer"; exit 1; }
+./target/release/randsync shutdown "$coord_addr"
+./target/release/randsync shutdown "$single_addr"
+./target/release/randsync shutdown "$w1_addr"
+./target/release/randsync shutdown "$w2_addr"
+wait "$coord_pid" || { echo "FAIL: coordinator exited nonzero"; exit 1; }
+wait "$single_pid" || { echo "FAIL: baseline server exited nonzero"; exit 1; }
+wait "$w1_pid" || { echo "FAIL: worker 1 exited nonzero"; exit 1; }
+wait "$w2_pid" || { echo "FAIL: worker 2 exited nonzero"; exit 1; }
+grep -q "drained and stopped" "$coord_log" && grep -q "drained and stopped" "$w1_log" \
+    && grep -q "drained and stopped" "$w2_log" \
+    || { echo "FAIL: a distributed process did not drain cleanly"; exit 1; }
+cargo run --release --bin dist_perf -- --smoke --out target/BENCH_distributed_smoke.json
 
 echo "verify.sh: all gates passed"

@@ -15,6 +15,7 @@
 //! randsync walk <n> [seed]           threaded one-counter consensus demo
 //!
 //! randsync serve [addr] [--workers N] [--queue N]   start the verification job server
+//! randsync worker [addr]                            start a frontier shard server
 //! randsync submit <addr> <job> [key=value ...]      run one job against a server
 //! randsync shutdown <addr>                          drain a server and stop it
 //! ```
@@ -30,7 +31,17 @@
 //! parsed as integers/booleans when they look like one and strings
 //! otherwise, and `value=@path` embeds a file's contents (how a replay
 //! trace travels). `submit <addr> metrics` fetches the server's
-//! metrics snapshot.
+//! metrics snapshot, and `submit --timeout-s <s>` bounds how long a
+//! silent server is waited on (the deadline resets whenever a progress
+//! frame arrives, so long streaming jobs are safe).
+//!
+//! Distributed exploration (DESIGN.md §16): start N frontier shard
+//! servers with `randsync worker [addr]`, then point a coordinator at
+//! them with `serve --workers-addrs host:port,host:port,...` — its
+//! `valency`/`explore`/`resume` jobs dedup against the shards and stay
+//! bit-identical to a single-node run. `serve --max-conns N` caps the
+//! event loop's simultaneously open connections (excess connections
+//! get an immediate `overloaded` error frame).
 //!
 //! Out-of-core and resumable exploration (DESIGN.md §14): `valency`
 //! accepts `--mem-budget <bytes>` (run the search on the spillable
@@ -124,7 +135,11 @@ fn main() -> ExitCode {
         "run" => run_threaded(&args[1..]),
         "replay" => run_replay(&args[1..]),
         "montecarlo" => run_montecarlo(&args[1..]),
-        "serve" => run_serve(&args[1..]),
+        "serve" => run_serve(&args[1..], false),
+        // A worker is a server whose job is hosting frontier shard
+        // sessions: same binary, same protocol, zero workers wasted on
+        // a queue nobody submits to.
+        "worker" => run_serve(&args[1..], true),
         "submit" => run_submit(&args[1..]),
         "shutdown" => run_shutdown(&args[1..]),
         "walk" => {
@@ -156,8 +171,10 @@ fn main() -> ExitCode {
                  randsync replay <trace.jsonl>\n  \
                  randsync montecarlo <protocol> [trials] [seed] [n]\n  \
                  randsync walk <n> [seed]\n  \
-                 randsync serve [addr] [--workers N] [--queue N] [--checkpoint-dir <dir>]\n  \
-                 randsync submit <addr> <job> [key=value ...]\n  \
+                 randsync serve [addr] [--workers N] [--queue N] [--max-conns N]\n          \
+                 [--checkpoint-dir <dir>] [--workers-addrs a:p,b:p,...]\n  \
+                 randsync worker [addr] [--max-conns N]\n  \
+                 randsync submit <addr> <job> [--timeout-s S] [key=value ...]\n  \
                  randsync shutdown <addr>\n\n\
                  protocol names: see `randsync protocols`\n\
                  job kinds: valency, explore, resume, run, monte_carlo, replay, \
@@ -1032,13 +1049,19 @@ fn print_mc_summary(result: &Json) {
     }
 }
 
-/// `randsync serve [addr] [--workers N] [--queue N] [--checkpoint-dir <dir>]`:
-/// run the job server until a `shutdown` control frame drains it.
-/// Binding port 0 picks an ephemeral port; the actual address is
-/// printed either way.
-fn run_serve(args: &[String]) -> ExitCode {
+/// `randsync serve [addr] [--workers N] [--queue N] [--max-conns N]
+/// [--checkpoint-dir <dir>] [--workers-addrs a,b,...]` — and, with
+/// `worker_role`, `randsync worker [addr]`: run the job server until a
+/// `shutdown` control frame drains it. Binding port 0 picks an
+/// ephemeral port; the actual address is printed either way. A worker
+/// role is the same server with one queue worker — its purpose is
+/// answering `frontier_*` shard frames, which never touch the queue.
+fn run_serve(args: &[String], worker_role: bool) -> ExitCode {
     let mut addr: Option<&str> = None;
     let mut config = ServerConfig::default();
+    if worker_role {
+        config.workers = 1;
+    }
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -1049,15 +1072,27 @@ fn run_serve(args: &[String]) -> ExitCode {
                 };
                 config.checkpoint_dir = Some(std::path::PathBuf::from(dir));
             }
-            "--workers" | "--queue" => {
+            "--workers-addrs" => {
+                let Some(list) = iter.next() else {
+                    eprintln!("--workers-addrs needs a comma-separated address list");
+                    return ExitCode::FAILURE;
+                };
+                config.frontier_workers =
+                    list.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect();
+                if config.frontier_workers.is_empty() {
+                    eprintln!("--workers-addrs needs at least one address");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--workers" | "--queue" | "--max-conns" => {
                 let Some(n) = iter.next().and_then(|s| s.parse::<usize>().ok()) else {
                     eprintln!("{arg} needs a positive integer");
                     return ExitCode::FAILURE;
                 };
-                if arg == "--workers" {
-                    config.workers = n;
-                } else {
-                    config.queue = n;
+                match arg.as_str() {
+                    "--workers" => config.workers = n,
+                    "--queue" => config.queue = n,
+                    _ => config.max_conns = n,
                 }
             }
             other if other.starts_with("--") => {
@@ -1123,16 +1158,31 @@ fn parse_submit_value(value: &str) -> Result<Json, ExitCode> {
     })
 }
 
-/// `randsync submit <addr> <job> [key=value ...]`: run one job against
-/// a server, streaming progress frames to stderr. Exit code mirrors
-/// the reply status.
+/// `randsync submit <addr> <job> [--timeout-s S] [key=value ...]`: run
+/// one job against a server, streaming progress frames to stderr.
+/// `--timeout-s` bounds the silence tolerated between frames (default
+/// 600; every progress frame resets it). Exit code mirrors the reply
+/// status.
 fn run_submit(args: &[String]) -> ExitCode {
     let (Some(addr), Some(kind)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: randsync submit <addr> <job> [key=value ...]");
+        eprintln!("usage: randsync submit <addr> <job> [--timeout-s S] [key=value ...]");
         return ExitCode::FAILURE;
     };
     let mut params = Vec::new();
-    for arg in &args[2..] {
+    let mut idle = Some(Client::DEFAULT_IDLE_TIMEOUT);
+    let mut iter = args[2..].iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--timeout-s" {
+            match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(0) => idle = None,
+                Some(s) => idle = Some(std::time::Duration::from_secs(s)),
+                None => {
+                    eprintln!("--timeout-s needs a number of seconds (0 = wait forever)");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
         let Some((key, value)) = arg.split_once('=') else {
             eprintln!("parameters are key=value pairs, got: {arg}");
             return ExitCode::FAILURE;
@@ -1143,7 +1193,7 @@ fn run_submit(args: &[String]) -> ExitCode {
         }
     }
     let params = if params.is_empty() { Json::Null } else { Json::Obj(params) };
-    let mut client = match Client::connect(addr) {
+    let mut client = match Client::connect_with_timeout(addr, idle) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cannot connect to {addr}: {e}");

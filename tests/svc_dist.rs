@@ -1,0 +1,205 @@
+//! Distributed-equivalence integration tests: a coordinator server
+//! whose `valency`/`explore` jobs run their frontier dedup against N
+//! worker servers over loopback TCP must answer **byte-identically**
+//! to a single-node run of the same job, for every N. The workers are
+//! real [`Server`] instances — the `frontier_*` shard frames travel
+//! the same JSONL wire protocol production uses.
+//!
+//! The metrics registry is process-global, so every metric assertion
+//! is a before/after *delta*, never an absolute value.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use randsync::obs::Json;
+use randsync::svc::job::Job;
+use randsync::svc::{Client, Server, ServerConfig};
+
+/// Start an in-process server on an ephemeral loopback port.
+fn start_server(config: ServerConfig) -> (std::net::SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+/// What a single node must answer for `(kind, params)`: the direct
+/// library call through the same job code, rendered. The direct call
+/// runs with no frontier transport configured, so any divergence in
+/// the distributed path shows up as a byte difference.
+fn direct(kind: &str, params: &Json) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(3600);
+    Job::parse(kind, params).expect("valid job").execute(deadline).expect("job runs")
+}
+
+fn obj(fields: &[(&str, Json)]) -> Json {
+    Json::Obj(fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect())
+}
+
+/// Render a result with the one backing-dependent diagnostic removed.
+/// `resident_arena_bytes` truthfully reports *local* residency, and in
+/// shared-frontier mode the seen-map overhead lives on the workers —
+/// the same convention the spill tier already follows. Every verdict,
+/// count, witness, and total must still match byte for byte.
+fn normalized(result: &Json) -> String {
+    match result {
+        Json::Obj(fields) => Json::Obj(
+            fields.iter().filter(|(k, _)| k != "resident_arena_bytes").cloned().collect(),
+        )
+        .render(),
+        other => other.render(),
+    }
+}
+
+/// The deterministic job mix every ensemble size must agree on:
+/// valency envelopes and full explorations, raw and canonical,
+/// sequential and multi-threaded expansion.
+fn job_mix() -> Vec<(&'static str, Json)> {
+    vec![
+        ("valency", obj(&[("protocol", Json::Str("cas".to_string()))])),
+        (
+            "valency",
+            obj(&[
+                ("protocol", Json::Str("swap2".to_string())),
+                ("canonical", Json::Bool(true)),
+            ]),
+        ),
+        ("explore", obj(&[("protocol", Json::Str("naive".to_string()))])),
+        (
+            "explore",
+            obj(&[
+                ("protocol", Json::Str("naive".to_string())),
+                ("threads", Json::Int(2)),
+            ]),
+        ),
+    ]
+}
+
+/// Read one counter out of a `metrics` control-frame snapshot.
+fn counter(snapshot: &Json, name: &str) -> u64 {
+    snapshot.get(name).and_then(Json::as_u64).unwrap_or(0)
+}
+
+#[test]
+fn distributed_frontier_matches_single_node_bit_for_bit() {
+    for n_workers in [1usize, 2, 3] {
+        // N shard servers, then a coordinator pointed at them.
+        let mut workers = Vec::new();
+        let mut worker_addrs = Vec::new();
+        for _ in 0..n_workers {
+            let (addr, handle) = start_server(ServerConfig::default());
+            worker_addrs.push(addr.to_string());
+            workers.push((addr, handle));
+        }
+        let (coord_addr, coord) = start_server(ServerConfig {
+            frontier_workers: worker_addrs,
+            ..ServerConfig::default()
+        });
+
+        let mut client = Client::connect(coord_addr).expect("connect coordinator");
+        let before = client.metrics().expect("metrics");
+        for (kind, params) in job_mix() {
+            let expected = direct(kind, &params);
+            let reply = client.request(kind, &params).expect("request");
+            assert!(reply.ok, "{kind} on {n_workers} workers failed: {}", reply.body.render());
+            assert_eq!(
+                normalized(&reply.body),
+                normalized(&expected),
+                "{kind} over {n_workers} workers diverged from single-node"
+            );
+        }
+        let after = client.metrics().expect("metrics");
+
+        // The equivalence must not be vacuous: the dedup genuinely ran
+        // over the wire. Every BFS level sends the owning shards probe
+        // and insert batches (`svc.frontier.sessions` is a gauge of
+        // *currently open* sessions, so it is back to zero here).
+        let probes =
+            counter(&after, "svc.frontier.probes") - counter(&before, "svc.frontier.probes");
+        let inserts =
+            counter(&after, "svc.frontier.inserts") - counter(&before, "svc.frontier.inserts");
+        assert!(
+            probes >= job_mix().len() as u64,
+            "every job must probe the shards at least once (saw {probes})"
+        );
+        assert!(inserts > 0, "interned keys must travel to the shards (saw {inserts})");
+
+        client.shutdown().expect("shutdown coordinator");
+        coord.join().expect("coordinator drains");
+        for (addr, handle) in workers {
+            Client::connect(addr).expect("connect worker").shutdown().expect("shutdown worker");
+            handle.join().expect("worker drains");
+        }
+    }
+}
+
+#[test]
+fn distributed_valency_is_cached_like_local_valency() {
+    // ExecContext is deliberately not part of the results-cache key:
+    // the transport changes where the seen-set lives, never the
+    // answer. Two identical requests hit the cache even though each
+    // miss would open fresh shard sessions.
+    let (worker_addr, worker) = start_server(ServerConfig::default());
+    let (coord_addr, coord) = start_server(ServerConfig {
+        frontier_workers: vec![worker_addr.to_string()],
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(coord_addr).expect("connect");
+    let params = obj(&[("protocol", Json::Str("cas".to_string()))]);
+
+    let before = client.metrics().expect("metrics");
+    let first = client.request("valency", &params).expect("request");
+    assert!(first.ok, "{}", first.body.render());
+    let second = client.request("valency", &params).expect("request");
+    let after = client.metrics().expect("metrics");
+
+    assert_eq!(first.body.render(), second.body.render());
+    let hits = counter(&after, "svc.cache.hits") - counter(&before, "svc.cache.hits");
+    assert!(hits >= 1, "the repeat must be served from the cache (saw {hits} hits)");
+
+    client.shutdown().expect("shutdown coordinator");
+    coord.join().expect("coordinator drains");
+    Client::connect(worker_addr).expect("connect worker").shutdown().expect("shutdown");
+    worker.join().expect("worker drains");
+}
+
+#[test]
+fn unreachable_frontier_workers_fail_the_job_cleanly() {
+    // An address that refuses connections: bind, snapshot, drop.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let (addr, server) = start_server(ServerConfig {
+        frontier_workers: vec![dead],
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Transport-backed jobs fail with a diagnostic, not a hang or a
+    // silent fall-back to a local answer.
+    let reply = client
+        .request("valency", &obj(&[("protocol", Json::Str("cas".to_string()))]))
+        .expect("request");
+    assert!(!reply.ok, "a dead shard must fail the job");
+    assert_eq!(reply.error_code(), Some("job_failed"));
+    let msg = reply.body.get("message").and_then(Json::as_str).unwrap_or("");
+    assert!(msg.contains("frontier"), "diagnostic names the frontier: {msg}");
+
+    // Jobs that never touch the frontier seam are unaffected.
+    let mc = client
+        .request(
+            "monte_carlo",
+            &obj(&[
+                ("protocol", Json::Str("cas".to_string())),
+                ("trials", Json::Int(20)),
+                ("seed", Json::Int(3)),
+                ("max_steps", Json::Int(1000)),
+            ]),
+        )
+        .expect("request");
+    assert!(mc.ok, "{}", mc.body.render());
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server drains");
+}
