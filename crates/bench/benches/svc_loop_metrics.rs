@@ -1,0 +1,59 @@
+//! S13b — the event loop's observability tax: the server times frame
+//! decode, dispatch, and flush into `svc.loop.*` histograms, each site
+//! guarded by one relaxed `metrics_enabled()` load. `disabled` must
+//! sit within noise of the bare operation (the load+branch is the
+//! whole cost), and `enabled` bounds what a monitored server pays per
+//! frame: two `Instant::now()` reads and one lock-free histogram
+//! observe.
+
+use std::time::Instant;
+
+use criterion::{Criterion, Throughput};
+use randsync_bench::banner;
+use randsync_svc::Request;
+
+/// A representative request frame: the job submission shape the loop
+/// decodes all day under load.
+const LINE: &str =
+    "{\"id\": 7, \"job\": \"valency\", \"params\": {\"protocol\": \"cas\", \"threads\": 2}}";
+
+fn main() {
+    banner(
+        "S13b",
+        "event-loop instrumentation cost",
+        "frame decode -> dispatch latency histograms must be free when metrics are off; \
+         `disabled` is the relaxed load+branch, `enabled` adds two clock reads + one observe",
+    );
+
+    let mut c = Criterion::default().configure_from_args();
+
+    let decode_us = randsync_obs::global_metrics().histogram("svc.loop.decode_us");
+
+    // The bare operation, no instrumentation at all: the floor the
+    // `disabled` variant must not drift from.
+    let mut group = c.benchmark_group("ops_svc_loop_metrics");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("decode/bare", |b| {
+        b.iter(|| std::hint::black_box(Request::parse(LINE)))
+    });
+
+    // The loop's exact decode instrumentation pattern, toggled the
+    // same way `ops_bridged_metrics` toggles the bridge.
+    let timed_decode = || {
+        let instrumented = randsync_obs::metrics_enabled();
+        let started = if instrumented { Some(Instant::now()) } else { None };
+        let parsed = std::hint::black_box(Request::parse(LINE));
+        if let Some(started) = started {
+            decode_us.observe(started.elapsed().as_micros() as u64);
+        }
+        parsed
+    };
+    randsync_obs::set_metrics_enabled(false);
+    group.bench_function("decode/disabled", |b| b.iter(timed_decode));
+    randsync_obs::set_metrics_enabled(true);
+    group.bench_function("decode/enabled", |b| b.iter(timed_decode));
+    randsync_obs::set_metrics_enabled(false);
+    group.finish();
+
+    c.final_summary();
+}

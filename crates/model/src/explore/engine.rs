@@ -820,6 +820,14 @@ where
     let max_configs = config.limits.max_configs;
     let max_depth = config.limits.max_depth;
     let metrics = EngineMetrics::resolve();
+    // One span over the whole level loop, so the per-level
+    // `explore.level` events (and any frontier RPC spans under a
+    // distributed dedup) hang off a single node in the trace tree.
+    let _search_span = if randsync_obs::tracing_active() {
+        Some(randsync_obs::span("explore.search", &[]))
+    } else {
+        None
+    };
 
     while !frontier.is_empty() && g.hit.is_none() {
         if level_depth >= max_depth {

@@ -27,15 +27,19 @@
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod spantree;
 pub mod trace;
 
 pub use flight::{ExecutionTrace, TraceError, TRACE_SCHEMA_VERSION};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{
-    global as global_metrics, metrics_enabled, set_metrics_enabled, Counter, Gauge, Histogram,
-    MetricValue, MetricsRegistry, Snapshot,
+    global as global_metrics, metrics_enabled, quantile_from_buckets, set_metrics_enabled,
+    Counter, Gauge, Histogram, MetricValue, MetricsRegistry, Snapshot,
 };
+pub use spantree::{merge as merge_spans, SpanForest, SpanRec, TraceTree};
 pub use trace::{
-    clear_trace_sink, emit, install_trace_sink, now_micros, span, tracing_active, Field,
-    JsonlSink, RingSink, Span, TraceSink,
+    clear_trace_sink, current_context, emit, flush_trace_sink, fresh_id, install_trace_sink,
+    now_micros,
+    push_context, span, tracing_active, wall_micros, ContextGuard, FanoutSink, Field, JsonlSink,
+    RingSink, Span, TraceContext, TraceSink,
 };

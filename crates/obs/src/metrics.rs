@@ -128,6 +128,63 @@ impl Histogram {
     pub fn max(&self) -> u64 {
         self.0.max.load(Ordering::Relaxed)
     }
+
+    /// Estimate the `p`-quantile (`0.0..=1.0`) of recorded samples by
+    /// linear interpolation inside the power-of-two bucket containing
+    /// the target rank. Returns 0 when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let buckets: Vec<(u64, u64)> = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let le = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                Some((le, n))
+            })
+            .collect();
+        quantile_from_buckets(&buckets, self.max(), p)
+    }
+}
+
+/// Bucket lower bound for an inclusive power-of-two upper bound.
+fn bucket_lower_bound(upper: u64) -> u64 {
+    if upper == 0 {
+        0
+    } else {
+        (upper >> 1) + 1
+    }
+}
+
+/// The `p`-quantile of a power-of-two-bucket histogram given its
+/// `(inclusive upper bound, count)` pairs (ascending) and the largest
+/// recorded sample, by linear interpolation within the target bucket.
+/// The result is clamped to `max` so sparse top buckets cannot report
+/// a value beyond anything actually observed.
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], max: u64, p: f64) -> u64 {
+    let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return 0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let target = ((p * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for &(upper, n) in buckets {
+        if cum + n >= target {
+            let lo = bucket_lower_bound(upper);
+            let hi = if max > 0 { upper.min(max) } else { upper };
+            let hi = hi.max(lo);
+            let into = (target - cum) as f64 / n as f64;
+            let value = lo as f64 + into * (hi - lo) as f64;
+            return value.round() as u64;
+        }
+        cum += n;
+    }
+    max
 }
 
 /// One registered metric.
@@ -159,6 +216,19 @@ pub enum MetricValue {
     },
 }
 
+impl MetricValue {
+    /// For histograms, the estimated `p`-quantile
+    /// ([`quantile_from_buckets`]); `None` for counters and gauges.
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        match self {
+            MetricValue::Histogram { max, buckets, .. } => {
+                Some(quantile_from_buckets(buckets, *max, p))
+            }
+            _ => None,
+        }
+    }
+}
+
 /// A sorted point-in-time capture of every metric in a registry.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Snapshot {
@@ -186,6 +256,97 @@ impl Snapshot {
             MetricValue::Gauge(g) => Some(*g),
             _ => None,
         })
+    }
+
+    /// The value named `name`, whatever its type.
+    pub fn value(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// What happened between `earlier` and `self`: counters and
+    /// histogram counts/sums/buckets are subtracted (saturating, so a
+    /// restarted source degrades to "everything is new"), gauges keep
+    /// their current reading (a gauge *is* a point-in-time value), and
+    /// a histogram's `max` keeps the later lifetime max. Entries only
+    /// present in `earlier` are dropped.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let new_value = match (value, earlier.value(name)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (
+                        MetricValue::Histogram { count, sum, max, buckets },
+                        Some(MetricValue::Histogram {
+                            count: then_count,
+                            buckets: then_buckets,
+                            sum: then_sum,
+                            ..
+                        }),
+                    ) => {
+                        let then_of = |upper: u64| {
+                            then_buckets.iter().find(|(le, _)| *le == upper).map_or(0, |(_, n)| *n)
+                        };
+                        let buckets = buckets
+                            .iter()
+                            .filter_map(|(le, n)| {
+                                let d = n.saturating_sub(then_of(*le));
+                                if d == 0 {
+                                    None
+                                } else {
+                                    Some((*le, d))
+                                }
+                            })
+                            .collect();
+                        MetricValue::Histogram {
+                            count: count.saturating_sub(*then_count),
+                            sum: sum.saturating_sub(*then_sum),
+                            max: *max,
+                            buckets,
+                        }
+                    }
+                    _ => value.clone(),
+                };
+                (name.clone(), new_value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Decode a snapshot previously encoded with [`Snapshot::to_json`]
+    /// (for example one fetched over the wire from a svc `metrics`
+    /// frame). Scalar ints decode as counters when non-negative and
+    /// gauges when negative — the wire format does not distinguish
+    /// them, and rendering/deltas treat both identically.
+    pub fn from_json(json: &Json) -> Option<Snapshot> {
+        let Json::Obj(fields) = json else { return None };
+        let mut entries = Vec::with_capacity(fields.len());
+        for (name, value) in fields {
+            let metric = match value {
+                Json::Int(v) if *v >= 0 => MetricValue::Counter(u64::try_from(*v).ok()?),
+                Json::Int(v) => MetricValue::Gauge(i64::try_from(*v).ok()?),
+                Json::Obj(_) => {
+                    let count = value.get("count")?.as_u64()?;
+                    let sum = value.get("sum")?.as_u64()?;
+                    let max = value.get("max")?.as_u64()?;
+                    let mut buckets = Vec::new();
+                    for pair in value.get("buckets")?.as_arr()? {
+                        let pair = pair.as_arr()?;
+                        if pair.len() != 2 {
+                            return None;
+                        }
+                        buckets.push((pair[0].as_u64()?, pair[1].as_u64()?));
+                    }
+                    MetricValue::Histogram { count, sum, max, buckets }
+                }
+                _ => return None,
+            };
+            entries.push((name.clone(), metric));
+        }
+        Some(Snapshot { entries })
     }
 
     /// Encode as a JSON object keyed by metric name.
@@ -236,9 +397,16 @@ impl Snapshot {
                 MetricValue::Gauge(g) => {
                     let _ = writeln!(out, "{g}");
                 }
-                MetricValue::Histogram { count, sum, max, .. } => {
+                MetricValue::Histogram { count, sum, max, buckets } => {
                     let mean = if *count == 0 { 0.0 } else { *sum as f64 / *count as f64 };
-                    let _ = writeln!(out, "count={count} sum={sum} max={max} mean={mean:.1}");
+                    let p50 = quantile_from_buckets(buckets, *max, 0.50);
+                    let p90 = quantile_from_buckets(buckets, *max, 0.90);
+                    let p99 = quantile_from_buckets(buckets, *max, 0.99);
+                    let _ = writeln!(
+                        out,
+                        "count={count} sum={sum} max={max} mean={mean:.1} \
+                         p50={p50} p90={p90} p99={p99}"
+                    );
                 }
             }
         }
@@ -436,6 +604,96 @@ mod tests {
         let text = snap.to_text();
         assert!(text.contains("n.ops"), "{text}");
         assert!(text.contains("count=1"), "{text}");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q.us");
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Exact values are bucket interpolations, so assert envelopes:
+        // the p-quantile of 1..=100 is ~p*100 and each estimate must
+        // land within the true value's bucket neighborhood.
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        assert!((32..=64).contains(&p50), "p50={p50}");
+        assert!((64..=100).contains(&p90), "p90={p90}");
+        assert!((90..=100).contains(&p99), "p99={p99}");
+        assert!(p50 <= p90 && p90 <= p99, "quantiles are monotone");
+        assert_eq!(h.quantile(1.0), 100, "p100 is the max");
+        assert_eq!(reg.histogram("q.empty").quantile(0.99), 0, "empty histogram");
+        // The snapshot-side estimator agrees with the handle-side one.
+        let snap = reg.snapshot();
+        assert_eq!(snap.value("q.us").and_then(|v| v.quantile(0.99)), Some(p99));
+    }
+
+    #[test]
+    fn quantile_is_clamped_to_observed_max() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q.sparse");
+        h.observe(1025); // bucket upper bound 2047
+        assert_eq!(h.quantile(0.99), 1025, "never reports beyond the observed max");
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_histograms() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("d.ops");
+        let g = reg.gauge("d.depth");
+        let h = reg.histogram("d.us");
+        c.add(5);
+        g.set(3);
+        h.observe(10);
+        let before = reg.snapshot();
+        c.add(7);
+        g.set(11);
+        h.observe(10);
+        h.observe(3000);
+        let after = reg.snapshot();
+        let delta = after.delta(&before);
+        assert_eq!(delta.counter("d.ops"), Some(7));
+        assert_eq!(delta.gauge("d.depth"), Some(11), "gauges keep the current reading");
+        let Some(MetricValue::Histogram { count, sum, buckets, .. }) = delta.value("d.us") else {
+            panic!("histogram survives the delta");
+        };
+        assert_eq!(*count, 2);
+        assert_eq!(*sum, 3010);
+        assert_eq!(buckets, &vec![(15, 1), (4095, 1)]);
+        // A metric only present in `earlier` disappears from the delta.
+        assert!(before.delta(&after).counter("d.ops") == Some(0));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("r.ops").add(9);
+        reg.gauge("r.neg").set(-4);
+        reg.histogram("r.us").observe(100);
+        let snap = reg.snapshot();
+        let decoded = Snapshot::from_json(&snap.to_json()).expect("decodes");
+        assert_eq!(decoded.counter("r.ops"), Some(9));
+        assert_eq!(decoded.gauge("r.neg"), Some(-4));
+        assert_eq!(
+            decoded.value("r.us").and_then(|v| v.quantile(0.5)),
+            snap.value("r.us").and_then(|v| v.quantile(0.5))
+        );
+        assert!(Snapshot::from_json(&Json::Arr(vec![])).is_none(), "non-object is rejected");
+    }
+
+    #[test]
+    fn text_rendering_includes_quantile_columns() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t.us");
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let text = reg.snapshot().to_text();
+        assert!(text.contains("p50="), "{text}");
+        assert!(text.contains("p90="), "{text}");
+        assert!(text.contains("p99="), "{text}");
     }
 
     #[test]

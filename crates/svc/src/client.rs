@@ -102,13 +102,17 @@ impl Client {
         Ok(id)
     }
 
-    /// Send one request frame with a caller-chosen id.
+    /// Send one request frame with a caller-chosen id. If the calling
+    /// thread has a current [`randsync_obs::TraceContext`] (an open
+    /// span or an installed root), it rides along on the frame so the
+    /// server's spans join the caller's causal tree.
     ///
     /// # Errors
     ///
     /// Propagates write failures.
     pub fn send_with_id(&mut self, id: &Json, job: &str, params: &Json) -> std::io::Result<()> {
-        let line = Request::render(id, job, params);
+        let trace = randsync_obs::current_context().map(|ctx| (ctx.trace_id, ctx.span_id));
+        let line = Request::render_traced(id, job, params, trace);
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()

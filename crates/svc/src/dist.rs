@@ -39,6 +39,7 @@
 use std::collections::HashMap;
 use std::net::ToSocketAddrs;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use randsync_model::{FrontierTransport, LocalFrontier, TransportError};
 use randsync_obs::Json;
@@ -76,7 +77,18 @@ struct Sessions {
 
 impl FrontierSessions {
     /// Answer one `frontier_*` request with a complete response frame.
+    /// When the frame carries a trace context and a sink is installed,
+    /// the work runs under a span in the *coordinator's* causal tree —
+    /// this is how a stalled shard becomes visible from outside.
     pub(crate) fn handle(&self, req: &Request) -> String {
+        let _ctx = req
+            .trace
+            .map(|(t, s)| randsync_obs::push_context(randsync_obs::TraceContext::remote(t, s)));
+        let _span = if randsync_obs::tracing_active() {
+            Some(randsync_obs::span(&req.job, &[]))
+        } else {
+            None
+        };
         match self.dispatch(req) {
             Ok(result) => ok_frame(&req.id, &req.job, result),
             Err(message) => error_frame(&req.id, code::BAD_REQUEST, &message),
@@ -207,6 +219,55 @@ impl Shard {
     }
 }
 
+/// Hoisted metric handles for the coordinator side. Every update
+/// guards on [`randsync_obs::metrics_enabled`], so disabled cost on
+/// the RPC path is one relaxed load + branch.
+#[derive(Debug)]
+struct DistMetrics {
+    /// Per-RPC `frontier_probe` round-trip latency.
+    probe_us: randsync_obs::Histogram,
+    /// Per-RPC `frontier_insert` round-trip latency.
+    insert_us: randsync_obs::Histogram,
+    /// Keys per wire frame (chunking granularity actually seen).
+    chunk_keys: randsync_obs::Histogram,
+    /// Exchange rounds measured for slowest-shard attribution.
+    rounds: randsync_obs::Counter,
+    /// `svc.dist.slowest.shard<k>`: rounds in which shard `k` was the
+    /// slowest — per-BFS-level stall attribution.
+    slowest: Vec<randsync_obs::Counter>,
+}
+
+impl DistMetrics {
+    fn new(shard_count: usize) -> DistMetrics {
+        let m = randsync_obs::global_metrics();
+        DistMetrics {
+            probe_us: m.histogram("svc.dist.probe_us"),
+            insert_us: m.histogram("svc.dist.insert_us"),
+            chunk_keys: m.histogram("svc.dist.chunk_keys"),
+            rounds: m.counter("svc.dist.rounds"),
+            slowest: (0..shard_count)
+                .map(|k| m.counter(&format!("svc.dist.slowest.shard{k}")))
+                .collect(),
+        }
+    }
+
+    /// Credit the slowest shard of one exchange round.
+    fn attribute_round(&self, per_shard_us: &[u64]) {
+        let Some((k, total)) =
+            per_shard_us.iter().enumerate().max_by_key(|&(_, &us)| us)
+        else {
+            return;
+        };
+        if *total == 0 {
+            return;
+        }
+        self.rounds.inc();
+        if let Some(c) = self.slowest.get(k) {
+            c.inc();
+        }
+    }
+}
+
 /// A [`FrontierTransport`] that shards the seen-set across N server
 /// processes by fingerprint range — see the module docs for the
 /// protocol and the bit-identity argument.
@@ -214,6 +275,7 @@ impl Shard {
 pub struct DistributedFrontier {
     shards: Vec<Shard>,
     stride: usize,
+    metrics: DistMetrics,
 }
 
 impl DistributedFrontier {
@@ -240,7 +302,8 @@ impl DistributedFrontier {
                 session: None,
             });
         }
-        Ok(DistributedFrontier { shards, stride: 0 })
+        let metrics = DistMetrics::new(shards.len());
+        Ok(DistributedFrontier { shards, stride: 0, metrics })
     }
 
     /// Number of shard connections.
@@ -326,6 +389,8 @@ impl FrontierTransport for DistributedFrontier {
             return Err(TransportError::new("malformed probe batch"));
         }
         let ranges = self.split_ranges(hashes);
+        let instrumented = randsync_obs::metrics_enabled();
+        let mut per_shard_us = vec![0u64; self.shards.len()];
         let mut found = Vec::with_capacity(hashes.len());
         for (k, range) in ranges.into_iter().enumerate() {
             let shard = &mut self.shards[k];
@@ -348,7 +413,14 @@ impl FrontierTransport for DistributedFrontier {
                         ),
                     ),
                 ]);
+                let rpc_started = if instrumented { Some(Instant::now()) } else { None };
                 let body = shard.request("frontier_probe", params)?;
+                if let Some(started) = rpc_started {
+                    let us = started.elapsed().as_micros() as u64;
+                    self.metrics.probe_us.observe(us);
+                    self.metrics.chunk_keys.observe((hi - at) as u64);
+                    per_shard_us[k] += us;
+                }
                 let slots = body.get("found").and_then(Json::as_arr).ok_or_else(|| {
                     TransportError::new(format!(
                         "frontier shard {}: malformed probe reply",
@@ -377,6 +449,9 @@ impl FrontierTransport for DistributedFrontier {
                 at = hi;
             }
         }
+        if instrumented {
+            self.metrics.attribute_round(&per_shard_us);
+        }
         Ok(found)
     }
 
@@ -392,6 +467,7 @@ impl FrontierTransport for DistributedFrontier {
             return Err(TransportError::new("malformed insert batch"));
         }
         let ranges = self.split_ranges(hashes);
+        let instrumented = randsync_obs::metrics_enabled();
         for (k, range) in ranges.into_iter().enumerate() {
             let shard = &mut self.shards[k];
             let session = shard.session.ok_or_else(|| {
@@ -417,7 +493,12 @@ impl FrontierTransport for DistributedFrontier {
                         ),
                     ),
                 ]);
+                let rpc_started = if instrumented { Some(Instant::now()) } else { None };
                 shard.request("frontier_insert", params)?;
+                if let Some(started) = rpc_started {
+                    self.metrics.insert_us.observe(started.elapsed().as_micros() as u64);
+                    self.metrics.chunk_keys.observe((hi - at) as u64);
+                }
                 at = hi;
             }
         }
@@ -456,6 +537,7 @@ mod tests {
             id: Json::Int(1),
             job: "frontier_open".to_string(),
             params: parse("{\"stride\": 2}"),
+            trace: None,
         }));
         assert_eq!(open.get("status").and_then(Json::as_str), Some("ok"));
         let sid = open.get("result").unwrap().get("session").and_then(Json::as_u64).unwrap();
@@ -466,6 +548,7 @@ mod tests {
             params: parse(&format!(
                 "{{\"session\": {sid}, \"hashes\": [9], \"indices\": [4], \"words\": [1, 2]}}"
             )),
+            trace: None,
         }));
         assert_eq!(insert.get("status").and_then(Json::as_str), Some("ok"));
 
@@ -475,6 +558,7 @@ mod tests {
             params: parse(&format!(
                 "{{\"session\": {sid}, \"hashes\": [9, 9], \"words\": [1, 2, 3, 4]}}"
             )),
+            trace: None,
         }));
         let found = probe.get("result").unwrap().get("found").and_then(Json::as_arr).unwrap();
         assert_eq!(found, &[Json::Int(4), Json::Null]);
@@ -483,6 +567,7 @@ mod tests {
             id: Json::Int(4),
             job: "frontier_close".to_string(),
             params: parse(&format!("{{\"session\": {sid}}}")),
+            trace: None,
         }));
         assert_eq!(close.get("status").and_then(Json::as_str), Some("ok"));
 
@@ -491,6 +576,7 @@ mod tests {
             id: Json::Int(5),
             job: "frontier_probe".to_string(),
             params: parse(&format!("{{\"session\": {sid}, \"hashes\": [], \"words\": []}}")),
+            trace: None,
         }));
         assert_eq!(stale.get("status").and_then(Json::as_str), Some("error"));
         assert_eq!(
@@ -513,6 +599,7 @@ mod tests {
                 id: Json::Null,
                 job: job.to_string(),
                 params: parse(params),
+                trace: None,
             }));
             assert_eq!(
                 reply.get("status").and_then(Json::as_str),

@@ -196,6 +196,16 @@ pub enum Job {
         /// How long to hold the worker.
         millis: u64,
     },
+    /// Telemetry: stream periodic metrics *deltas* as `svc.watch`
+    /// progress frames. Each tick snapshots the global registry,
+    /// subtracts the previous tick's snapshot, and emits the delta —
+    /// the feed behind `randsync top` and the soak monitor.
+    Watch {
+        /// Milliseconds between ticks.
+        interval_millis: u64,
+        /// How many deltas to emit before completing.
+        ticks: u64,
+    },
 }
 
 fn get_usize(params: &Json, key: &str, default: usize) -> Result<usize, JobError> {
@@ -365,11 +375,24 @@ impl Job {
                 }
                 Ok(Job::Sleep { millis })
             }
+            "watch" => {
+                let interval_millis = get_u64(params, "interval_millis", 500)?;
+                let ticks = get_u64(params, "ticks", 8)?;
+                if interval_millis == 0 || ticks == 0 {
+                    return Err(JobError::bad("watch needs interval_millis >= 1 and ticks >= 1"));
+                }
+                if interval_millis.saturating_mul(ticks) > MAX_SLEEP_MILLIS {
+                    return Err(JobError::bad(format!(
+                        "watch capped at {MAX_SLEEP_MILLIS} ms total (interval_millis * ticks)"
+                    )));
+                }
+                Ok(Job::Watch { interval_millis, ticks })
+            }
             other => Err(JobError {
                 code: code::UNKNOWN_JOB,
                 message: format!(
                     "unknown job {other:?} (valency, explore, resume, run, monte_carlo, \
-                     replay, verify_witness, protocols, sleep)"
+                     replay, verify_witness, protocols, sleep, watch)"
                 ),
             }),
         }
@@ -387,6 +410,7 @@ impl Job {
             Job::VerifyWitness { .. } => "verify_witness",
             Job::Protocols => "protocols",
             Job::Sleep { .. } => "sleep",
+            Job::Watch { .. } => "watch",
         }
     }
 
@@ -396,7 +420,8 @@ impl Job {
     /// payload size), `sleep` (the point is the wait), and
     /// `explore`/`resume` (a wall-clock budget — and hence host speed —
     /// decides whether they truncate, and each run mints a fresh
-    /// checkpoint id).
+    /// checkpoint id), and `watch` (a live feed of the server's own
+    /// metrics — caching it would defeat the point).
     pub fn cacheable(&self) -> bool {
         matches!(
             self,
@@ -489,6 +514,10 @@ impl Job {
             Job::Sleep { millis } => {
                 Json::Obj(vec![("millis".to_string(), Json::Int(i128::from(*millis)))])
             }
+            Job::Watch { interval_millis, ticks } => Json::Obj(vec![
+                ("interval_millis".to_string(), Json::Int(i128::from(*interval_millis))),
+                ("ticks".to_string(), Json::Int(i128::from(*ticks))),
+            ]),
         }
     }
 
@@ -803,6 +832,35 @@ impl Job {
                     "slept_millis".to_string(),
                     Json::Int(i128::from(*millis)),
                 )]))
+            }
+            Job::Watch { interval_millis, ticks } => {
+                let mut prev = randsync_obs::global_metrics().snapshot();
+                for tick in 0..*ticks {
+                    // Sleep in slices so the job budget cancels a
+                    // long watch promptly (same discipline as sleep).
+                    let target = Instant::now() + Duration::from_millis(*interval_millis);
+                    while Instant::now() < target {
+                        if Instant::now() >= deadline {
+                            return Err(JobError::deadline());
+                        }
+                        let left = target - Instant::now();
+                        std::thread::sleep(left.min(Duration::from_millis(25)));
+                    }
+                    let now = randsync_obs::global_metrics().snapshot();
+                    let delta = now.delta(&prev);
+                    randsync_obs::emit(
+                        "svc.watch",
+                        &[
+                            ("tick", tick.into()),
+                            ("delta", delta.to_json().render().into()),
+                        ],
+                    );
+                    prev = now;
+                }
+                Ok(Json::Obj(vec![
+                    ("ticks".to_string(), Json::Int(i128::from(*ticks))),
+                    ("interval_millis".to_string(), Json::Int(i128::from(*interval_millis))),
+                ]))
             }
         }
     }

@@ -27,7 +27,10 @@
 //!   coordinator's explore jobs dedup against N of them with
 //!   bit-identical results;
 //! * [`client`] — a small blocking client ([`Client`]) used by the
-//!   CLI and the loopback tests.
+//!   CLI and the loopback tests;
+//! * [`soak`] — the soak monitor: a mixed-load generator plus a
+//!   threshold catalog ([`ThresholdCatalog`]) that judges leaks, p99
+//!   ceilings, and cache hit rate over a sampled metrics timeline.
 //!
 //! ```no_run
 //! use randsync_svc::{Client, Server, ServerConfig};
@@ -51,6 +54,7 @@ pub mod dist;
 pub mod job;
 pub(crate) mod poll;
 pub mod server;
+pub mod soak;
 pub mod wire;
 
 pub use cache::{checkpoint_store, CheckpointStore, ResultsCache};
@@ -58,4 +62,5 @@ pub use client::{Client, Reply};
 pub use dist::DistributedFrontier;
 pub use job::{ExecContext, Job, JobError};
 pub use server::{Server, ServerConfig};
+pub use soak::{run_soak, SoakConfig, SoakReport, ThresholdCatalog, Violation};
 pub use wire::{Request, WIRE_SCHEMA_VERSION};

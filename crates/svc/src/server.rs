@@ -96,6 +96,11 @@ pub struct ServerConfig {
     /// shards ([`crate::dist::DistributedFrontier`]) instead of
     /// in-process — results stay bit-identical by construction.
     pub frontier_workers: Vec<String>,
+    /// When set, every trace event this process emits is also appended
+    /// to this JSONL file (in addition to progress routing), so
+    /// `randsync trace-tree` can stitch this process into cross-process
+    /// causal trees.
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +113,7 @@ impl Default for ServerConfig {
             checkpoint_dir: None,
             max_conns: 1024,
             frontier_workers: Vec::new(),
+            trace_path: None,
         }
     }
 }
@@ -124,10 +130,13 @@ impl ServerConfig {
 
 /// The worker-to-event-loop outbox: frames keyed by connection id,
 /// plus the datagram self-wake that gets the loop out of its poll.
+/// `depth` counts frames queued but not yet drained, for the
+/// `svc.loop.outbox_depth` gauge.
 #[derive(Clone, Debug)]
 pub(crate) struct FrameSender {
     tx: Sender<(u64, String)>,
     waker: Arc<UdpSocket>,
+    depth: Arc<AtomicUsize>,
 }
 
 impl FrameSender {
@@ -136,6 +145,7 @@ impl FrameSender {
     /// down (matching the old per-connection writer's semantics).
     pub(crate) fn send(&self, conn: u64, frame: String) {
         if self.tx.send((conn, frame)).is_ok() {
+            self.depth.fetch_add(1, Ordering::Relaxed);
             let _ = self.waker.send(&[1]);
         }
     }
@@ -144,11 +154,14 @@ impl FrameSender {
 /// One accepted job traveling from the event loop to a worker. `conn`
 /// names the connection in the loop's table; by the time the response
 /// comes back the connection may be gone, and the frame is dropped.
+/// `trace` is the submitting client's trace context, installed on the
+/// executing worker thread so the job's spans join the caller's tree.
 #[derive(Debug)]
 struct Ticket {
     id: Json,
     job: Job,
     conn: u64,
+    trace: Option<(u64, u64)>,
 }
 
 /// Routes the explorer's per-level trace events, emitted on worker
@@ -179,9 +192,15 @@ impl ProgressRouter {
     }
 }
 
+/// Trace event names the router forwards as progress frames: the
+/// explorer's per-level report and the `watch` job's periodic
+/// metrics-delta ticks. Everything else (span starts/ends, shard
+/// events) stays in the trace pipeline.
+const ROUTED_EVENTS: [&str; 2] = ["explore.level", "svc.watch"];
+
 impl TraceSink for ProgressRouter {
     fn event(&self, name: &str, _timestamp_micros: u64, fields: &[(&str, Field)]) {
-        if name != "explore.level" {
+        if !ROUTED_EVENTS.contains(&name) {
             return;
         }
         let route = {
@@ -202,7 +221,33 @@ impl TraceSink for ProgressRouter {
                 (*k, j)
             })
             .collect();
-        frames.send(conn, progress_frame(&id, "explore.level", &extra));
+        frames.send(conn, progress_frame(&id, name, &extra));
+    }
+}
+
+/// Hoisted handles for the event loop's own instrumentation. Every
+/// update site guards on [`randsync_obs::metrics_enabled`] first, so
+/// with metrics off the per-frame cost is one relaxed load + branch
+/// (the `ops_svc_loop_metrics` bench pins this).
+struct LoopMetrics {
+    wakeups: randsync_obs::Counter,
+    outbox_depth: randsync_obs::Gauge,
+    wbuf_bytes: randsync_obs::Gauge,
+    decode_us: randsync_obs::Histogram,
+    dispatch_us: randsync_obs::Histogram,
+    flush_us: randsync_obs::Histogram,
+}
+
+impl LoopMetrics {
+    fn new(m: &randsync_obs::MetricsRegistry) -> LoopMetrics {
+        LoopMetrics {
+            wakeups: m.counter("svc.loop.wakeups"),
+            outbox_depth: m.gauge("svc.loop.outbox_depth"),
+            wbuf_bytes: m.gauge("svc.loop.wbuf_bytes"),
+            decode_us: m.histogram("svc.loop.decode_us"),
+            dispatch_us: m.histogram("svc.loop.dispatch_us"),
+            flush_us: m.histogram("svc.loop.flush_us"),
+        }
     }
 }
 
@@ -357,7 +402,11 @@ impl Server {
             config,
             state,
             queue_rx: rx,
-            frames: FrameSender { tx: frame_tx, waker: Arc::new(waker_tx) },
+            frames: FrameSender {
+                tx: frame_tx,
+                waker: Arc::new(waker_tx),
+                depth: Arc::new(AtomicUsize::new(0)),
+            },
             frame_rx,
             waker_rx,
         })
@@ -382,12 +431,22 @@ impl Server {
     /// per-connection errors are tolerated).
     pub fn run(self) -> std::io::Result<()> {
         randsync_obs::set_metrics_enabled(true);
-        randsync_obs::install_trace_sink(ProgressRouter::global().clone());
+        let router: Arc<dyn TraceSink> = ProgressRouter::global().clone();
+        match &self.config.trace_path {
+            Some(path) => {
+                let jsonl: Arc<dyn TraceSink> = Arc::new(randsync_obs::JsonlSink::create(path)?);
+                randsync_obs::install_trace_sink(Arc::new(randsync_obs::FanoutSink::new(vec![
+                    router, jsonl,
+                ])));
+            }
+            None => randsync_obs::install_trace_sink(router),
+        }
         self.listener.set_nonblocking(true)?;
 
         let workers = self.config.effective_workers().max(1);
         let m = randsync_obs::global_metrics();
         m.gauge("svc.workers").set(workers as i64);
+        let lm = LoopMetrics::new(m);
         let rx = Arc::new(Mutex::new(self.queue_rx));
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -403,6 +462,9 @@ impl Server {
         let mut drain_flush_since: Option<Instant> = None;
 
         loop {
+            if randsync_obs::metrics_enabled() {
+                lm.wakeups.inc();
+            }
             let draining = self.state.shutting_down.load(Ordering::SeqCst);
             // Worker liveness is sampled BEFORE the outbox drain: a
             // worker's frames are sent before its thread returns, so
@@ -419,9 +481,13 @@ impl Server {
             let mut wake = [0u8; 16];
             while self.waker_rx.recv(&mut wake).is_ok() {}
             while let Ok((cid, frame)) = self.frame_rx.try_recv() {
+                self.frames.depth.fetch_sub(1, Ordering::Relaxed);
                 if let Some(conn) = conns.get_mut(&cid) {
                     conn.push_frame(&frame);
                 }
+            }
+            if randsync_obs::metrics_enabled() {
+                lm.outbox_depth.set(self.frames.depth.load(Ordering::Relaxed) as i64);
             }
 
             // Accept — folded into the readiness loop; over the cap,
@@ -505,7 +571,7 @@ impl Server {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    handle_line(&self.state, cid, line, &mut out);
+                    handle_line(&self.state, cid, line, &mut out, &lm);
                 }
                 for frame in &out {
                     conn.push_frame(frame);
@@ -514,14 +580,27 @@ impl Server {
 
             // Writes: flush whatever each socket accepts; drop dead
             // connections and completed `closing` ones.
+            let mut buffered_bytes = 0i64;
             conns.retain(|_, conn| {
                 conn.writable = false;
-                if !conn.flushed() && conn.try_flush().is_err() {
-                    return false;
+                if !conn.flushed() {
+                    let flush_started =
+                        if randsync_obs::metrics_enabled() { Some(Instant::now()) } else { None };
+                    let ok = conn.try_flush().is_ok();
+                    if let Some(started) = flush_started {
+                        lm.flush_us.observe(started.elapsed().as_micros() as u64);
+                    }
+                    if !ok {
+                        return false;
+                    }
                 }
+                buffered_bytes += (conn.wbuf.len() - conn.wpos) as i64;
                 !(conn.closing && conn.flushed())
             });
             m.gauge("svc.conns.open").set(conns.len() as i64);
+            if randsync_obs::metrics_enabled() {
+                lm.wbuf_bytes.set(buffered_bytes);
+            }
 
             if draining && workers_done {
                 let flushed = conns.values().all(Conn::flushed);
@@ -566,21 +645,48 @@ impl Server {
         for handle in handles {
             let _ = handle.join();
         }
+        // The sink lives in a process-global slot that is never
+        // dropped, so a buffered JSONL trace file would lose its tail
+        // without this explicit flush. Flush-in-place, not clear: other
+        // in-process servers (loopback tests) share the slot.
+        randsync_obs::flush_trace_sink();
         Ok(())
     }
 }
 
 /// Dispatch one request line: control frames, frontier shard frames,
 /// and rejections are answered inline (frames pushed to `out`); jobs
-/// go to the queue.
-fn handle_line(state: &Arc<ServerState>, conn_id: u64, line: &str, out: &mut Vec<String>) {
-    let req = match Request::parse(line) {
+/// go to the queue. Decode and dispatch latency feed the
+/// `svc.loop.decode_us` / `svc.loop.dispatch_us` histograms.
+fn handle_line(
+    state: &Arc<ServerState>,
+    conn_id: u64,
+    line: &str,
+    out: &mut Vec<String>,
+    lm: &LoopMetrics,
+) {
+    let instrumented = randsync_obs::metrics_enabled();
+    let decode_started = if instrumented { Some(Instant::now()) } else { None };
+    let parsed = Request::parse(line);
+    if let Some(started) = decode_started {
+        lm.decode_us.observe(started.elapsed().as_micros() as u64);
+    }
+    let req = match parsed {
         Ok(req) => req,
         Err(message) => {
             out.push(error_frame(&Json::Null, code::BAD_REQUEST, &message));
             return;
         }
     };
+    let dispatch_started = if instrumented { Some(Instant::now()) } else { None };
+    dispatch_request(state, conn_id, req, out);
+    if let Some(started) = dispatch_started {
+        lm.dispatch_us.observe(started.elapsed().as_micros() as u64);
+    }
+}
+
+/// The dispatch half of [`handle_line`], once the frame has decoded.
+fn dispatch_request(state: &Arc<ServerState>, conn_id: u64, req: Request, out: &mut Vec<String>) {
     match req.job.as_str() {
         "metrics" => {
             let snapshot = randsync_obs::global_metrics().snapshot();
@@ -642,7 +748,7 @@ fn submit_job(state: &Arc<ServerState>, conn_id: u64, req: Request, out: &mut Ve
         out.push(error_frame(&req.id, code::SHUTTING_DOWN, "server is draining"));
         return;
     };
-    match tx.try_send(Ticket { id: req.id.clone(), job, conn: conn_id }) {
+    match tx.try_send(Ticket { id: req.id.clone(), job, conn: conn_id, trace: req.trace }) {
         Ok(()) => {
             state.queue_depth.fetch_add(1, Ordering::SeqCst);
             state.set_depth_gauge();
@@ -683,10 +789,17 @@ fn execute_ticket(state: &Arc<ServerState>, ticket: Ticket, frames: &FrameSender
     let router = ProgressRouter::global();
     router.register(ticket.id.clone(), ticket.conn, frames.clone());
     let started = Instant::now();
+    // Rehydrate the submitting client's trace context on this worker
+    // thread: the svc.job span (and every span under it, including
+    // remote frontier RPCs) stitches into the caller's causal tree.
+    let ctx_guard = ticket
+        .trace
+        .map(|(t, s)| randsync_obs::push_context(randsync_obs::TraceContext::remote(t, s)));
     let span = randsync_obs::span("svc.job", &[("kind", Field::Str(kind.to_string()))]);
     let ctx = ExecContext { frontier_workers: state.frontier_workers.clone() };
     let outcome = ticket.job.execute_ctx(started + state.job_budget, &ctx);
     drop(span);
+    drop(ctx_guard);
     router.deregister();
     m.histogram(&format!("svc.job.micros.{kind}")).observe(started.elapsed().as_micros() as u64);
     match outcome {

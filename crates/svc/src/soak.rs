@@ -1,0 +1,597 @@
+//! Soak testing: drive a server with a mixed job load at the
+//! backpressure boundary while sampling its metrics, then judge the
+//! run against a machine-readable threshold catalog.
+//!
+//! The monitor looks for three failure shapes (DESIGN.md §17):
+//!
+//! * **leaks** — a gauge from the catalog's `leak_gauges` list that
+//!   grows strictly monotonically across the sampled timeline (a
+//!   stable service's queue depths and buffer gauges oscillate; only
+//!   a leak climbs without ever stepping back);
+//! * **latency** — a `svc.job.micros.*` histogram whose p99 over the
+//!   soak window (computed from the snapshot *delta*, so earlier
+//!   history cannot mask a regression) exceeds its catalog ceiling;
+//! * **starvation** — a results-cache hit rate over the window below
+//!   the catalog floor, which on this workload (repeated cacheable
+//!   jobs) means the cache is thrashing or sized out.
+//!
+//! `randsync soak <addr>` wraps [`run_soak`] and exits nonzero when
+//! [`SoakReport::passed`] is false, so CI can gate on it directly.
+
+use std::io;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use randsync_obs::{Json, MetricValue, Snapshot};
+
+use crate::client::Client;
+use crate::wire::code;
+
+/// Machine-readable soak thresholds. Serialized as JSON so operators
+/// can keep per-deployment catalogs in version control and CI can
+/// tighten them independently of the binary.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ThresholdCatalog {
+    /// Catalog format version (see [`ThresholdCatalog::SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Ceiling applied to any `svc.job.micros.*` histogram without a
+    /// per-name override, in microseconds.
+    pub default_p99_ceiling_us: u64,
+    /// Per-histogram p99 ceilings, full metric name → microseconds.
+    pub p99_ceiling_us: Vec<(String, u64)>,
+    /// Minimum acceptable `hits / (hits + misses)` over the soak
+    /// window, in `[0, 1]`. Only enforced when the window saw lookups.
+    pub cache_hit_rate_floor: f64,
+    /// Gauges that must not grow strictly monotonically over the run.
+    pub leak_gauges: Vec<String>,
+}
+
+impl ThresholdCatalog {
+    /// The catalog format version this build writes and reads.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// The baked-in defaults used when no catalog file is given: a
+    /// generous 2 s default p99 (sleep-heavy mixes stay under it), a
+    /// tighter ceiling for the cheap cacheable jobs the soak loop
+    /// repeats, a 0.5 hit-rate floor, and the event-loop gauges that
+    /// only a leak could drive monotonically upward.
+    pub fn baked() -> ThresholdCatalog {
+        ThresholdCatalog {
+            schema_version: Self::SCHEMA_VERSION,
+            default_p99_ceiling_us: 2_000_000,
+            p99_ceiling_us: vec![("svc.job.micros.protocols".to_string(), 250_000)],
+            cache_hit_rate_floor: 0.5,
+            leak_gauges: vec![
+                "svc.loop.outbox_depth".to_string(),
+                "svc.loop.wbuf_bytes".to_string(),
+                "svc.queue.depth".to_string(),
+                "svc.frontier.sessions".to_string(),
+            ],
+        }
+    }
+
+    /// The ceiling for one histogram: the per-name override when
+    /// present, the default otherwise.
+    pub fn ceiling_for(&self, name: &str) -> u64 {
+        self.p99_ceiling_us
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(self.default_p99_ceiling_us, |(_, c)| *c)
+    }
+
+    /// Parse a catalog from its JSON encoding. Missing fields fall
+    /// back to the baked defaults so a catalog file may override just
+    /// one threshold.
+    ///
+    /// # Errors
+    ///
+    /// A string diagnostic when the value is not an object, the
+    /// schema version is newer than this build, or a field has the
+    /// wrong shape.
+    pub fn from_json(v: &Json) -> Result<ThresholdCatalog, String> {
+        let Json::Obj(_) = v else {
+            return Err("threshold catalog must be a JSON object".to_string());
+        };
+        let mut cat = ThresholdCatalog::baked();
+        if let Some(ver) = v.get("schema_version") {
+            let ver = ver.as_u64().ok_or("schema_version must be an integer")?;
+            if ver > u64::from(Self::SCHEMA_VERSION) {
+                return Err(format!(
+                    "catalog schema_version {ver} is newer than supported {}",
+                    Self::SCHEMA_VERSION
+                ));
+            }
+            cat.schema_version = ver as u32;
+        }
+        if let Some(d) = v.get("default_p99_ceiling_us") {
+            cat.default_p99_ceiling_us =
+                d.as_u64().ok_or("default_p99_ceiling_us must be an integer")?;
+        }
+        if let Some(Json::Obj(fields)) = v.get("p99_ceiling_us") {
+            cat.p99_ceiling_us = fields
+                .iter()
+                .map(|(name, c)| {
+                    c.as_u64()
+                        .map(|c| (name.clone(), c))
+                        .ok_or_else(|| format!("p99_ceiling_us[{name:?}] must be an integer"))
+                })
+                .collect::<Result<_, _>>()?;
+        } else if v.get("p99_ceiling_us").is_some() {
+            return Err("p99_ceiling_us must be an object of name -> micros".to_string());
+        }
+        if let Some(f) = v.get("cache_hit_rate_floor") {
+            cat.cache_hit_rate_floor = match f {
+                Json::Float(x) if (0.0..=1.0).contains(x) => *x,
+                Json::Int(0) => 0.0,
+                Json::Int(1) => 1.0,
+                _ => return Err("cache_hit_rate_floor must be a number in [0, 1]".to_string()),
+            };
+        }
+        if let Some(g) = v.get("leak_gauges") {
+            let arr = g.as_arr().ok_or("leak_gauges must be an array of strings")?;
+            cat.leak_gauges = arr
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect::<Option<_>>()
+                .ok_or("leak_gauges must be an array of strings")?;
+        }
+        Ok(cat)
+    }
+
+    /// Encode as JSON (the format [`ThresholdCatalog::from_json`]
+    /// reads).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::Int(i128::from(self.schema_version))),
+            (
+                "default_p99_ceiling_us".to_string(),
+                Json::Int(i128::from(self.default_p99_ceiling_us)),
+            ),
+            (
+                "p99_ceiling_us".to_string(),
+                Json::Obj(
+                    self.p99_ceiling_us
+                        .iter()
+                        .map(|(n, c)| (n.clone(), Json::Int(i128::from(*c))))
+                        .collect(),
+                ),
+            ),
+            ("cache_hit_rate_floor".to_string(), Json::Float(self.cache_hit_rate_floor)),
+            (
+                "leak_gauges".to_string(),
+                Json::Arr(self.leak_gauges.iter().map(|g| Json::Str(g.clone())).collect()),
+            ),
+        ])
+    }
+}
+
+/// How to drive the load loop.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SoakConfig {
+    /// How long to keep submitting jobs.
+    pub duration: Duration,
+    /// Pipelined requests kept in flight; pushing past the server's
+    /// queue bound is intended — `overloaded` rejections are counted,
+    /// not fatal, because the boundary is exactly what a soak must
+    /// exercise.
+    pub inflight: usize,
+    /// Metrics sampling cadence for the leak timeline.
+    pub sample_interval: Duration,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            duration: Duration::from_secs(5),
+            inflight: 16,
+            sample_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+/// One threshold breach, as a stable machine-checkable record.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Violation {
+    /// `leak`, `p99`, or `cache_hit_rate`.
+    pub kind: &'static str,
+    /// The metric that breached.
+    pub metric: String,
+    /// Human-readable explanation with observed vs threshold values.
+    pub detail: String,
+}
+
+/// The outcome of one soak run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SoakReport {
+    /// Jobs that completed with an `ok` frame.
+    pub jobs_ok: u64,
+    /// Jobs the server rejected with `overloaded` (expected at the
+    /// backpressure boundary; never a violation by itself).
+    pub rejected: u64,
+    /// Jobs that failed with any other error code.
+    pub errors: u64,
+    /// Metrics snapshots sampled over the run, oldest first.
+    pub samples: Vec<Snapshot>,
+    /// What happened between the first and last sample.
+    pub window: Snapshot,
+    /// Cache hit rate over the window, when the window saw lookups.
+    pub cache_hit_rate: Option<f64>,
+    /// Every threshold breach found.
+    pub violations: Vec<Violation>,
+}
+
+impl SoakReport {
+    /// True when no threshold was breached.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render the verdict for terminals: the load summary, the window
+    /// p99s the thresholds were judged against, and one line per
+    /// violation.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "soak: {} ok, {} overloaded, {} errors, {} samples",
+            self.jobs_ok,
+            self.rejected,
+            self.errors,
+            self.samples.len()
+        );
+        for (name, value) in &self.window.entries {
+            if !name.starts_with("svc.job.micros.") {
+                continue;
+            }
+            if let (Some(p50), Some(p99)) = (value.quantile(0.50), value.quantile(0.99)) {
+                let _ = writeln!(out, "  {name}: p50={p50}us p99={p99}us");
+            }
+        }
+        match self.cache_hit_rate {
+            Some(rate) => {
+                let _ = writeln!(out, "  cache hit rate: {rate:.3}");
+            }
+            None => {
+                let _ = writeln!(out, "  cache hit rate: no lookups in window");
+            }
+        }
+        if self.passed() {
+            let _ = writeln!(out, "PASS");
+        } else {
+            for v in &self.violations {
+                let _ = writeln!(out, "FAIL [{}] {}: {}", v.kind, v.metric, v.detail);
+            }
+        }
+        out
+    }
+}
+
+/// A gauge's sampled timeline. The wire encoding does not distinguish
+/// a non-negative gauge from a counter, so samples decoded from
+/// `metrics` frames may carry the gauge as either variant.
+fn gauge_series(samples: &[Snapshot], name: &str) -> Vec<i64> {
+    samples
+        .iter()
+        .filter_map(|s| match s.value(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            Some(MetricValue::Counter(c)) => i64::try_from(*c).ok(),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Strictly monotone growth over the whole timeline — every step up,
+/// none flat or down — is the leak signature. Requires at least three
+/// points so one queue-depth blip cannot fail a run.
+fn is_leaking(series: &[i64]) -> bool {
+    series.len() >= 3 && series.windows(2).all(|w| w[1] > w[0])
+}
+
+/// Judge a finished run against the catalog (pure — unit-testable
+/// without a server).
+pub fn judge(
+    samples: &[Snapshot],
+    window: &Snapshot,
+    catalog: &ThresholdCatalog,
+) -> (Option<f64>, Vec<Violation>) {
+    let mut violations = Vec::new();
+    for gauge in &catalog.leak_gauges {
+        let series = gauge_series(samples, gauge);
+        if is_leaking(&series) {
+            violations.push(Violation {
+                kind: "leak",
+                metric: gauge.clone(),
+                detail: format!(
+                    "grew monotonically {} -> {} over {} samples",
+                    series[0],
+                    series[series.len() - 1],
+                    series.len()
+                ),
+            });
+        }
+    }
+    for (name, value) in &window.entries {
+        if !name.starts_with("svc.job.micros.") {
+            continue;
+        }
+        let MetricValue::Histogram { count, .. } = value else { continue };
+        if *count == 0 {
+            continue;
+        }
+        let Some(p99) = value.quantile(0.99) else { continue };
+        let ceiling = catalog.ceiling_for(name);
+        if p99 > ceiling {
+            violations.push(Violation {
+                kind: "p99",
+                metric: name.clone(),
+                detail: format!("p99 {p99}us exceeds ceiling {ceiling}us ({count} observations)"),
+            });
+        }
+    }
+    let hits = window.counter("svc.cache.hits").unwrap_or(0);
+    let misses = window.counter("svc.cache.misses").unwrap_or(0);
+    let rate = if hits + misses == 0 {
+        None
+    } else {
+        Some(hits as f64 / (hits + misses) as f64)
+    };
+    if let Some(rate) = rate {
+        if rate < catalog.cache_hit_rate_floor {
+            violations.push(Violation {
+                kind: "cache_hit_rate",
+                metric: "svc.cache.hits".to_string(),
+                detail: format!(
+                    "hit rate {rate:.3} below floor {:.3} ({hits} hits / {misses} misses)",
+                    catalog.cache_hit_rate_floor
+                ),
+            });
+        }
+    }
+    (rate, violations)
+}
+
+/// The mixed job cycle the load loop repeats: a cacheable analysis
+/// (drives cache hits after the first), a small randomized sweep, a
+/// short hold, and a registry dump — cheap enough to saturate the
+/// queue, varied enough to light up every job-path histogram.
+fn job_cycle(i: u64) -> (&'static str, Json) {
+    match i % 4 {
+        0 => ("valency", Json::Obj(vec![("protocol".to_string(), Json::Str("cas".to_string()))])),
+        1 => (
+            "monte_carlo",
+            Json::Obj(vec![
+                ("protocol".to_string(), Json::Str("cas".to_string())),
+                ("trials".to_string(), Json::Int(8)),
+                ("max_steps".to_string(), Json::Int(4_000)),
+            ]),
+        ),
+        2 => ("sleep", Json::Obj(vec![("millis".to_string(), Json::Int(2))])),
+        _ => ("protocols", Json::Null),
+    }
+}
+
+/// Drive `addr` with the mixed load for `config.duration` while a
+/// second connection samples metrics every `config.sample_interval`,
+/// then judge the sampled timeline and window delta against
+/// `catalog`.
+///
+/// # Errors
+///
+/// Connection or protocol failures on either connection. Threshold
+/// breaches are *not* errors — they come back in the report so the
+/// caller can render every violation before choosing an exit code.
+pub fn run_soak(
+    addr: &str,
+    config: &SoakConfig,
+    catalog: &ThresholdCatalog,
+) -> io::Result<SoakReport> {
+    // Sampler: its own connection so load backpressure cannot starve
+    // the timeline, handing snapshots back over a channel.
+    let (tx, rx) = mpsc::channel::<Snapshot>();
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let sampler_addr = addr.to_string();
+    let interval = config.sample_interval;
+    let sampler = std::thread::spawn(move || -> io::Result<()> {
+        let mut client = Client::connect(&sampler_addr)?;
+        loop {
+            let json = client.metrics()?;
+            if let Some(snap) = Snapshot::from_json(&json) {
+                if tx.send(snap).is_err() {
+                    return Ok(());
+                }
+            }
+            match stop_rx.recv_timeout(interval) {
+                Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+            }
+        }
+    });
+
+    let mut client = Client::connect(addr)?;
+    let deadline = Instant::now() + config.duration;
+    let mut jobs_ok = 0u64;
+    let mut rejected = 0u64;
+    let mut errors = 0u64;
+    let mut submitted = 0u64;
+    // Pipelined jobs on a parallel worker pool complete out of order,
+    // so replies must be correlated against the whole pending set —
+    // waiting on ids one at a time would discard the final frames of
+    // faster jobs and then block forever on them.
+    let mut pending: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut drain_one = |client: &mut Client,
+                         pending: &mut std::collections::HashSet<String>|
+     -> io::Result<()> {
+        loop {
+            let frame = client.next_frame()?;
+            let Some(id) = frame.get("id") else { continue };
+            let key = id.render();
+            match frame.get("status").and_then(Json::as_str) {
+                Some("ok") if pending.remove(&key) => {
+                    jobs_ok += 1;
+                    return Ok(());
+                }
+                Some("error") if pending.remove(&key) => {
+                    let code = frame
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str);
+                    if code == Some(code::OVERLOADED) {
+                        rejected += 1;
+                    } else {
+                        errors += 1;
+                    }
+                    return Ok(());
+                }
+                _ => {} // progress frames, or frames already settled
+            }
+        }
+    };
+    while Instant::now() < deadline {
+        let (job, params) = job_cycle(submitted);
+        pending.insert(client.send(job, &params)?.render());
+        submitted += 1;
+        while pending.len() >= config.inflight {
+            drain_one(&mut client, &mut pending)?;
+        }
+    }
+    while !pending.is_empty() {
+        drain_one(&mut client, &mut pending)?;
+    }
+
+    let _ = stop_tx.send(());
+    sampler.join().map_err(|_| io::Error::other("metrics sampler panicked"))??;
+    let mut samples: Vec<Snapshot> = rx.try_iter().collect();
+    // Close the window on a fresh post-drain snapshot so the last
+    // in-flight jobs are inside it.
+    let final_snap = Snapshot::from_json(&client.metrics()?)
+        .ok_or_else(|| io::Error::other("metrics frame did not decode as a snapshot"))?;
+    samples.push(final_snap.clone());
+    let window = match samples.first() {
+        Some(first) => final_snap.delta(first),
+        None => final_snap.clone(),
+    };
+    let (cache_hit_rate, violations) = judge(&samples, &window, catalog);
+    Ok(SoakReport { jobs_ok, rejected, errors, samples, window, cache_hit_rate, violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(entries: Vec<(&str, MetricValue)>) -> Snapshot {
+        Snapshot::from_json(&Json::Obj(
+            entries
+                .into_iter()
+                .map(|(n, v)| {
+                    let j = match v {
+                        MetricValue::Counter(c) => Json::Int(i128::from(c)),
+                        MetricValue::Gauge(g) => Json::Int(i128::from(g)),
+                        MetricValue::Histogram { .. } => unreachable!("use hist() below"),
+                    };
+                    (n.to_string(), j)
+                })
+                .collect(),
+        ))
+        .unwrap()
+    }
+
+    fn hist_window(name: &str, values: &[u64]) -> Snapshot {
+        let reg = randsync_obs::MetricsRegistry::new();
+        let h = reg.histogram(name);
+        for v in values {
+            h.observe(*v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn catalog_round_trips_and_defaults_missing_fields() {
+        let baked = ThresholdCatalog::baked();
+        let parsed = ThresholdCatalog::from_json(&baked.to_json()).unwrap();
+        assert_eq!(parsed, baked);
+
+        // A partial catalog keeps baked values for absent fields.
+        let partial =
+            randsync_obs::parse_json("{\"default_p99_ceiling_us\": 123}").unwrap();
+        let cat = ThresholdCatalog::from_json(&partial).unwrap();
+        assert_eq!(cat.default_p99_ceiling_us, 123);
+        assert_eq!(cat.leak_gauges, baked.leak_gauges);
+
+        // Per-name override wins; others fall to the default.
+        assert_eq!(cat.ceiling_for("svc.job.micros.protocols"), 250_000);
+        assert_eq!(cat.ceiling_for("svc.job.micros.sleep"), 123);
+
+        let newer = randsync_obs::parse_json("{\"schema_version\": 999}").unwrap();
+        assert!(ThresholdCatalog::from_json(&newer).is_err());
+    }
+
+    #[test]
+    fn monotone_gauge_growth_is_a_leak() {
+        let series = |vals: &[i64]| {
+            vals.iter()
+                .map(|v| snap(vec![("svc.queue.depth", MetricValue::Gauge(*v))]))
+                .collect::<Vec<_>>()
+        };
+        let catalog = ThresholdCatalog::baked();
+        let window = Snapshot::from_json(&Json::Obj(vec![])).unwrap();
+
+        // Strictly increasing over >= 3 samples: leak.
+        let (_, v) = judge(&series(&[1, 2, 5, 9]), &window, &catalog);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "leak");
+        assert_eq!(v[0].metric, "svc.queue.depth");
+
+        // A single step back clears it: queues oscillate.
+        let (_, v) = judge(&series(&[1, 2, 5, 4, 9]), &window, &catalog);
+        assert!(v.is_empty());
+
+        // Too few samples never fires.
+        let (_, v) = judge(&series(&[1, 2]), &window, &catalog);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn p99_ceiling_is_judged_on_the_window() {
+        let mut catalog = ThresholdCatalog::baked();
+        catalog.default_p99_ceiling_us = 100;
+        let window = hist_window("svc.job.micros.sleep", &[10, 20, 5_000]);
+        let (_, v) = judge(&[], &window, &catalog);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "p99");
+        assert_eq!(v[0].metric, "svc.job.micros.sleep");
+
+        // Same data under a generous ceiling passes.
+        catalog.default_p99_ceiling_us = 10_000_000;
+        let (_, v) = judge(&[], &window, &catalog);
+        assert!(v.is_empty());
+
+        // Histograms outside svc.job.micros.* are not judged.
+        let other = hist_window("svc.loop.flush_us", &[5_000]);
+        catalog.default_p99_ceiling_us = 1;
+        let (_, v) = judge(&[], &other, &catalog);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn cache_hit_rate_floor_breach_is_reported() {
+        let catalog = ThresholdCatalog::baked();
+        let window = snap(vec![
+            ("svc.cache.hits", MetricValue::Counter(1)),
+            ("svc.cache.misses", MetricValue::Counter(9)),
+        ]);
+        let (rate, v) = judge(&[], &window, &catalog);
+        assert_eq!(rate, Some(0.1));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "cache_hit_rate");
+
+        // No lookups in the window: the floor is not enforced.
+        let idle = snap(vec![
+            ("svc.cache.hits", MetricValue::Counter(0)),
+            ("svc.cache.misses", MetricValue::Counter(0)),
+        ]);
+        let (rate, v) = judge(&[], &idle, &catalog);
+        assert_eq!(rate, None);
+        assert!(v.is_empty());
+    }
+}

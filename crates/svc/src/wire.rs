@@ -8,11 +8,17 @@
 //! pipelining many requests over one connection safe.
 //!
 //! ```text
-//! request   {"id": <any>, "job": "<kind>", "params": {...}}
+//! request   {"id": <any>, "job": "<kind>", "params": {...}, "trace": {"t": <u64>, "s": <u64>}}
 //! ok        {"id": <any>, "status": "ok", "job": "<kind>", "result": {...}}
 //! error     {"id": <any>, "status": "error", "error": {"code": "...", "message": "..."}}
 //! progress  {"id": <any>, "status": "progress", "stage": "...", ...}
 //! ```
+//!
+//! The optional `trace` field propagates the caller's
+//! [`randsync_obs::TraceContext`] (trace id `t`, open span id `s`, as
+//! decimal u64s) so spans opened while serving the request — on this
+//! server and on any worker it fans out to — stitch into the caller's
+//! causal tree (DESIGN.md §17). Requests without it trace locally.
 
 use randsync_obs::Json;
 
@@ -48,6 +54,9 @@ pub struct Request {
     pub job: String,
     /// The job parameters (`Null` when absent).
     pub params: Json,
+    /// The caller's trace context `(trace_id, span_id)`, when the
+    /// frame carried one.
+    pub trace: Option<(u64, u64)>,
 }
 
 impl Request {
@@ -69,17 +78,39 @@ impl Request {
             .to_string();
         let id = v.get("id").cloned().unwrap_or(Json::Null);
         let params = v.get("params").cloned().unwrap_or(Json::Null);
-        Ok(Request { id, job, params })
+        let trace = v.get("trace").and_then(|t| {
+            Some((t.get("t").and_then(Json::as_u64)?, t.get("s").and_then(Json::as_u64)?))
+        });
+        Ok(Request { id, job, params, trace })
     }
 
     /// Render a request frame (the client side of [`Request::parse`]).
     pub fn render(id: &Json, job: &str, params: &Json) -> String {
-        Json::Obj(vec![
+        Request::render_traced(id, job, params, None)
+    }
+
+    /// Render a request frame carrying the caller's trace context.
+    pub fn render_traced(
+        id: &Json,
+        job: &str,
+        params: &Json,
+        trace: Option<(u64, u64)>,
+    ) -> String {
+        let mut fields = vec![
             ("id".to_string(), id.clone()),
             ("job".to_string(), Json::Str(job.to_string())),
             ("params".to_string(), params.clone()),
-        ])
-        .render()
+        ];
+        if let Some((t, s)) = trace {
+            fields.push((
+                "trace".to_string(),
+                Json::Obj(vec![
+                    ("t".to_string(), Json::Int(i128::from(t))),
+                    ("s".to_string(), Json::Int(i128::from(s))),
+                ]),
+            ));
+        }
+        Json::Obj(fields).render()
     }
 }
 
@@ -213,7 +244,19 @@ mod tests {
             assert_eq!(req.id, id);
             assert_eq!(req.job, "valency");
             assert_eq!(req.params, Json::Obj(vec![]));
+            assert_eq!(req.trace, None);
         }
+    }
+
+    #[test]
+    fn trace_context_round_trips_on_the_wire() {
+        let line =
+            Request::render_traced(&Json::Int(1), "explore", &Json::Null, Some((u64::MAX, 42)));
+        let req = Request::parse(&line).expect("parses");
+        assert_eq!(req.trace, Some((u64::MAX, 42)));
+        // A malformed trace field degrades to "no context", never an error.
+        let req = Request::parse("{\"job\":\"x\",\"trace\":{\"t\":1}}").expect("parses");
+        assert_eq!(req.trace, None);
     }
 
     #[test]

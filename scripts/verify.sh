@@ -42,6 +42,13 @@
 #      ensemble must answer byte-identically to a single-node server,
 #      every process must drain cleanly, and `dist_perf --smoke` must
 #      report identical-to-single-node results for 1..3 workers
+#  13. telemetry soak + trace smoke: `randsync soak` drives a traced
+#      coordinator + 1 worker for ~5s and must pass the baked
+#      threshold catalog (zero gauge leaks, sane p99, cache floor); a
+#      traced submit's per-process JSONL sinks must stitch via
+#      `randsync trace-tree` (nonzero exit on orphans fails this
+#      script), and withholding the coordinator's file must be
+#      detected as an orphaned-parent tree
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -253,5 +260,64 @@ grep -q "drained and stopped" "$coord_log" && grep -q "drained and stopped" "$w1
     && grep -q "drained and stopped" "$w2_log" \
     || { echo "FAIL: a distributed process did not drain cleanly"; exit 1; }
 cargo run --release --bin dist_perf -- --smoke --out target/BENCH_distributed_smoke.json
+
+echo "== telemetry soak + trace-tree smoke (traced coordinator + 1 worker) =="
+soak_w_log=target/verify_soak_w.log
+soak_coord_log=target/verify_soak_coord.log
+soak_w_trace=target/verify_soak_worker.jsonl
+soak_coord_trace=target/verify_soak_coord.jsonl
+soak_client_trace=target/verify_soak_client.jsonl
+rm -f "$soak_w_trace" "$soak_coord_trace" "$soak_client_trace"
+./target/release/randsync worker 127.0.0.1:0 --trace "$soak_w_trace" \
+    > "$soak_w_log" 2>&1 &
+soak_w_pid=$!
+soak_w_addr=""
+for _ in $(seq 1 50); do
+    soak_w_addr=$(sed -n 's/^randsync-svc listening on //p' "$soak_w_log")
+    [ -n "$soak_w_addr" ] && break
+    sleep 0.1
+done
+[ -n "$soak_w_addr" ] \
+    || { echo "FAIL: soak worker never reported its address"; kill "$soak_w_pid" 2>/dev/null; exit 1; }
+./target/release/randsync serve 127.0.0.1:0 --workers 2 --queue 8 \
+    --workers-addrs "$soak_w_addr" --trace "$soak_coord_trace" \
+    > "$soak_coord_log" 2>&1 &
+soak_coord_pid=$!
+soak_coord_addr=""
+for _ in $(seq 1 50); do
+    soak_coord_addr=$(sed -n 's/^randsync-svc listening on //p' "$soak_coord_log")
+    [ -n "$soak_coord_addr" ] && break
+    sleep 0.1
+done
+[ -n "$soak_coord_addr" ] \
+    || { echo "FAIL: soak coordinator never reported its address"; kill "$soak_w_pid" "$soak_coord_pid" 2>/dev/null; exit 1; }
+# ~5s of mixed load at the backpressure boundary; nonzero exit means a
+# gauge leaked, a p99 ceiling broke, or the cache hit rate fell through
+# the floor of the baked catalog.
+./target/release/randsync soak "$soak_coord_addr" --duration-s 5 \
+    > target/verify_soak_report.txt \
+    || { echo "FAIL: soak monitor flagged the server"; cat target/verify_soak_report.txt; exit 1; }
+grep -q "PASS" target/verify_soak_report.txt \
+    || { echo "FAIL: soak report has no PASS line"; exit 1; }
+# One traced submit whose spans must stitch across all three
+# processes. The soak already ran (and cached) valency on cas, so use
+# naive: a cache hit would answer without ever opening a server span.
+./target/release/randsync submit "$soak_coord_addr" valency \
+    --trace "$soak_client_trace" protocol=naive > /dev/null
+./target/release/randsync shutdown "$soak_coord_addr"
+./target/release/randsync shutdown "$soak_w_addr"
+wait "$soak_coord_pid" || { echo "FAIL: soak coordinator exited nonzero"; exit 1; }
+wait "$soak_w_pid" || { echo "FAIL: soak worker exited nonzero"; exit 1; }
+./target/release/randsync trace-tree \
+    "$soak_client_trace" "$soak_coord_trace" "$soak_w_trace" \
+    > target/verify_trace_tree.txt \
+    || { echo "FAIL: collected trace sinks did not stitch"; cat target/verify_trace_tree.txt; exit 1; }
+grep -q "frontier_" target/verify_trace_tree.txt \
+    || { echo "FAIL: stitched tree is missing the worker's frontier spans"; exit 1; }
+# Withholding the coordinator's sink severs the workers' ancestry: the
+# tool must refuse the orphaned-parent tree.
+./target/release/randsync trace-tree "$soak_client_trace" "$soak_w_trace" \
+    > /dev/null 2>&1 \
+    && { echo "FAIL: orphaned-parent tree was not detected"; exit 1; }
 
 echo "verify.sh: all gates passed"

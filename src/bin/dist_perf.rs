@@ -8,11 +8,14 @@
 //! elided). The harness asserts every distributed answer identical to
 //! the single-node answer — modulo `resident_arena_bytes`, which
 //! truthfully reports *local* residency and therefore shrinks when the
-//! seen-set lives on the workers — and writes per-ensemble wall time
-//! and aggregate configs/sec to `BENCH_distributed.json` (schema 1:
-//! versioned, stamped with the git revision). Any divergence exits
-//! nonzero. No external dependencies: timing is `std::time::Instant`
-//! and the JSON is written by hand.
+//! seen-set lives on the workers — and writes per-ensemble wall time,
+//! aggregate configs/sec, frame-handling latency quantiles (p50/p99
+//! of the event loop's `svc.loop.dispatch_us` over the run), and the
+//! slowest-shard share (what fraction of probe rounds one shard was
+//! the straggler) to `BENCH_distributed.json` (schema 2: versioned,
+//! stamped with the git revision). Any divergence exits nonzero. No
+//! external dependencies: timing is `std::time::Instant` and the JSON
+//! is written by hand.
 //!
 //! On a single-core host the distributed rows are strictly overhead
 //! (every probe/insert batch is JSON over a socket instead of a local
@@ -91,6 +94,35 @@ struct Row {
     secs: f64,
     configs_per_sec: f64,
     identical: bool,
+    /// p50/p99 of `svc.loop.dispatch_us` over this run — every node is
+    /// in-process, so this is the ensemble's frame-handling latency.
+    dispatch_p50_us: u64,
+    dispatch_p99_us: u64,
+    /// Fraction of attributed probe rounds in which one shard was the
+    /// slowest (1/nodes = perfectly balanced; 1.0 = one straggler).
+    slowest_shard_share: f64,
+}
+
+/// Frame-handling latency quantiles and the slowest-shard share over a
+/// metrics window (`after - before`), from the instrumentation the
+/// event loop and `DistributedFrontier` feed.
+fn window_stats(
+    before: &randsync::obs::Snapshot,
+    after: &randsync::obs::Snapshot,
+    nodes: usize,
+) -> (u64, u64, f64) {
+    let delta = after.delta(before);
+    let (p50, p99) = match delta.value("svc.loop.dispatch_us") {
+        Some(v) => (v.quantile(0.50).unwrap_or(0), v.quantile(0.99).unwrap_or(0)),
+        None => (0, 0),
+    };
+    let rounds = delta.counter("svc.dist.rounds").unwrap_or(0);
+    let max_slowest = (0..nodes)
+        .map(|k| delta.counter(&format!("svc.dist.slowest.shard{k}")).unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    let share = if rounds == 0 { 0.0 } else { max_slowest as f64 / rounds as f64 };
+    (p50, p99, share)
 }
 
 /// One workload: the single-node baseline plus every ensemble size.
@@ -118,18 +150,34 @@ fn measure(protocol: &str) -> Workload {
             ..ServerConfig::default()
         });
         let mut client = Client::connect(coord.addr).expect("connect");
+        // Every node shares this process's metrics registry, so a
+        // before/after window isolates this run's instrumentation.
+        let before = randsync::obs::global_metrics().snapshot();
         let (render, dist_configs, secs) = timed_explore(&mut client, protocol);
+        let after = randsync::obs::global_metrics().snapshot();
         drop(client);
         stop(coord);
         workers.into_iter().for_each(stop);
 
+        let (dispatch_p50_us, dispatch_p99_us, slowest_shard_share) =
+            window_stats(&before, &after, nodes);
         let identical = render == base_render && dist_configs == configs;
         println!(
-            "{protocol:>16}  nodes={nodes}  {:>10.4}s  {:>12.1} configs/s  identical={identical}",
+            "{protocol:>16}  nodes={nodes}  {:>10.4}s  {:>12.1} configs/s  \
+             dispatch p50/p99 {dispatch_p50_us}/{dispatch_p99_us}us  \
+             slowest-shard {slowest_shard_share:.2}  identical={identical}",
             secs,
             configs as f64 / secs
         );
-        rows.push(Row { nodes, secs, configs_per_sec: configs as f64 / secs, identical });
+        rows.push(Row {
+            nodes,
+            secs,
+            configs_per_sec: configs as f64 / secs,
+            identical,
+            dispatch_p50_us,
+            dispatch_p99_us,
+            slowest_shard_share,
+        });
     }
     Workload {
         name: protocol.to_string(),
@@ -181,7 +229,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"dist_perf\",\n");
-    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"schema_version\": 2,\n");
     json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
     json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
     json.push_str(&format!(
@@ -196,10 +244,15 @@ fn main() {
         ));
         for (ri, r) in w.rows.iter().enumerate() {
             json.push_str(&format!(
-                "      {{\"nodes\": {}, \"secs\": {:.6}, \"configs_per_sec\": {:.1}, \"identical\": {}}}{}\n",
+                "      {{\"nodes\": {}, \"secs\": {:.6}, \"configs_per_sec\": {:.1}, \
+                 \"dispatch_p50_us\": {}, \"dispatch_p99_us\": {}, \
+                 \"slowest_shard_share\": {:.4}, \"identical\": {}}}{}\n",
                 r.nodes,
                 r.secs,
                 r.configs_per_sec,
+                r.dispatch_p50_us,
+                r.dispatch_p99_us,
+                r.slowest_shard_share,
                 r.identical,
                 if ri + 1 < w.rows.len() { "," } else { "" }
             ));

@@ -18,6 +18,9 @@
 //! randsync worker [addr]                            start a frontier shard server
 //! randsync submit <addr> <job> [key=value ...]      run one job against a server
 //! randsync shutdown <addr>                          drain a server and stop it
+//! randsync top <addr>                               live metrics dashboard (watch job)
+//! randsync soak <addr>                              soak the server, judge thresholds
+//! randsync trace-tree <a.jsonl> [b.jsonl ...]       stitch span sinks into one tree
 //! ```
 //!
 //! Protocol names come from the shared registry
@@ -90,7 +93,8 @@ use randsync::model::{
     ExploreOutcome, Explorer, ProcessId, Protocol, SearchMode, Step,
 };
 use randsync::objects::bridge;
-use randsync::obs::{self, ExecutionTrace, Field, Json, TraceSink};
+use randsync::obs::{self, ExecutionTrace, Field, Json, MetricValue, Snapshot, TraceSink};
+use randsync::svc::soak::{run_soak, SoakConfig, ThresholdCatalog};
 use randsync::svc::{job, Client, Server, ServerConfig};
 
 fn main() -> ExitCode {
@@ -142,6 +146,9 @@ fn main() -> ExitCode {
         "worker" => run_serve(&args[1..], true),
         "submit" => run_submit(&args[1..]),
         "shutdown" => run_shutdown(&args[1..]),
+        "top" => run_top(&args[1..]),
+        "soak" => run_soak_cmd(&args[1..]),
+        "trace-tree" => run_trace_tree(&args[1..]),
         "walk" => {
             let n = parse(args.get(1), 4) as usize;
             let seed = parse(args.get(2), 42);
@@ -172,13 +179,16 @@ fn main() -> ExitCode {
                  randsync montecarlo <protocol> [trials] [seed] [n]\n  \
                  randsync walk <n> [seed]\n  \
                  randsync serve [addr] [--workers N] [--queue N] [--max-conns N]\n          \
-                 [--checkpoint-dir <dir>] [--workers-addrs a:p,b:p,...]\n  \
-                 randsync worker [addr] [--max-conns N]\n  \
-                 randsync submit <addr> <job> [--timeout-s S] [key=value ...]\n  \
-                 randsync shutdown <addr>\n\n\
+                 [--checkpoint-dir <dir>] [--workers-addrs a:p,b:p,...] [--trace <file>]\n  \
+                 randsync worker [addr] [--max-conns N] [--trace <file>]\n  \
+                 randsync submit <addr> <job> [--timeout-s S] [--trace <file>] [key=value ...]\n  \
+                 randsync shutdown <addr>\n  \
+                 randsync top <addr> [--interval-ms MS] [--ticks N]\n  \
+                 randsync soak <addr> [--duration-s S] [--inflight N] [--catalog <file>]\n  \
+                 randsync trace-tree <a.jsonl> [b.jsonl ...]\n\n\
                  protocol names: see `randsync protocols`\n\
                  job kinds: valency, explore, resume, run, monte_carlo, replay, \
-                 verify_witness, protocols, metrics"
+                 verify_witness, protocols, sleep, watch, metrics"
             );
             ExitCode::SUCCESS
         }
@@ -1072,6 +1082,13 @@ fn run_serve(args: &[String], worker_role: bool) -> ExitCode {
                 };
                 config.checkpoint_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--trace" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--trace needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                config.trace_path = Some(std::path::PathBuf::from(path));
+            }
             "--workers-addrs" => {
                 let Some(list) = iter.next() else {
                     eprintln!("--workers-addrs needs a comma-separated address list");
@@ -1170,6 +1187,7 @@ fn run_submit(args: &[String]) -> ExitCode {
     };
     let mut params = Vec::new();
     let mut idle = Some(Client::DEFAULT_IDLE_TIMEOUT);
+    let mut trace_path: Option<String> = None;
     let mut iter = args[2..].iter();
     while let Some(arg) = iter.next() {
         if arg == "--timeout-s" {
@@ -1181,6 +1199,14 @@ fn run_submit(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            continue;
+        }
+        if arg == "--trace" {
+            let Some(path) = iter.next() else {
+                eprintln!("--trace needs a file path");
+                return ExitCode::FAILURE;
+            };
+            trace_path = Some(path.clone());
             continue;
         }
         let Some((key, value)) = arg.split_once('=') else {
@@ -1200,6 +1226,25 @@ fn run_submit(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // With --trace, record this side's span to a JSONL sink and open a
+    // root `submit` span: the client attaches its context to the frame,
+    // so the server's `svc.job` span (and any worker spans under it)
+    // stitch into one tree with this file via `randsync trace-tree`.
+    if let Some(path) = &trace_path {
+        match obs::JsonlSink::create(Path::new(path)) {
+            Ok(sink) => obs::install_trace_sink(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let ctx_guard = trace_path
+        .as_ref()
+        .map(|_| obs::push_context(obs::TraceContext::root()));
+    let span = trace_path
+        .as_ref()
+        .map(|_| obs::span("submit", &[("job", Field::Str(kind.to_string()))]));
     let id = match client.send(kind, &params) {
         Ok(id) => id,
         Err(e) => {
@@ -1220,10 +1265,22 @@ fn run_submit(args: &[String]) -> ExitCode {
             eprintln!("  {stage}");
         }
     });
+    drop(span);
+    drop(ctx_guard);
+    if trace_path.is_some() {
+        obs::clear_trace_sink(); // flush the JSONL before exiting
+    }
     match reply {
         Ok(reply) if reply.ok => {
             if kind == "monte_carlo" {
                 print_mc_summary(&reply.body);
+            } else if kind == "metrics" {
+                // Render the snapshot as aligned text with quantile
+                // columns rather than raw JSON.
+                match reply.body.get("metrics").and_then(Snapshot::from_json) {
+                    Some(snap) => print!("{}", snap.to_text()),
+                    None => println!("{}", reply.body.render()),
+                }
             } else {
                 println!("{}", reply.body.render());
             }
@@ -1260,4 +1317,255 @@ fn run_shutdown(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// One refresh of the `randsync top` dashboard, rendered from a
+/// `svc.watch` metrics delta: throughput, queue/connection state,
+/// cache hit rate, per-job-kind latency quantiles, and — under a
+/// distributed frontier — which shard was slowest.
+fn render_top_tick(tick: u64, interval_millis: u64, delta: &Snapshot) {
+    let c = |name: &str| delta.counter(name).unwrap_or(0);
+    let g = |name: &str| delta.gauge(name).unwrap_or(0);
+    let secs = (interval_millis as f64 / 1e3).max(1e-9);
+    let done = c("svc.jobs.ok") + c("svc.jobs.error");
+    let hits = c("svc.cache.hits");
+    let lookups = hits + c("svc.cache.misses");
+    println!(
+        "tick {tick:>3}  jobs/s {:>7.1}  queue {:>4}  conns {:>3}  outbox {:>4}  cache {}",
+        done as f64 / secs,
+        g("svc.queue.depth"),
+        g("svc.conns.open"),
+        g("svc.loop.outbox_depth"),
+        if lookups == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", 100.0 * hits as f64 / lookups as f64)
+        },
+    );
+    for (name, value) in &delta.entries {
+        let MetricValue::Histogram { count, .. } = value else { continue };
+        if *count == 0 {
+            continue;
+        }
+        let Some(kind) = name.strip_prefix("svc.job.micros.") else { continue };
+        let (p50, p99) = (
+            value.quantile(0.50).unwrap_or(0),
+            value.quantile(0.99).unwrap_or(0),
+        );
+        println!("    {kind:<14} {count:>5} done  p50 {p50:>8}us  p99 {p99:>8}us");
+    }
+    // Per-shard health: svc.dist.slowest.shardK counts the rounds
+    // where shard K was the straggler. All-zero deltas are omitted.
+    let shards: Vec<(&str, u64)> = delta
+        .entries
+        .iter()
+        .filter_map(|(name, v)| match v {
+            MetricValue::Counter(n) => {
+                name.strip_prefix("svc.dist.slowest.").map(|shard| (shard, *n))
+            }
+            _ => None,
+        })
+        .collect();
+    if shards.iter().any(|(_, n)| *n > 0) {
+        let line = shards
+            .iter()
+            .map(|(shard, n)| format!("{shard}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("    slowest-shard rounds: {line}");
+    }
+}
+
+/// `randsync top <addr> [--interval-ms MS] [--ticks N]`: submit a
+/// `watch` job and render each streamed metrics delta as a dashboard
+/// refresh. The server computes the deltas; this side only renders.
+fn run_top(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: randsync top <addr> [--interval-ms MS] [--ticks N]");
+        return ExitCode::FAILURE;
+    };
+    let mut interval_millis = 1_000u64;
+    let mut ticks = 30u64;
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--interval-ms" | "--ticks" => {
+                let Some(v) = iter.next().and_then(|s| s.parse::<u64>().ok()).filter(|v| *v > 0)
+                else {
+                    eprintln!("{arg} needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if arg == "--interval-ms" {
+                    interval_millis = v;
+                } else {
+                    ticks = v;
+                }
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = Json::Obj(vec![
+        ("interval_millis".to_string(), Json::Int(i128::from(interval_millis))),
+        ("ticks".to_string(), Json::Int(i128::from(ticks))),
+    ]);
+    let id = match client.send("watch", &params) {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("cannot send watch job: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reply = client.wait(&id, |frame| {
+        if frame.get("stage").and_then(Json::as_str) != Some("svc.watch") {
+            return;
+        }
+        let delta = frame
+            .get("delta")
+            .and_then(Json::as_str)
+            .and_then(|text| obs::parse_json(text).ok())
+            .as_ref()
+            .and_then(Snapshot::from_json);
+        let tick = frame.get("tick").and_then(Json::as_u64).unwrap_or(0);
+        match delta {
+            Some(delta) => render_top_tick(tick, interval_millis, &delta),
+            None => eprintln!("tick {tick}: undecodable delta frame"),
+        }
+    });
+    match reply {
+        Ok(reply) if reply.ok => ExitCode::SUCCESS,
+        Ok(reply) => {
+            eprintln!(
+                "{}: {}",
+                reply.error_code().unwrap_or("error"),
+                reply.body.get("message").and_then(Json::as_str).unwrap_or("(no message)")
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("watch failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `randsync soak <addr> [--duration-s S] [--inflight N]
+/// [--catalog <file>]`: drive a mixed job load at the backpressure
+/// boundary while sampling metrics, then judge leaks, p99 ceilings,
+/// and cache hit rate against the threshold catalog (the baked
+/// defaults, or a JSON file). Exit code is the verdict, so CI can
+/// gate on it.
+fn run_soak_cmd(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: randsync soak <addr> [--duration-s S] [--inflight N] [--catalog <file>]");
+        return ExitCode::FAILURE;
+    };
+    let mut config = SoakConfig::default();
+    let mut catalog = ThresholdCatalog::baked();
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--duration-s" | "--inflight" => {
+                let Some(v) = iter.next().and_then(|s| s.parse::<u64>().ok()).filter(|v| *v > 0)
+                else {
+                    eprintln!("{arg} needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if arg == "--duration-s" {
+                    config.duration = std::time::Duration::from_secs(v);
+                } else {
+                    config.inflight = v as usize;
+                }
+            }
+            "--catalog" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--catalog needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read catalog {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let json = match obs::parse_json(&text) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("catalog {path} is not valid JSON: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                catalog = match ThresholdCatalog::from_json(&json) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("catalog {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run_soak(addr, &config, &catalog) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("soak failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `randsync trace-tree <a.jsonl> [b.jsonl ...]`: merge the span
+/// events from per-process JSONL trace sinks (`serve --trace`,
+/// `worker --trace`, `submit --trace`) and render each trace's
+/// stitched causal tree with per-span wall time and the critical
+/// path. Exit code is nonzero when any span's parent was never
+/// collected — an orphan means a process's trace file is missing.
+fn run_trace_tree(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("usage: randsync trace-tree <trace.jsonl> [more.jsonl ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut inputs = Vec::new();
+    for path in args {
+        match std::fs::read_to_string(path) {
+            Ok(text) => inputs.push((path.clone(), text)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let forest = obs::merge_spans(&inputs);
+    print!("{}", forest.render());
+    if forest.traces.is_empty() {
+        eprintln!("no spans found across {} file(s)", inputs.len());
+        return ExitCode::FAILURE;
+    }
+    let orphans = forest.orphan_count();
+    if orphans > 0 {
+        eprintln!("{orphans} orphaned span(s): a parent span was never collected");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
