@@ -433,6 +433,14 @@ pub fn find(name: &str) -> Option<&'static ProtocolEntry> {
     ENTRIES.iter().find(|e| e.name == name)
 }
 
+/// The entries a lower-bound adversary targets — the deliberately
+/// flawed protocols whose counterexamples the verification gate's
+/// witness corpus regression-tests. Every entry here has an
+/// [`AttackFamily`] other than `NotApplicable`.
+pub fn adversary_targets() -> impl Iterator<Item = &'static ProtocolEntry> {
+    ENTRIES.iter().filter(|e| e.attack != AttackFamily::NotApplicable)
+}
+
 /// The protocol inventory as a Markdown table (the source of the
 /// README/crate-docs inventory).
 pub fn markdown_table() -> String {

@@ -32,6 +32,36 @@ pub struct InconsistencyWitness {
 }
 
 impl InconsistencyWitness {
+    /// Package an inconsistency-reaching execution as a witness: replay
+    /// it in the configuration algebra from
+    /// [`Configuration::initial_with_pool`] over `inputs`, read off one
+    /// 0-decider and one 1-decider, and count the participants. `None`
+    /// if the execution does not replay or does not in fact end with
+    /// both values decided — so a successful return is already
+    /// algebra-verified (call [`InconsistencyWitness::verify`] to
+    /// additionally check it against the runtime interpreter).
+    pub fn from_execution<P: Protocol>(
+        protocol: &P,
+        inputs: &[Decision],
+        execution: Execution,
+    ) -> Option<InconsistencyWitness> {
+        let start = Configuration::initial_with_pool(protocol, inputs, inputs.len());
+        let (end, _) = execution.replay(protocol, &start).ok()?;
+        let decisions = end.decisions();
+        let zero = decisions.iter().find(|(_, d)| *d == 0).map(|(p, _)| *p)?;
+        let one = decisions.iter().find(|(_, d)| *d == 1).map(|(p, _)| *p)?;
+        let mut pids: Vec<_> = execution.steps().iter().map(|s| s.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        Some(InconsistencyWitness {
+            inputs: inputs.to_vec(),
+            execution,
+            decides_zero: zero,
+            decides_one: one,
+            processes_used: pids.len(),
+        })
+    }
+
     /// Re-execute the witness and check that it really decides both
     /// values.
     ///

@@ -1,0 +1,540 @@
+//! The executable checks behind the catalog entries.
+//!
+//! Every check follows the same discipline: build protocols through
+//! `consensus::registry` (never ad hoc), bound wall-clock work with the
+//! entry's [`CheckContext::deadline`], and report observed values next
+//! to the paper's required ones as [`BoundCheck`]s so the gate report
+//! shows margins, not just verdicts. Any truncated exploration, failed
+//! replay, or missing registry binding is a *failure* — the gate never
+//! downgrades an unprovable property to a skip on its own.
+
+use std::time::Duration;
+
+use randsync_consensus::registry::{self, ProtocolEntry};
+use randsync_core::attack::attack_for_witness;
+use randsync_core::bounds::{
+    composition_lower_bound, max_identical_processes, min_historyless_objects,
+    min_registers_identical,
+};
+use randsync_core::combine31::CombineLimits;
+use randsync_core::combine35::{ample_pool, attack_historyless, GeneralOutcome};
+use randsync_core::witness::InconsistencyWitness;
+use randsync_model::runtime::{replay_execution, DynObject, ModelObject, Runtime};
+use randsync_model::{
+    ExploreConfig, ExploreLimits, Explorer, Protocol, SearchMode,
+};
+use randsync_objects::bridge;
+use randsync_objects::SnapshotCounter;
+use randsync_obs::Json;
+use randsync_svc::soak::{run_soak, SoakConfig, ThresholdCatalog};
+use randsync_svc::{Client, Server, ServerConfig};
+
+use crate::catalog::{BoundOp, CheckContext, CheckOutcome};
+
+/// An explorer whose budgets are generous but whose wall clock is the
+/// entry's deadline, so a runaway search truncates instead of hanging
+/// the gate (and the truncation fails the check).
+fn explorer(ctx: &CheckContext) -> Explorer {
+    explorer_with(ctx, |_| {})
+}
+
+/// [`explorer`] with extra configuration applied on top.
+fn explorer_with(ctx: &CheckContext, tweak: impl FnOnce(&mut ExploreConfig)) -> Explorer {
+    let mut config = ExploreConfig {
+        limits: ExploreLimits { max_configs: 2_000_000, max_depth: 200_000 },
+        deadline: Some(ctx.deadline),
+        ..ExploreConfig::default()
+    };
+    tweak(&mut config);
+    Explorer::with_config(config)
+}
+
+/// Resolve a registry binding or fail the check — a catalog entry whose
+/// protocol vanished from the registry is a regression, not a skip.
+fn binding(name: &str) -> Result<&'static ProtocolEntry, CheckOutcome> {
+    registry::find(name)
+        .ok_or_else(|| CheckOutcome::fail(format!("registry no longer has protocol {name:?}")))
+}
+
+/// Verify a witness through the threaded-runtime interpreter over
+/// bridged real atomics (the strongest replay this workspace has).
+fn verify_on_bridged<P: Protocol>(
+    protocol: &P,
+    witness: &InconsistencyWitness,
+) -> Result<(), String> {
+    let objects = bridge::instantiate_all(protocol)
+        .map_err(|e| format!("objects do not bridge to atomics: {e}"))?;
+    let refs: Vec<&dyn DynObject> = objects.iter().map(AsRef::as_ref).collect();
+    witness
+        .verify_on(protocol, &refs)
+        .map_err(|e| format!("witness failed replay on bridged atomics: {e}"))
+}
+
+/// Theorem 3.3, the closed forms: `r² − r + 1` identical processes is
+/// the most r registers support, the inversion round-trips, and both
+/// directions are monotone.
+pub(crate) fn thm_3_3_bound(_ctx: &CheckContext) -> CheckOutcome {
+    for r in 1..=64u64 {
+        let cap = max_identical_processes(r);
+        if cap != r * r - r + 1 {
+            return CheckOutcome::fail(format!(
+                "max_identical_processes({r}) = {cap}, want r*r-r+1 = {}",
+                r * r - r + 1
+            ));
+        }
+        if min_registers_identical(cap) != r {
+            return CheckOutcome::fail(format!(
+                "min_registers_identical({cap}) = {}, want {r} (inversion broken)",
+                min_registers_identical(cap)
+            ));
+        }
+        if min_registers_identical(cap + 1) != r + 1 {
+            return CheckOutcome::fail(format!(
+                "min_registers_identical({}) should step to {} registers",
+                cap + 1,
+                r + 1
+            ));
+        }
+    }
+    let mut prev = 0;
+    for n in 1..=4096u64 {
+        let v = min_registers_identical(n);
+        if v < prev {
+            return CheckOutcome::fail(format!("min_registers_identical not monotone at n={n}"));
+        }
+        prev = v;
+    }
+    CheckOutcome::pass()
+        .bound("max_identical_processes(2)", i128::from(max_identical_processes(2)), BoundOp::Eq, 3)
+        .bound(
+            "min_registers_identical(7)",
+            i128::from(min_registers_identical(7)),
+            BoundOp::Eq,
+            3,
+        )
+}
+
+/// Theorem 3.3 via the Lemma 3.2 adversary: construct, verify (model
+/// interpreter *and* bridged atomics), and shrink an inconsistency on
+/// each flawed register protocol, within the paper's process bound.
+pub(crate) fn thm_3_3_adversary(_ctx: &CheckContext) -> CheckOutcome {
+    let mut out = CheckOutcome::pass();
+    for name in ["naive", "optimistic"] {
+        let entry = match binding(name) {
+            Ok(e) => e,
+            Err(fail) => return fail,
+        };
+        let protocol = entry.build_default();
+        let r = protocol.objects().len();
+        let (witness, _) = match attack_for_witness(&protocol, &CombineLimits::default()) {
+            Ok(found) => found,
+            Err(e) => return CheckOutcome::fail(format!("{name}: adversary failed: {e}")),
+        };
+        if let Err(e) = witness.verify(&protocol) {
+            return CheckOutcome::fail(format!("{name}: witness failed model replay: {e}"));
+        }
+        let (minimal, stats) = witness.minimize_report(&protocol);
+        if let Err(e) = verify_on_bridged(&protocol, &minimal) {
+            return CheckOutcome::fail(format!("{name}: {e}"));
+        }
+        // Lemma 3.1 bounds the construction by r² − r + 2 processes.
+        let cap = max_identical_processes(r as u64) + 1;
+        out = out
+            .bound(
+                format!("{name}.processes_used"),
+                minimal.processes_used as i128,
+                BoundOp::Le,
+                i128::from(cap),
+            )
+            .note(format!("{name}.witness_steps"), Json::Int(minimal.execution.len() as i128))
+            .note(format!("{name}.shrunk_steps"), Json::Int(stats.deleted as i128));
+    }
+    out
+}
+
+/// The identical-process lens on exploration: the symmetry quotient
+/// (which models "identical processes" computationally) must preserve
+/// every verdict raw exploration reaches.
+pub(crate) fn thm_3_3_symmetry(ctx: &CheckContext) -> CheckOutcome {
+    let mut out = CheckOutcome::pass();
+    for name in ["naive", "walk-counter"] {
+        let entry = match binding(name) {
+            Ok(e) => e,
+            Err(fail) => return fail,
+        };
+        let protocol = entry.build_default();
+        let raw = explorer(ctx).explore(&protocol, entry.default_inputs);
+        let canon =
+            explorer_with(ctx, |c| c.canonical = true).explore(&protocol, entry.default_inputs);
+        if raw.truncated || canon.truncated {
+            return CheckOutcome::fail(format!("{name}: exploration truncated; quotient equivalence unproven"));
+        }
+        if raw.verdict_label() != canon.verdict_label() {
+            return CheckOutcome::fail(format!(
+                "{name}: raw verdict {} but canonical verdict {}",
+                raw.verdict_label(),
+                canon.verdict_label()
+            ));
+        }
+        if raw.can_always_reach_termination != canon.can_always_reach_termination
+            || raw.infinite_execution_possible != canon.infinite_execution_possible
+        {
+            return CheckOutcome::fail(format!("{name}: termination facts differ across the quotient"));
+        }
+        out = out
+            .bound(
+                format!("{name}.canonical_configs"),
+                canon.configs_visited as i128,
+                BoundOp::Le,
+                raw.configs_visited as i128,
+            )
+            .note(format!("{name}.verdict"), Json::Str(raw.verdict_label().to_string()));
+    }
+    out
+}
+
+/// Lemma 3.6: the historyless adversary breaks each flawed
+/// historyless-object protocol with an ample pool, and the witness
+/// survives model and bridged replay plus shrinking.
+pub(crate) fn lemma_3_6(_ctx: &CheckContext) -> CheckOutcome {
+    let mut out = CheckOutcome::pass();
+    for name in ["tasrace", "swapchain", "mixedzigzag"] {
+        let entry = match binding(name) {
+            Ok(e) => e,
+            Err(fail) => return fail,
+        };
+        let protocol = entry.build_default();
+        let r = protocol.objects().len();
+        let pool = ample_pool(r);
+        let witness =
+            match attack_historyless(&protocol, pool, &ExploreLimits::default()) {
+                Ok(GeneralOutcome::Inconsistent { witness, .. }) => witness,
+                Ok(GeneralOutcome::InvalidExecution { input, decided, .. }) => {
+                    return CheckOutcome::fail(format!(
+                        "{name}: expected an inconsistency, got a validity violation \
+                         (input {input} decided {decided})"
+                    ));
+                }
+                Err(e) => return CheckOutcome::fail(format!("{name}: adversary failed: {e}")),
+            };
+        if let Err(e) = witness.verify(&protocol) {
+            return CheckOutcome::fail(format!("{name}: witness failed model replay: {e}"));
+        }
+        let (minimal, _) = witness.minimize_report(&protocol);
+        if let Err(e) = verify_on_bridged(&protocol, &minimal) {
+            return CheckOutcome::fail(format!("{name}: {e}"));
+        }
+        out = out
+            .bound(
+                format!("{name}.processes_used"),
+                minimal.processes_used as i128,
+                BoundOp::Le,
+                ample_pool(r) as i128,
+            )
+            .note(format!("{name}.witness_steps"), Json::Int(minimal.execution.len() as i128));
+    }
+    out
+}
+
+/// The Theorem 4.2 / 4.4 separation, shared shape: the tight-margin
+/// walk on one object is safe, always able to terminate, and has the
+/// Section 2 infinite executions — with strictly fewer objects than
+/// any register implementation for the same process count.
+fn walk_separation(ctx: &CheckContext, name: &str) -> CheckOutcome {
+    let entry = match binding(name) {
+        Ok(e) => e,
+        Err(fail) => return fail,
+    };
+    let protocol = entry.build_default();
+    let n = entry.default_n as u64;
+    let out = explorer(ctx).explore(&protocol, entry.default_inputs);
+    if out.truncated {
+        return CheckOutcome::fail(format!("{name}: exploration truncated; facts unproven"));
+    }
+    if !out.is_safe() {
+        return CheckOutcome::fail(format!("{name}: {}", out.verdict_label()));
+    }
+    if out.can_always_reach_termination != Some(true) {
+        return CheckOutcome::fail(format!(
+            "{name}: termination not always reachable ({:?})",
+            out.can_always_reach_termination
+        ));
+    }
+    if out.infinite_execution_possible != Some(true) {
+        return CheckOutcome::fail(format!(
+            "{name}: the paper's Section 2 non-terminating executions are missing ({:?})",
+            out.infinite_execution_possible
+        ));
+    }
+    let Some(val) = explorer(ctx).valency(&protocol, entry.default_inputs) else {
+        return CheckOutcome::fail(format!("{name}: valency analysis exceeded the budget"));
+    };
+    if !val.envelope_consistent() {
+        return CheckOutcome::fail(format!(
+            "{name}: valency envelope inconsistent ({} classified of {} configs)",
+            val.classified(),
+            val.configs
+        ));
+    }
+    if !val.bivalent_cycle {
+        return CheckOutcome::fail(format!(
+            "{name}: no bivalent cycle — the adversary's forever-undecided loop must exist"
+        ));
+    }
+    if val.stuck != 0 {
+        return CheckOutcome::fail(format!("{name}: {} deadlocked configurations", val.stuck));
+    }
+    CheckOutcome::pass()
+        .bound(
+            format!("{name}.object_instances"),
+            protocol.objects().len() as i128,
+            BoundOp::Lt,
+            i128::from(min_registers_identical(n)),
+        )
+        .note(format!("{name}.configs"), Json::Int(out.configs_visited as i128))
+        .note(format!("{name}.critical_configs"), Json::Int(val.critical_configs as i128))
+}
+
+/// Theorem 4.2: consensus from one bounded counter.
+pub(crate) fn thm_4_2(ctx: &CheckContext) -> CheckOutcome {
+    walk_separation(ctx, "walk-counter")
+}
+
+/// Theorem 4.4: consensus from one fetch&add register.
+pub(crate) fn thm_4_4(ctx: &CheckContext) -> CheckOutcome {
+    walk_separation(ctx, "walk-fetchadd")
+}
+
+/// Theorem 2.1: the composition arithmetic and the shipped
+/// counter-from-registers stack that must respect it.
+pub(crate) fn bound_2_1(_ctx: &CheckContext) -> CheckOutcome {
+    for (g, f, want) in [(7u64, 2u64, 4u64), (6, 3, 2), (1, 1, 1), (10, 4, 3), (9, 3, 3)] {
+        let got = composition_lower_bound(g, f);
+        if got != want {
+            return CheckOutcome::fail(format!(
+                "composition_lower_bound({g}, {f}) = {got}, want ceil(g/f) = {want}"
+            ));
+        }
+    }
+    let mut out = CheckOutcome::pass();
+    for n in [4u64, 16, 64] {
+        // f = 1 counter solves consensus (Thm 4.2); g = Ω(√n) historyless
+        // objects are required (Thm 3.7); so counter-from-registers
+        // needs at least ceil(g/1) registers — and ours uses n.
+        let required = composition_lower_bound(min_historyless_objects(n), 1);
+        let ours = SnapshotCounter::new(n as usize).num_slots() as u64;
+        if ours < required {
+            return CheckOutcome::fail(format!(
+                "SnapshotCounter({n}) uses {ours} slots, below the Theorem 2.1 bound {required}"
+            ));
+        }
+        if n == 64 {
+            out = out.bound(
+                "snapshot_counter_slots(n=64)",
+                i128::from(ours),
+                BoundOp::Ge,
+                i128::from(required),
+            );
+        }
+    }
+    out
+}
+
+/// Soundness of partial-order reduction: same verdict and termination
+/// facts, strictly fewer interleavings explored.
+pub(crate) fn por_equiv(ctx: &CheckContext) -> CheckOutcome {
+    let entry = match binding("localcoin") {
+        Ok(e) => e,
+        Err(fail) => return fail,
+    };
+    let protocol = entry.build_default();
+    let raw = explorer(ctx).explore(&protocol, entry.default_inputs);
+    let por = explorer_with(ctx, |c| c.por = true).explore(&protocol, entry.default_inputs);
+    if raw.truncated || por.truncated {
+        return CheckOutcome::fail("localcoin: exploration truncated; POR equivalence unproven");
+    }
+    if raw.verdict_label() != por.verdict_label()
+        || raw.can_always_reach_termination != por.can_always_reach_termination
+        || raw.infinite_execution_possible != por.infinite_execution_possible
+    {
+        return CheckOutcome::fail(format!(
+            "localcoin: POR changed the verdict ({} vs {})",
+            raw.verdict_label(),
+            por.verdict_label()
+        ));
+    }
+    CheckOutcome::pass()
+        .bound("localcoin.por_configs", por.configs_visited as i128, BoundOp::Le, raw.configs_visited as i128)
+        .bound("localcoin.por_pruned", por.por_pruned as i128, BoundOp::Ge, 1)
+        .note("localcoin.raw_configs", Json::Int(raw.configs_visited as i128))
+}
+
+/// The guided adversary search: best-first finds an inconsistency on a
+/// flawed protocol; the witness shrinks to a fixpoint, re-verifies on
+/// bridged atomics, and survives a flight-trace round-trip.
+pub(crate) fn guided_witness(ctx: &CheckContext) -> CheckOutcome {
+    let entry = match binding("naive") {
+        Ok(e) => e,
+        Err(fail) => return fail,
+    };
+    let protocol = entry.build_default();
+    let (found, truncated) = explorer_with(ctx, |c| c.search = SearchMode::BestFirst)
+        .find_violation(&protocol, entry.default_inputs, |c| c.is_inconsistent());
+    let Some(execution) = found else {
+        return CheckOutcome::fail(if truncated {
+            "naive: guided search exhausted its budget without a witness"
+        } else {
+            "naive: guided search found no inconsistency on a flawed protocol"
+        });
+    };
+    let Some(witness) =
+        InconsistencyWitness::from_execution(&protocol, entry.default_inputs, execution)
+    else {
+        return CheckOutcome::fail("naive: violating execution did not replay to an inconsistency");
+    };
+    if let Err(e) = witness.verify(&protocol) {
+        return CheckOutcome::fail(format!("naive: witness failed model replay: {e}"));
+    }
+    let (minimal, _) = witness.minimize_report(&protocol);
+    let (again, stats) = minimal.minimize_report(&protocol);
+    if again.execution.len() != minimal.execution.len() || stats.deleted != 0 {
+        return CheckOutcome::fail(format!(
+            "naive: minimization is not a fixpoint ({} -> {} steps)",
+            minimal.execution.len(),
+            again.execution.len()
+        ));
+    }
+    if let Err(e) = verify_on_bridged(&protocol, &minimal) {
+        return CheckOutcome::fail(format!("naive: {e}"));
+    }
+    let trace = minimal.flight_trace(entry.name, entry.default_n, entry.default_r);
+    match randsync_obs::ExecutionTrace::from_jsonl(&trace.to_jsonl()) {
+        Ok(back) if back == trace => {}
+        Ok(_) => return CheckOutcome::fail("naive: flight trace round-trip is not the identity"),
+        Err(e) => return CheckOutcome::fail(format!("naive: flight trace does not parse back: {e}")),
+    }
+    // The minimal naive violation is write, write, read, read, decide,
+    // decide — six steps.
+    CheckOutcome::pass().bound(
+        "naive.minimized_steps",
+        minimal.execution.len() as i128,
+        BoundOp::Le,
+        6,
+    )
+}
+
+/// One state machine, many interpreters: seeded threaded-runtime
+/// executions must replay bit-identically through the model
+/// interpreter, deciding one valid value.
+pub(crate) fn runtime_model_equiv(_ctx: &CheckContext) -> CheckOutcome {
+    let mut out = CheckOutcome::pass();
+    let mut executions = 0i128;
+    for name in ["cas", "walk-counter"] {
+        let entry = match binding(name) {
+            Ok(e) => e,
+            Err(fail) => return fail,
+        };
+        for seed in [1u64, 7, 23] {
+            let protocol = entry.build_default();
+            let inputs = entry.default_inputs.to_vec();
+            let objects = match bridge::instantiate_all(&protocol) {
+                Ok(o) => o,
+                Err(e) => {
+                    return CheckOutcome::fail(format!("{name}: objects do not bridge: {e}"))
+                }
+            };
+            let (report, execution) = Runtime::new(seed).run_traced(&protocol, &inputs, &objects);
+            let decided: Vec<u8> = report.decisions.iter().filter_map(|d| *d).collect();
+            if decided.len() != inputs.len() {
+                return CheckOutcome::fail(format!(
+                    "{name} seed {seed}: only {} of {} processes decided",
+                    decided.len(),
+                    inputs.len()
+                ));
+            }
+            if decided.windows(2).any(|w| w[0] != w[1]) {
+                return CheckOutcome::fail(format!("{name} seed {seed}: inconsistent decisions"));
+            }
+            if !inputs.contains(&decided[0]) {
+                return CheckOutcome::fail(format!(
+                    "{name} seed {seed}: decided {} which nobody proposed",
+                    decided[0]
+                ));
+            }
+            let model_objects = ModelObject::instantiate_all(&protocol);
+            let refs: Vec<&dyn DynObject> = model_objects.iter().map(AsRef::as_ref).collect();
+            match replay_execution(&protocol, &refs, &inputs, &execution) {
+                Ok(replayed) if replayed == report.decisions => {}
+                Ok(replayed) => {
+                    return CheckOutcome::fail(format!(
+                        "{name} seed {seed}: model replay decided {replayed:?}, runtime decided {:?}",
+                        report.decisions
+                    ));
+                }
+                Err(e) => {
+                    return CheckOutcome::fail(format!(
+                        "{name} seed {seed}: runtime schedule does not replay: {e}"
+                    ));
+                }
+            }
+            executions += 1;
+        }
+    }
+    out = out.bound("replayed_executions", executions, BoundOp::Eq, 6);
+    out
+}
+
+/// The soak gate: an in-process server under the PR 9 threshold
+/// catalog — sustained mixed load at the backpressure boundary with no
+/// leaking gauges, p99 under its ceiling, cache hit rate above its
+/// floor.
+pub(crate) fn svc_soak(_ctx: &CheckContext) -> CheckOutcome {
+    let server = match Server::bind("127.0.0.1:0", ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => return CheckOutcome::fail(format!("cannot bind loopback server: {e}")),
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => return CheckOutcome::fail(format!("no local addr: {e}")),
+    };
+    let handle = std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    let config = SoakConfig {
+        duration: Duration::from_secs(2),
+        inflight: 8,
+        sample_interval: Duration::from_millis(125),
+    };
+    let catalog = ThresholdCatalog::baked();
+    let result = run_soak(&addr.to_string(), &config, &catalog);
+    let shutdown = Client::connect(addr).and_then(|mut c| c.shutdown());
+    let _ = handle.join();
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => return CheckOutcome::fail(format!("soak run failed: {e}")),
+    };
+    if let Err(e) = shutdown {
+        return CheckOutcome::fail(format!("server did not shut down cleanly: {e}"));
+    }
+    if report.jobs_ok == 0 {
+        return CheckOutcome::fail("soak completed zero jobs — the load loop never ran");
+    }
+    let mut out = if report.passed() {
+        CheckOutcome::pass()
+    } else {
+        let details: Vec<String> = report
+            .violations
+            .iter()
+            .map(|v| format!("[{}] {}: {}", v.kind, v.metric, v.detail))
+            .collect();
+        CheckOutcome::fail(details.join("; "))
+    };
+    out = out
+        .bound("threshold_violations", report.violations.len() as i128, BoundOp::Eq, 0)
+        .note("jobs_ok", Json::Int(i128::from(report.jobs_ok)))
+        .note("rejected", Json::Int(i128::from(report.rejected)));
+    if let Some(rate) = report.cache_hit_rate {
+        out = out.note("cache_hit_rate", Json::Float(rate));
+    }
+    out
+}

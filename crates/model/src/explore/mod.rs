@@ -384,6 +384,19 @@ impl ExploreOutcome {
         self.consistency_violation.is_none() && self.validity_violation.is_none()
     }
 
+    /// Stable machine-readable verdict label: `"safe"`,
+    /// `"consistency-violation"`, or `"validity-violation"` (the first
+    /// violation kind wins when both were found). Truncation is
+    /// orthogonal — check [`truncated`](ExploreOutcome::truncated)
+    /// before treating `"safe"` as exhaustive.
+    pub fn verdict_label(&self) -> &'static str {
+        match (&self.consistency_violation, &self.validity_violation) {
+            (None, None) => "safe",
+            (Some(_), _) => "consistency-violation",
+            (None, Some(_)) => "validity-violation",
+        }
+    }
+
     /// How many raw configurations each visited node stands for on
     /// average — the symmetry-reduction factor
     /// (`raw_configs / canonical_configs`; `1.0` in raw mode).
@@ -440,6 +453,30 @@ pub struct ValencyAnalysis {
     /// Bivalent configurations all of whose successors are univalent —
     /// the *critical configurations* of the FLP argument.
     pub critical_configs: usize,
+}
+
+impl ValencyAnalysis {
+    /// Configurations assigned a valency class
+    /// (`zero_valent + one_valent + bivalent + stuck`).
+    pub fn classified(&self) -> usize {
+        self.zero_valent + self.one_valent + self.bivalent + self.stuck
+    }
+
+    /// Whether the valency envelope is internally consistent: every
+    /// reachable configuration got a class, and the initial
+    /// configuration's class has a nonzero count. A violation here
+    /// means the analysis itself (not the protocol) is broken, which
+    /// is exactly what a fail-closed gate must distinguish from a
+    /// passing check.
+    pub fn envelope_consistent(&self) -> bool {
+        self.classified() == self.configs
+            && match self.initial {
+                Valency::Zero => self.zero_valent > 0,
+                Valency::One => self.one_valent > 0,
+                Valency::Bivalent => self.bivalent > 0,
+                Valency::Stuck => self.stuck > 0,
+            }
+    }
 }
 
 /// Exhaustive explorer with budgets.

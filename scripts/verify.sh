@@ -49,6 +49,12 @@
 #      `randsync trace-tree` (nonzero exit on orphans fails this
 #      script), and withholding the coordinator's file must be
 #      detected as an orphaned-parent tree
+#  14. the fail-closed verification gate: `randsync gate --filter
+#      smoke` runs the machine-readable property catalog (Thm 3.3,
+#      Lemma 3.6, Thms 4.2/4.4, the Thm 2.1 composition bound, and the
+#      workspace equivalence properties) plus the checksummed witness
+#      regression corpus end-to-end; ANY failed property, violated
+#      bound, lost or tampered witness, or skip exits nonzero
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -144,8 +150,13 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 [ -n "$svc_addr" ] || { echo "FAIL: job server never reported its address"; kill "$svc_pid" 2>/dev/null; exit 1; }
-full_configs=$(./target/release/randsync submit "$svc_addr" explore protocol=naive \
-    | sed -n 's/.*"configs":\([0-9]*\).*/\1/p')
+# Capture to a file first: piping `submit` straight into sed would
+# mask a nonzero submit exit behind sed's status (even under set -e,
+# only the last command of a pipeline is load-bearing).
+./target/release/randsync submit "$svc_addr" explore protocol=naive \
+    > target/verify_svc_full.txt \
+    || { echo "FAIL: explore job failed"; kill "$svc_pid" 2>/dev/null; exit 1; }
+full_configs=$(sed -n 's/.*"configs":\([0-9]*\).*/\1/p' target/verify_svc_full.txt)
 [ -n "$full_configs" ] || { echo "FAIL: explore job reported no config count"; kill "$svc_pid" 2>/dev/null; exit 1; }
 ./target/release/randsync submit "$svc_addr" explore protocol=naive max_depth=2 mem_budget=4096 \
     > target/verify_svc_cut.txt
@@ -319,5 +330,17 @@ grep -q "frontier_" target/verify_trace_tree.txt \
 ./target/release/randsync trace-tree "$soak_client_trace" "$soak_w_trace" \
     > /dev/null 2>&1 \
     && { echo "FAIL: orphaned-parent tree was not detected"; exit 1; }
+
+echo "== fail-closed verification gate (property catalog + witness corpus) =="
+# The smoke tag covers every fast catalog entry plus the full witness
+# regression corpus; the binary exits nonzero on any failed property,
+# violated bound, lost/tampered witness, or unexplained skip. The
+# report and bench artifacts land in target/ for inspection.
+./target/release/randsync gate --filter smoke \
+    --report target/verify_gate_report.json \
+    --bench target/BENCH_gate_smoke.json \
+    || { echo "FAIL: the verification gate went red"; exit 1; }
+grep -q '"passed":true' target/verify_gate_report.json \
+    || { echo "FAIL: gate report disagrees with its exit status"; exit 1; }
 
 echo "verify.sh: all gates passed"

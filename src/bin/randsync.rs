@@ -20,6 +20,7 @@
 //! randsync shutdown <addr>                          drain a server and stop it
 //! randsync top <addr>                               live metrics dashboard (watch job)
 //! randsync soak <addr>                              soak the server, judge thresholds
+//! randsync gate [--filter <id|tag>]                 run the fail-closed verification gate
 //! randsync trace-tree <a.jsonl> [b.jsonl ...]       stitch span sinks into one tree
 //! ```
 //!
@@ -94,6 +95,7 @@ use randsync::model::{
 };
 use randsync::objects::bridge;
 use randsync::obs::{self, ExecutionTrace, Field, Json, MetricValue, Snapshot, TraceSink};
+use randsync::gate;
 use randsync::svc::soak::{run_soak, SoakConfig, ThresholdCatalog};
 use randsync::svc::{job, Client, Server, ServerConfig};
 
@@ -148,6 +150,7 @@ fn main() -> ExitCode {
         "shutdown" => run_shutdown(&args[1..]),
         "top" => run_top(&args[1..]),
         "soak" => run_soak_cmd(&args[1..]),
+        "gate" => run_gate_cmd(&args[1..]),
         "trace-tree" => run_trace_tree(&args[1..]),
         "walk" => {
             let n = parse(args.get(1), 4) as usize;
@@ -185,6 +188,8 @@ fn main() -> ExitCode {
                  randsync shutdown <addr>\n  \
                  randsync top <addr> [--interval-ms MS] [--ticks N]\n  \
                  randsync soak <addr> [--duration-s S] [--inflight N] [--catalog <file>]\n  \
+                 randsync gate [--list] [--filter <id|tag>] [--report <file>] [--bench <file>]\n          \
+                 [--corpus <dir>] [--add-witness <trace.jsonl>] [--seed-corpus]\n  \
                  randsync trace-tree <a.jsonl> [b.jsonl ...]\n\n\
                  protocol names: see `randsync protocols`\n\
                  job kinds: valency, explore, resume, run, monte_carlo, replay, \
@@ -560,21 +565,7 @@ fn witness_from_execution<P: Protocol>(
     inputs: &[u8],
     execution: Execution,
 ) -> Option<InconsistencyWitness> {
-    let start = Configuration::initial_with_pool(protocol, inputs, inputs.len());
-    let (end, _) = execution.replay(protocol, &start).ok()?;
-    let decisions = end.decisions();
-    let zero = decisions.iter().find(|(_, d)| *d == 0).map(|(p, _)| *p)?;
-    let one = decisions.iter().find(|(_, d)| *d == 1).map(|(p, _)| *p)?;
-    let mut pids: Vec<_> = execution.steps().iter().map(|s| s.pid).collect();
-    pids.sort_unstable();
-    pids.dedup();
-    Some(InconsistencyWitness {
-        inputs: inputs.to_vec(),
-        execution,
-        decides_zero: zero,
-        decides_one: one,
-        processes_used: pids.len(),
-    })
+    InconsistencyWitness::from_execution(protocol, inputs, execution)
 }
 
 /// The guided adversary search behind `valency --best-first`: hunt for
@@ -1568,4 +1559,162 @@ fn run_trace_tree(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Short git revision for benchmark artifacts, `"unknown"` outside a
+/// checkout (matches the `benches/explore_perf.rs` convention).
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `randsync gate` — run the fail-closed verification gate (DESIGN.md
+/// §18): every property-catalog entry selected by `--filter`, then the
+/// witness regression corpus. Exit code is nonzero on ANY failure,
+/// lost or tampered witness, or skipped entry.
+///
+/// Corpus maintenance lives here too: `--add-witness <trace.jsonl>`
+/// validates, shrinks, checksums, and files a new witness with
+/// provenance; `--seed-corpus` rebuilds the corpus from the registry's
+/// adversary targets (idempotent).
+fn run_gate_cmd(args: &[String]) -> ExitCode {
+    let mut config = gate::GateConfig::default();
+    let mut list = false;
+    let mut seed = false;
+    let mut report_path: Option<String> = None;
+    let mut bench_path: Option<String> = None;
+    let mut add_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--seed-corpus" => seed = true,
+            "--filter" => {
+                let Some(f) = iter.next() else {
+                    eprintln!("--filter needs a catalog id, id substring, or tag");
+                    return ExitCode::FAILURE;
+                };
+                config.filter = Some(f.clone());
+            }
+            "--corpus" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--corpus needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                config.corpus_dir = std::path::PathBuf::from(dir);
+            }
+            "--report" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--report needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                report_path = Some(p.clone());
+            }
+            "--bench" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--bench needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                bench_path = Some(p.clone());
+            }
+            "--add-witness" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--add-witness needs a trace file");
+                    return ExitCode::FAILURE;
+                };
+                add_path = Some(p.clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if list {
+        for e in gate::catalog() {
+            println!(
+                "{:<22} {:<32} [{}] budget {} ms{}",
+                e.id,
+                e.paper,
+                e.tags.join(","),
+                e.budget_ms,
+                if e.requires_witness { "  (requires corpus witness)" } else { "" }
+            );
+        }
+        println!("{:<22} the witness regression corpus [smoke,corpus]", gate::CORPUS_ENTRY_ID);
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = add_path {
+        return match gate::add_witness(&config.corpus_dir, Path::new(&path)) {
+            Ok(Some(record)) => {
+                println!(
+                    "filed {} — property {} ({} steps, {} processes, checksum {})",
+                    record.file, record.property, record.steps, record.processes_used,
+                    record.checksum
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(None) => {
+                println!("an identical witness is already filed; corpus unchanged");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot file witness: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if seed {
+        return match gate::seed_corpus(&config.corpus_dir) {
+            Ok(added) if added.is_empty() => {
+                println!("corpus already seeded; nothing to add");
+                ExitCode::SUCCESS
+            }
+            Ok(added) => {
+                for record in &added {
+                    println!(
+                        "filed {} — property {} ({} steps, {} processes)",
+                        record.file, record.property, record.steps, record.processes_used
+                    );
+                }
+                println!("{} witness(es) filed", added.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("seeding failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let report = gate::run_gate(&config);
+    print!("{}", report.render());
+    if let Some(path) = report_path {
+        let mut text = report.to_json().render();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report              : {path}");
+    }
+    if let Some(path) = bench_path {
+        let mut text = report.bench_json(&git_revision()).render();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write bench {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench               : {path}");
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -6,7 +6,7 @@
 //! historyless objects, the upper-bound protocols it is contrasted
 //! with, and the separation results of Section 4 — as a Rust workspace.
 //!
-//! This umbrella crate re-exports the six library crates:
+//! This umbrella crate re-exports the seven library crates:
 //!
 //! * [`model`] — the asynchronous shared-memory computation model:
 //!   typed objects and the historyless classification, protocols with
@@ -26,7 +26,11 @@
 //! * [`svc`] — the verification job server: a framed JSONL protocol
 //!   over TCP, a bounded queue feeding a worker pool, per-job
 //!   wall-clock budgets, and a results cache, so repeated verification
-//!   queries amortise process start-up (see `randsync serve`).
+//!   queries amortise process start-up (see `randsync serve`);
+//! * [`gate`] — the fail-closed verification gate: the machine-readable
+//!   property catalog binding each reproduced theorem to an executable
+//!   check, the checksummed witness regression corpus, and the runner
+//!   behind `randsync gate` (see DESIGN.md §18).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -44,6 +48,7 @@
 
 pub use randsync_consensus as consensus;
 pub use randsync_core as core;
+pub use randsync_gate as gate;
 pub use randsync_model as model;
 pub use randsync_objects as objects;
 pub use randsync_obs as obs;
